@@ -1,0 +1,745 @@
+//! Distributed block matrices over pluggable block formats.
+//!
+//! [`BlockMatrix<B>`] reimplements the distributed algorithms of
+//! [`spangle_linalg::DistMatrix`] generically so the comparison systems of
+//! Fig. 10 differ from Spangle in exactly one dimension — the physical
+//! block format:
+//!
+//! * [`CooBlock`] — coordinate triplets, the "Spark (COO)" comparator;
+//! * [`CscBlock`] — compressed sparse columns, the "MLlib (CSC)"
+//!   comparator;
+//! * [`DenseBlock`] — a full `rows × cols` buffer, the "SciSpark"
+//!   comparator. True to SciSpark's dense NetCDF handling it materialises
+//!   *every* block of the grid, empty or not.
+
+use spangle_core::{ArrayMeta, ChunkId};
+use spangle_dataflow::rdd::sources::GeneratedRdd;
+use spangle_dataflow::{
+    HashPartitioner, JobError, MemSize, PairRdd, Partitioner, Rdd, SpangleContext,
+};
+use std::sync::Arc;
+
+/// A physical matrix block format.
+pub trait MatrixBlock: Clone + Send + Sync + MemSize + 'static {
+    /// Whether all-zero blocks are still materialised (dense formats).
+    const MATERIALIZE_EMPTY: bool;
+
+    /// Builds a block of extent `rows × cols` from `(row, col, value)`
+    /// triplets; `None` when empty *and* the format elides empty blocks.
+    fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Option<Self>
+    where
+        Self: Sized;
+
+    /// Stored non-zero count.
+    fn nnz(&self) -> usize;
+
+    /// Deep size in bytes.
+    fn mem_bytes(&self) -> usize;
+
+    /// `acc[r] += Σ_c block[r,c] * q[c]`.
+    fn matvec_into(&self, q: &[f64], acc: &mut [f64]);
+
+    /// `acc[c] += Σ_r x[r] * block[r,c]`.
+    fn vecmat_into(&self, x: &[f64], acc: &mut [f64]);
+
+    /// `acc[r + c*self.rows] += self · other` (column-last accumulator).
+    fn multiply_into(&self, other: &Self, acc: &mut [f64]);
+
+    /// The transposed block.
+    fn transpose(&self) -> Self;
+
+    /// Extent.
+    fn extent(&self) -> (usize, usize);
+}
+
+/// Coordinate-list block ("Spark (COO)").
+#[derive(Clone, Debug)]
+pub struct CooBlock {
+    rows: usize,
+    cols: usize,
+    r: Vec<u32>,
+    c: Vec<u32>,
+    v: Vec<f64>,
+}
+
+impl MemSize for CooBlock {
+    fn mem_size(&self) -> usize {
+        self.mem_bytes()
+    }
+}
+
+impl MatrixBlock for CooBlock {
+    const MATERIALIZE_EMPTY: bool = false;
+
+    fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Option<Self> {
+        if triplets.is_empty() {
+            return None;
+        }
+        let mut sorted = triplets.to_vec();
+        // Column-major order so products stream reasonably.
+        sorted.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        Some(CooBlock {
+            rows,
+            cols,
+            r: sorted.iter().map(|t| t.0).collect(),
+            c: sorted.iter().map(|t| t.1).collect(),
+            v: sorted.iter().map(|t| t.2).collect(),
+        })
+    }
+
+    fn nnz(&self) -> usize {
+        self.v.len()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.v.len() * (4 + 4 + 8)
+    }
+
+    fn matvec_into(&self, q: &[f64], acc: &mut [f64]) {
+        for i in 0..self.v.len() {
+            acc[self.r[i] as usize] += self.v[i] * q[self.c[i] as usize];
+        }
+    }
+
+    fn vecmat_into(&self, x: &[f64], acc: &mut [f64]) {
+        for i in 0..self.v.len() {
+            acc[self.c[i] as usize] += x[self.r[i] as usize] * self.v[i];
+        }
+    }
+
+    fn multiply_into(&self, other: &Self, acc: &mut [f64]) {
+        debug_assert_eq!(self.cols, other.rows);
+        // Index other by row.
+        let mut by_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); other.rows];
+        for i in 0..other.v.len() {
+            by_row[other.r[i] as usize].push((other.c[i], other.v[i]));
+        }
+        for i in 0..self.v.len() {
+            let (r, k, va) = (self.r[i] as usize, self.c[i] as usize, self.v[i]);
+            for &(c, vb) in &by_row[k] {
+                acc[r + c as usize * self.rows] += va * vb;
+            }
+        }
+    }
+
+    fn transpose(&self) -> Self {
+        let triplets: Vec<(u32, u32, f64)> = (0..self.v.len())
+            .map(|i| (self.c[i], self.r[i], self.v[i]))
+            .collect();
+        CooBlock::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a non-empty block is non-empty")
+    }
+
+    fn extent(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Compressed-sparse-column block ("MLlib (CSC)").
+#[derive(Clone, Debug)]
+pub struct CscBlock {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl MemSize for CscBlock {
+    fn mem_size(&self) -> usize {
+        self.mem_bytes()
+    }
+}
+
+impl MatrixBlock for CscBlock {
+    const MATERIALIZE_EMPTY: bool = false;
+
+    fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Option<Self> {
+        if triplets.is_empty() {
+            return None;
+        }
+        let mut sorted = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0u32; cols + 1];
+        for &(_, c, _) in &sorted {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for c in 0..cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Some(CscBlock {
+            rows,
+            cols,
+            col_ptr,
+            row_idx: sorted.iter().map(|t| t.0).collect(),
+            vals: sorted.iter().map(|t| t.2).collect(),
+        })
+    }
+
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.col_ptr.len() * 4
+            + self.row_idx.len() * 4
+            + self.vals.len() * 8
+    }
+
+    fn matvec_into(&self, q: &[f64], acc: &mut [f64]) {
+        for c in 0..self.cols {
+            let qc = q[c];
+            if qc == 0.0 {
+                continue;
+            }
+            for i in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
+                acc[self.row_idx[i] as usize] += self.vals[i] * qc;
+            }
+        }
+    }
+
+    fn vecmat_into(&self, x: &[f64], acc: &mut [f64]) {
+        for c in 0..self.cols {
+            let mut sum = 0.0;
+            for i in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
+                sum += x[self.row_idx[i] as usize] * self.vals[i];
+            }
+            acc[c] += sum;
+        }
+    }
+
+    fn multiply_into(&self, other: &Self, acc: &mut [f64]) {
+        debug_assert_eq!(self.cols, other.rows);
+        // For each column c of other, scatter through self's columns.
+        for c in 0..other.cols {
+            for i in other.col_ptr[c] as usize..other.col_ptr[c + 1] as usize {
+                let k = other.row_idx[i] as usize;
+                let vb = other.vals[i];
+                for j in self.col_ptr[k] as usize..self.col_ptr[k + 1] as usize {
+                    acc[self.row_idx[j] as usize + c * self.rows] += self.vals[j] * vb;
+                }
+            }
+        }
+    }
+
+    fn transpose(&self) -> Self {
+        let mut triplets = Vec::with_capacity(self.vals.len());
+        for c in 0..self.cols {
+            for i in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
+                triplets.push((c as u32, self.row_idx[i], self.vals[i]));
+            }
+        }
+        CscBlock::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a non-empty block is non-empty")
+    }
+
+    fn extent(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Fully materialised block ("SciSpark": dense, empties included).
+#[derive(Clone, Debug)]
+pub struct DenseBlock {
+    rows: usize,
+    cols: usize,
+    /// Column-last buffer of every slot, zeros included.
+    data: Vec<f64>,
+}
+
+impl MemSize for DenseBlock {
+    fn mem_size(&self) -> usize {
+        self.mem_bytes()
+    }
+}
+
+impl MatrixBlock for DenseBlock {
+    const MATERIALIZE_EMPTY: bool = true;
+
+    fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Option<Self> {
+        let mut data = vec![0.0; rows * cols];
+        for &(r, c, v) in triplets {
+            data[r as usize + c as usize * rows] = v;
+        }
+        Some(DenseBlock { rows, cols, data })
+    }
+
+    fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.len() * 8
+    }
+
+    fn matvec_into(&self, q: &[f64], acc: &mut [f64]) {
+        for c in 0..self.cols {
+            let qc = q[c];
+            let col = &self.data[c * self.rows..(c + 1) * self.rows];
+            for r in 0..self.rows {
+                acc[r] += col[r] * qc;
+            }
+        }
+    }
+
+    fn vecmat_into(&self, x: &[f64], acc: &mut [f64]) {
+        for c in 0..self.cols {
+            let col = &self.data[c * self.rows..(c + 1) * self.rows];
+            let mut sum = 0.0;
+            for r in 0..self.rows {
+                sum += x[r] * col[r];
+            }
+            acc[c] += sum;
+        }
+    }
+
+    fn multiply_into(&self, other: &Self, acc: &mut [f64]) {
+        debug_assert_eq!(self.cols, other.rows);
+        for c in 0..other.cols {
+            for k in 0..self.cols {
+                let vb = other.data[k + c * other.rows];
+                if vb == 0.0 {
+                    continue;
+                }
+                let a_col = &self.data[k * self.rows..(k + 1) * self.rows];
+                let out_col = &mut acc[c * self.rows..(c + 1) * self.rows];
+                for r in 0..self.rows {
+                    out_col[r] += a_col[r] * vb;
+                }
+            }
+        }
+    }
+
+    fn transpose(&self) -> Self {
+        let mut data = vec![0.0; self.data.len()];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                data[c + r * self.cols] = self.data[r + c * self.rows];
+            }
+        }
+        DenseBlock {
+            rows: self.cols,
+            cols: self.rows,
+            data,
+        }
+    }
+
+    fn extent(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// A distributed block matrix over block format `B`.
+pub struct BlockMatrix<B: MatrixBlock> {
+    ctx: SpangleContext,
+    meta: Arc<ArrayMeta>,
+    rdd: Rdd<(ChunkId, B)>,
+}
+
+impl<B: MatrixBlock> Clone for BlockMatrix<B> {
+    fn clone(&self) -> Self {
+        BlockMatrix {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            rdd: self.rdd.clone(),
+        }
+    }
+}
+
+impl<B: MatrixBlock> BlockMatrix<B> {
+    /// Generates a matrix from an entry function, block by block on the
+    /// executors (same grid/ID conventions as Spangle's matrices).
+    pub fn generate(
+        ctx: &SpangleContext,
+        rows: usize,
+        cols: usize,
+        block_shape: (usize, usize),
+        f: impl Fn(usize, usize) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        let meta = Arc::new(ArrayMeta::new(
+            vec![rows, cols],
+            vec![block_shape.0, block_shape.1],
+        ));
+        let num_partitions = ctx.num_executors() * 2;
+        let gen_meta = meta.clone();
+        let rdd = GeneratedRdd::create(ctx, num_partitions, move |p| {
+            let partitioner = HashPartitioner::new(num_partitions);
+            let mapper = gen_meta.mapper();
+            let mut out = Vec::new();
+            for chunk_id in 0..mapper.num_chunks() as u64 {
+                if partitioner.partition(&chunk_id) != p {
+                    continue;
+                }
+                let origin = mapper.chunk_origin(chunk_id);
+                let extent = mapper.chunk_extent(chunk_id);
+                let mut triplets = Vec::new();
+                for c in 0..extent[1] {
+                    for r in 0..extent[0] {
+                        if let Some(v) = f(origin[0] + r, origin[1] + c) {
+                            if v != 0.0 {
+                                triplets.push((r as u32, c as u32, v));
+                            }
+                        }
+                    }
+                }
+                if let Some(block) = B::from_triplets(extent[0], extent[1], &triplets) {
+                    out.push((chunk_id, block));
+                }
+            }
+            out
+        });
+        let sig = Partitioner::<u64>::sig(&HashPartitioner::new(num_partitions));
+        BlockMatrix {
+            ctx: ctx.clone(),
+            meta,
+            rdd: rdd.assert_partitioned(sig),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.meta.dims()[0]
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.meta.dims()[1]
+    }
+
+    fn grid_rows(&self) -> usize {
+        self.meta.grid_dims()[0]
+    }
+
+    /// The block RDD.
+    pub fn rdd(&self) -> &Rdd<(ChunkId, B)> {
+        &self.rdd
+    }
+
+    /// Marks blocks for caching.
+    pub fn persist(&self) -> &Self {
+        self.rdd.persist();
+        self
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> Result<usize, JobError> {
+        self.rdd
+            .aggregate(0usize, |acc, (_, b)| acc + b.nnz(), |a, b| a + b)
+    }
+
+    /// Deep memory footprint of all blocks.
+    pub fn mem_bytes(&self) -> Result<usize, JobError> {
+        self.rdd
+            .aggregate(0usize, |acc, (_, b)| acc + b.mem_bytes(), |a, b| a + b)
+    }
+
+    /// `y = M·x` with a broadcast vector.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, JobError> {
+        assert_eq!(x.len(), self.cols(), "dimension mismatch in M·x");
+        let bc = self.ctx.broadcast(x.to_vec());
+        let meta = self.meta.clone();
+        let grid_rows = self.grid_rows() as u64;
+        let partials = self.rdd.map(move |(id, block)| {
+            let mapper = meta.mapper();
+            let origin = mapper.chunk_origin(id);
+            let (rows, cols) = block.extent();
+            let q = &bc.value()[origin[1]..origin[1] + cols];
+            let mut acc = vec![0.0; rows];
+            block.matvec_into(q, &mut acc);
+            (id % grid_rows, acc)
+        });
+        let n = self.rdd.num_partitions();
+        let reduced = partials.reduce_by_key(Arc::new(HashPartitioner::new(n)), |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        let mut out = vec![0.0; self.rows()];
+        let br = self.meta.chunk_shape()[0];
+        for (gr, seg) in reduced.collect()? {
+            let base = gr as usize * br;
+            out[base..base + seg.len()].copy_from_slice(&seg);
+        }
+        Ok(out)
+    }
+
+    /// `yᵀ = xᵀ·M` with a broadcast vector.
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>, JobError> {
+        assert_eq!(x.len(), self.rows(), "dimension mismatch in xᵀ·M");
+        let bc = self.ctx.broadcast(x.to_vec());
+        let meta = self.meta.clone();
+        let grid_rows = self.grid_rows() as u64;
+        let partials = self.rdd.map(move |(id, block)| {
+            let mapper = meta.mapper();
+            let origin = mapper.chunk_origin(id);
+            let (rows, cols) = block.extent();
+            let xs = &bc.value()[origin[0]..origin[0] + rows];
+            let mut acc = vec![0.0; cols];
+            block.vecmat_into(xs, &mut acc);
+            (id / grid_rows, acc)
+        });
+        let n = self.rdd.num_partitions();
+        let reduced = partials.reduce_by_key(Arc::new(HashPartitioner::new(n)), |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        let mut out = vec![0.0; self.cols()];
+        let bcols = self.meta.chunk_shape()[1];
+        for (gc, seg) in reduced.collect()? {
+            let base = gc as usize * bcols;
+            out[base..base + seg.len()].copy_from_slice(&seg);
+        }
+        Ok(out)
+    }
+
+    /// Shuffle-plan matrix multiplication (join on the contraction index,
+    /// reduce partial blocks).
+    pub fn multiply(&self, other: &BlockMatrix<B>) -> BlockMatrix<B> {
+        assert_eq!(self.cols(), other.rows(), "inner dimensions must agree");
+        assert_eq!(
+            self.meta.chunk_shape()[1],
+            other.meta.chunk_shape()[0],
+            "inner block sizes must agree"
+        );
+        let out_meta = Arc::new(ArrayMeta::new(
+            vec![self.rows(), other.cols()],
+            vec![self.meta.chunk_shape()[0], other.meta.chunk_shape()[1]],
+        ));
+        let a_grid_rows = self.grid_rows() as u64;
+        let b_grid_rows = other.grid_rows() as u64;
+        let out_grid_rows = out_meta.grid_dims()[0] as u64;
+        let a = self
+            .rdd
+            .map(move |(id, b)| (id / a_grid_rows, (id % a_grid_rows, b)));
+        let b = other
+            .rdd
+            .map(move |(id, blk)| (id % b_grid_rows, (id / b_grid_rows, blk)));
+        let n = self.rdd.num_partitions();
+        let partials = a
+            .cogroup(&b, Arc::new(HashPartitioner::new(n)))
+            .flat_map(move |(_, (links, rights))| {
+                let mut out = Vec::with_capacity(links.len() * rights.len());
+                for (gr, ab) in &links {
+                    for (gc, bb) in &rights {
+                        let (ar, _) = ab.extent();
+                        let (_, bc) = bb.extent();
+                        let mut acc = vec![0.0; ar * bc];
+                        ab.multiply_into(bb, &mut acc);
+                        out.push(((gr + gc * out_grid_rows), (ar, acc)));
+                    }
+                }
+                out
+            });
+        let reduced = partials.reduce_by_key(
+            Arc::new(HashPartitioner::new(n)),
+            |(r, mut a), (_, b)| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                (r, a)
+            },
+        );
+        let rdd = reduced.flat_map(|(id, (rows, acc))| {
+            let cols = acc.len() / rows;
+            let triplets: Vec<(u32, u32, f64)> = acc
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != 0.0)
+                .map(|(i, &v)| ((i % rows) as u32, (i / rows) as u32, v))
+                .collect();
+            if triplets.is_empty() && !B::MATERIALIZE_EMPTY {
+                return Vec::new();
+            }
+            B::from_triplets(rows, cols, &triplets)
+                .map(|b| (id, b))
+                .into_iter()
+                .collect::<Vec<_>>()
+        });
+        BlockMatrix {
+            ctx: self.ctx.clone(),
+            meta: out_meta,
+            rdd,
+        }
+    }
+
+    /// Physical transpose.
+    pub fn transpose(&self) -> BlockMatrix<B> {
+        let grid_rows = self.grid_rows() as u64;
+        let grid_cols = self.meta.grid_dims()[1] as u64;
+        let out_meta = Arc::new(ArrayMeta::new(
+            vec![self.cols(), self.rows()],
+            vec![self.meta.chunk_shape()[1], self.meta.chunk_shape()[0]],
+        ));
+        let rdd = self.rdd.map(move |(id, block)| {
+            let (gr, gc) = (id % grid_rows, id / grid_rows);
+            (gc + gr * grid_cols, block.transpose())
+        });
+        let n = self.rdd.num_partitions();
+        let rdd = rdd.partition_by(Arc::new(HashPartitioner::new(n)));
+        BlockMatrix {
+            ctx: self.ctx.clone(),
+            meta: out_meta,
+            rdd,
+        }
+    }
+
+    /// `MᵀM`.
+    pub fn gram(&self) -> BlockMatrix<B> {
+        self.transpose().multiply(self)
+    }
+
+    /// Dense driver-side copy for tests.
+    pub fn to_local(&self) -> Result<Vec<f64>, JobError> {
+        let rows = self.rows();
+        let meta = self.meta.clone();
+        let cells = self.rdd.flat_map(move |(id, block)| {
+            let mapper = meta.mapper();
+            let origin = mapper.chunk_origin(id);
+            let (brows, bcols) = block.extent();
+            // Reconstruct the block by probing each column with a unit
+            // vector — O(cols) kernel calls, fine for a test-only action.
+            let mut buf = vec![0.0; brows * bcols];
+            for c in 0..bcols {
+                let mut q = vec![0.0; bcols];
+                q[c] = 1.0;
+                let mut col = vec![0.0; brows];
+                block.matvec_into(&q, &mut col);
+                for r in 0..brows {
+                    buf[r + c * brows] = col[r];
+                }
+            }
+            buf.into_iter()
+                .enumerate()
+                .filter(|(_, v)| *v != 0.0)
+                .map(|(i, v)| {
+                    let r = origin[0] + i % brows;
+                    let c = origin[1] + i / brows;
+                    (r as u64, c as u64, v)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = vec![0.0; rows * self.cols()];
+        for (r, c, v) in cells.collect()? {
+            out[r as usize + c as usize * rows] = v;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(r: usize, c: usize) -> Option<f64> {
+        ((r + 2 * c) % 5 == 0).then(|| (r * 7 + c + 1) as f64)
+    }
+
+    fn reference(rows: usize, cols: usize) -> Vec<f64> {
+        let mut m = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                if let Some(v) = entry(r, c) {
+                    m[r + c * rows] = v;
+                }
+            }
+        }
+        m
+    }
+
+    fn check_format<B: MatrixBlock>() {
+        let ctx = SpangleContext::new(2);
+        let m = BlockMatrix::<B>::generate(&ctx, 18, 13, (5, 4), entry);
+        let local = m.to_local().unwrap();
+        assert_eq!(local, reference(18, 13));
+
+        // matvec
+        let x: Vec<f64> = (0..13).map(|i| (i as f64) - 6.0).collect();
+        let y = m.matvec(&x).unwrap();
+        for r in 0..18 {
+            let expected: f64 = (0..13).map(|c| local[r + c * 18] * x[c]).sum();
+            assert!((y[r] - expected).abs() < 1e-9, "row {r}");
+        }
+
+        // vecmat
+        let x: Vec<f64> = (0..18).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let y = m.vecmat(&x).unwrap();
+        for c in 0..13 {
+            let expected: f64 = (0..18).map(|r| x[r] * local[r + c * 18]).sum();
+            assert!((y[c] - expected).abs() < 1e-9, "col {c}");
+        }
+
+        // multiply (M * Mᵀ via generate of the transpose entries)
+        let mt = BlockMatrix::<B>::generate(&ctx, 13, 18, (4, 5), |r, c| entry(c, r));
+        let product = m.multiply(&mt).to_local().unwrap();
+        for r in 0..18 {
+            for c in 0..18 {
+                let expected: f64 = (0..13)
+                    .map(|k| local[r + k * 18] * local[c + k * 18])
+                    .sum();
+                assert!(
+                    (product[r + c * 18] - expected).abs() < 1e-9,
+                    "({r},{c})"
+                );
+            }
+        }
+
+        // gram
+        let gram = m.gram().to_local().unwrap();
+        for a in 0..13 {
+            for b in 0..13 {
+                let expected: f64 = (0..18)
+                    .map(|k| local[k + a * 18] * local[k + b * 18])
+                    .sum();
+                assert!((gram[a + b * 13] - expected).abs() < 1e-9, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn coo_format_matches_reference() {
+        check_format::<CooBlock>();
+    }
+
+    #[test]
+    fn csc_format_matches_reference() {
+        check_format::<CscBlock>();
+    }
+
+    #[test]
+    fn dense_format_matches_reference() {
+        check_format::<DenseBlock>();
+    }
+
+    #[test]
+    fn dense_format_materialises_empty_blocks() {
+        let ctx = SpangleContext::new(2);
+        // Only the top-left block is non-empty.
+        let f = |r: usize, c: usize| (r < 4 && c < 4).then_some(1.0);
+        let dense = BlockMatrix::<DenseBlock>::generate(&ctx, 16, 16, (4, 4), f);
+        let coo = BlockMatrix::<CooBlock>::generate(&ctx, 16, 16, (4, 4), f);
+        assert_eq!(dense.rdd().count().unwrap(), 16, "every grid slot exists");
+        assert_eq!(coo.rdd().count().unwrap(), 1, "sparse formats elide empties");
+        assert!(dense.mem_bytes().unwrap() > 4 * coo.mem_bytes().unwrap());
+    }
+
+    #[test]
+    fn memory_ordering_matches_the_paper_for_sparse_data() {
+        let ctx = SpangleContext::new(2);
+        // ~2% density.
+        let f = |r: usize, c: usize| ((r * 53 + c * 19) % 50 == 0).then_some(1.0);
+        let coo = BlockMatrix::<CooBlock>::generate(&ctx, 256, 256, (64, 64), f)
+            .mem_bytes()
+            .unwrap();
+        let csc = BlockMatrix::<CscBlock>::generate(&ctx, 256, 256, (64, 64), f)
+            .mem_bytes()
+            .unwrap();
+        let dense = BlockMatrix::<DenseBlock>::generate(&ctx, 256, 256, (64, 64), f)
+            .mem_bytes()
+            .unwrap();
+        assert!(csc < dense && coo < dense, "sparse formats beat dense: coo={coo} csc={csc} dense={dense}");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The comparator systems of the paper's evaluation (§VII), rebuilt on the
+//! same dataflow runtime so that the only variable is the one the paper
+//! varies: the data representation and operator strategy.
+//!
+//! * [`blockmatrix`] — a generic distributed block matrix parameterised by
+//!   block format: [`blockmatrix::CooBlock`] ("Spark (COO)"),
+//!   [`blockmatrix::CscBlock`] ("MLlib (CSC)") and
+//!   [`blockmatrix::DenseBlock`] ("SciSpark", which materialises even
+//!   all-zero blocks);
+//! * [`pagerank`] — the edge-list PageRank of *Learning Spark* ("Spark")
+//!   and a co-partitioned vertex/edge variant ("GraphX-like");
+//! * [`logreg`] — a row-oriented full-batch gradient-descent logistic
+//!   regression ("MLlib"), including the simulated ingest memory budget
+//!   that makes it fail on the two larger Table III datasets as in the
+//!   paper;
+//! * [`local_engine`] — a single-process, eagerly evaluated chunked array
+//!   engine with an explicit disk-IO cost model, standing in for SciDB
+//!   (see DESIGN.md for why this substitution is reported separately).
+
+pub mod blockmatrix;
+pub mod local_engine;
+pub mod logreg;
+pub mod pagerank;
+
+pub use blockmatrix::{BlockMatrix, CooBlock, CscBlock, DenseBlock, MatrixBlock};
+pub use local_engine::LocalArrayEngine;
+pub use logreg::{RowLogReg, SimulatedOom};
+pub use pagerank::{pagerank_edge_list, pagerank_pregel_like};

@@ -1,0 +1,281 @@
+//! The SciDB stand-in: a single-process, eagerly evaluated chunked array
+//! engine with an explicit disk-IO cost model.
+//!
+//! SciDB is a C++ array DBMS: no JVM overhead, but disk-resident — every
+//! query pays to read its chunks. We cannot rebuild SciDB, so this engine
+//! keeps the two properties that position SciDB in Fig. 7 and Fig. 10:
+//! single-node C-speed compute (trivially true of in-process Rust) and
+//! per-query IO charges, *modelled* as `bytes_touched / bandwidth` and
+//! reported as a separate column in EXPERIMENTS.md rather than folded
+//! silently into wall time.
+
+use spangle_core::{ArrayMeta, Chunk, ChunkId, ChunkPolicy, Mapper};
+use std::cell::Cell;
+use std::time::Duration;
+
+/// Disk model: a 7200-RPM HDD's ~150 MB/s sequential bandwidth, matching
+/// the paper's testbed disks.
+pub const DEFAULT_BANDWIDTH_BYTES_PER_SEC: f64 = 150.0e6;
+
+/// A single-process chunked array with null support.
+pub struct LocalArrayEngine {
+    meta: ArrayMeta,
+    mapper: Mapper,
+    chunks: Vec<(ChunkId, Chunk<f64>)>,
+    bandwidth: f64,
+    io_bytes: Cell<u64>,
+}
+
+impl LocalArrayEngine {
+    /// Materialises an array from a generator function (the same function
+    /// the distributed systems ingest, so all systems hold identical
+    /// data).
+    pub fn ingest(meta: ArrayMeta, f: impl Fn(&[usize]) -> Option<f64>) -> Self {
+        let mapper = meta.mapper();
+        let policy = ChunkPolicy::default();
+        let mut chunks = Vec::new();
+        for chunk_id in 0..mapper.num_chunks() as u64 {
+            let volume = mapper.chunk_volume(chunk_id);
+            let origin = mapper.chunk_origin(chunk_id);
+            let extent = mapper.chunk_extent(chunk_id);
+            let mut coords = vec![0usize; origin.len()];
+            let mut cells = Vec::new();
+            for local in 0..volume {
+                Mapper::unravel(&origin, &extent, local, &mut coords);
+                if let Some(v) = f(&coords) {
+                    cells.push((local, v));
+                }
+            }
+            if let Some(chunk) = Chunk::from_cells(volume, cells, &policy) {
+                chunks.push((chunk_id, chunk));
+            }
+        }
+        LocalArrayEngine {
+            meta,
+            mapper,
+            chunks,
+            bandwidth: DEFAULT_BANDWIDTH_BYTES_PER_SEC,
+            io_bytes: Cell::new(0),
+        }
+    }
+
+    /// Overrides the modelled disk bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Array geometry.
+    pub fn meta(&self) -> &ArrayMeta {
+        &self.meta
+    }
+
+    /// Cumulative modelled IO volume.
+    pub fn io_bytes(&self) -> u64 {
+        self.io_bytes.get()
+    }
+
+    /// Cumulative modelled IO time (`io_bytes / bandwidth`).
+    pub fn modeled_io_time(&self) -> Duration {
+        Duration::from_secs_f64(self.io_bytes.get() as f64 / self.bandwidth)
+    }
+
+    /// Resets the IO counter (between queries).
+    pub fn reset_io(&self) {
+        self.io_bytes.set(0);
+    }
+
+    fn charge(&self, chunk: &Chunk<f64>) {
+        self.io_bytes
+            .set(self.io_bytes.get() + chunk.mem_bytes() as u64);
+    }
+
+    /// Visits every valid `(coords, value)` pair inside `[lo, hi)`,
+    /// charging IO for each touched chunk. Chunks outside the box are
+    /// pruned by ID, like Subarray.
+    pub fn scan_range(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        mut visit: impl FnMut(&[usize], f64),
+    ) {
+        let selected: std::collections::HashSet<ChunkId> =
+            self.mapper.chunks_in_range(lo, hi).into_iter().collect();
+        for (id, chunk) in &self.chunks {
+            if !selected.contains(id) {
+                continue;
+            }
+            self.charge(chunk);
+            let origin = self.mapper.chunk_origin(*id);
+            let extent = self.mapper.chunk_extent(*id);
+            let mut coords = vec![0usize; origin.len()];
+            for (local, v) in chunk.iter_valid() {
+                Mapper::unravel(&origin, &extent, local, &mut coords);
+                if Mapper::in_range(&coords, lo, hi) {
+                    visit(&coords, v);
+                }
+            }
+        }
+    }
+
+    /// Average of valid cells in a range (Q1/Q3-style).
+    pub fn range_avg(&self, lo: &[usize], hi: &[usize], pred: impl Fn(f64) -> bool) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        self.scan_range(lo, hi, |_, v| {
+            if pred(v) {
+                sum += v;
+                n += 1;
+            }
+        });
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Count of valid cells in a range matching a predicate (Q4-style).
+    pub fn range_count(&self, lo: &[usize], hi: &[usize], pred: impl Fn(f64) -> bool) -> usize {
+        let mut n = 0usize;
+        self.scan_range(lo, hi, |_, v| {
+            if pred(v) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Spatial density (Q5-style): buckets valid cells in a range into
+    /// `cell_size`-wide spatial groups over the first two dimensions and
+    /// returns the groups holding more than `threshold` observations.
+    pub fn range_density(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        cell_size: usize,
+        threshold: usize,
+    ) -> Vec<((u64, u64), usize)> {
+        let mut counts = std::collections::HashMap::<(u64, u64), usize>::new();
+        self.scan_range(lo, hi, |coords, _| {
+            let key = (
+                (coords[0] / cell_size) as u64,
+                (coords[1] / cell_size) as u64,
+            );
+            *counts.entry(key).or_insert(0) += 1;
+        });
+        let mut out: Vec<_> = counts
+            .into_iter()
+            .filter(|(_, c)| *c > threshold)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Block-mean regrid of a range (Q2-style): averages aligned `k × k`
+    /// groups of the first two dimensions, returning `(block coords,
+    /// mean)`.
+    pub fn range_regrid(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        k: usize,
+    ) -> Vec<((u64, u64), f64)> {
+        let mut acc = std::collections::HashMap::<(u64, u64), (f64, usize)>::new();
+        self.scan_range(lo, hi, |coords, v| {
+            let key = ((coords[0] / k) as u64, (coords[1] / k) as u64);
+            let e = acc.entry(key).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        });
+        let mut out: Vec<_> = acc
+            .into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// `y = M·x` over a 2-D array interpreted as a matrix, charging IO for
+    /// every block (Fig. 10's SciDB column).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.meta.rank(), 2, "matvec needs a matrix");
+        assert_eq!(x.len(), self.meta.dims()[1]);
+        let mut out = vec![0.0; self.meta.dims()[0]];
+        for (id, chunk) in &self.chunks {
+            self.charge(chunk);
+            let origin = self.mapper.chunk_origin(*id);
+            let extent = self.mapper.chunk_extent(*id);
+            for (local, v) in chunk.iter_valid() {
+                let r = origin[0] + local % extent[0];
+                let c = origin[1] + local / extent[0];
+                out[r] += v * x[c];
+            }
+        }
+        out
+    }
+
+    /// Total stored bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.chunks.iter().map(|(_, c)| c.mem_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> LocalArrayEngine {
+        LocalArrayEngine::ingest(ArrayMeta::new(vec![40, 40], vec![16, 16]), |c| {
+            (c[0] % 2 == 0).then(|| (c[0] * 100 + c[1]) as f64)
+        })
+    }
+
+    #[test]
+    fn range_avg_matches_manual_computation() {
+        let e = engine();
+        let got = e.range_avg(&[10, 5], &[20, 15], |_| true).unwrap();
+        let vals: Vec<f64> = (10..20)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| (5..15).map(move |y| (x * 100 + y) as f64))
+            .collect();
+        let expected = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((got - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_is_charged_per_touched_chunk() {
+        let e = engine();
+        e.range_avg(&[0, 0], &[8, 8], |_| true);
+        let one_chunk = e.io_bytes();
+        assert!(one_chunk > 0);
+        e.reset_io();
+        e.range_avg(&[0, 0], &[40, 40], |_| true);
+        assert!(e.io_bytes() > 3 * one_chunk, "full scan touches all chunks");
+        assert!(e.modeled_io_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn density_and_regrid_queries() {
+        let e = LocalArrayEngine::ingest(ArrayMeta::new(vec![8, 8], vec![4, 4]), |c| {
+            Some((c[0] + c[1]) as f64)
+        });
+        let dense_groups = e.range_density(&[0, 0], &[8, 8], 4, 10);
+        assert_eq!(dense_groups.len(), 4, "each 4x4 group holds 16 > 10 cells");
+
+        let regrid = e.range_regrid(&[0, 0], &[8, 8], 4);
+        assert_eq!(regrid.len(), 4);
+        let ((_, _), top_left) = regrid[0];
+        // mean of (x+y) for x,y in 0..4 = 3.
+        assert!((top_left - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_matches_reference() {
+        let e = LocalArrayEngine::ingest(ArrayMeta::new(vec![6, 5], vec![4, 4]), |c| {
+            Some((c[0] * 5 + c[1] + 1) as f64)
+        });
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let y = e.matvec(&x);
+        for r in 0..6 {
+            let expected: f64 = (0..5).map(|c| ((r * 5 + c + 1) * c) as f64).sum();
+            assert!((y[r] - expected).abs() < 1e-9, "row {r}");
+        }
+    }
+}

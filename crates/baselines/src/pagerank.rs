@@ -1,0 +1,227 @@
+//! PageRank comparators: the edge-list implementation of *Learning Spark*
+//! ("Spark" in Fig. 11) and a co-partitioned vertex/edge variant
+//! ("GraphX-like").
+//!
+//! Both compute the same ranks as the Spangle version (duplicate edges
+//! collapsed); they differ in how much data every iteration shuffles —
+//! which is exactly the axis Fig. 11 plots.
+
+use spangle_dataflow::{HashPartitioner, JobError, PairRdd, Rdd};
+use spangle_ml::Graph;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-run timing mirror of [`spangle_ml::PageRankResult`].
+pub struct BaselineRanks {
+    /// Final ranks, indexed by vertex.
+    pub ranks: Vec<f64>,
+    /// Wall time per iteration.
+    pub iteration_times: Vec<Duration>,
+    /// Time to build the iteration-invariant structures.
+    pub build_time: Duration,
+}
+
+/// The classic Spark edge-list PageRank: `links` (src → distinct
+/// neighbour list) cached; every iteration joins `links` with `ranks`,
+/// flat-maps contributions and reduces by destination.
+pub fn pagerank_edge_list(
+    graph: &Graph,
+    alpha: f64,
+    iterations: usize,
+    num_partitions: usize,
+) -> Result<BaselineRanks, JobError> {
+    let n = graph.num_vertices();
+    let t0 = Instant::now();
+    let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(num_partitions));
+    let links: Rdd<(u64, Vec<u64>)> = graph
+        .edges()
+        .map(|(s, d)| (s, d))
+        .group_by_key(partitioner.clone())
+        .map_values(|mut dsts| {
+            dsts.sort_unstable();
+            dsts.dedup();
+            dsts
+        });
+    links.persist();
+    let mut ranks: Rdd<(u64, f64)> = links.map_values(move |_| 1.0 / n as f64);
+    links.count()?; // materialise the cached links
+    let build_time = t0.elapsed();
+
+    let teleport = (1.0 - alpha) / n as f64;
+    let mut iteration_times = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let t = Instant::now();
+        let contribs = links
+            .join(&ranks, partitioner.clone())
+            .flat_map(|(_, (dsts, rank))| {
+                let share = rank / dsts.len() as f64;
+                dsts.iter().map(|&d| (d, share)).collect()
+            });
+        ranks = contribs
+            .reduce_by_key(partitioner.clone(), |a, b| a + b)
+            .map_values(move |v| alpha * v + teleport);
+        ranks.persist();
+        ranks.count()?; // force the iteration, as the paper's timing does
+        iteration_times.push(t.elapsed());
+    }
+
+    let mut out = vec![teleport; n]; // vertices with no in-links keep the teleport mass
+    for (v, r) in ranks.collect()? {
+        out[v as usize] = r;
+    }
+    Ok(BaselineRanks {
+        ranks: out,
+        iteration_times,
+        build_time,
+    })
+}
+
+/// GraphX-like PageRank: vertex ranks and grouped edges share one
+/// partitioner (vertex-cut-ish), messages aggregate per destination, and
+/// the vertex state is rebuilt by a join per superstep — reproducing the
+/// triplet-join structure whose per-iteration cost Fig. 11 shows growing.
+pub fn pagerank_pregel_like(
+    graph: &Graph,
+    alpha: f64,
+    iterations: usize,
+    num_partitions: usize,
+) -> Result<BaselineRanks, JobError> {
+    let n = graph.num_vertices();
+    let t0 = Instant::now();
+    let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(num_partitions));
+    // Edge partitions co-partitioned with the vertices by source id.
+    let edges: Rdd<(u64, Vec<u64>)> = graph
+        .edges()
+        .map(|(s, d)| (s, d))
+        .group_by_key(partitioner.clone())
+        .map_values(|mut dsts| {
+            dsts.sort_unstable();
+            dsts.dedup();
+            dsts
+        });
+    edges.persist();
+    edges.count()?;
+    // Every vertex exists in the vertex RDD (unlike the edge-list variant).
+    let ctx = graph.edges().context().clone();
+    let all_vertices: Vec<(u64, f64)> = (0..n as u64).map(|v| (v, 1.0 / n as f64)).collect();
+    let mut vertices = ctx
+        .parallelize(all_vertices, num_partitions)
+        .partition_by(partitioner.clone());
+    vertices.persist();
+    vertices.count()?;
+    let build_time = t0.elapsed();
+
+    let teleport = (1.0 - alpha) / n as f64;
+    let mut iteration_times = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let t = Instant::now();
+        // Triplets: edge partitions pull their source vertex's rank
+        // (co-partitioned join → local), emit messages to destinations.
+        let messages = edges
+            .join(&vertices, partitioner.clone())
+            .flat_map(|(_, (dsts, rank))| {
+                let share = rank / dsts.len() as f64;
+                dsts.iter().map(|&d| (d, share)).collect()
+            })
+            .reduce_by_key(partitioner.clone(), |a, b| a + b);
+        // Vertex program: fold the message into the vertex value; vertices
+        // without messages keep only teleport mass.
+        let updated = vertices
+            .cogroup(&messages, partitioner.clone())
+            .flat_map(move |(v, (old, msg))| {
+                if old.is_empty() {
+                    return Vec::new();
+                }
+                let m = msg.into_iter().next().unwrap_or(0.0);
+                vec![(v, alpha * m + teleport)]
+            });
+        vertices = updated;
+        vertices.persist();
+        vertices.count()?;
+        iteration_times.push(t.elapsed());
+    }
+
+    let mut out = vec![0.0; n];
+    for (v, r) in vertices.collect()? {
+        out[v as usize] = r;
+    }
+    Ok(BaselineRanks {
+        ranks: out,
+        iteration_times,
+        build_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spangle_dataflow::SpangleContext;
+    use spangle_ml::pagerank::pagerank_reference;
+
+    /// A graph where every vertex has at least one in-edge (so the
+    /// edge-list variant's dropped-vertex quirk does not bite).
+    fn ring_plus_chords(ctx: &SpangleContext, n: usize) -> (Graph, Vec<(u64, u64)>) {
+        let mut edges = Vec::new();
+        for v in 0..n as u64 {
+            edges.push((v, (v + 1) % n as u64));
+            if v % 3 == 0 {
+                edges.push((v, (v + 7) % n as u64));
+            }
+        }
+        (Graph::from_edges(ctx, n, edges.clone(), 3), edges)
+    }
+
+    #[test]
+    fn edge_list_matches_reference() {
+        let ctx = SpangleContext::new(3);
+        let (g, edges) = ring_plus_chords(&ctx, 60);
+        let got = pagerank_edge_list(&g, 0.85, 12, 3).unwrap();
+        let expected = pagerank_reference(60, &edges, 0.85, 12);
+        for v in 0..60 {
+            assert!(
+                (got.ranks[v] - expected[v]).abs() < 1e-10,
+                "vertex {v}: {} vs {}",
+                got.ranks[v],
+                expected[v]
+            );
+        }
+        assert_eq!(got.iteration_times.len(), 12);
+    }
+
+    #[test]
+    fn pregel_like_matches_reference() {
+        let ctx = SpangleContext::new(3);
+        let (g, edges) = ring_plus_chords(&ctx, 60);
+        let got = pagerank_pregel_like(&g, 0.85, 12, 3).unwrap();
+        let expected = pagerank_reference(60, &edges, 0.85, 12);
+        for v in 0..60 {
+            assert!(
+                (got.ranks[v] - expected[v]).abs() < 1e-10,
+                "vertex {v}: {} vs {}",
+                got.ranks[v],
+                expected[v]
+            );
+        }
+    }
+
+    #[test]
+    fn all_three_systems_agree_on_a_power_law_graph() {
+        let ctx = SpangleContext::new(4);
+        let g = Graph::power_law(&ctx, 200, 2400, 21, 4);
+        // Give every vertex an in-edge so all variants are comparable.
+        let extra: Vec<(u64, u64)> = (0..200u64).map(|v| ((v + 1) % 200, v)).collect();
+        let edges_rdd = g.edges().union(&ctx.parallelize(extra, 2));
+        let g = Graph::new(200, edges_rdd);
+        let edges = g.edges().collect().unwrap();
+
+        let spangle = spangle_ml::pagerank(&g, 64, false, 0.85, 8).unwrap();
+        let spark = pagerank_edge_list(&g, 0.85, 8, 4).unwrap();
+        let graphx = pagerank_pregel_like(&g, 0.85, 8, 4).unwrap();
+        let expected = pagerank_reference(200, &edges, 0.85, 8);
+        for v in 0..200 {
+            assert!((spangle.ranks.as_slice()[v] - expected[v]).abs() < 1e-10, "spangle {v}");
+            assert!((spark.ranks[v] - expected[v]).abs() < 1e-10, "spark {v}");
+            assert!((graphx.ranks[v] - expected[v]).abs() < 1e-10, "graphx {v}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 11: PageRank across Spangle, the Spark edge-list baseline and
+//! the GraphX-like baseline, on four power-law graphs scaled after
+//! Table IIb.
+//!
+//! As in §VII-C, Spangle runs the sparse (flat bitmask) mode on three
+//! graphs and the super-sparse (hierarchical) mode on the
+//! LiveJournal-like one. Reported: end-to-end time, average per-iteration
+//! time, and the iteration-time trend (first vs last iteration), which is
+//! where GraphX's growing triplet state shows up.
+
+use spangle_baselines::{pagerank_edge_list, pagerank_pregel_like};
+use spangle_bench::{banner, ms, secs, time, Table};
+use spangle_dataflow::SpangleContext;
+use spangle_ml::{pagerank, Graph};
+use std::time::Duration;
+
+struct GraphSpec {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    block: usize,
+    super_sparse: bool,
+    seed: u64,
+}
+
+const GRAPHS: &[GraphSpec] = &[
+    GraphSpec {
+        name: "enron-like",
+        vertices: 8_192,
+        edges: 80_000,
+        block: 128,
+        super_sparse: false,
+        seed: 101,
+    },
+    GraphSpec {
+        name: "epinions-like",
+        vertices: 16_384,
+        edges: 110_000,
+        block: 128,
+        super_sparse: false,
+        seed: 102,
+    },
+    GraphSpec {
+        name: "livejournal-like",
+        vertices: 32_768,
+        edges: 450_000,
+        block: 256,
+        super_sparse: true,
+        seed: 103,
+    },
+    GraphSpec {
+        name: "twitter-like",
+        vertices: 65_536,
+        edges: 1_500_000,
+        block: 256,
+        super_sparse: false,
+        seed: 104,
+    },
+];
+
+const ITERATIONS: usize = 10;
+const ALPHA: f64 = 0.85;
+
+fn stats(times: &[Duration]) -> (Duration, Duration, Duration) {
+    let total: Duration = times.iter().sum();
+    let avg = total / times.len() as u32;
+    (total, avg, *times.last().expect("non-empty"))
+}
+
+fn main() {
+    banner(
+        "Figure 11",
+        "PageRank end-to-end and per-iteration times across systems",
+    );
+    let ctx = SpangleContext::new(8);
+    let mut table = Table::new(&[
+        "graph",
+        "system",
+        "build(s)",
+        "total(s)",
+        "avg iter(ms)",
+        "last iter(ms)",
+        "rank sum",
+    ]);
+
+    for spec in GRAPHS {
+        let g = Graph::power_law(&ctx, spec.vertices, spec.edges, spec.seed, 8);
+        g.edges().persist();
+        g.num_edges().expect("graph generation");
+
+        // Spangle: bitmask adjacency decomposition.
+        let (res, total) = time(|| {
+            pagerank(&g, spec.block, spec.super_sparse, ALPHA, ITERATIONS).expect("spangle pagerank")
+        });
+        let (_, avg, last) = stats(&res.iteration_times);
+        table.row(vec![
+            spec.name.into(),
+            format!(
+                "spangle({})",
+                if spec.super_sparse { "super-sparse" } else { "sparse" }
+            ),
+            secs(res.build_time),
+            secs(total),
+            ms(avg),
+            ms(last),
+            format!("{:.4}", res.ranks.as_slice().iter().sum::<f64>()),
+        ]);
+
+        // Spark edge-list.
+        let (res, total) = time(|| {
+            pagerank_edge_list(&g, ALPHA, ITERATIONS, 8).expect("edge-list pagerank")
+        });
+        let (_, avg, last) = stats(&res.iteration_times);
+        table.row(vec![
+            spec.name.into(),
+            "spark-edgelist".into(),
+            secs(res.build_time),
+            secs(total),
+            ms(avg),
+            ms(last),
+            format!("{:.4}", res.ranks.iter().sum::<f64>()),
+        ]);
+
+        // GraphX-like.
+        let (res, total) = time(|| {
+            pagerank_pregel_like(&g, ALPHA, ITERATIONS, 8).expect("pregel pagerank")
+        });
+        let (_, avg, last) = stats(&res.iteration_times);
+        table.row(vec![
+            spec.name.into(),
+            "graphx-like".into(),
+            secs(res.build_time),
+            secs(total),
+            ms(avg),
+            ms(last),
+            format!("{:.4}", res.ranks.iter().sum::<f64>()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,103 @@
+//! Figure 12: the SGD experiments on the URL-like dataset.
+//!
+//! Part (a): training time vs number of partitions — too few partitions
+//! starve parallelism, too many inflate the per-step gradient reduction.
+//! Part (b): the optimisation ablation — none / opt₁ / opt₁+opt₂ — which
+//! the paper reports as ≈20% from opt₁ and ≈30% more from opt₂ (≈43%
+//! total).
+
+use spangle_bench::{banner, secs, Table};
+use spangle_ml::datasets;
+use spangle_ml::{LogisticRegression, OptLevel, SgdConfig};
+use spangle_dataflow::SpangleContext;
+
+const FIXED_ITERS: usize = 60;
+
+fn main() {
+    banner("Figure 12", "SGD: partition sweep and optimisation ablation");
+    let ctx = SpangleContext::new(8);
+
+    // ---- part (a): partitions vs time --------------------------------
+    // Dataset and total mini-batch are held constant: 128 chunks in total,
+    // 32 chunks sampled per step, however they are spread over partitions.
+    // (On this simulated single-node cluster the left side of the paper's
+    // U-curve — the low-parallelism penalty — cannot appear physically;
+    // the right side — reduction overhead growing with partitions — does.)
+    println!("-- part (a): partitions vs training time (url-like, {FIXED_ITERS} fixed iterations)");
+    let mut table = Table::new(&["partitions", "time(s)", "accuracy(%)"]);
+    const TOTAL_CHUNKS: usize = 128;
+    const TOTAL_BATCH: usize = 32;
+    for parts in [1usize, 2, 4, 8, 16, 32] {
+        let spec = &datasets::URL_LIKE;
+        let data = spangle_ml::datasets::synthetic_logreg(
+            &ctx,
+            parts,
+            TOTAL_CHUNKS / parts,
+            spec.rows_per_chunk,
+            spec.num_features,
+            spec.nnz_per_row,
+            spec.seed,
+        );
+        data.persist();
+        data.rdd().count().expect("ingest failed");
+        let model = LogisticRegression::train(
+            &data,
+            SgdConfig {
+                max_iters: FIXED_ITERS,
+                tolerance: 0.0, // fixed iteration count for a fair sweep
+                batch_chunks: (TOTAL_BATCH / parts).max(1),
+                ..SgdConfig::default()
+            },
+        )
+        .expect("training failed");
+        let acc = data.accuracy(&model.weights).expect("accuracy failed");
+        table.row(vec![
+            parts.to_string(),
+            secs(model.training_time),
+            format!("{:.2}", acc * 100.0),
+        ]);
+    }
+    table.print();
+    println!();
+
+    // ---- part (b): optimisation ablation ------------------------------
+    println!("-- part (b): optimisation ablation (url-like, 8 partitions, {FIXED_ITERS} fixed iterations)");
+    let data = datasets::from_spec(&ctx, &datasets::URL_LIKE, 8);
+    data.persist();
+    data.rdd().count().expect("ingest failed");
+    let mut table = Table::new(&["variant", "time(s)", "vs none", "accuracy(%)"]);
+    let mut t_none = None;
+    for (label, opt) in [
+        ("none", OptLevel::None),
+        ("opt1", OptLevel::Opt1),
+        ("opt1+opt2", OptLevel::Opt1Opt2),
+    ] {
+        let model = LogisticRegression::train(
+            &data,
+            SgdConfig {
+                max_iters: FIXED_ITERS,
+                tolerance: 0.0,
+                batch_chunks: 2,
+                opt,
+                ..SgdConfig::default()
+            },
+        )
+        .expect("training failed");
+        let acc = data.accuracy(&model.weights).expect("accuracy failed");
+        let t = model.training_time;
+        let rel = match t_none {
+            None => {
+                t_none = Some(t);
+                "1.00x".to_string()
+            }
+            Some(base) => format!("{:.2}x", t.as_secs_f64() / base.as_secs_f64()),
+        };
+        table.row(vec![
+            label.into(),
+            secs(t),
+            rel,
+            format!("{:.2}", acc * 100.0),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,175 @@
+//! Figure 7: raster-data benchmark queries across systems.
+//!
+//! Part (a): queries without a range restriction over a "100-image"-class
+//! SDSS-like dataset (scaled). Part (b): queries with a range restriction
+//! over a larger "1,000-image"-class dataset. Chunk size 128×128×1 as in
+//! §VII-B. Systems: Spangle, SciSpark-like dense, RasterFrames-like
+//! tiles, and the SciDB stand-in (whose modelled disk-IO time is reported
+//! as a separate column — see DESIGN.md §1).
+
+use spangle_baselines::LocalArrayEngine;
+use spangle_bench::{banner, ms, time, Table};
+use spangle_core::ArrayMeta;
+use spangle_dataflow::SpangleContext;
+use spangle_raster::{
+    DenseRaster, QueryRange, RasterSystem, SdssConfig, SpangleRaster, TileRaster,
+};
+use std::time::Duration;
+
+/// SciDB stand-in adapter: answers the Table I queries on the
+/// single-process engine and tracks modelled IO.
+struct ScidbStandin {
+    engine: LocalArrayEngine,
+}
+
+impl ScidbStandin {
+    fn ingest(meta: ArrayMeta, f: impl Fn(&[usize]) -> Option<f64>) -> Self {
+        ScidbStandin {
+            engine: LocalArrayEngine::ingest(meta, f),
+        }
+    }
+
+    fn io_time(&self) -> Duration {
+        self.engine.modeled_io_time()
+    }
+
+    fn reset_io(&self) {
+        self.engine.reset_io()
+    }
+}
+
+impl RasterSystem for ScidbStandin {
+    fn name(&self) -> &'static str {
+        "scidb-standin"
+    }
+    fn q1_avg(&self, r: &QueryRange) -> Option<f64> {
+        self.engine.range_avg(&r.lo, &r.hi, |_| true)
+    }
+    fn q2_regrid(&self, r: &QueryRange, k: usize) -> (usize, f64) {
+        let blocks = self.engine.range_regrid(&r.lo, &r.hi, k);
+        let sum = blocks.iter().map(|(_, m)| m).sum();
+        (blocks.len(), sum)
+    }
+    fn q3_cond_avg(&self, r: &QueryRange, threshold: f64) -> Option<f64> {
+        self.engine.range_avg(&r.lo, &r.hi, |v| v > threshold)
+    }
+    fn q4_filter_count(&self, r: &QueryRange, vlo: f64, vhi: f64) -> usize {
+        self.engine.range_count(&r.lo, &r.hi, |v| v >= vlo && v < vhi)
+    }
+    fn q5_density(&self, r: &QueryRange, cell: usize, min_count: usize) -> usize {
+        self.engine.range_density(&r.lo, &r.hi, cell, min_count).len()
+    }
+    fn mem_bytes(&self) -> usize {
+        self.engine.mem_bytes()
+    }
+}
+
+fn run_part(
+    ctx: &SpangleContext,
+    label: &str,
+    cfg: SdssConfig,
+    range: QueryRange,
+    queries: &[&str],
+) {
+    println!("-- part {label}: {}x{}x{} frames, chunk 128x128x1", cfg.width, cfg.height, cfg.images);
+    let meta = ArrayMeta::new(cfg.dims(), vec![128, 128, 1]);
+    let band = 2; // the r band
+
+    let spangle = SpangleRaster::ingest(ctx, meta.clone(), cfg.band_fn(band));
+    let dense = DenseRaster::ingest(ctx, meta.clone(), cfg.band_fn(band));
+    let tiles = TileRaster::ingest(ctx, meta.clone(), 128, cfg.band_fn(band));
+    let scidb = ScidbStandin::ingest(meta, cfg.band_fn(band));
+
+    let systems: Vec<&dyn RasterSystem> = vec![&spangle, &dense, &tiles, &scidb];
+    let mut table = Table::new(&["query", "spangle(ms)", "scispark(ms)", "rasterframes(ms)", "scidb cpu(ms)", "scidb +io(ms)", "result"]);
+
+    for &q in queries {
+        let mut cells: Vec<String> = vec![q.to_string()];
+        let mut shown_result = String::new();
+        for sys in &systems {
+            if sys.name() == "scidb-standin" {
+                scidb.reset_io();
+            }
+            let (result, elapsed) = match q {
+                "Q1" => {
+                    let (r, d) = time(|| sys.q1_avg(&range));
+                    (format!("avg={:.3}", r.unwrap_or(f64::NAN)), d)
+                }
+                "Q2" => {
+                    let ((n, s), d) = time(|| sys.q2_regrid(&range, 4));
+                    (format!("blocks={n} sum={s:.1}"), d)
+                }
+                "Q3" => {
+                    let (r, d) = time(|| sys.q3_cond_avg(&range, 500.0));
+                    (format!("avg={:.3}", r.unwrap_or(f64::NAN)), d)
+                }
+                "Q4" => {
+                    let (r, d) = time(|| sys.q4_filter_count(&range, 100.0, 1000.0));
+                    (format!("count={r}"), d)
+                }
+                "Q5" => {
+                    let (r, d) = time(|| sys.q5_density(&range, 32, 40));
+                    (format!("groups={r}"), d)
+                }
+                other => panic!("unknown query {other}"),
+            };
+            cells.push(ms(elapsed));
+            if sys.name() == "scidb-standin" {
+                cells.push(ms(elapsed + scidb.io_time()));
+            }
+            shown_result = result;
+        }
+        cells.push(shown_result);
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "   memory: spangle={} MiB, scispark={} MiB, rasterframes={} MiB",
+        spangle.mem_bytes() / (1 << 20),
+        dense.mem_bytes() / (1 << 20),
+        tiles.mem_bytes() / (1 << 20),
+    );
+    println!();
+}
+
+fn main() {
+    banner(
+        "Figure 7",
+        "raster benchmark queries (Table I) across systems",
+    );
+    let ctx = SpangleContext::new(8);
+
+    // Part (a): no range restriction (the full array), Q1/Q3/Q4 — the
+    // paper omits range-dependent Q2/Q5 here because RasterFrames' range
+    // results were untrusted.
+    let cfg_a = SdssConfig {
+        width: 512,
+        height: 384,
+        images: 16,
+        ..SdssConfig::default()
+    };
+    let full = QueryRange {
+        lo: vec![0, 0, 0],
+        hi: cfg_a.dims(),
+    };
+    run_part(&ctx, "(a) no-range queries", cfg_a, full, &["Q1", "Q3", "Q4"]);
+
+    // Part (b): range queries over the larger dataset.
+    let cfg_b = SdssConfig {
+        width: 512,
+        height: 384,
+        images: 48,
+        ..SdssConfig::default()
+    };
+    let range = QueryRange {
+        lo: vec![64, 64, 8],
+        hi: vec![448, 320, 40],
+    };
+    run_part(
+        &ctx,
+        "(b) range queries",
+        cfg_b,
+        range,
+        &["Q1", "Q2", "Q3", "Q4", "Q5"],
+    );
+}

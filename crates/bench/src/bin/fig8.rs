@@ -1,0 +1,137 @@
+//! Figure 8: processing time vs chunk size for the three access
+//! strategies (naive / dense / opt) on CHL-like data.
+//!
+//! The paper fixes the time dimension and sweeps square spatial chunks
+//! `w × w × 1`, w from 16 to 1000, timing Filter and Aggregator — both
+//! operators that visit every valid cell. The three series differ in how
+//! a sparse chunk resolves a cell's payload slot:
+//!
+//! * `naive`  — re-rank the bitmask from word 0 on every access;
+//! * `dense`  — no compression, direct indexing;
+//! * `opt`    — milestone directory + block popcount.
+//!
+//! (A fourth series, `delta`, shows the sequential cursor the real
+//! operators use.)
+
+use spangle_bench::{banner, ms, time, Table};
+use spangle_core::{ArrayBuilder, ArrayMeta, ArrayRdd, ChunkPolicy};
+use spangle_dataflow::SpangleContext;
+use spangle_raster::ChlConfig;
+
+/// Scans every cell position of every chunk through the given access
+/// discipline and folds matching values — the Filter+Aggregate kernel of
+/// the figure.
+fn scan_all(arr: &ArrayRdd<f64>, mode: &str, threshold: f64) -> (usize, f64) {
+    let mode = mode.to_string();
+    let results = arr
+        .rdd()
+        .run_partitions(move |_, chunks| {
+            let mut count = 0usize;
+            let mut sum = 0.0f64;
+            for (_, chunk) in chunks {
+                match mode.as_str() {
+                    // Positional access per cell, ranking from scratch.
+                    "naive" => {
+                        for i in 0..chunk.volume() {
+                            if let Some(v) = chunk.get_naive(i) {
+                                if v > threshold {
+                                    count += 1;
+                                    sum += v;
+                                }
+                            }
+                        }
+                    }
+                    // Positional access with milestones (or direct dense
+                    // indexing — `get` dispatches on the mode).
+                    "opt" | "dense" => {
+                        for i in 0..chunk.volume() {
+                            if let Some(v) = chunk.get(i) {
+                                if v > threshold {
+                                    count += 1;
+                                    sum += v;
+                                }
+                            }
+                        }
+                    }
+                    // The sequential delta-count cursor.
+                    "delta" => {
+                        for (_, v) in chunk.scan_with_delta_cursor() {
+                            if v > threshold {
+                                count += 1;
+                                sum += v;
+                            }
+                        }
+                    }
+                    other => panic!("unknown mode {other}"),
+                }
+            }
+            (count, sum)
+        })
+        .expect("scan failed");
+    results
+        .into_iter()
+        .fold((0, 0.0), |(c, s), (dc, ds)| (c + dc, s + ds))
+}
+
+fn main() {
+    banner(
+        "Figure 8",
+        "filter+aggregate time vs chunk size, naive vs dense vs opt",
+    );
+    // Sparser than the generator default: most of the globe is land or
+    // cloud, as in the paper's CHL composites, so chunks really are sparse.
+    let cfg = ChlConfig {
+        lon: 2000,
+        lat: 1000,
+        time: 1,
+        land_per_mille: 600,
+        cloud_per_mille: 350,
+        ..ChlConfig::default()
+    };
+    let ctx = SpangleContext::new(8);
+    let threshold = 0.3;
+
+    let mut table = Table::new(&[
+        "w", "naive(ms)", "dense(ms)", "opt(ms)", "delta(ms)", "valid", "matches",
+    ]);
+    for w in [16usize, 32, 64, 128, 250, 500, 1000] {
+        let meta = ArrayMeta::new(cfg.dims(), vec![w, w, 1]);
+        let build = |policy: ChunkPolicy| {
+            let arr = ArrayBuilder::new(&ctx, meta.clone())
+                .policy(policy)
+                .ingest(cfg.value_fn())
+                .build();
+            arr.persist();
+            arr.count_valid().expect("ingest failed");
+            arr
+        };
+        let naive = build(ChunkPolicy {
+            dense_threshold: 1.1, // never dense: stay sparse
+            build_milestones: false,
+        });
+        let dense = build(ChunkPolicy::always_dense());
+        let opt = build(ChunkPolicy {
+            dense_threshold: 1.1,
+            build_milestones: true,
+        });
+
+        let ((n_count, _), t_naive) = time(|| scan_all(&naive, "naive", threshold));
+        let ((d_count, _), t_dense) = time(|| scan_all(&dense, "dense", threshold));
+        let ((o_count, _), t_opt) = time(|| scan_all(&opt, "opt", threshold));
+        let ((e_count, _), t_delta) = time(|| scan_all(&opt, "delta", threshold));
+        assert_eq!(n_count, d_count);
+        assert_eq!(n_count, o_count);
+        assert_eq!(n_count, e_count);
+        let valid = opt.count_valid().expect("count failed");
+        table.row(vec![
+            w.to_string(),
+            ms(t_naive),
+            ms(t_dense),
+            ms(t_opt),
+            ms(t_delta),
+            valid.to_string(),
+            n_count.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the paper-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! Spangle paper (see DESIGN.md §3 for the index) and prints the same
+//! rows/series the paper reports. Run them in release mode:
+//!
+//! ```text
+//! cargo run -p spangle-bench --release --bin fig7
+//! cargo run -p spangle-bench --release --bin fig8
+//! cargo run -p spangle-bench --release --bin fig9a
+//! cargo run -p spangle-bench --release --bin fig9b
+//! cargo run -p spangle-bench --release --bin fig10
+//! cargo run -p spangle-bench --release --bin fig11
+//! cargo run -p spangle-bench --release --bin fig12
+//! cargo run -p spangle-bench --release --bin table3
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with two decimals, for table cells.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Seconds with three decimals, for table cells.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Mebibytes with two decimals.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// A simple fixed-width table printer for harness output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("| {} |", line.join(" | "));
+        };
+        print_row(&self.header);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, description: &str) {
+    println!("== {id}: {description}");
+    println!(
+        "== cluster: simulated in-process executors; times are wall-clock on this machine"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+        assert_eq!(secs(Duration::from_millis(2500)), "2.500");
+        assert_eq!(mib(3 * 1024 * 1024), "3.00");
+    }
+
+    #[test]
+    fn time_reports_the_closure_result() {
+        let (value, elapsed) = time(|| 6 * 7);
+        assert_eq!(value, 42);
+        assert!(elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Two-level hierarchical bitmask for *super-sparse* chunks (§IV-A).
+//!
+//! When a chunk has only a handful of valid cells the flat bitmask itself
+//! dominates the chunk size. The hierarchical mask stores an *upper* bitmask
+//! with one bit per lower-level word; a clear upper bit means the whole
+//! 64-bit lower word is zero and is not stored at all. Only non-zero lower
+//! words are kept, densely packed.
+
+use crate::bitvec::Bitmask;
+use crate::WORD_BITS;
+
+/// Compressed two-level bitmask.
+///
+/// Logically equivalent to a [`Bitmask`] of the same length, but words that
+/// are entirely zero are elided; the upper mask records which lower words
+/// survive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchicalBitmask {
+    /// One bit per lower-level word; set iff the word is non-zero.
+    upper: Bitmask,
+    /// The non-zero lower words, in word-index order.
+    lower: Vec<u64>,
+    /// Logical number of bits.
+    len: usize,
+}
+
+impl HierarchicalBitmask {
+    /// Compresses a flat mask into hierarchical form.
+    pub fn compress(mask: &Bitmask) -> Self {
+        let words = mask.words();
+        let mut upper = Bitmask::zeros(words.len());
+        let mut lower = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            if w != 0 {
+                upper.set(i, true);
+                lower.push(w);
+            }
+        }
+        HierarchicalBitmask {
+            upper,
+            lower,
+            len: mask.len(),
+        }
+    }
+
+    /// Expands back to a flat mask.
+    pub fn decompress(&self) -> Bitmask {
+        let mut out = Bitmask::zeros(self.len);
+        for (slot, word_idx) in self.upper.iter_ones().enumerate() {
+            let w = self.lower[slot];
+            let base = word_idx * WORD_BITS;
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.set(base + b, true);
+            }
+        }
+        out
+    }
+
+    /// Logical number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads logical bit `i`.
+    ///
+    /// A clear upper bit answers immediately; otherwise the surviving lower
+    /// word is located by ranking the upper mask.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let word_idx = i / WORD_BITS;
+        if !self.upper.get(word_idx) {
+            return false;
+        }
+        let slot = self.upper.rank_naive(word_idx);
+        (self.lower[slot] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Exclusive rank of position `i`: set bits in `[0, i)`.
+    pub fn rank(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let word_idx = i / WORD_BITS;
+        let bit = i % WORD_BITS;
+        let mut count = 0usize;
+        for (slot, wi) in self.upper.iter_ones().enumerate() {
+            if wi < word_idx {
+                count += self.lower[slot].count_ones() as usize;
+            } else if wi == word_idx && bit != 0 {
+                count += (self.lower[slot] & ((1u64 << bit) - 1)).count_ones() as usize;
+                break;
+            } else {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.lower.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.upper
+            .iter_ones()
+            .enumerate()
+            .flat_map(move |(slot, word_idx)| {
+                let w = self.lower[slot];
+                OneBits {
+                    word: w,
+                    base: word_idx * WORD_BITS,
+                }
+            })
+    }
+
+    /// Deep size in bytes. For genuinely super-sparse data this is far below
+    /// the flat mask's `len / 8` bytes.
+    pub fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.upper.mem_size()
+            + self.lower.len() * std::mem::size_of::<u64>()
+    }
+}
+
+struct OneBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for OneBits {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_mask(len: usize, every: usize) -> Bitmask {
+        Bitmask::from_fn(len, |i| i % every == 0)
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        for every in [1, 3, 64, 500, 4096] {
+            let m = sparse_mask(10_000, every);
+            let h = HierarchicalBitmask::compress(&m);
+            assert_eq!(h.decompress(), m, "every={every}");
+            assert_eq!(h.count_ones(), m.count_ones());
+        }
+    }
+
+    #[test]
+    fn get_matches_flat_mask() {
+        let m = sparse_mask(2_000, 131);
+        let h = HierarchicalBitmask::compress(&m);
+        for i in 0..2_000 {
+            assert_eq!(h.get(i), m.get(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_flat_mask() {
+        let m = sparse_mask(3_000, 97);
+        let h = HierarchicalBitmask::compress(&m);
+        for i in (0..=3_000).step_by(53) {
+            assert_eq!(h.rank(i), m.rank_naive(i), "pos {i}");
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_flat_mask() {
+        let m = sparse_mask(5_000, 211);
+        let h = HierarchicalBitmask::compress(&m);
+        let flat: Vec<usize> = m.iter_ones().collect();
+        let hier: Vec<usize> = h.iter_ones().collect();
+        assert_eq!(flat, hier);
+    }
+
+    #[test]
+    fn super_sparse_mask_is_smaller_than_flat() {
+        // One valid cell per 4096: the flat mask stores every word, the
+        // hierarchical one stores ~1/64 of them.
+        let m = sparse_mask(1 << 20, 4096);
+        let h = HierarchicalBitmask::compress(&m);
+        assert!(
+            h.mem_size() * 4 < m.mem_size(),
+            "hierarchical {} vs flat {}",
+            h.mem_size(),
+            m.mem_size()
+        );
+    }
+
+    #[test]
+    fn empty_and_full_masks() {
+        let empty = Bitmask::zeros(1000);
+        let h = HierarchicalBitmask::compress(&empty);
+        assert_eq!(h.count_ones(), 0);
+        assert_eq!(h.decompress(), empty);
+
+        let full = Bitmask::ones(1000);
+        let h = HierarchicalBitmask::compress(&full);
+        assert_eq!(h.count_ones(), 1000);
+        assert_eq!(h.decompress(), full);
+    }
+}

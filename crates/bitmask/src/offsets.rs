@@ -1,0 +1,151 @@
+//! Offset-array validity representation and the bitmask/offset choice rule.
+//!
+//! For matrix computation the paper (§V-A4) keeps an alternative to the
+//! bitmask: an *offset array*, "similar to the coordinate list format (COO)
+//! but represent[ing] multidimensional coordinates as one-dimensional
+//! coordinates". The conversion from a bitmask to an offset array happens
+//! only when the mask would be larger than the offsets — i.e. for static,
+//! hyper-sparse matrices such as training data.
+
+use crate::bitvec::Bitmask;
+
+/// Sorted one-dimensional offsets of the valid cells of a chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OffsetArray {
+    /// Strictly increasing local cell offsets.
+    offsets: Vec<u32>,
+    /// Logical chunk volume the offsets index into.
+    len: usize,
+}
+
+impl OffsetArray {
+    /// Builds an offset array from the set bits of `mask`.
+    pub fn from_mask(mask: &Bitmask) -> Self {
+        OffsetArray {
+            offsets: mask.iter_ones().map(|i| i as u32).collect(),
+            len: mask.len(),
+        }
+    }
+
+    /// Builds from pre-sorted offsets. Panics if unsorted, duplicated, or
+    /// out of range.
+    pub fn from_sorted(len: usize, offsets: Vec<u32>) -> Self {
+        for pair in offsets.windows(2) {
+            assert!(pair[0] < pair[1], "offsets must be strictly increasing");
+        }
+        if let Some(&last) = offsets.last() {
+            assert!((last as usize) < len, "offset {last} out of range {len}");
+        }
+        OffsetArray { offsets, len }
+    }
+
+    /// Reconstructs the equivalent bitmask.
+    pub fn to_mask(&self) -> Bitmask {
+        Bitmask::from_ones(self.len, self.offsets.iter().map(|&o| o as usize))
+    }
+
+    /// Logical chunk volume.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk volume is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid cells.
+    pub fn count_ones(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The sorted valid-cell offsets.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Whether local offset `i` is valid (binary search).
+    pub fn get(&self, i: usize) -> bool {
+        self.offsets.binary_search(&(i as u32)).is_ok()
+    }
+
+    /// Exclusive rank of `i`: the payload slot of the cell at offset `i`
+    /// when valid, or the number of valid cells before `i` otherwise.
+    pub fn rank(&self, i: usize) -> usize {
+        match self.offsets.binary_search(&(i as u32)) {
+            Ok(slot) | Err(slot) => slot,
+        }
+    }
+
+    /// Deep size in bytes.
+    pub fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Which validity representation a static chunk should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidityRepr {
+    /// Keep the bitmask (dynamic data, or dense enough that the mask wins).
+    Bitmask,
+    /// Switch to the offset array (static, hyper-sparse data).
+    Offsets,
+}
+
+/// The paper's conversion rule: use offsets only when they are smaller than
+/// the mask. A mask costs `volume / 8` bytes; offsets cost `4 * valid`.
+pub fn choose_validity_repr(volume: usize, valid_cells: usize) -> ValidityRepr {
+    let mask_bytes = volume.div_ceil(8);
+    let offset_bytes = valid_cells * std::mem::size_of::<u32>();
+    if offset_bytes < mask_bytes {
+        ValidityRepr::Offsets
+    } else {
+        ValidityRepr::Bitmask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_offset_roundtrip() {
+        let m = Bitmask::from_fn(1000, |i| i % 37 == 5);
+        let o = OffsetArray::from_mask(&m);
+        assert_eq!(o.to_mask(), m);
+        assert_eq!(o.count_ones(), m.count_ones());
+    }
+
+    #[test]
+    fn get_and_rank_match_mask() {
+        let m = Bitmask::from_fn(512, |i| i % 9 == 0);
+        let o = OffsetArray::from_mask(&m);
+        for i in 0..512 {
+            assert_eq!(o.get(i), m.get(i), "get({i})");
+            assert_eq!(o.rank(i), m.rank_naive(i), "rank({i})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        OffsetArray::from_sorted(10, vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_sorted_rejects_out_of_range() {
+        OffsetArray::from_sorted(10, vec![10]);
+    }
+
+    #[test]
+    fn conversion_rule_prefers_offsets_when_hyper_sparse() {
+        // volume 32768 cells → mask = 4096 bytes. 100 valid cells → 400
+        // bytes of offsets: offsets win.
+        assert_eq!(choose_validity_repr(32768, 100), ValidityRepr::Offsets);
+        // 2000 valid cells → 8000 bytes of offsets: mask wins.
+        assert_eq!(choose_validity_repr(32768, 2000), ValidityRepr::Bitmask);
+        // Break-even: offsets == mask size keeps the mask.
+        assert_eq!(choose_validity_repr(32, 1), ValidityRepr::Bitmask);
+    }
+}

@@ -1,0 +1,250 @@
+//! Population-count strategies (§IV-B of the paper).
+//!
+//! Random access into a *sparse* chunk requires the rank of the accessed
+//! position — the number of set bits before it. The paper contrasts three
+//! ways of obtaining that rank, reproduced here:
+//!
+//! 1. re-scan from word zero on every access ([`crate::Bitmask::rank_naive`]);
+//! 2. keep a cursor and count only the *delta* when access is sequential
+//!    ([`DeltaCursor`]);
+//! 3. pre-compute *milestones* — the running count at every 64-word block
+//!    boundary — so a random access touches at most one block
+//!    ([`Milestones`]). Block counting uses [`harley_seal`], the
+//!    carry-save-adder popcount that the Muła–Kurz–Lemire AVX2 kernel is
+//!    built on; Rust's `u64::count_ones` already lowers to the `popcnt`
+//!    instruction, so this pure-Rust pair plays the role of the paper's
+//!    JNI+AVX2 path without the FFI boundary.
+
+use crate::bitvec::Bitmask;
+use crate::{BLOCK_WORDS, WORD_BITS};
+
+/// Harley–Seal popcount over a word slice.
+///
+/// Processes 8 words at a time through a carry-save adder tree, touching the
+/// scalar popcount only once per 8 words; falls back to per-word popcount
+/// for the tail. Returns the total number of set bits.
+pub fn harley_seal(words: &[u64]) -> usize {
+    #[inline(always)]
+    fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+        let u = a ^ b;
+        (u ^ c, (a & b) | (u & c))
+    }
+
+    let mut total: u64 = 0;
+    let mut ones: u64 = 0;
+    let mut twos: u64 = 0;
+    let mut fours: u64 = 0;
+
+    let chunks = words.chunks_exact(8);
+    let remainder = chunks.remainder();
+    for c in chunks {
+        let (t0, tw0) = csa(ones, c[0], c[1]);
+        let (t1, tw1) = csa(t0, c[2], c[3]);
+        let (t2, tw2) = csa(t1, c[4], c[5]);
+        let (t3, tw3) = csa(t2, c[6], c[7]);
+        ones = t3;
+        let (tw_a, f_a) = csa(twos, tw0, tw1);
+        let (tw_b, f_b) = csa(tw_a, tw2, tw3);
+        twos = tw_b;
+        let (f, eights) = csa(fours, f_a, f_b);
+        fours = f;
+        total += 8 * eights.count_ones() as u64;
+    }
+    total = 4 * fours.count_ones() as u64
+        + 2 * twos.count_ones() as u64
+        + ones.count_ones() as u64
+        + total;
+    for &w in remainder {
+        total += w.count_ones() as u64;
+    }
+    total as usize
+}
+
+/// Sequential-access rank cursor implementing the paper's *delta count*.
+///
+/// Operators with a sequential access pattern (Filter, Aggregator — anything
+/// that reads every cell in order) never need a full rank: the rank at the
+/// next position is the rank at the current position plus the number of set
+/// bits in between. The cursor may only move forward.
+pub struct DeltaCursor<'a> {
+    mask: &'a Bitmask,
+    /// Bit position the cursor has counted up to (exclusive).
+    pos: usize,
+    /// Number of set bits in `[0, pos)`.
+    count: usize,
+}
+
+impl<'a> DeltaCursor<'a> {
+    /// Creates a cursor at position 0 of `mask`.
+    pub fn new(mask: &'a Bitmask) -> Self {
+        DeltaCursor {
+            mask,
+            pos: 0,
+            count: 0,
+        }
+    }
+
+    /// Advances to `pos` and returns the exclusive rank at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is smaller than a previously requested position
+    /// (the delta count is only defined for forward movement) or greater
+    /// than the mask length.
+    pub fn rank(&mut self, pos: usize) -> usize {
+        assert!(
+            pos >= self.pos,
+            "DeltaCursor moved backwards: {} -> {pos}",
+            self.pos
+        );
+        assert!(pos <= self.mask.len());
+        // Count bits in [self.pos, pos) word by word.
+        let words = self.mask.words();
+        let mut cur = self.pos;
+        while cur < pos {
+            let wi = cur / WORD_BITS;
+            let lo = cur % WORD_BITS;
+            let word_end = ((wi + 1) * WORD_BITS).min(pos);
+            let hi = word_end - wi * WORD_BITS; // in (0, 64]
+            let mut w = words[wi] >> lo;
+            let width = hi - lo;
+            if width < WORD_BITS {
+                w &= (1u64 << width) - 1;
+            }
+            self.count += w.count_ones() as usize;
+            cur = word_end;
+        }
+        self.pos = pos;
+        self.count
+    }
+
+    /// Current position of the cursor.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Milestone rank directory: the paper's "opt" random-access strategy.
+///
+/// Stores the running population count at every [`BLOCK_WORDS`]-word
+/// boundary, so a random rank query scans at most one 64-word block (counted
+/// with [`harley_seal`]) instead of the whole prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Milestones {
+    /// `block_counts[b]` = number of set bits in words `[0, b * BLOCK_WORDS)`.
+    block_counts: Vec<usize>,
+}
+
+impl Milestones {
+    /// Builds the directory for `mask` in a single pass.
+    pub fn build(mask: &Bitmask) -> Self {
+        let words = mask.words();
+        let num_blocks = words.len().div_ceil(BLOCK_WORDS);
+        let mut block_counts = Vec::with_capacity(num_blocks + 1);
+        block_counts.push(0);
+        let mut running = 0usize;
+        for b in 0..num_blocks {
+            let start = b * BLOCK_WORDS;
+            let end = (start + BLOCK_WORDS).min(words.len());
+            running += harley_seal(&words[start..end]);
+            block_counts.push(running);
+        }
+        Milestones { block_counts }
+    }
+
+    /// Exclusive rank of `pos` in `mask` using the directory.
+    ///
+    /// `mask` must be the mask the directory was built from.
+    pub fn rank(&self, mask: &Bitmask, pos: usize) -> usize {
+        debug_assert!(pos <= mask.len());
+        let words = mask.words();
+        let word = pos / WORD_BITS;
+        let bit = pos % WORD_BITS;
+        let block = word / BLOCK_WORDS;
+        let mut count = self.block_counts[block];
+        // Whole words inside the block before `word`.
+        count += harley_seal(&words[block * BLOCK_WORDS..word]);
+        if bit != 0 {
+            count += (words[word] & ((1u64 << bit) - 1)).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Total number of set bits recorded by the directory.
+    pub fn total(&self) -> usize {
+        *self.block_counts.last().unwrap_or(&0)
+    }
+
+    /// Deep size in bytes, charged to chunk memory accounting.
+    pub fn mem_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.block_counts.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_mask(len: usize) -> Bitmask {
+        Bitmask::from_fn(len, |i| (i * 2654435761) % 7 < 2)
+    }
+
+    #[test]
+    fn harley_seal_matches_scalar_popcount() {
+        for n in [0, 1, 7, 8, 9, 63, 64, 65, 200] {
+            let words: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+            let scalar: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(harley_seal(&words), scalar, "n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_cursor_matches_naive_rank() {
+        let m = pattern_mask(5000);
+        let mut cursor = DeltaCursor::new(&m);
+        for pos in (0..=5000).step_by(37) {
+            assert_eq!(cursor.rank(pos), m.rank_naive(pos), "pos={pos}");
+        }
+    }
+
+    #[test]
+    fn delta_cursor_exact_steps() {
+        let m = pattern_mask(256);
+        let mut cursor = DeltaCursor::new(&m);
+        for pos in 0..=256 {
+            assert_eq!(cursor.rank(pos), m.rank_naive(pos), "pos={pos}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn delta_cursor_rejects_backward_movement() {
+        let m = pattern_mask(128);
+        let mut cursor = DeltaCursor::new(&m);
+        cursor.rank(100);
+        cursor.rank(50);
+    }
+
+    #[test]
+    fn milestones_match_naive_rank_across_blocks() {
+        // > 2 blocks: 3 * 64 words * 64 bits = 12288 bits.
+        let m = pattern_mask(3 * BLOCK_WORDS * WORD_BITS + 17);
+        let ms = Milestones::build(&m);
+        for pos in (0..=m.len()).step_by(97) {
+            assert_eq!(ms.rank(&m, pos), m.rank_naive(pos), "pos={pos}");
+        }
+        assert_eq!(ms.total(), m.count_ones());
+    }
+
+    #[test]
+    fn milestones_on_tiny_and_empty_masks() {
+        let empty = Bitmask::zeros(0);
+        let ms = Milestones::build(&empty);
+        assert_eq!(ms.total(), 0);
+        assert_eq!(ms.rank(&empty, 0), 0);
+
+        let tiny = Bitmask::ones(5);
+        let ms = Milestones::build(&tiny);
+        assert_eq!(ms.rank(&tiny, 3), 3);
+        assert_eq!(ms.total(), 5);
+    }
+}

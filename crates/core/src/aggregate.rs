@@ -1,0 +1,354 @@
+//! The Aggregator framework (paper §V-B).
+//!
+//! An aggregate function is specified through four abstractions: create a
+//! per-chunk state (`initialize`), fold values into it (`accumulate`),
+//! combine states across chunks (`merge`), and produce the result
+//! (`evaluate`). Built-in sum/avg/min/max/count live in [`builtin`];
+//! user-defined aggregators just implement the trait.
+
+use crate::element::Element;
+use spangle_dataflow::Data;
+
+/// A distributive/algebraic aggregate over array cells.
+pub trait Aggregator<E: Element>: Send + Sync + 'static {
+    /// Mergeable partial state; must be shuffleable.
+    type State: Data;
+    /// Final result type.
+    type Output: Send + 'static;
+
+    /// Fresh per-chunk/per-partition state.
+    fn initialize(&self) -> Self::State;
+    /// Folds one valid cell value into a state.
+    fn accumulate(&self, state: &mut Self::State, value: E);
+    /// Combines two states.
+    fn merge(&self, a: Self::State, b: Self::State) -> Self::State;
+    /// Produces the result; `None` when no cell was accumulated (e.g. the
+    /// average of nothing).
+    fn evaluate(&self, state: Self::State) -> Option<Self::Output>;
+}
+
+/// Built-in aggregate functions over `f64` cells.
+pub mod builtin {
+    use super::Aggregator;
+
+    /// Sum of valid cells; 0 for an empty input.
+    pub struct Sum;
+
+    impl Aggregator<f64> for Sum {
+        type State = f64;
+        type Output = f64;
+        fn initialize(&self) -> f64 {
+            0.0
+        }
+        fn accumulate(&self, state: &mut f64, value: f64) {
+            *state += value;
+        }
+        fn merge(&self, a: f64, b: f64) -> f64 {
+            a + b
+        }
+        fn evaluate(&self, state: f64) -> Option<f64> {
+            Some(state)
+        }
+    }
+
+    /// Number of valid cells.
+    pub struct Count;
+
+    impl Aggregator<f64> for Count {
+        type State = usize;
+        type Output = usize;
+        fn initialize(&self) -> usize {
+            0
+        }
+        fn accumulate(&self, state: &mut usize, _value: f64) {
+            *state += 1;
+        }
+        fn merge(&self, a: usize, b: usize) -> usize {
+            a + b
+        }
+        fn evaluate(&self, state: usize) -> Option<usize> {
+            Some(state)
+        }
+    }
+
+    /// Arithmetic mean of valid cells; `None` when there are none.
+    pub struct Avg;
+
+    impl Aggregator<f64> for Avg {
+        type State = (f64, u64);
+        type Output = f64;
+        fn initialize(&self) -> (f64, u64) {
+            (0.0, 0)
+        }
+        fn accumulate(&self, state: &mut (f64, u64), value: f64) {
+            state.0 += value;
+            state.1 += 1;
+        }
+        fn merge(&self, a: (f64, u64), b: (f64, u64)) -> (f64, u64) {
+            (a.0 + b.0, a.1 + b.1)
+        }
+        fn evaluate(&self, state: (f64, u64)) -> Option<f64> {
+            (state.1 > 0).then(|| state.0 / state.1 as f64)
+        }
+    }
+
+    /// Minimum of valid cells; `None` when there are none.
+    pub struct Min;
+
+    impl Aggregator<f64> for Min {
+        type State = Option<f64>;
+        type Output = f64;
+        fn initialize(&self) -> Option<f64> {
+            None
+        }
+        fn accumulate(&self, state: &mut Option<f64>, value: f64) {
+            *state = Some(state.map_or(value, |s| s.min(value)));
+        }
+        fn merge(&self, a: Option<f64>, b: Option<f64>) -> Option<f64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        fn evaluate(&self, state: Option<f64>) -> Option<f64> {
+            state
+        }
+    }
+
+    /// Count, mean, variance and standard deviation in one pass
+    /// (Chan et al. parallel-merge form, exact under state merging).
+    pub struct Stats;
+
+    /// Output of [`Stats`].
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct StatsSummary {
+        /// Number of valid cells observed.
+        pub count: u64,
+        /// Arithmetic mean.
+        pub mean: f64,
+        /// Population variance.
+        pub variance: f64,
+    }
+
+    impl StatsSummary {
+        /// Population standard deviation.
+        pub fn std_dev(&self) -> f64 {
+            self.variance.sqrt()
+        }
+    }
+
+    impl Aggregator<f64> for Stats {
+        /// `(count, mean, M2)` — M2 is the sum of squared deviations.
+        type State = (u64, f64, f64);
+        type Output = StatsSummary;
+
+        fn initialize(&self) -> Self::State {
+            (0, 0.0, 0.0)
+        }
+
+        fn accumulate(&self, state: &mut Self::State, value: f64) {
+            let (n, mean, m2) = state;
+            *n += 1;
+            let delta = value - *mean;
+            *mean += delta / *n as f64;
+            *m2 += delta * (value - *mean);
+        }
+
+        fn merge(&self, a: Self::State, b: Self::State) -> Self::State {
+            match (a.0, b.0) {
+                (0, _) => b,
+                (_, 0) => a,
+                (na, nb) => {
+                    let n = na + nb;
+                    let delta = b.1 - a.1;
+                    let mean = a.1 + delta * nb as f64 / n as f64;
+                    let m2 = a.2 + b.2 + delta * delta * (na as f64 * nb as f64) / n as f64;
+                    (n, mean, m2)
+                }
+            }
+        }
+
+        fn evaluate(&self, state: Self::State) -> Option<StatsSummary> {
+            (state.0 > 0).then(|| StatsSummary {
+                count: state.0,
+                mean: state.1,
+                variance: state.2 / state.0 as f64,
+            })
+        }
+    }
+
+    /// Fixed-range histogram over `[lo, hi)` with equal-width bins;
+    /// values outside the range land in the edge bins.
+    pub struct Histogram {
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    }
+
+    impl Histogram {
+        /// A histogram of `bins` equal-width buckets over `[lo, hi)`.
+        pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+            assert!(hi > lo, "empty histogram range");
+            assert!(bins > 0, "need at least one bin");
+            Histogram { lo, hi, bins }
+        }
+    }
+
+    impl Aggregator<f64> for Histogram {
+        type State = Vec<u64>;
+        type Output = Vec<u64>;
+
+        fn initialize(&self) -> Vec<u64> {
+            vec![0; self.bins]
+        }
+
+        fn accumulate(&self, state: &mut Vec<u64>, value: f64) {
+            let t = (value - self.lo) / (self.hi - self.lo) * self.bins as f64;
+            let bin = (t.floor().max(0.0) as usize).min(self.bins - 1);
+            state[bin] += 1;
+        }
+
+        fn merge(&self, mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        }
+
+        fn evaluate(&self, state: Vec<u64>) -> Option<Vec<u64>> {
+            Some(state)
+        }
+    }
+
+    /// Maximum of valid cells; `None` when there are none.
+    pub struct Max;
+
+    impl Aggregator<f64> for Max {
+        type State = Option<f64>;
+        type Output = f64;
+        fn initialize(&self) -> Option<f64> {
+            None
+        }
+        fn accumulate(&self, state: &mut Option<f64>, value: f64) {
+            *state = Some(state.map_or(value, |s| s.max(value)));
+        }
+        fn merge(&self, a: Option<f64>, b: Option<f64>) -> Option<f64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        fn evaluate(&self, state: Option<f64>) -> Option<f64> {
+            state
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::builtin::*;
+    use super::*;
+
+    fn fold<A: Aggregator<f64>>(agg: &A, values: &[f64]) -> Option<A::Output> {
+        // Split into two states to exercise merge.
+        let mid = values.len() / 2;
+        let mut a = agg.initialize();
+        for &v in &values[..mid] {
+            agg.accumulate(&mut a, v);
+        }
+        let mut b = agg.initialize();
+        for &v in &values[mid..] {
+            agg.accumulate(&mut b, v);
+        }
+        agg.evaluate(agg.merge(a, b))
+    }
+
+    #[test]
+    fn builtins_match_reference_folds() {
+        let values = [3.0, -1.0, 4.0, 1.5, -9.25, 2.0];
+        assert_eq!(fold(&Sum, &values), Some(values.iter().sum()));
+        assert_eq!(fold(&Count, &values), Some(6));
+        assert_eq!(fold(&Min, &values), Some(-9.25));
+        assert_eq!(fold(&Max, &values), Some(4.0));
+        let avg = fold(&Avg, &values).unwrap();
+        assert!((avg - values.iter().sum::<f64>() / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_behaviour() {
+        assert_eq!(fold(&Sum, &[]), Some(0.0));
+        assert_eq!(fold(&Count, &[]), Some(0));
+        assert_eq!(fold(&Min, &[]), None);
+        assert_eq!(fold(&Max, &[]), None);
+        assert_eq!(fold(&Avg, &[]), None);
+    }
+
+    #[test]
+    fn stats_matches_two_pass_reference() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 37) % 23) as f64 - 11.0).collect();
+        let summary = fold(&Stats, &values).unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert_eq!(summary.count, 100);
+        assert!((summary.mean - mean).abs() < 1e-9);
+        assert!((summary.variance - var).abs() < 1e-9);
+        assert!((summary.std_dev() - var.sqrt()).abs() < 1e-9);
+        assert_eq!(fold(&Stats, &[]), None);
+    }
+
+    #[test]
+    fn stats_merge_is_exact_for_skewed_splits() {
+        let agg = Stats;
+        let values: Vec<f64> = (0..50).map(|i| (i as f64).powi(2)).collect();
+        // All in one state vs a 1/49 split must agree exactly-ish.
+        let mut whole = agg.initialize();
+        for &v in &values {
+            agg.accumulate(&mut whole, v);
+        }
+        let mut first = agg.initialize();
+        agg.accumulate(&mut first, values[0]);
+        let mut rest = agg.initialize();
+        for &v in &values[1..] {
+            agg.accumulate(&mut rest, v);
+        }
+        let merged = agg.merge(first, rest);
+        let a = agg.evaluate(whole).unwrap();
+        let b = agg.evaluate(merged).unwrap();
+        assert!((a.variance - b.variance).abs() < 1e-6 * a.variance);
+    }
+
+    #[test]
+    fn histogram_bins_cover_the_range_and_clamp_outliers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let bins = fold(&h, &[-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0]).unwrap();
+        assert_eq!(bins, vec![3, 1, 1, 0, 3]);
+        assert_eq!(bins.iter().sum::<u64>(), 8, "every value lands somewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram range")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn merge_is_associative_for_avg() {
+        let agg = Avg;
+        let mut s1 = agg.initialize();
+        agg.accumulate(&mut s1, 1.0);
+        let mut s2 = agg.initialize();
+        agg.accumulate(&mut s2, 2.0);
+        let mut s3 = agg.initialize();
+        agg.accumulate(&mut s3, 6.0);
+        let left = agg.merge(agg.merge(s1, s2), s3);
+        let mut s1b = agg.initialize();
+        agg.accumulate(&mut s1b, 1.0);
+        let mut s2b = agg.initialize();
+        agg.accumulate(&mut s2b, 2.0);
+        let mut s3b = agg.initialize();
+        agg.accumulate(&mut s3b, 6.0);
+        let right = agg.merge(s1b, agg.merge(s2b, s3b));
+        assert_eq!(left, right);
+        assert_eq!(agg.evaluate(left), Some(3.0));
+    }
+}

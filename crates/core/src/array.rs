@@ -1,0 +1,844 @@
+//! ArrayRDD: the distributed chunked array (paper §III).
+//!
+//! An [`ArrayRdd`] is a pair RDD of `(ChunkId, Chunk)` records plus shared
+//! [`ArrayMeta`]. Chunks are placed by hashing their IDs, and the ingest
+//! path *generates each chunk on the partition it belongs to*, so the
+//! dataset is born co-partitioned — later chunk-aligned joins are local.
+//! Empty chunks are never materialised.
+
+use crate::aggregate::Aggregator;
+use crate::chunk::{Chunk, ChunkMode, ChunkPolicy};
+use crate::element::Element;
+use crate::meta::{ArrayMeta, ChunkId, Mapper};
+use spangle_bitmask::Bitmask;
+use spangle_dataflow::rdd::sources::GeneratedRdd;
+use spangle_dataflow::{
+    HashPartitioner, JobError, PairRdd, Partitioner, Rdd, SpangleContext,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A distributed multi-dimensional array: chunked, bitmasked, lazily
+/// evaluated and fault tolerant.
+pub struct ArrayRdd<E: Element> {
+    ctx: SpangleContext,
+    meta: Arc<ArrayMeta>,
+    policy: ChunkPolicy,
+    rdd: Rdd<(ChunkId, Chunk<E>)>,
+}
+
+impl<E: Element> Clone for ArrayRdd<E> {
+    fn clone(&self) -> Self {
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy: self.policy,
+            rdd: self.rdd.clone(),
+        }
+    }
+}
+
+/// Builds [`ArrayRdd`]s from generator functions or cell lists.
+pub struct ArrayBuilder<E: Element> {
+    ctx: SpangleContext,
+    meta: ArrayMeta,
+    policy: ChunkPolicy,
+    num_partitions: usize,
+    ingest: Option<Arc<dyn Fn(&[usize]) -> Option<E> + Send + Sync>>,
+}
+
+impl<E: Element> ArrayBuilder<E> {
+    /// Starts a builder for an array of geometry `meta` on `ctx`.
+    pub fn new(ctx: &SpangleContext, meta: ArrayMeta) -> Self {
+        ArrayBuilder {
+            ctx: ctx.clone(),
+            num_partitions: ctx.num_executors() * 2,
+            meta,
+            policy: ChunkPolicy::default(),
+            ingest: None,
+        }
+    }
+
+    /// Overrides the chunk-mode policy.
+    pub fn policy(mut self, policy: ChunkPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the number of partitions (default: 2 × executors).
+    pub fn num_partitions(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one partition");
+        self.num_partitions = n;
+        self
+    }
+
+    /// Sets the cell generator: `f(coords)` returns the value of a cell or
+    /// `None` for null. Must be deterministic (it is the lineage).
+    pub fn ingest(mut self, f: impl Fn(&[usize]) -> Option<E> + Send + Sync + 'static) -> Self {
+        self.ingest = Some(Arc::new(f));
+        self
+    }
+
+    /// Materialises the lineage head. Chunks are generated lazily, each on
+    /// the partition its ChunkID hashes to.
+    pub fn build(self) -> ArrayRdd<E> {
+        let f = self
+            .ingest
+            .expect("ArrayBuilder::build called without an ingest function");
+        let meta = Arc::new(self.meta);
+        let mapper = meta.mapper();
+        let policy = self.policy;
+        let num_partitions = self.num_partitions;
+        let sig = Partitioner::<u64>::sig(&HashPartitioner::new(num_partitions));
+        let gen_meta = meta.clone();
+        let rdd = GeneratedRdd::create(&self.ctx, num_partitions, move |p| {
+            let partitioner = HashPartitioner::new(num_partitions);
+            let mapper = gen_meta.mapper();
+            let mut out = Vec::new();
+            for chunk_id in 0..mapper.num_chunks() as u64 {
+                if partitioner.partition(&chunk_id) != p {
+                    continue;
+                }
+                let volume = mapper.chunk_volume(chunk_id);
+                let origin = mapper.chunk_origin(chunk_id);
+                let extent = mapper.chunk_extent(chunk_id);
+                let mut coords = vec![0usize; origin.len()];
+                let mut payload = vec![E::default(); volume];
+                let mut mask = Bitmask::zeros(volume);
+                for local in 0..volume {
+                    crate::meta::Mapper::unravel(&origin, &extent, local, &mut coords);
+                    if let Some(v) = f(&coords) {
+                        payload[local] = v;
+                        mask.set(local, true);
+                    }
+                }
+                if let Some(chunk) = Chunk::build(payload, mask, &policy) {
+                    out.push((chunk_id, chunk));
+                }
+            }
+            out
+        })
+        .assert_partitioned(sig);
+        let _ = mapper;
+        ArrayRdd {
+            ctx: self.ctx,
+            meta,
+            policy,
+            rdd,
+        }
+    }
+}
+
+impl<E: Element> ArrayRdd<E> {
+    /// Wraps an existing chunk RDD. `rdd` must only contain non-empty
+    /// chunks whose IDs and volumes agree with `meta`.
+    pub fn from_parts(
+        ctx: &SpangleContext,
+        meta: Arc<ArrayMeta>,
+        policy: ChunkPolicy,
+        rdd: Rdd<(ChunkId, Chunk<E>)>,
+    ) -> Self {
+        ArrayRdd {
+            ctx: ctx.clone(),
+            meta,
+            policy,
+            rdd,
+        }
+    }
+
+    /// Ingests a driver-local cell list through the full distributed
+    /// pipeline of §III: key every cell by its ChunkID (Algorithm 1),
+    /// shuffle-group per chunk, then assemble payload and bitmask.
+    pub fn from_cells(
+        ctx: &SpangleContext,
+        meta: ArrayMeta,
+        policy: ChunkPolicy,
+        cells: Vec<(Vec<usize>, E)>,
+        num_partitions: usize,
+    ) -> Self {
+        let meta = Arc::new(meta);
+        let mapper = meta.mapper();
+        let keyed = ctx
+            .parallelize(cells, num_partitions)
+            .map(move |(coords, v)| {
+                let chunk_id = mapper.chunk_id_of(&coords);
+                let local = mapper.local_index_of(&coords);
+                (chunk_id, (local, v))
+            });
+        let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(num_partitions));
+        let grouped = keyed.group_by_key(partitioner);
+        let build_meta = meta.clone();
+        let rdd = grouped.map_partitions(move |records| {
+            let mapper = build_meta.mapper();
+            records
+                .iter()
+                .filter_map(|(chunk_id, cells)| {
+                    let volume = mapper.chunk_volume(*chunk_id);
+                    Chunk::from_cells(volume, cells.iter().copied(), &policy)
+                        .map(|c| (*chunk_id, c))
+                })
+                .collect()
+        });
+        // group_by_key partitioned by hash(chunk_id); the per-partition map
+        // keeps keys in place.
+        let sig = Partitioner::<u64>::sig(&HashPartitioner::new(num_partitions));
+        let rdd = rdd.assert_partitioned(sig);
+        ArrayRdd {
+            ctx: ctx.clone(),
+            meta,
+            policy,
+            rdd,
+        }
+    }
+
+    /// Array geometry.
+    pub fn meta(&self) -> &ArrayMeta {
+        &self.meta
+    }
+
+    /// Shared geometry handle.
+    pub fn meta_arc(&self) -> Arc<ArrayMeta> {
+        self.meta.clone()
+    }
+
+    /// The chunk-mode policy used by derived arrays.
+    pub fn policy(&self) -> ChunkPolicy {
+        self.policy
+    }
+
+    /// The underlying chunk RDD.
+    pub fn rdd(&self) -> &Rdd<(ChunkId, Chunk<E>)> {
+        &self.rdd
+    }
+
+    /// The cluster handle.
+    pub fn context(&self) -> &SpangleContext {
+        &self.ctx
+    }
+
+    /// Marks the chunk RDD for caching.
+    pub fn persist(&self) -> &Self {
+        self.rdd.persist();
+        self
+    }
+
+    /// Number of materialised (non-empty) chunks.
+    pub fn num_chunks(&self) -> Result<usize, JobError> {
+        self.rdd.count()
+    }
+
+    /// Number of valid cells across all chunks.
+    pub fn count_valid(&self) -> Result<usize, JobError> {
+        self.rdd
+            .aggregate(0usize, |acc, (_, c)| acc + c.valid_count(), |a, b| a + b)
+    }
+
+    /// Deep in-memory size of all chunks, in bytes (Fig. 9a's metric).
+    pub fn mem_bytes(&self) -> Result<usize, JobError> {
+        self.rdd
+            .aggregate(0usize, |acc, (_, c)| acc + c.mem_bytes(), |a, b| a + b)
+    }
+
+    /// Histogram of chunk modes.
+    pub fn mode_counts(&self) -> Result<HashMap<&'static str, usize>, JobError> {
+        let counts = self.rdd.run_partitions(|_, chunks| {
+            let mut m = [0usize; 3];
+            for (_, c) in chunks {
+                match c.mode() {
+                    ChunkMode::Dense => m[0] += 1,
+                    ChunkMode::Sparse => m[1] += 1,
+                    ChunkMode::SuperSparse => m[2] += 1,
+                }
+            }
+            m
+        })?;
+        let mut out = HashMap::new();
+        for m in counts {
+            *out.entry("dense").or_insert(0) += m[0];
+            *out.entry("sparse").or_insert(0) += m[1];
+            *out.entry("super-sparse").or_insert(0) += m[2];
+        }
+        Ok(out)
+    }
+
+    /// Point query: the value at `coords`, or `None` when null.
+    pub fn get(&self, coords: &[usize]) -> Result<Option<E>, JobError> {
+        let mapper = self.meta.mapper();
+        let target = mapper.chunk_id_of(coords);
+        let local = mapper.local_index_of(coords);
+        let hits = self
+            .rdd
+            .filter(move |(id, _)| *id == target)
+            .map(move |(_, c)| c.get(local))
+            .collect()?;
+        Ok(hits.into_iter().flatten().next())
+    }
+
+    /// Subarray (§V-A1): keeps the cells inside the box `[lo, hi)`.
+    /// Chunks fully outside the range are pruned by ID before any mask
+    /// work; intersecting chunks get a virtual range mask ANDed in.
+    pub fn subarray(&self, lo: &[usize], hi: &[usize]) -> ArrayRdd<E> {
+        assert_eq!(lo.len(), self.meta.rank(), "range rank mismatch");
+        assert_eq!(hi.len(), self.meta.rank(), "range rank mismatch");
+        let mapper = self.meta.mapper();
+        let selected: std::collections::HashSet<ChunkId> =
+            mapper.chunks_in_range(lo, hi).into_iter().collect();
+        let lo = lo.to_vec();
+        let hi = hi.to_vec();
+        let policy = self.policy;
+        let meta = self.meta.clone();
+        let rdd = self
+            .rdd
+            .filter(move |(id, _)| selected.contains(id))
+            .flat_map(move |(id, chunk)| {
+                let mapper = meta.mapper();
+                // Interior chunks survive unchanged; only boundary chunks
+                // pay for the virtual-mask AND.
+                if mapper.chunk_within_range(id, &lo, &hi) {
+                    return vec![(id, chunk)];
+                }
+                let keep = range_mask(&mapper, id, chunk.volume(), &lo, &hi);
+                chunk
+                    .restrict(&keep, &policy)
+                    .map(|c| (id, c))
+                    .into_iter()
+                    .collect()
+            });
+        // flat_map keeps chunk ids in place.
+        let rdd = match self.rdd.partitioner_sig() {
+            Some(sig) => rdd.assert_partitioned(sig),
+            None => rdd,
+        };
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy: self.policy,
+            rdd,
+        }
+    }
+
+    /// Filter (§V-A2): keeps cells whose value satisfies `pred`; all other
+    /// cells become null. Chunks left without valid cells disappear.
+    pub fn filter(&self, pred: impl Fn(E) -> bool + Send + Sync + 'static) -> ArrayRdd<E> {
+        let policy = self.policy;
+        let rdd = self.rdd.flat_map(move |(id, chunk)| {
+            chunk
+                .filter(|v| pred(v), &policy)
+                .map(|c| (id, c))
+                .into_iter()
+                .collect()
+        });
+        let rdd = match self.rdd.partitioner_sig() {
+            Some(sig) => rdd.assert_partitioned(sig),
+            None => rdd,
+        };
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy: self.policy,
+            rdd,
+        }
+    }
+
+    /// Element-wise value transformation (nulls stay null).
+    pub fn map_values<F: Element>(
+        &self,
+        f: impl Fn(E) -> F + Send + Sync + 'static,
+    ) -> ArrayRdd<F> {
+        let rdd = self.rdd.map(move |(id, chunk)| (id, chunk.map_values(&f)));
+        let rdd = match self.rdd.partitioner_sig() {
+            Some(sig) => rdd.assert_partitioned(sig),
+            None => rdd,
+        };
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy: self.policy,
+            rdd,
+        }
+    }
+
+    /// Cell-wise combination of two arrays over the same geometry: `f`
+    /// receives both sides' values (or `None`) and decides the output.
+    /// `and`-joins pass `|a, b| a.zip(b).map(..)`, `or`-joins keep either.
+    /// Runs locally when both sides are co-partitioned.
+    pub fn zip_with<F: Element, O: Element>(
+        &self,
+        other: &ArrayRdd<F>,
+        f: impl Fn(Option<E>, Option<F>) -> Option<O> + Send + Sync + 'static,
+    ) -> ArrayRdd<O> {
+        assert_eq!(
+            *self.meta, *other.meta,
+            "zip_with requires identical array geometry"
+        );
+        let n = self.rdd.num_partitions();
+        let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(n));
+        let policy = self.policy;
+        let cogrouped = self.rdd.cogroup(&other.rdd, partitioner);
+        let rdd = cogrouped.flat_map(move |(id, (ls, rs))| {
+            let left = ls.into_iter().next();
+            let right = rs.into_iter().next();
+            let volume = left
+                .as_ref()
+                .map(Chunk::volume)
+                .or_else(|| right.as_ref().map(Chunk::volume));
+            let Some(volume) = volume else {
+                return Vec::new();
+            };
+            let mut lvals: Vec<Option<E>> = vec![None; volume];
+            if let Some(c) = &left {
+                for (i, v) in c.iter_valid() {
+                    lvals[i] = Some(v);
+                }
+            }
+            let mut cells = Vec::new();
+            let mut rvals: Vec<Option<F>> = vec![None; volume];
+            if let Some(c) = &right {
+                for (i, v) in c.iter_valid() {
+                    rvals[i] = Some(v);
+                }
+            }
+            for i in 0..volume {
+                if let Some(o) = f(lvals[i], rvals[i]) {
+                    cells.push((i, o));
+                }
+            }
+            Chunk::from_cells(volume, cells, &policy)
+                .map(|c| (id, c))
+                .into_iter()
+                .collect()
+        });
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy: self.policy,
+            rdd,
+        }
+    }
+
+    /// Re-encodes every chunk under `policy` (e.g. dense ⇄ sparse).
+    pub fn reencode(&self, policy: ChunkPolicy) -> ArrayRdd<E> {
+        let rdd = self.rdd.flat_map(move |(id, chunk)| {
+            chunk.reencode(&policy).map(|c| (id, c)).into_iter().collect()
+        });
+        let rdd = match self.rdd.partitioner_sig() {
+            Some(sig) => rdd.assert_partitioned(sig),
+            None => rdd,
+        };
+        ArrayRdd {
+            ctx: self.ctx.clone(),
+            meta: self.meta.clone(),
+            policy,
+            rdd,
+        }
+    }
+
+    /// Aggregates every valid cell with `agg` (§V-B). Returns `None` for
+    /// an array with no valid cells.
+    pub fn aggregate<A: Aggregator<E>>(&self, agg: A) -> Option<A::Output> {
+        let agg = Arc::new(agg);
+        let task_agg = agg.clone();
+        let states = self
+            .rdd
+            .run_partitions(move |_, chunks| {
+                let mut state = task_agg.initialize();
+                for (_, chunk) in chunks {
+                    for (_, v) in chunk.iter_valid() {
+                        task_agg.accumulate(&mut state, v);
+                    }
+                }
+                state
+            })
+            .expect("aggregate job failed");
+        let merged = states
+            .into_iter()
+            .reduce(|a, b| agg.merge(a, b))
+            .unwrap_or_else(|| agg.initialize());
+        agg.evaluate(merged)
+    }
+
+    /// Grouped aggregation: groups valid cells by `key(coords)` and
+    /// aggregates each group with `agg`, reducing group states through a
+    /// shuffle (this is how Q5's spatial density query runs).
+    pub fn aggregate_by<K, A>(
+        &self,
+        key: impl Fn(&[usize]) -> K + Send + Sync + 'static,
+        agg: A,
+    ) -> Result<Vec<(K, A::Output)>, JobError>
+    where
+        K: spangle_dataflow::Key,
+        A: Aggregator<E>,
+    {
+        let agg = Arc::new(agg);
+        let meta = self.meta.clone();
+        let map_agg = agg.clone();
+        let states = self.rdd.map_partitions(move |chunks| {
+            let mapper = meta.mapper();
+            let mut groups: HashMap<K, A::State> = HashMap::new();
+            let mut coords = vec![0usize; meta.rank()];
+            for (id, chunk) in chunks {
+                let origin = mapper.chunk_origin(*id);
+                let extent = mapper.chunk_extent(*id);
+                for (local, v) in chunk.iter_valid() {
+                    Mapper::unravel(&origin, &extent, local, &mut coords);
+                    let k = key(&coords);
+                    let state = groups.entry(k).or_insert_with(|| map_agg.initialize());
+                    map_agg.accumulate(state, v);
+                }
+            }
+            groups.into_iter().collect()
+        });
+        let merge_agg = agg.clone();
+        let n = self.rdd.num_partitions();
+        let reduced = states.reduce_by_key(
+            Arc::new(HashPartitioner::new(n)),
+            move |a, b| merge_agg.merge(a, b),
+        );
+        let collected = reduced.collect()?;
+        Ok(collected
+            .into_iter()
+            .filter_map(|(k, s)| agg.evaluate(s).map(|o| (k, o)))
+            .collect())
+    }
+
+    /// The named-axis form of the Aggregator (§V-B): collapses the named
+    /// dimensions and aggregates per group of the *remaining* dimensions
+    /// — "while aggregating an array, Spangle generates the new schema
+    /// determined by the given conditions". Returns `(remaining coords,
+    /// output)` pairs; aggregating over every dimension yields one group
+    /// keyed by the empty coordinate vector.
+    ///
+    /// Requires the metadata to carry dimension names
+    /// ([`ArrayMeta::with_dim_names`]).
+    pub fn aggregate_over<A>(
+        &self,
+        collapse: &[&str],
+        agg: A,
+    ) -> Result<Vec<(Vec<u64>, A::Output)>, JobError>
+    where
+        A: Aggregator<E>,
+    {
+        let collapsed: Vec<usize> = collapse.iter().map(|n| self.meta.dim_index(n)).collect();
+        let keep: Vec<usize> = (0..self.meta.rank())
+            .filter(|d| !collapsed.contains(d))
+            .collect();
+        self.aggregate_by(
+            move |coords| keep.iter().map(|&d| coords[d] as u64).collect::<Vec<u64>>(),
+            agg,
+        )
+    }
+
+    /// Gathers every valid cell as `(coords, value)` on the driver — a
+    /// testing/debug action, not part of the paper's API.
+    pub fn collect_cells(&self) -> Result<Vec<(Vec<usize>, E)>, JobError> {
+        let meta = self.meta.clone();
+        let mut cells: Vec<(Vec<usize>, E)> = self
+            .rdd
+            .flat_map(move |(id, chunk)| {
+                let mapper = meta.mapper();
+                chunk
+                    .iter_valid()
+                    .map(|(local, v)| (mapper.global_coords_of(id, local), v))
+                    .collect()
+            })
+            .collect()?;
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(cells)
+    }
+
+    /// Materialises the full logical array on the driver, indexed by the
+    /// mapper's global linear order. A testing/debug action.
+    pub fn to_dense(&self) -> Result<Vec<Option<E>>, JobError> {
+        let mapper = self.meta.mapper();
+        let mut out = vec![None; self.meta.volume()];
+        for (coords, v) in self.collect_cells()? {
+            out[mapper.global_linear_index(&coords)] = Some(v);
+        }
+        Ok(out)
+    }
+}
+
+/// Builds the "virtual bitmask" of Subarray: bits set for the cells of
+/// chunk `chunk_id` falling inside `[lo, hi)`. Painted as contiguous
+/// dim-0 runs over the chunk∩range intersection box, so cost scales with
+/// the intersection, not the chunk volume.
+pub(crate) fn range_mask(
+    mapper: &Mapper,
+    chunk_id: ChunkId,
+    volume: usize,
+    lo: &[usize],
+    hi: &[usize],
+) -> Bitmask {
+    let origin = mapper.chunk_origin(chunk_id);
+    let extent = mapper.chunk_extent(chunk_id);
+    let mut mask = Bitmask::zeros(volume);
+    // Intersection box in chunk-local coordinates.
+    let loc_lo: Vec<usize> = origin
+        .iter()
+        .zip(lo)
+        .map(|(&o, &l)| l.saturating_sub(o).min(usize::MAX))
+        .collect();
+    let loc_hi: Vec<usize> = origin
+        .iter()
+        .zip(extent.iter().zip(hi))
+        .map(|(&o, (&e, &h))| h.saturating_sub(o).min(e))
+        .collect();
+    if loc_lo.iter().zip(&loc_hi).any(|(l, h)| l >= h) {
+        return mask;
+    }
+    // Odometer over dims 1.. ; dim 0 is a contiguous run per line.
+    let rank = extent.len();
+    let mut strides = vec![1usize; rank];
+    for i in 1..rank {
+        strides[i] = strides[i - 1] * extent[i - 1];
+    }
+    let run_len = loc_hi[0] - loc_lo[0];
+    let mut cursor = loc_lo.clone();
+    loop {
+        let base: usize = cursor
+            .iter()
+            .zip(&strides)
+            .map(|(&c, &s)| c * s)
+            .sum();
+        mask.set_range(base, base + run_len);
+        // Increment dims 1..rank.
+        let mut d = 1;
+        loop {
+            if d == rank {
+                return mask;
+            }
+            cursor[d] += 1;
+            if cursor[d] < loc_hi[d] {
+                break;
+            }
+            cursor[d] = loc_lo[d];
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::builtin::{Avg, Count, Max, Sum};
+
+    fn ctx() -> SpangleContext {
+        SpangleContext::new(4)
+    }
+
+    /// 60x40 array chunked 16x16; value x*100+y on even x, null on odd x.
+    fn sample_array(ctx: &SpangleContext) -> ArrayRdd<f64> {
+        ArrayBuilder::new(ctx, ArrayMeta::new(vec![60, 40], vec![16, 16]))
+            .ingest(|c| (c[0] % 2 == 0).then(|| (c[0] * 100 + c[1]) as f64))
+            .build()
+    }
+
+    #[test]
+    fn ingest_materialises_only_valid_cells() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        assert_eq!(arr.count_valid().unwrap(), 30 * 40);
+        // 60/16 -> 4 grid cols, 40/16 -> 3 grid rows: 12 chunks, all with
+        // at least one even-x column.
+        assert_eq!(arr.num_chunks().unwrap(), 12);
+    }
+
+    #[test]
+    fn ingest_drops_empty_chunks() {
+        let ctx = ctx();
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![64, 64], vec![16, 16]))
+            .ingest(|c| (c[0] < 16).then_some(1.0f64))
+            .build();
+        // Only the 4 chunks of the first grid column are non-empty.
+        assert_eq!(arr.num_chunks().unwrap(), 4);
+        assert_eq!(arr.count_valid().unwrap(), 16 * 64);
+    }
+
+    #[test]
+    fn point_queries_hit_values_and_nulls() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        assert_eq!(arr.get(&[2, 3]).unwrap(), Some(203.0));
+        assert_eq!(arr.get(&[3, 3]).unwrap(), None);
+        assert_eq!(arr.get(&[58, 39]).unwrap(), Some(5839.0));
+    }
+
+    #[test]
+    fn subarray_keeps_exactly_the_box() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        let sub = arr.subarray(&[10, 5], &[20, 15]);
+        // x in 10..20 even -> 5 values of x, y in 5..15 -> 10 values.
+        assert_eq!(sub.count_valid().unwrap(), 5 * 10);
+        assert_eq!(sub.get(&[10, 5]).unwrap(), Some(1005.0));
+        assert_eq!(sub.get(&[9, 5]).unwrap(), None);
+        assert_eq!(sub.get(&[10, 15]).unwrap(), None);
+    }
+
+    #[test]
+    fn subarray_prunes_chunks_by_id() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        let sub = arr.subarray(&[0, 0], &[16, 16]);
+        assert_eq!(sub.num_chunks().unwrap(), 1);
+    }
+
+    #[test]
+    fn filter_invalidates_non_matching_cells() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        let f = arr.filter(|v| v >= 3000.0);
+        // x in {30..58 even} -> 15 x-values, all 40 y.
+        assert_eq!(f.count_valid().unwrap(), 15 * 40);
+        assert_eq!(f.get(&[28, 0]).unwrap(), None);
+        assert_eq!(f.get(&[30, 0]).unwrap(), Some(3000.0));
+    }
+
+    #[test]
+    fn map_values_is_cellwise() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        let doubled = arr.map_values(|v| v * 2.0);
+        assert_eq!(doubled.get(&[2, 3]).unwrap(), Some(406.0));
+        assert_eq!(doubled.count_valid().unwrap(), arr.count_valid().unwrap());
+    }
+
+    #[test]
+    fn aggregates_cover_all_valid_cells() {
+        let ctx = ctx();
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![10, 10], vec![4, 4]))
+            .ingest(|c| (c[0] >= 5).then(|| (c[0] * 10 + c[1]) as f64))
+            .build();
+        let expected: Vec<f64> = (5..10)
+            .flat_map(|x| (0..10).map(move |y| (x * 10 + y) as f64))
+            .collect();
+        let sum: f64 = expected.iter().sum();
+        assert_eq!(arr.aggregate(Sum), Some(sum));
+        assert_eq!(arr.aggregate(Count), Some(50));
+        assert_eq!(arr.aggregate(Max), Some(99.0));
+        let avg = arr.aggregate(Avg).unwrap();
+        assert!((avg - sum / 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_by_groups_spatially() {
+        let ctx = ctx();
+        // 8x8 array, all valid, value 1; group into 4x4 quadrants.
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![8, 8], vec![4, 4]))
+            .ingest(|_| Some(1.0f64))
+            .build();
+        let mut groups = arr
+            .aggregate_by(|c| ((c[0] / 4) as u64, (c[1] / 4) as u64), Count)
+            .unwrap();
+        groups.sort();
+        assert_eq!(
+            groups,
+            vec![((0, 0), 16), ((0, 1), 16), ((1, 0), 16), ((1, 1), 16)]
+        );
+    }
+
+    #[test]
+    fn from_cells_pipeline_equals_ingest() {
+        let ctx = ctx();
+        let by_ingest = sample_array(&ctx);
+        let cells: Vec<(Vec<usize>, f64)> = (0..60)
+            .step_by(2)
+            .flat_map(|x| (0..40).map(move |y| (vec![x, y], (x * 100 + y) as f64)))
+            .collect();
+        let by_cells = ArrayRdd::from_cells(
+            &ctx,
+            ArrayMeta::new(vec![60, 40], vec![16, 16]),
+            ChunkPolicy::default(),
+            cells,
+            8,
+        );
+        assert_eq!(
+            by_ingest.collect_cells().unwrap(),
+            by_cells.collect_cells().unwrap()
+        );
+    }
+
+    #[test]
+    fn zip_with_implements_and_join_semantics() {
+        let ctx = ctx();
+        let meta = ArrayMeta::new(vec![20, 20], vec![8, 8]);
+        let a = ArrayBuilder::new(&ctx, meta.clone())
+            .ingest(|c| (c[0] < 10).then(|| c[0] as f64))
+            .build();
+        let b = ArrayBuilder::new(&ctx, meta)
+            .ingest(|c| (c[0] >= 5).then(|| c[1] as f64))
+            .build();
+        // AND join: both valid.
+        let and = a.zip_with(&b, |x, y| x.zip(y).map(|(x, y)| x + y));
+        assert_eq!(and.count_valid().unwrap(), 5 * 20);
+        assert_eq!(and.get(&[7, 3]).unwrap(), Some(10.0));
+        assert_eq!(and.get(&[2, 3]).unwrap(), None);
+        // OR join: either valid.
+        let or = a.zip_with(&b, |x, y| {
+            x.map(|v| v).or(y).map(|_| x.unwrap_or(0.0) + y.unwrap_or(0.0))
+        });
+        assert_eq!(or.count_valid().unwrap(), 20 * 20);
+    }
+
+    #[test]
+    fn zip_with_is_local_for_copartitioned_arrays() {
+        let ctx = ctx();
+        let meta = ArrayMeta::new(vec![32, 32], vec![8, 8]);
+        let a = ArrayBuilder::new(&ctx, meta.clone())
+            .ingest(|c| Some(c[0] as f64))
+            .build();
+        let b = ArrayBuilder::new(&ctx, meta)
+            .ingest(|c| Some(c[1] as f64))
+            .build();
+        let before = ctx.metrics_snapshot();
+        let sum = a.zip_with(&b, |x, y| x.zip(y).map(|(x, y)| x + y));
+        sum.count_valid().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.shuffle_write_bytes, 0, "chunk-aligned zip is local");
+        assert_eq!(delta.stages_run, 1);
+    }
+
+    #[test]
+    fn to_dense_reconstructs_the_logical_array() {
+        let ctx = ctx();
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![6, 5], vec![4, 2]))
+            .ingest(|c| (c[0] != 3).then(|| (c[0] + c[1] * 10) as f64))
+            .build();
+        let dense = arr.to_dense().unwrap();
+        let mapper = arr.meta().mapper();
+        for x in 0..6 {
+            for y in 0..5 {
+                let expected = (x != 3).then(|| (x + y * 10) as f64);
+                assert_eq!(dense[mapper.global_linear_index(&[x, y])], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn reencode_changes_modes_not_content() {
+        let ctx = ctx();
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![64, 64], vec![32, 32]))
+            .ingest(|c| (c[0] % 10 == 0).then_some(1.0f64))
+            .build();
+        let dense = arr.reencode(ChunkPolicy::always_dense());
+        assert_eq!(
+            arr.collect_cells().unwrap(),
+            dense.collect_cells().unwrap()
+        );
+        assert_eq!(dense.mode_counts().unwrap()["dense"], 4);
+        assert!(dense.mem_bytes().unwrap() > arr.mem_bytes().unwrap());
+    }
+
+    #[test]
+    fn lineage_recomputes_evicted_array_chunks() {
+        let ctx = ctx();
+        let arr = sample_array(&ctx);
+        arr.persist();
+        let first = arr.collect_cells().unwrap();
+        // Evict a cached partition and inject a task failure: both recover.
+        assert!(ctx.evict_cached_partition(arr.rdd().id(), 0));
+        ctx.failure_injector().fail_task(arr.rdd().id(), 1, 1);
+        let second = arr.collect_cells().unwrap();
+        assert_eq!(first, second);
+    }
+}

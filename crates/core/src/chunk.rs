@@ -1,0 +1,550 @@
+//! Chunks: payload + bitmask, in the paper's three management modes (§IV-A).
+//!
+//! A chunk clusters geographically contiguous cells. Its payload holds the
+//! actual values (physically a one-dimensional array), its bitmask records
+//! which cells are valid. Depending on density, Spangle keeps the chunk in
+//! one of three modes:
+//!
+//! * **Dense** — payload stores every slot; random access is direct
+//!   indexing.
+//! * **Sparse** — invalid cells are physically dropped; accessing a cell
+//!   requires the *rank* of its position in the mask. A milestone
+//!   directory accelerates random access (the "opt" series of Fig. 8).
+//! * **SuperSparse** — so few valid cells that the flat mask itself would
+//!   dominate; the mask is stored hierarchically (§IV-A's two-level
+//!   bitmask).
+//!
+//! A chunk is immutable once built; operators produce new chunks.
+
+use crate::element::Element;
+use spangle_bitmask::{Bitmask, DeltaCursor, HierarchicalBitmask, Milestones};
+use spangle_dataflow::MemSize;
+
+/// Density thresholds steering mode selection.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkPolicy {
+    /// Chunks at or above this density stay dense (no compression).
+    pub dense_threshold: f64,
+    /// Build the milestone rank directory for sparse chunks (the paper's
+    /// "opt"); disable to reproduce the "naive" series of Fig. 8.
+    pub build_milestones: bool,
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy {
+            dense_threshold: 0.5,
+            build_milestones: true,
+        }
+    }
+}
+
+impl ChunkPolicy {
+    /// Policy that always stores chunks dense (the SciSpark-like baseline
+    /// and the `dense` series of Fig. 8/9a).
+    pub fn always_dense() -> Self {
+        ChunkPolicy {
+            dense_threshold: 0.0,
+            build_milestones: false,
+        }
+    }
+
+    /// Default policy without the milestone directory — the `naive` series
+    /// of Fig. 8.
+    pub fn naive_sparse() -> Self {
+        ChunkPolicy {
+            build_milestones: false,
+            ..ChunkPolicy::default()
+        }
+    }
+
+    /// Picks a mode for a chunk of `volume` cells of which `valid` are set.
+    pub fn mode_for(&self, volume: usize, valid: usize) -> ChunkMode {
+        debug_assert!(valid <= volume);
+        let density = if volume == 0 {
+            0.0
+        } else {
+            valid as f64 / volume as f64
+        };
+        if density >= self.dense_threshold {
+            ChunkMode::Dense
+        } else if valid * 64 < volume {
+            // The flat mask (1 bit/cell) outweighs the payload
+            // (≤ 8 bytes/valid) — hierarchical compression pays off.
+            ChunkMode::SuperSparse
+        } else {
+            ChunkMode::Sparse
+        }
+    }
+}
+
+/// Which of the three management modes a chunk is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkMode {
+    /// Every slot materialised; direct indexing.
+    Dense,
+    /// Invalid cells dropped; access ranks the bitmask.
+    Sparse,
+    /// Sparse payload plus a hierarchically compressed mask.
+    SuperSparse,
+}
+
+/// One chunk of an ArrayRDD: payload plus validity.
+#[derive(Clone, Debug)]
+pub enum Chunk<E: Element> {
+    /// Every slot materialised; clear mask bits mark nulls in place.
+    Dense {
+        /// One value per cell slot (invalid slots hold `E::default()`).
+        payload: Vec<E>,
+        /// Validity bits, one per slot.
+        mask: Bitmask,
+    },
+    /// Only valid cells materialised, in mask order.
+    Sparse {
+        /// Values of the valid cells, in ascending offset order.
+        payload: Vec<E>,
+        /// Validity bits over the full volume.
+        mask: Bitmask,
+        /// Optional rank directory accelerating random access.
+        milestones: Option<Milestones>,
+    },
+    /// Only valid cells materialised; the mask itself is compressed.
+    SuperSparse {
+        /// Values of the valid cells, in ascending offset order.
+        payload: Vec<E>,
+        /// Two-level compressed validity.
+        mask: HierarchicalBitmask,
+    },
+}
+
+impl<E: Element> Chunk<E> {
+    /// Builds a chunk from a full slot vector and its validity mask,
+    /// choosing the mode by `policy`. Returns `None` when no cell is valid
+    /// — Spangle never creates empty chunks (§III-B).
+    pub fn build(payload: Vec<E>, mask: Bitmask, policy: &ChunkPolicy) -> Option<Self> {
+        assert_eq!(payload.len(), mask.len(), "payload/mask length mismatch");
+        let valid = mask.count_ones();
+        if valid == 0 {
+            return None;
+        }
+        Some(match policy.mode_for(mask.len(), valid) {
+            ChunkMode::Dense => Chunk::Dense { payload, mask },
+            ChunkMode::Sparse => {
+                let compact: Vec<E> = mask.iter_ones().map(|i| payload[i]).collect();
+                let milestones = policy.build_milestones.then(|| Milestones::build(&mask));
+                Chunk::Sparse {
+                    payload: compact,
+                    mask,
+                    milestones,
+                }
+            }
+            ChunkMode::SuperSparse => {
+                let compact: Vec<E> = mask.iter_ones().map(|i| payload[i]).collect();
+                Chunk::SuperSparse {
+                    payload: compact,
+                    mask: HierarchicalBitmask::compress(&mask),
+                }
+            }
+        })
+    }
+
+    /// Builds directly from `(local offset, value)` pairs (offsets need not
+    /// be sorted). Returns `None` when `cells` is empty.
+    pub fn from_cells(
+        volume: usize,
+        cells: impl IntoIterator<Item = (usize, E)>,
+        policy: &ChunkPolicy,
+    ) -> Option<Self> {
+        let mut payload = vec![E::default(); volume];
+        let mut mask = Bitmask::zeros(volume);
+        let mut any = false;
+        for (off, v) in cells {
+            payload[off] = v;
+            mask.set(off, true);
+            any = true;
+        }
+        if !any {
+            return None;
+        }
+        Chunk::build(payload, mask, policy)
+    }
+
+    /// The mode this chunk is managed in.
+    pub fn mode(&self) -> ChunkMode {
+        match self {
+            Chunk::Dense { .. } => ChunkMode::Dense,
+            Chunk::Sparse { .. } => ChunkMode::Sparse,
+            Chunk::SuperSparse { .. } => ChunkMode::SuperSparse,
+        }
+    }
+
+    /// Number of cell slots (the chunk's clipped volume).
+    pub fn volume(&self) -> usize {
+        match self {
+            Chunk::Dense { mask, .. } | Chunk::Sparse { mask, .. } => mask.len(),
+            Chunk::SuperSparse { mask, .. } => mask.len(),
+        }
+    }
+
+    /// Number of valid cells.
+    pub fn valid_count(&self) -> usize {
+        match self {
+            Chunk::Dense { mask, .. } => mask.count_ones(),
+            Chunk::Sparse { payload, .. } | Chunk::SuperSparse { payload, .. } => payload.len(),
+        }
+    }
+
+    /// Fraction of valid cells.
+    pub fn density(&self) -> f64 {
+        if self.volume() == 0 {
+            0.0
+        } else {
+            self.valid_count() as f64 / self.volume() as f64
+        }
+    }
+
+    /// A copy of the validity mask as a flat bitmask.
+    pub fn mask(&self) -> Bitmask {
+        match self {
+            Chunk::Dense { mask, .. } | Chunk::Sparse { mask, .. } => mask.clone(),
+            Chunk::SuperSparse { mask, .. } => mask.decompress(),
+        }
+    }
+
+    /// Random access: the value at local offset `i`, or `None` when the
+    /// cell is null. Sparse chunks use the milestone directory when built,
+    /// falling back to the naive full-prefix rank otherwise.
+    pub fn get(&self, i: usize) -> Option<E> {
+        match self {
+            Chunk::Dense { payload, mask } => mask.get(i).then(|| payload[i]),
+            Chunk::Sparse {
+                payload,
+                mask,
+                milestones,
+            } => {
+                if !mask.get(i) {
+                    return None;
+                }
+                let rank = match milestones {
+                    Some(ms) => ms.rank(mask, i),
+                    None => mask.rank_naive(i),
+                };
+                Some(payload[rank])
+            }
+            Chunk::SuperSparse { payload, mask } => {
+                if !mask.get(i) {
+                    return None;
+                }
+                Some(payload[mask.rank(i)])
+            }
+        }
+    }
+
+    /// Random access forced onto the naive rank path, regardless of any
+    /// milestone directory — the `naive` series of Fig. 8.
+    pub fn get_naive(&self, i: usize) -> Option<E> {
+        match self {
+            Chunk::Sparse { payload, mask, .. } => {
+                if !mask.get(i) {
+                    return None;
+                }
+                Some(payload[mask.rank_naive(i)])
+            }
+            _ => self.get(i),
+        }
+    }
+
+    /// Sequential scan of valid cells as `(local offset, value)` pairs, in
+    /// offset order. Sparse chunks use the delta-count cursor (§IV-B1):
+    /// payload slots are consumed in lockstep with the mask, so no rank is
+    /// ever recomputed from scratch.
+    pub fn iter_valid(&self) -> Box<dyn Iterator<Item = (usize, E)> + '_> {
+        match self {
+            Chunk::Dense { payload, mask } => {
+                Box::new(mask.iter_ones().map(move |i| (i, payload[i])))
+            }
+            Chunk::Sparse { payload, mask, .. } => {
+                // A DeltaCursor-style pairing: the k-th set bit owns payload
+                // slot k.
+                Box::new(
+                    mask.iter_ones()
+                        .enumerate()
+                        .map(move |(slot, i)| (i, payload[slot])),
+                )
+            }
+            Chunk::SuperSparse { payload, mask } => Box::new(
+                mask.iter_ones()
+                    .enumerate()
+                    .map(move |(slot, i)| (i, payload[slot])),
+            ),
+        }
+    }
+
+    /// Sequential scan that *demonstrates* the delta-count discipline
+    /// explicitly: ranks each valid position through a [`DeltaCursor`].
+    /// Semantically identical to [`Chunk::iter_valid`]; used by the Fig. 8
+    /// harness to time the sequential-access strategy in isolation.
+    pub fn scan_with_delta_cursor(&self) -> Vec<(usize, E)> {
+        match self {
+            Chunk::Sparse { payload, mask, .. } => {
+                let mut cursor = DeltaCursor::new(mask);
+                mask.iter_ones()
+                    .map(|i| {
+                        let rank = cursor.rank(i);
+                        (i, payload[rank])
+                    })
+                    .collect()
+            }
+            _ => self.iter_valid().collect(),
+        }
+    }
+
+    /// Element-wise transformation of valid cells; mode is preserved.
+    pub fn map_values<F: Element>(&self, f: impl Fn(E) -> F) -> Chunk<F> {
+        match self {
+            Chunk::Dense { payload, mask } => Chunk::Dense {
+                payload: payload.iter().map(|&v| f(v)).collect(),
+                mask: mask.clone(),
+            },
+            Chunk::Sparse {
+                payload,
+                mask,
+                milestones,
+            } => Chunk::Sparse {
+                payload: payload.iter().map(|&v| f(v)).collect(),
+                mask: mask.clone(),
+                milestones: milestones.clone(),
+            },
+            Chunk::SuperSparse { payload, mask } => Chunk::SuperSparse {
+                payload: payload.iter().map(|&v| f(v)).collect(),
+                mask: mask.clone(),
+            },
+        }
+    }
+
+    /// Keeps only the cells whose bit is set in `keep` (bitwise AND of the
+    /// validity mask, §V-A). Returns `None` when nothing survives.
+    pub fn restrict(&self, keep: &Bitmask, policy: &ChunkPolicy) -> Option<Chunk<E>> {
+        assert_eq!(keep.len(), self.volume(), "restriction mask length mismatch");
+        let new_mask = self.mask().and(keep);
+        if new_mask.all_zero() {
+            return None;
+        }
+        let mut payload = vec![E::default(); self.volume()];
+        for (i, v) in self.iter_valid() {
+            payload[i] = v;
+        }
+        Chunk::build(payload, new_mask, policy)
+    }
+
+    /// Keeps only cells satisfying `pred` — the per-chunk half of the
+    /// Filter operator. Returns `None` when nothing survives.
+    pub fn filter(&self, pred: impl Fn(E) -> bool, policy: &ChunkPolicy) -> Option<Chunk<E>> {
+        let mut keep = Bitmask::zeros(self.volume());
+        for (i, v) in self.iter_valid() {
+            if pred(v) {
+                keep.set(i, true);
+            }
+        }
+        self.restrict(&keep, policy)
+    }
+
+    /// Rebuilds the chunk under a different policy (e.g. re-encoding a
+    /// dense chunk sparsely). Returns `None` only for empty chunks, which
+    /// cannot exist by construction.
+    pub fn reencode(&self, policy: &ChunkPolicy) -> Option<Chunk<E>> {
+        let mut payload = vec![E::default(); self.volume()];
+        for (i, v) in self.iter_valid() {
+            payload[i] = v;
+        }
+        Chunk::build(payload, self.mask(), policy)
+    }
+
+    /// Deep in-memory size in bytes — the quantity Fig. 9a plots per mode.
+    pub fn mem_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Self>();
+        match self {
+            Chunk::Dense { payload, mask } => {
+                header + payload.len() * std::mem::size_of::<E>() + mask.mem_size()
+            }
+            Chunk::Sparse {
+                payload,
+                mask,
+                milestones,
+            } => {
+                header
+                    + payload.len() * std::mem::size_of::<E>()
+                    + mask.mem_size()
+                    + milestones.as_ref().map_or(0, |m| m.mem_size())
+            }
+            Chunk::SuperSparse { payload, mask } => {
+                header + payload.len() * std::mem::size_of::<E>() + mask.mem_size()
+            }
+        }
+    }
+}
+
+impl<E: Element> MemSize for Chunk<E> {
+    fn mem_size(&self) -> usize {
+        self.mem_bytes()
+    }
+}
+
+impl<E: Element> PartialEq for Chunk<E> {
+    /// Logical equality: same volume, same valid cells, same values —
+    /// regardless of mode.
+    fn eq(&self, other: &Self) -> bool {
+        self.volume() == other.volume()
+            && self.valid_count() == other.valid_count()
+            && self.iter_valid().eq(other.iter_valid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_chunk(volume: usize, every: usize, policy: &ChunkPolicy) -> Chunk<f64> {
+        let payload: Vec<f64> = (0..volume).map(|i| i as f64).collect();
+        let mask = Bitmask::from_fn(volume, |i| i % every == 0);
+        Chunk::build(payload, mask, policy).expect("non-empty chunk")
+    }
+
+    #[test]
+    fn mode_selection_follows_density() {
+        let policy = ChunkPolicy::default();
+        assert_eq!(make_chunk(4096, 1, &policy).mode(), ChunkMode::Dense);
+        assert_eq!(make_chunk(4096, 2, &policy).mode(), ChunkMode::Dense);
+        assert_eq!(make_chunk(4096, 3, &policy).mode(), ChunkMode::Sparse);
+        assert_eq!(make_chunk(4096, 50, &policy).mode(), ChunkMode::Sparse);
+        // 4096 cells, 64ths of them valid => super-sparse boundary: valid =
+        // 41 < 64 => super-sparse.
+        assert_eq!(make_chunk(4096, 100, &policy).mode(), ChunkMode::SuperSparse);
+    }
+
+    #[test]
+    fn empty_chunks_are_never_created() {
+        let policy = ChunkPolicy::default();
+        let mask = Bitmask::zeros(100);
+        assert!(Chunk::<f64>::build(vec![0.0; 100], mask, &policy).is_none());
+        assert!(Chunk::<f64>::from_cells(100, std::iter::empty(), &policy).is_none());
+    }
+
+    #[test]
+    fn get_agrees_across_all_modes() {
+        for policy in [
+            ChunkPolicy::always_dense(),
+            ChunkPolicy::default(),
+            ChunkPolicy::naive_sparse(),
+        ] {
+            for every in [2, 7, 100] {
+                let c = make_chunk(1000, every, &policy);
+                for i in 0..1000 {
+                    let expected = (i % every == 0).then(|| i as f64);
+                    assert_eq!(c.get(i), expected, "mode={:?} i={i}", c.mode());
+                    assert_eq!(c.get_naive(i), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_valid_matches_get() {
+        for every in [3, 64, 200] {
+            let c = make_chunk(2000, every, &ChunkPolicy::default());
+            let via_iter: Vec<(usize, f64)> = c.iter_valid().collect();
+            let via_get: Vec<(usize, f64)> = (0..2000)
+                .filter_map(|i| c.get(i).map(|v| (i, v)))
+                .collect();
+            assert_eq!(via_iter, via_get);
+            assert_eq!(c.scan_with_delta_cursor(), via_iter);
+        }
+    }
+
+    #[test]
+    fn from_cells_accepts_unsorted_offsets() {
+        let policy = ChunkPolicy::default();
+        let c = Chunk::from_cells(10, vec![(7, 7.0), (2, 2.0), (5, 5.0)], &policy).unwrap();
+        assert_eq!(c.valid_count(), 3);
+        assert_eq!(c.get(2), Some(2.0));
+        assert_eq!(c.get(5), Some(5.0));
+        assert_eq!(c.get(7), Some(7.0));
+        assert_eq!(c.get(0), None);
+    }
+
+    #[test]
+    fn filter_drops_non_matching_cells() {
+        let c = make_chunk(100, 2, &ChunkPolicy::default());
+        let f = c.filter(|v| v >= 50.0, &ChunkPolicy::default()).unwrap();
+        assert_eq!(f.valid_count(), 25);
+        assert_eq!(f.get(48), None);
+        assert_eq!(f.get(50), Some(50.0));
+        // Filtering everything out yields no chunk.
+        assert!(c.filter(|_| false, &ChunkPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn restrict_is_bitwise_and_semantics() {
+        let c = make_chunk(100, 2, &ChunkPolicy::default());
+        let keep = Bitmask::from_fn(100, |i| i % 3 == 0);
+        let r = c.restrict(&keep, &ChunkPolicy::default()).unwrap();
+        for i in 0..100 {
+            let expected = (i % 2 == 0 && i % 3 == 0).then(|| i as f64);
+            assert_eq!(r.get(i), expected, "i={i}");
+        }
+    }
+
+    #[test]
+    fn map_values_transforms_and_preserves_mode() {
+        let c = make_chunk(1000, 7, &ChunkPolicy::default());
+        let m = c.map_values(|v| v * 2.0);
+        assert_eq!(m.mode(), c.mode());
+        for i in 0..1000 {
+            assert_eq!(m.get(i), c.get(i).map(|v| v * 2.0));
+        }
+    }
+
+    #[test]
+    fn sparse_mode_is_smaller_than_dense_for_sparse_data() {
+        let dense = make_chunk(65536, 20, &ChunkPolicy::always_dense());
+        let sparse = make_chunk(65536, 20, &ChunkPolicy::default());
+        assert_eq!(dense.mode(), ChunkMode::Dense);
+        assert_eq!(sparse.mode(), ChunkMode::Sparse);
+        assert!(
+            sparse.mem_bytes() * 2 < dense.mem_bytes(),
+            "sparse {} vs dense {}",
+            sparse.mem_bytes(),
+            dense.mem_bytes()
+        );
+    }
+
+    #[test]
+    fn super_sparse_mask_compression_pays_off() {
+        let sparse = Chunk::Sparse {
+            payload: vec![1.0f64; 4],
+            mask: Bitmask::from_fn(1 << 18, |i| i % (1 << 16) == 0),
+            milestones: None,
+        };
+        let ss = sparse.reencode(&ChunkPolicy::default()).unwrap();
+        assert_eq!(ss.mode(), ChunkMode::SuperSparse);
+        assert!(ss.mem_bytes() * 4 < sparse.mem_bytes());
+        assert_eq!(ss.valid_count(), 4);
+    }
+
+    #[test]
+    fn reencode_preserves_logical_content() {
+        let c = make_chunk(5000, 9, &ChunkPolicy::always_dense());
+        let r = c.reencode(&ChunkPolicy::default()).unwrap();
+        assert_eq!(c, r);
+        assert_ne!(c.mode(), r.mode());
+    }
+
+    #[test]
+    fn logical_equality_ignores_mode() {
+        let a = make_chunk(1000, 5, &ChunkPolicy::always_dense());
+        let b = make_chunk(1000, 5, &ChunkPolicy::default());
+        assert_eq!(a, b);
+        let c = make_chunk(1000, 7, &ChunkPolicy::default());
+        assert_ne!(a, c);
+    }
+}

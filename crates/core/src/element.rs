@@ -1,0 +1,21 @@
+//! Cell element types.
+
+use spangle_dataflow::MemSize;
+
+/// Types storable in array cells.
+///
+/// Spangle's metadata records "data types of attributes"; any fixed-size
+/// numeric type qualifies. `Default` provides the padding value written
+/// into dense payload slots whose mask bit is clear (the slot content is
+/// never observable through the public API — validity always comes from the
+/// bitmask, never from a sentinel value, which is exactly the paper's
+/// argument for bitmasks over NaN/INT_MAX encodings in §II-B).
+pub trait Element:
+    Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + Default + MemSize + 'static
+{
+}
+
+impl<T> Element for T where
+    T: Copy + Send + Sync + PartialEq + PartialOrd + std::fmt::Debug + Default + MemSize + 'static
+{
+}

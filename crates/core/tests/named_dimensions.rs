@@ -1,0 +1,74 @@
+//! Named dimensions and the axis-collapsing Aggregator form (§V-B).
+
+use spangle_core::aggregate::builtin::{Avg, Count, Sum};
+use spangle_core::{ArrayBuilder, ArrayMeta};
+use spangle_dataflow::SpangleContext;
+
+fn meta() -> ArrayMeta {
+    ArrayMeta::new(vec![6, 4, 3], vec![3, 2, 3]).with_dim_names(&["x", "y", "t"])
+}
+
+#[test]
+fn dim_names_resolve_to_indices() {
+    let m = meta();
+    assert_eq!(m.dim_index("x"), 0);
+    assert_eq!(m.dim_index("y"), 1);
+    assert_eq!(m.dim_index("t"), 2);
+    assert_eq!(m.dim_names(), Some(vec!["x", "y", "t"]));
+}
+
+#[test]
+#[should_panic(expected = "unknown dimension")]
+fn unknown_dimension_names_panic() {
+    meta().dim_index("z");
+}
+
+#[test]
+#[should_panic(expected = "duplicate dimension name")]
+fn duplicate_dimension_names_are_rejected() {
+    ArrayMeta::new(vec![2, 2], vec![1, 1]).with_dim_names(&["x", "x"]);
+}
+
+#[test]
+fn collapsing_time_averages_per_spatial_cell() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, meta())
+        .ingest(|c| Some((c[0] * 100 + c[1] * 10 + c[2]) as f64))
+        .build();
+    let mut groups = arr.aggregate_over(&["t"], Avg).unwrap();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(groups.len(), 6 * 4);
+    for (key, avg) in groups {
+        let (x, y) = (key[0] as usize, key[1] as usize);
+        let expected = (0..3).map(|t| (x * 100 + y * 10 + t) as f64).sum::<f64>() / 3.0;
+        assert!((avg - expected).abs() < 1e-12, "({x},{y})");
+    }
+}
+
+#[test]
+fn collapsing_space_counts_per_time_step() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, meta())
+        .ingest(|c| (c[2] != 1 || c[0] % 2 == 0).then_some(1.0f64))
+        .build();
+    let mut groups = arr.aggregate_over(&["x", "y"], Count).unwrap();
+    groups.sort();
+    assert_eq!(
+        groups,
+        vec![
+            (vec![0], 24),
+            (vec![1], 12), // half the x values are null at t=1
+            (vec![2], 24),
+        ]
+    );
+}
+
+#[test]
+fn collapsing_everything_yields_one_global_group() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, meta())
+        .ingest(|_| Some(2.0f64))
+        .build();
+    let groups = arr.aggregate_over(&["x", "y", "t"], Sum).unwrap();
+    assert_eq!(groups, vec![(vec![], 2.0 * (6 * 4 * 3) as f64)]);
+}

@@ -1,0 +1,180 @@
+//! Extended operator tests for the core array layer: generic
+//! accumulators, mixed-mode pipelines, degenerate geometries and
+//! higher-rank arrays.
+
+use spangle_core::accumulator::Accumulator;
+use spangle_core::aggregate::builtin::{Avg, Count, Max, Min, Sum};
+use spangle_core::{ArrayBuilder, ArrayMeta};
+use spangle_dataflow::SpangleContext;
+
+#[test]
+fn running_max_accumulator_works_with_custom_operator() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![16, 4], vec![5, 2]))
+        .ingest(|c| Some(((c[0] * 7 + c[1] * 13) % 23) as f64))
+        .build();
+    // Running maximum along axis 0 with -inf identity.
+    let acc = Accumulator::new(0, f64::NEG_INFINITY, |a: f64, b: f64| a.max(b));
+    let sync = acc.run_sync(&arr).unwrap().to_dense().unwrap();
+    let asyn = acc.run_async(&arr).unwrap().to_dense().unwrap();
+    let mapper = arr.meta().mapper();
+    for y in 0..4 {
+        let mut running = f64::NEG_INFINITY;
+        for x in 0..16 {
+            running = running.max(((x * 7 + y * 13) % 23) as f64);
+            let i = mapper.global_linear_index(&[x, y]);
+            assert_eq!(sync[i], Some(running), "sync ({x},{y})");
+            assert_eq!(asyn[i], Some(running), "async ({x},{y})");
+        }
+    }
+}
+
+#[test]
+fn three_dimensional_pipeline_end_to_end() {
+    let ctx = SpangleContext::new(4);
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![12, 10, 6], vec![5, 4, 2]))
+        .ingest(|c| ((c[0] + c[1] + c[2]) % 2 == 0).then(|| (c[0] * 100 + c[1] * 10 + c[2]) as f64))
+        .build();
+    let sub = arr.subarray(&[2, 1, 1], &[10, 9, 5]);
+    let expected: Vec<f64> = (2..10)
+        .flat_map(|x| {
+            (1..9).flat_map(move |y| {
+                (1..5).filter_map(move |z| {
+                    ((x + y + z) % 2 == 0).then(|| (x * 100 + y * 10 + z) as f64)
+                })
+            })
+        })
+        .collect();
+    assert_eq!(sub.aggregate(Count), Some(expected.len()));
+    let sum = sub.aggregate(Sum).unwrap();
+    assert!((sum - expected.iter().sum::<f64>()).abs() < 1e-9);
+    assert_eq!(
+        sub.aggregate(Min),
+        expected.iter().copied().reduce(f64::min)
+    );
+    assert_eq!(
+        sub.aggregate(Max),
+        expected.iter().copied().reduce(f64::max)
+    );
+}
+
+#[test]
+fn one_cell_chunks_and_one_cell_arrays() {
+    let ctx = SpangleContext::new(2);
+    // Chunk shape of one cell: extreme chunking still works.
+    let tiny_chunks = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![6, 6], vec![1, 1]))
+        .ingest(|c| (c[0] == c[1]).then(|| c[0] as f64))
+        .build();
+    assert_eq!(tiny_chunks.num_chunks().unwrap(), 6);
+    assert_eq!(tiny_chunks.aggregate(Sum), Some(15.0));
+
+    // A single-cell array.
+    let single = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![1], vec![1]))
+        .ingest(|_| Some(7.5f64))
+        .build();
+    assert_eq!(single.get(&[0]).unwrap(), Some(7.5));
+    assert_eq!(single.aggregate(Avg), Some(7.5));
+}
+
+#[test]
+fn fully_null_arrays_have_no_chunks_and_empty_aggregates() {
+    let ctx = SpangleContext::new(2);
+    let empty = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![32, 32], vec![8, 8]))
+        .ingest(|_| None::<f64>)
+        .build();
+    assert_eq!(empty.num_chunks().unwrap(), 0);
+    assert_eq!(empty.count_valid().unwrap(), 0);
+    assert_eq!(empty.aggregate(Avg), None);
+    assert_eq!(empty.aggregate(Min), None);
+    assert_eq!(empty.aggregate(Sum), Some(0.0));
+    // Operators on an empty array stay empty and do not panic.
+    assert_eq!(
+        empty.subarray(&[0, 0], &[16, 16]).filter(|v| v > 0.0).count_valid().unwrap(),
+        0
+    );
+}
+
+#[test]
+fn generic_element_types_flow_through_the_stack() {
+    let ctx = SpangleContext::new(2);
+    // i32 cells.
+    let ints = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![10, 10], vec![4, 4]))
+        .ingest(|c| (c[0] > c[1]).then(|| (c[0] * 10 + c[1]) as i32))
+        .build();
+    assert_eq!(ints.count_valid().unwrap(), 45);
+    assert_eq!(ints.get(&[5, 2]).unwrap(), Some(52));
+    // map_values across element types: i32 -> f32.
+    let floats = ints.map_values(|v| v as f32 / 2.0);
+    assert_eq!(floats.get(&[5, 2]).unwrap(), Some(26.0f32));
+    // u8 cells with filtering.
+    let bytes = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![16], vec![4]))
+        .ingest(|c| Some((c[0] * 16) as u8))
+        .build();
+    assert_eq!(bytes.filter(|b| b >= 128).count_valid().unwrap(), 8);
+}
+
+#[test]
+fn subarray_of_subarray_prunes_cumulatively() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![64, 64], vec![16, 16]))
+        .ingest(|c| Some((c[0] + c[1]) as f64))
+        .build();
+    arr.persist();
+    arr.count_valid().unwrap();
+    let sub = arr.subarray(&[0, 0], &[32, 32]).subarray(&[16, 16], &[64, 64]);
+    // Intersection is [16,32) x [16,32): exactly one chunk survives.
+    assert_eq!(sub.num_chunks().unwrap(), 1);
+    assert_eq!(sub.count_valid().unwrap(), 256);
+}
+
+#[test]
+fn mode_transitions_along_a_filtering_pipeline() {
+    let ctx = SpangleContext::new(2);
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![128, 128], vec![64, 64]))
+        .ingest(|c| Some((c[0] * 128 + c[1]) as f64))
+        .build();
+    assert_eq!(arr.mode_counts().unwrap()["dense"], 4);
+    // ~25% survive: sparse mode.
+    let quarter = arr.filter(|v| v % 4.0 == 0.0);
+    assert_eq!(quarter.mode_counts().unwrap()["sparse"], 4);
+    // Survivors only where y == 0 and x % 4 == 0: the two chunks touching
+    // y=0 keep 16 of 4096 cells (super-sparse); the other two empty out.
+    let rare = arr.filter(|v| v % 512.0 == 0.0);
+    let modes = rare.mode_counts().unwrap();
+    assert_eq!(modes["super-sparse"], 2, "{modes:?}");
+    assert_eq!(rare.num_chunks().unwrap(), 2, "emptied chunks disappear");
+    // Contents survive every transition.
+    assert_eq!(rare.count_valid().unwrap(), 32);
+}
+
+#[test]
+fn one_dimensional_subarray_and_boundary_chunks() {
+    let ctx = SpangleContext::new(2);
+    // 1-D array with an edge chunk (100 cells in chunks of 16).
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![100], vec![16]))
+        .ingest(|c| (c[0] % 3 != 0).then(|| c[0] as f64))
+        .build();
+    let sub = arr.subarray(&[10], &[90]);
+    let expected: Vec<f64> = (10..90).filter(|x| x % 3 != 0).map(|x| x as f64).collect();
+    assert_eq!(sub.count_valid().unwrap(), expected.len());
+    let sum = sub.aggregate(Sum).unwrap();
+    assert!((sum - expected.iter().sum::<f64>()).abs() < 1e-9);
+    // Boundary-only selection inside the clipped edge chunk.
+    let edge = arr.subarray(&[97], &[100]);
+    assert_eq!(edge.count_valid().unwrap(), 2); // 97, 98 valid; 99 % 3 == 0
+}
+
+#[test]
+fn aggregate_by_handles_many_small_groups() {
+    let ctx = SpangleContext::new(4);
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![40, 40], vec![8, 8]))
+        .ingest(|c| Some((c[0] * 40 + c[1]) as f64))
+        .build();
+    // One group per cell value modulo 100: 100 groups over 1600 cells.
+    let mut groups = arr
+        .aggregate_by(|c| ((c[0] * 40 + c[1]) % 100) as u64, Count)
+        .unwrap();
+    groups.sort();
+    assert_eq!(groups.len(), 100);
+    assert!(groups.iter().all(|(_, n)| *n == 16));
+}

@@ -1,0 +1,120 @@
+//! Extended overlap/window tests: asymmetric halos, boundary clipping and
+//! window/regrid composition.
+
+use spangle_core::overlap::OverlapArrayRdd;
+use spangle_core::{ArrayMeta, ChunkPolicy};
+use spangle_dataflow::SpangleContext;
+
+#[test]
+fn asymmetric_halos_respect_each_dimension() {
+    let ctx = SpangleContext::new(2);
+    let ov = OverlapArrayRdd::ingest(
+        &ctx,
+        ArrayMeta::new(vec![24, 24], vec![8, 8]),
+        vec![2, 0],
+        ChunkPolicy::default(),
+        |c| Some((c[0] * 100 + c[1]) as f64),
+    );
+    let chunks = ov.rdd().collect().unwrap();
+    // The centre chunk (origin 8,8) expands only along dimension 0.
+    let (_, oc) = chunks
+        .iter()
+        .find(|(_, oc)| oc.core_origin == vec![8, 8])
+        .unwrap();
+    assert_eq!(oc.expanded_origin, vec![6, 8]);
+    assert_eq!(oc.expanded_extent, vec![12, 8]);
+    // A radius-2 window along dim 0 only is fine; dim 1 would panic.
+    let out = ov.window_mean(&[2, 0]);
+    assert_eq!(out.count_valid().unwrap(), 24 * 24);
+}
+
+#[test]
+fn windows_clip_at_the_array_boundary() {
+    let ctx = SpangleContext::new(2);
+    let ov = OverlapArrayRdd::ingest(
+        &ctx,
+        ArrayMeta::new(vec![6, 6], vec![3, 3]),
+        vec![1, 1],
+        ChunkPolicy::default(),
+        |c| Some((c[0] + c[1]) as f64),
+    );
+    let dense = ov.window_mean(&[1, 1]).to_dense().unwrap();
+    let mapper = ArrayMeta::new(vec![6, 6], vec![3, 3]).mapper();
+    // The corner (0,0) sees only its 2x2 neighbourhood.
+    let corner = dense[mapper.global_linear_index(&[0, 0])].unwrap();
+    let expected = (0 + 1 + 1 + 2) as f64 / 4.0;
+    assert!((corner - expected).abs() < 1e-12);
+    // The centre sees the full 3x3 box.
+    let centre = dense[mapper.global_linear_index(&[3, 3])].unwrap();
+    let mut sum = 0.0;
+    for dx in -1i64..=1 {
+        for dy in -1i64..=1 {
+            sum += ((3 + dx) + (3 + dy)) as f64;
+        }
+    }
+    assert!((centre - sum / 9.0).abs() < 1e-12);
+}
+
+#[test]
+fn window_over_nulls_averages_only_valid_neighbours() {
+    let ctx = SpangleContext::new(2);
+    // Null on odd columns.
+    let ov = OverlapArrayRdd::ingest(
+        &ctx,
+        ArrayMeta::new(vec![8, 8], vec![4, 4]),
+        vec![1, 1],
+        ChunkPolicy::default(),
+        |c| (c[1] % 2 == 0).then(|| c[0] as f64),
+    );
+    let out = ov.window_mean(&[1, 1]);
+    // Output validity follows input validity: odd columns stay null.
+    assert_eq!(out.count_valid().unwrap(), 8 * 4);
+    let dense = out.to_dense().unwrap();
+    let mapper = ArrayMeta::new(vec![8, 8], vec![4, 4]).mapper();
+    // Cell (4, 4): neighbours at columns 4 only (3 and 5 are null):
+    // values 3,4,5 -> mean 4.
+    let got = dense[mapper.global_linear_index(&[4, 4])].unwrap();
+    assert!((got - 4.0).abs() < 1e-12, "got {got}");
+}
+
+#[test]
+fn regrid_after_window_composes() {
+    let ctx = SpangleContext::new(2);
+    let ov = OverlapArrayRdd::ingest(
+        &ctx,
+        ArrayMeta::new(vec![16, 16], vec![8, 8]),
+        vec![1, 1],
+        ChunkPolicy::default(),
+        |c| Some((c[0] * 16 + c[1]) as f64),
+    );
+    let smoothed = ov.window_mean(&[1, 1]);
+    let coarse = smoothed.regrid_mean(&[4, 4]);
+    assert_eq!(coarse.meta().dims(), &[4, 4]);
+    assert_eq!(coarse.count_valid().unwrap(), 16);
+}
+
+#[test]
+fn halo_wider_than_the_array_is_clipped_not_fatal() {
+    let ctx = SpangleContext::new(1);
+    let ov = OverlapArrayRdd::ingest(
+        &ctx,
+        ArrayMeta::new(vec![4, 4], vec![2, 2]),
+        vec![10, 10],
+        ChunkPolicy::default(),
+        |c| Some((c[0] + c[1]) as f64),
+    );
+    let chunks = ov.rdd().collect().unwrap();
+    for (_, oc) in &chunks {
+        assert_eq!(oc.expanded_origin, vec![0, 0], "clipped to the array");
+        assert_eq!(oc.expanded_extent, vec![4, 4]);
+    }
+    // Every cell's window is the whole array.
+    let dense = ov.window_mean(&[10, 10]).to_dense().unwrap();
+    let mean: f64 = (0..4)
+        .flat_map(|x| (0..4).map(move |y| (x + y) as f64))
+        .sum::<f64>()
+        / 16.0;
+    for v in dense.into_iter().flatten() {
+        assert!((v - mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! The block manager: cached (persisted) RDD partitions.
+//!
+//! `rdd.persist()` stores each computed partition the first time an action
+//! needs it; later jobs reuse the block instead of recomputing the lineage.
+//! Evicting a block (as a failure simulation, or for memory pressure)
+//! silently falls back to lineage recomputation — the Spark fault-tolerance
+//! contract the paper's iterative algorithms (PageRank, SGD) lean on.
+
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key of a cached partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The persisted RDD.
+    pub rdd_id: usize,
+    /// Partition index.
+    pub partition: usize,
+}
+
+type CachedBlock = Arc<dyn Any + Send + Sync>;
+
+/// In-memory store of persisted partitions.
+#[derive(Default)]
+pub struct BlockManager {
+    blocks: RwLock<HashMap<CacheKey, (CachedBlock, usize)>>,
+}
+
+impl BlockManager {
+    /// Looks up a cached partition, downcasting to its element vector.
+    pub fn get<T: Send + Sync + 'static>(&self, key: CacheKey) -> Option<Arc<Vec<T>>> {
+        let guard = self.blocks.read();
+        let (block, _) = guard.get(&key)?;
+        Some(
+            block
+                .clone()
+                .downcast::<Vec<T>>()
+                .expect("cached block type mismatch"),
+        )
+    }
+
+    /// Stores a computed partition with its deep size in bytes.
+    pub fn put<T: Send + Sync + 'static>(&self, key: CacheKey, data: Arc<Vec<T>>, bytes: usize) {
+        self.blocks.write().insert(key, (data, bytes));
+    }
+
+    /// Removes one block (simulating executor loss of that partition).
+    /// Returns true when a block was present.
+    pub fn evict(&self, key: CacheKey) -> bool {
+        self.blocks.write().remove(&key).is_some()
+    }
+
+    /// Removes every cached partition of an RDD (`unpersist`).
+    pub fn evict_rdd(&self, rdd_id: usize) {
+        self.blocks.write().retain(|k, _| k.rdd_id != rdd_id);
+    }
+
+    /// Number of cached blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// Total bytes of cached data.
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks.read().values().map(|(_, b)| *b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_evict_roundtrip() {
+        let bm = BlockManager::default();
+        let key = CacheKey {
+            rdd_id: 3,
+            partition: 1,
+        };
+        assert!(bm.get::<u64>(key).is_none());
+        bm.put(key, Arc::new(vec![1u64, 2, 3]), 24);
+        assert_eq!(*bm.get::<u64>(key).unwrap(), vec![1, 2, 3]);
+        assert_eq!(bm.resident_bytes(), 24);
+        assert!(bm.evict(key));
+        assert!(bm.get::<u64>(key).is_none());
+        assert!(!bm.evict(key));
+    }
+
+    #[test]
+    fn evict_rdd_removes_all_its_partitions() {
+        let bm = BlockManager::default();
+        for p in 0..4 {
+            bm.put(
+                CacheKey {
+                    rdd_id: 7,
+                    partition: p,
+                },
+                Arc::new(vec![p as u64]),
+                8,
+            );
+        }
+        bm.put(
+            CacheKey {
+                rdd_id: 8,
+                partition: 0,
+            },
+            Arc::new(vec![0u64]),
+            8,
+        );
+        bm.evict_rdd(7);
+        assert_eq!(bm.num_blocks(), 1);
+    }
+}

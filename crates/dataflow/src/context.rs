@@ -1,0 +1,178 @@
+//! The driver-side entry point: a handle on the simulated cluster.
+
+use crate::cache::BlockManager;
+use crate::executor::ExecutorPool;
+use crate::failure::FailureInjector;
+use crate::memsize::MemSize;
+use crate::metrics::{MetricField, Metrics, MetricsSnapshot};
+use crate::rdd::sources::ParallelizeRdd;
+use crate::rdd::Rdd;
+use crate::shuffle::ShuffleService;
+use crate::Data;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared state of one simulated cluster.
+pub(crate) struct ContextInner {
+    pub(crate) pool: ExecutorPool,
+    pub(crate) shuffle: ShuffleService,
+    pub(crate) cache: BlockManager,
+    pub(crate) metrics: Metrics,
+    pub(crate) failures: FailureInjector,
+    next_rdd_id: AtomicUsize,
+    next_shuffle_id: AtomicUsize,
+    next_stage_id: AtomicUsize,
+    /// Maximum attempts per task before the job fails.
+    pub(crate) max_task_attempts: usize,
+}
+
+/// A handle on the simulated cluster; the analogue of Spark's
+/// `SparkContext`. Cloning is cheap and shares the cluster.
+#[derive(Clone)]
+pub struct SpangleContext {
+    pub(crate) inner: Arc<ContextInner>,
+}
+
+impl SpangleContext {
+    /// Starts a cluster of `num_executors` single-threaded executors.
+    pub fn new(num_executors: usize) -> Self {
+        SpangleContext {
+            inner: Arc::new(ContextInner {
+                pool: ExecutorPool::new(num_executors),
+                shuffle: ShuffleService::default(),
+                cache: BlockManager::default(),
+                metrics: Metrics::default(),
+                failures: FailureInjector::default(),
+                next_rdd_id: AtomicUsize::new(0),
+                next_shuffle_id: AtomicUsize::new(0),
+                next_stage_id: AtomicUsize::new(0),
+                max_task_attempts: 4,
+            }),
+        }
+    }
+
+    /// Number of executors in the cluster.
+    pub fn num_executors(&self) -> usize {
+        self.inner.pool.num_executors()
+    }
+
+    /// Distributes a local vector over `num_partitions` partitions,
+    /// preserving element order across partition boundaries.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, num_partitions: usize) -> Rdd<T> {
+        ParallelizeRdd::create(self, data, num_partitions)
+    }
+
+    /// Ships a read-only value to every executor.
+    ///
+    /// In-process this is an `Arc` clone; its deep size is charged once per
+    /// executor to the broadcast metric, mirroring a real torrent broadcast.
+    pub fn broadcast<T: MemSize + Send + Sync>(&self, value: T) -> Broadcast<T> {
+        let bytes = value.mem_size() as u64 * self.num_executors() as u64;
+        self.metrics().add(MetricField::BroadcastBytes, bytes);
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Cumulative metric counters.
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Snapshot of the cumulative counters; subtract two to cost a job.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The failure injector used by fault-tolerance tests.
+    pub fn failure_injector(&self) -> &FailureInjector {
+        &self.inner.failures
+    }
+
+    /// Drops a cached partition, simulating the loss of an executor's
+    /// block; the next access recomputes it from lineage.
+    pub fn evict_cached_partition(&self, rdd_id: usize, partition: usize) -> bool {
+        self.inner.cache.evict(crate::cache::CacheKey { rdd_id, partition })
+    }
+
+    /// Total bytes currently held by the block manager.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.cache.resident_bytes()
+    }
+
+    /// Total bytes currently held by the shuffle service.
+    pub fn shuffle_resident_bytes(&self) -> usize {
+        self.inner.shuffle.resident_bytes()
+    }
+
+    pub(crate) fn new_rdd_id(&self) -> usize {
+        self.inner.next_rdd_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn new_shuffle_id(&self) -> usize {
+        self.inner.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn new_stage_id(&self) -> usize {
+        self.inner.next_stage_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A read-only value replicated to every executor.
+pub struct Broadcast<T: ?Sized> {
+    value: Arc<T>,
+}
+
+impl<T: ?Sized> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: self.value.clone(),
+        }
+    }
+}
+
+impl<T: ?Sized> Broadcast<T> {
+    /// The broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Broadcast<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_hands_out_unique_ids() {
+        let ctx = SpangleContext::new(2);
+        let a = ctx.new_rdd_id();
+        let b = ctx.new_rdd_id();
+        assert_ne!(a, b);
+        assert_ne!(ctx.new_shuffle_id(), ctx.new_shuffle_id());
+    }
+
+    #[test]
+    fn broadcast_charges_bytes_per_executor() {
+        let ctx = SpangleContext::new(4);
+        let before = ctx.metrics_snapshot();
+        let b = ctx.broadcast(vec![0u64; 100]);
+        assert_eq!(b.value().len(), 100);
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.broadcast_bytes, 4 * (800 + 24));
+    }
+
+    #[test]
+    fn broadcast_is_shared_not_copied() {
+        let ctx = SpangleContext::new(2);
+        let b = ctx.broadcast(String::from("shared"));
+        let c = b.clone();
+        assert!(std::ptr::eq(b.value(), c.value()));
+    }
+}

@@ -1,0 +1,109 @@
+//! Deterministic failure injection for fault-tolerance testing.
+//!
+//! Spark's headline property — and the one ArrayRDD inherits — is that lost
+//! work is recomputed from lineage. The injector lets tests kill specific
+//! task attempts; dropping cached blocks is done directly through
+//! [`crate::cache::BlockManager::evict`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Identifies a schedulable task: the RDD whose partition the task produces
+/// (for result stages) or the shuffle map side's parent RDD (for shuffle
+/// stages), plus the partition index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TaskSite {
+    /// RDD whose partition the task produces.
+    pub rdd_id: usize,
+    /// Partition index.
+    pub partition: usize,
+}
+
+/// Injects failures into the first N attempts of selected tasks, or into
+/// the next N task attempts regardless of site.
+#[derive(Default)]
+pub struct FailureInjector {
+    /// Remaining number of failures to inject per site.
+    remaining: Mutex<HashMap<TaskSite, usize>>,
+    /// Remaining site-independent failures.
+    any: std::sync::atomic::AtomicUsize,
+}
+
+impl FailureInjector {
+    /// Makes the next `times` attempts of the task computing `partition` of
+    /// `rdd_id` fail with [`crate::TaskError::Injected`].
+    ///
+    /// The site only matches tasks *scheduled* for that RDD: result-stage
+    /// tasks of an action's target RDD, or map tasks of a shuffle's
+    /// immediate parent. Narrow ancestors recomputed inside a task are not
+    /// separate sites — use [`FailureInjector::fail_next_tasks`] to kill
+    /// tasks without knowing the plan.
+    pub fn fail_task(&self, rdd_id: usize, partition: usize, times: usize) {
+        self.remaining
+            .lock()
+            .insert(TaskSite { rdd_id, partition }, times);
+    }
+
+    /// Makes the next `n` task attempts fail, whatever they compute.
+    pub fn fail_next_tasks(&self, n: usize) {
+        self.any
+            .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Consumes one injected failure for the site, if any remain.
+    pub(crate) fn should_fail(&self, site: TaskSite) -> bool {
+        // Site-independent injections first.
+        let mut current = self.any.load(std::sync::atomic::Ordering::SeqCst);
+        while current > 0 {
+            match self.any.compare_exchange(
+                current,
+                current - 1,
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+        let mut map = self.remaining.lock();
+        match map.get_mut(&site) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&site);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when no injections are pending (useful to assert a test
+    /// consumed everything it armed).
+    pub fn is_drained(&self) -> bool {
+        self.remaining.lock().is_empty()
+            && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_fails_exactly_n_times() {
+        let inj = FailureInjector::default();
+        inj.fail_task(7, 2, 2);
+        let site = TaskSite { rdd_id: 7, partition: 2 };
+        assert!(inj.should_fail(site));
+        assert!(inj.should_fail(site));
+        assert!(!inj.should_fail(site));
+        assert!(inj.is_drained());
+    }
+
+    #[test]
+    fn unarmed_sites_never_fail() {
+        let inj = FailureInjector::default();
+        assert!(!inj.should_fail(TaskSite { rdd_id: 0, partition: 0 }));
+    }
+}

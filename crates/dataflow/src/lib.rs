@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! An in-memory distributed dataflow runtime — the Apache Spark substitute
+//! that Spangle runs on.
+//!
+//! The Spangle paper builds on Spark's Resilient Distributed Datasets
+//! (RDDs): lazily evaluated, partitioned, fault-tolerant collections whose
+//! lineage graph is cut into *stages* at shuffle boundaries by a DAG
+//! scheduler. This crate reproduces that execution model inside one
+//! process so that every experiment in the paper can run without a cluster:
+//!
+//! * a [`SpangleContext`] owns a simulated cluster of *executors* (worker
+//!   threads) with deterministic partition placement;
+//! * [`Rdd<T>`] is a typed, lazily evaluated lineage node supporting the
+//!   Spark transformations Spangle uses (`map`, `filter`, `flat_map`,
+//!   `map_partitions`, `union`, `zip_partitions`) and pair-RDD shuffles
+//!   (`reduce_by_key`, `group_by_key`, `partition_by`, `join`, `cogroup`);
+//! * actions (`collect`, `count`, `reduce`, …) trigger the
+//!   [`scheduler`], which splits the lineage into stages at
+//!   [`shuffle`] dependencies and runs tasks on the executor pool;
+//! * all shuffled records pass through an in-memory shuffle service that
+//!   charges their deep size ([`MemSize`]) to job [`metrics`], so the
+//!   paper's network-volume arguments stay measurable;
+//! * partitions may be cached ([`Rdd::persist`]) in the block manager, and
+//!   lost blocks or failed task attempts (see [`failure`]) are recovered by
+//!   lineage recomputation, exactly like Spark's fault-tolerance story.
+//!
+//! The runtime is intentionally conservative about what it models: there is
+//! no serialization format and no real network. What *is* modelled — stage
+//! boundaries, shuffle volume, task scheduling, caching, recomputation — is
+//! precisely the set of mechanisms the Spangle evaluation reasons about.
+
+pub mod cache;
+pub mod context;
+pub mod executor;
+pub mod failure;
+pub mod memsize;
+pub mod metrics;
+pub mod partitioner;
+pub mod rdd;
+pub mod scheduler;
+pub mod shuffle;
+
+pub use context::{Broadcast, SpangleContext};
+pub use memsize::MemSize;
+pub use metrics::MetricsSnapshot;
+pub use partitioner::{
+    HashPartitioner, ModPartitioner, Partitioner, PartitionerSig, RangePartitioner,
+};
+pub use rdd::pair::PairRdd;
+pub use rdd::Rdd;
+pub use scheduler::{JobError, TaskError};
+
+/// Marker for types that can be elements of an [`Rdd`].
+///
+/// Elements must be cheap-ish to clone (they move between lineage stages by
+/// value), sendable across executor threads, and able to report their deep
+/// memory size for shuffle-volume accounting.
+pub trait Data: Clone + Send + Sync + MemSize + 'static {}
+impl<T: Clone + Send + Sync + MemSize + 'static> Data for T {}
+
+/// Marker for types usable as shuffle keys.
+pub trait Key: Data + std::hash::Hash + Eq {}
+impl<T: Data + std::hash::Hash + Eq> Key for T {}

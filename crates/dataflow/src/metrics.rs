@@ -1,0 +1,143 @@
+//! Cumulative runtime metrics.
+//!
+//! Counters are cumulative per context; experiments take a
+//! [`MetricsSnapshot`] before and after a job and subtract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters maintained by the runtime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub(crate) stages_run: AtomicU64,
+    pub(crate) stages_skipped: AtomicU64,
+    pub(crate) tasks_run: AtomicU64,
+    pub(crate) task_retries: AtomicU64,
+    pub(crate) shuffle_write_bytes: AtomicU64,
+    pub(crate) shuffle_read_bytes: AtomicU64,
+    pub(crate) shuffle_records: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) recomputations: AtomicU64,
+    pub(crate) broadcast_bytes: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn add(&self, field: MetricField, amount: u64) {
+        self.counter(field).fetch_add(amount, Ordering::Relaxed);
+    }
+
+    fn counter(&self, field: MetricField) -> &AtomicU64 {
+        match field {
+            MetricField::StagesRun => &self.stages_run,
+            MetricField::StagesSkipped => &self.stages_skipped,
+            MetricField::TasksRun => &self.tasks_run,
+            MetricField::TaskRetries => &self.task_retries,
+            MetricField::ShuffleWriteBytes => &self.shuffle_write_bytes,
+            MetricField::ShuffleReadBytes => &self.shuffle_read_bytes,
+            MetricField::ShuffleRecords => &self.shuffle_records,
+            MetricField::CacheHits => &self.cache_hits,
+            MetricField::CacheMisses => &self.cache_misses,
+            MetricField::Recomputations => &self.recomputations,
+            MetricField::BroadcastBytes => &self.broadcast_bytes,
+        }
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages_run: self.stages_run.load(Ordering::Relaxed),
+            stages_skipped: self.stages_skipped.load(Ordering::Relaxed),
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            shuffle_write_bytes: self.shuffle_write_bytes.load(Ordering::Relaxed),
+            shuffle_read_bytes: self.shuffle_read_bytes.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            recomputations: self.recomputations.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter names used internally when bumping [`Metrics`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum MetricField {
+    StagesRun,
+    StagesSkipped,
+    TasksRun,
+    TaskRetries,
+    ShuffleWriteBytes,
+    ShuffleReadBytes,
+    ShuffleRecords,
+    CacheHits,
+    CacheMisses,
+    Recomputations,
+    BroadcastBytes,
+}
+
+/// A point-in-time copy of all counters. Subtract two snapshots to get the
+/// cost of one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Stages whose tasks actually ran.
+    pub stages_run: u64,
+    /// Map stages skipped because their shuffle output already existed.
+    pub stages_skipped: u64,
+    /// Task attempts started (including retries).
+    pub tasks_run: u64,
+    /// Task attempts re-submitted after a failure.
+    pub task_retries: u64,
+    /// Deep bytes written to the shuffle service.
+    pub shuffle_write_bytes: u64,
+    /// Deep bytes fetched from the shuffle service.
+    pub shuffle_read_bytes: u64,
+    /// Records written to the shuffle service.
+    pub shuffle_records: u64,
+    /// Persisted partitions served from the block manager.
+    pub cache_hits: u64,
+    /// Persisted partitions that had to be (re)computed.
+    pub cache_misses: u64,
+    /// Partitions recomputed due to task retries.
+    pub recomputations: u64,
+    /// Bytes replicated to executors by broadcasts.
+    pub broadcast_bytes: u64,
+}
+
+impl std::ops::Sub for MetricsSnapshot {
+    type Output = MetricsSnapshot;
+
+    fn sub(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages_run: self.stages_run - rhs.stages_run,
+            stages_skipped: self.stages_skipped - rhs.stages_skipped,
+            tasks_run: self.tasks_run - rhs.tasks_run,
+            task_retries: self.task_retries - rhs.task_retries,
+            shuffle_write_bytes: self.shuffle_write_bytes - rhs.shuffle_write_bytes,
+            shuffle_read_bytes: self.shuffle_read_bytes - rhs.shuffle_read_bytes,
+            shuffle_records: self.shuffle_records - rhs.shuffle_records,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            cache_misses: self.cache_misses - rhs.cache_misses,
+            recomputations: self.recomputations - rhs.recomputations,
+            broadcast_bytes: self.broadcast_bytes - rhs.broadcast_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_isolates_one_job() {
+        let m = Metrics::default();
+        m.add(MetricField::TasksRun, 3);
+        let before = m.snapshot();
+        m.add(MetricField::TasksRun, 5);
+        m.add(MetricField::ShuffleWriteBytes, 1024);
+        let delta = m.snapshot() - before;
+        assert_eq!(delta.tasks_run, 5);
+        assert_eq!(delta.shuffle_write_bytes, 1024);
+        assert_eq!(delta.stages_run, 0);
+    }
+}

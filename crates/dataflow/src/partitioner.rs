@@ -1,0 +1,200 @@
+//! Partitioners: how shuffle keys map to reduce partitions.
+//!
+//! Spangle distributes chunks by hash or range partitioning on the ChunkID
+//! (§VI) and relies on *matching* partitioners to elide shuffles (the local
+//! join of §VI-A). Two RDDs are co-partitioned when their partitioners have
+//! equal [`PartitionerSig`]s.
+
+use crate::Key;
+use std::hash::{Hash, Hasher};
+
+/// Structural identity of a partitioner, used to detect co-partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PartitionerSig {
+    /// Partitioner family ("hash", "range", "mod", custom name).
+    pub kind: &'static str,
+    /// Number of output partitions.
+    pub num_partitions: usize,
+    /// Family-specific parameter (e.g. range width); 0 when unused.
+    pub param: u64,
+}
+
+/// Maps keys to partitions.
+pub trait Partitioner<K: Key>: Send + Sync + 'static {
+    /// Number of output partitions.
+    fn num_partitions(&self) -> usize;
+    /// Partition index of `key`, in `[0, num_partitions)`.
+    fn partition(&self, key: &K) -> usize;
+    /// Structural signature for co-partitioning checks.
+    fn sig(&self) -> PartitionerSig;
+}
+
+/// Spark-style hash partitioner: `hash(key) % n`.
+pub struct HashPartitioner {
+    num_partitions: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner over `num_partitions` partitions.
+    pub fn new(num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        HashPartitioner { num_partitions }
+    }
+}
+
+impl<K: Key> Partitioner<K> for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn partition(&self, key: &K) -> usize {
+        // DefaultHasher::new() uses fixed SipHash keys, so placement is
+        // deterministic across runs — required for reproducible metrics.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.num_partitions as u64) as usize
+    }
+
+    fn sig(&self) -> PartitionerSig {
+        PartitionerSig {
+            kind: "hash",
+            num_partitions: self.num_partitions,
+            param: 0,
+        }
+    }
+}
+
+/// Range partitioner for `u64` keys: key `k` goes to `k / range_width`,
+/// clamped to the final partition.
+pub struct RangePartitioner {
+    num_partitions: usize,
+    range_width: u64,
+}
+
+impl RangePartitioner {
+    /// Partitions keys `[0, max_key]` into contiguous ranges.
+    pub fn new(num_partitions: usize, max_key: u64) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        let range_width = (max_key + 1).div_ceil(num_partitions as u64).max(1);
+        RangePartitioner {
+            num_partitions,
+            range_width,
+        }
+    }
+}
+
+impl Partitioner<u64> for RangePartitioner {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn partition(&self, key: &u64) -> usize {
+        ((key / self.range_width) as usize).min(self.num_partitions - 1)
+    }
+
+    fn sig(&self) -> PartitionerSig {
+        PartitionerSig {
+            kind: "range",
+            num_partitions: self.num_partitions,
+            param: self.range_width,
+        }
+    }
+}
+
+/// Modulo partitioner for `u64` keys: `k % n`.
+///
+/// This is the placement the parallel-SGD chunk numbering of §VI-C (Eq. 2,
+/// `Cn = nP·rID + pID`) is designed for: chunk `Cn` lands back on partition
+/// `pID = Cn mod nP`, so every partition can *reverse* the equation and find
+/// its own chunks without any shuffle.
+pub struct ModPartitioner {
+    num_partitions: usize,
+}
+
+impl ModPartitioner {
+    /// Creates a modulo partitioner over `num_partitions` partitions.
+    pub fn new(num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        ModPartitioner { num_partitions }
+    }
+}
+
+impl Partitioner<u64> for ModPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn partition(&self, key: &u64) -> usize {
+        (key % self.num_partitions as u64) as usize
+    }
+
+    fn sig(&self) -> PartitionerSig {
+        PartitionerSig {
+            kind: "mod",
+            num_partitions: self.num_partitions,
+            param: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner::new(7);
+        for k in 0u64..1000 {
+            let a = Partitioner::<u64>::partition(&p, &k);
+            let b = Partitioner::<u64>::partition(&p, &k);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for k in 0u64..8000 {
+            counts[Partitioner::<u64>::partition(&p, &k)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500, "partition {i} got {c} of 8000 keys");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_keeps_ranges_contiguous() {
+        let p = RangePartitioner::new(4, 99);
+        assert_eq!(p.partition(&0), 0);
+        assert_eq!(p.partition(&24), 0);
+        assert_eq!(p.partition(&25), 1);
+        assert_eq!(p.partition(&99), 3);
+        // Keys beyond max clamp into the last partition.
+        assert_eq!(p.partition(&1000), 3);
+    }
+
+    #[test]
+    fn mod_partitioner_reverses_sgd_numbering() {
+        // Eq. 2: Cn = nP * rID + pID  =>  Cn % nP == pID.
+        let n_p = 6usize;
+        let p = ModPartitioner::new(n_p);
+        for p_id in 0..n_p as u64 {
+            for r_id in 0..50u64 {
+                let c_n = n_p as u64 * r_id + p_id;
+                assert_eq!(p.partition(&c_n), p_id as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn sigs_distinguish_families_and_sizes() {
+        let h4 = Partitioner::<u64>::sig(&HashPartitioner::new(4));
+        let h8 = Partitioner::<u64>::sig(&HashPartitioner::new(8));
+        let m4 = ModPartitioner::new(4).sig();
+        assert_ne!(h4, h8);
+        assert_ne!(h4, m4);
+        assert_eq!(h4, Partitioner::<u64>::sig(&HashPartitioner::new(4)));
+    }
+}

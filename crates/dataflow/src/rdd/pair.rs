@@ -1,0 +1,524 @@
+//! Pair-RDD operations: shuffles, joins and co-grouping.
+//!
+//! These are the wide operations that cut the lineage graph into stages.
+//! The one deliberate deviation from vanilla Spark is first-class support
+//! for *co-partitioned narrow joins*: when both sides of a
+//! [`PairRdd::cogroup`] already carry the target partitioner's signature,
+//! the shuffle is elided and the join runs inside one stage — exactly the
+//! "local join" Spangle's matrix multiplication relies on (paper §VI-A).
+
+use super::{Dependency, LineageNode, Rdd, RddBase, RddNode};
+use crate::memsize::MemSize;
+use crate::partitioner::{HashPartitioner, Partitioner, PartitionerSig};
+use crate::scheduler::TaskContext;
+use crate::shuffle::BlockId;
+use crate::{Data, Key};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Type-erased view of a shuffle dependency, used by the DAG scheduler to
+/// build and run map stages without knowing key/value types.
+pub trait ShuffleDepDyn: Send + Sync {
+    /// Identity of the shuffle.
+    fn shuffle_id(&self) -> usize;
+    /// Number of map-side partitions.
+    fn num_map_partitions(&self) -> usize;
+    /// RDD id of the map-side parent (failure-injection site of the map
+    /// tasks).
+    fn parent_rdd_id(&self) -> usize;
+    /// Type-erased lineage of the map-side parent.
+    fn parent_lineage(&self) -> Arc<dyn LineageNode>;
+    /// Runs one map task: computes parent partition `map_id`, routes its
+    /// records into per-reduce buckets and writes them to the shuffle
+    /// service.
+    fn run_map_task(&self, map_id: usize, tc: &TaskContext);
+}
+
+/// A shuffle edge from a pair dataset to its re-partitioned child.
+///
+/// `route` encapsulates both the partitioner and the optional map-side
+/// combine: given one partition's records it produces the per-reduce-bucket
+/// outputs of type `(K, C)`.
+pub struct ShuffleDependency<K: Key, V: Data, C: Data> {
+    shuffle_id: usize,
+    parent: Rdd<(K, V)>,
+    num_reduce_partitions: usize,
+    route: Arc<dyn Fn(&[(K, V)], usize) -> Vec<Vec<(K, C)>> + Send + Sync>,
+}
+
+impl<K: Key, V: Data> ShuffleDependency<K, V, V> {
+    /// A plain shuffle: records are routed by `partitioner`, duplicates
+    /// preserved, no combining.
+    pub fn plain(parent: Rdd<(K, V)>, partitioner: Arc<dyn Partitioner<K>>) -> Arc<Self> {
+        let shuffle_id = parent.context().new_shuffle_id();
+        let num_reduce = partitioner.num_partitions();
+        Arc::new(ShuffleDependency {
+            shuffle_id,
+            parent,
+            num_reduce_partitions: num_reduce,
+            route: Arc::new(move |records, n| {
+                let mut buckets: Vec<Vec<(K, V)>> = vec![Vec::new(); n];
+                for (k, v) in records {
+                    buckets[partitioner.partition(k)].push((k.clone(), v.clone()));
+                }
+                buckets
+            }),
+        })
+    }
+}
+
+impl<K: Key, V: Data, C: Data> ShuffleDependency<K, V, C> {
+    /// A combining shuffle: records are pre-aggregated per key on the map
+    /// side (Spark's map-side combine), which is what keeps `reduce_by_key`
+    /// network volume proportional to distinct keys rather than records.
+    pub fn combining(
+        parent: Rdd<(K, V)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        let shuffle_id = parent.context().new_shuffle_id();
+        let num_reduce = partitioner.num_partitions();
+        Arc::new(ShuffleDependency {
+            shuffle_id,
+            parent,
+            num_reduce_partitions: num_reduce,
+            route: Arc::new(move |records, n| {
+                let mut buckets: Vec<HashMap<K, C>> = vec![HashMap::new(); n];
+                for (k, v) in records {
+                    let bucket = &mut buckets[partitioner.partition(k)];
+                    match bucket.remove(k) {
+                        Some(c) => {
+                            bucket.insert(k.clone(), merge_value(c, v.clone()));
+                        }
+                        None => {
+                            bucket.insert(k.clone(), create(v.clone()));
+                        }
+                    }
+                }
+                buckets
+                    .into_iter()
+                    .map(|m| m.into_iter().collect())
+                    .collect()
+            }),
+        })
+    }
+
+    fn context(&self) -> &crate::SpangleContext {
+        self.parent.context()
+    }
+}
+
+impl<K: Key, V: Data, C: Data> ShuffleDepDyn for ShuffleDependency<K, V, C> {
+    fn shuffle_id(&self) -> usize {
+        self.shuffle_id
+    }
+
+    fn num_map_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn parent_rdd_id(&self) -> usize {
+        self.parent.id()
+    }
+
+    fn parent_lineage(&self) -> Arc<dyn LineageNode> {
+        self.parent.lineage()
+    }
+
+    fn run_map_task(&self, map_id: usize, tc: &TaskContext) {
+        let ctx = self.context().clone();
+        let records = self.parent.iterator(map_id, tc);
+        let buckets = (self.route)(&records, self.num_reduce_partitions);
+        for (reduce_id, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let bytes = bucket.iter().map(MemSize::mem_size).sum();
+            ctx.inner.shuffle.put_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: self.shuffle_id,
+                    map_id,
+                    reduce_id,
+                },
+                bucket,
+                bytes,
+            );
+        }
+    }
+}
+
+impl<K: Key, V: Data, C: Data> Drop for ShuffleDependency<K, V, C> {
+    fn drop(&mut self) {
+        // Free the shuffle outputs when the last reader disappears so that
+        // iterative jobs (20 PageRank rounds, hundreds of SGD steps) do not
+        // accumulate dead blocks.
+        self.context()
+            .inner
+            .shuffle
+            .remove_shuffle(self.shuffle_id);
+    }
+}
+
+/// Reduce side of a shuffle. With `merge` set, equal keys are merged
+/// (reduce/combine semantics); without it all routed pairs are concatenated
+/// (`partition_by` semantics). Element order within a partition is
+/// unspecified when merging.
+pub struct ShuffledRdd<K: Key, V: Data, C: Data> {
+    base: RddBase,
+    dep: Arc<ShuffleDependency<K, V, C>>,
+    merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    sig: PartitionerSig,
+}
+
+impl<K: Key, V: Data, C: Data> ShuffledRdd<K, V, C> {
+    pub(crate) fn create(
+        dep: Arc<ShuffleDependency<K, V, C>>,
+        sig: PartitionerSig,
+        merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
+    ) -> Rdd<(K, C)> {
+        let base = RddBase::new(dep.parent.context());
+        Rdd::from_node(Arc::new(ShuffledRdd { base, dep, merge, sig }))
+    }
+}
+
+impl<K: Key, V: Data, C: Data> RddNode<(K, C)> for ShuffledRdd<K, V, C> {
+    fn base(&self) -> &RddBase {
+        &self.base
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.sig.num_partitions
+    }
+
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![Dependency::Shuffle(self.dep.clone())]
+    }
+
+    fn partitioner_sig(&self) -> Option<PartitionerSig> {
+        Some(self.sig)
+    }
+
+    fn compute(&self, split: usize, _tc: &TaskContext) -> Vec<(K, C)> {
+        let ctx = self.dep.context().clone();
+        let mut out: Vec<(K, C)> = Vec::new();
+        for map_id in 0..self.dep.num_map_partitions() {
+            let block: Vec<(K, C)> = ctx.inner.shuffle.fetch_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: self.dep.shuffle_id,
+                    map_id,
+                    reduce_id: split,
+                },
+            );
+            out.extend(block);
+        }
+        match &self.merge {
+            None => out,
+            Some(merge) => {
+                let mut merged: HashMap<K, C> = HashMap::with_capacity(out.len());
+                for (k, c) in out {
+                    match merged.remove(&k) {
+                        Some(existing) => {
+                            merged.insert(k, merge(existing, c));
+                        }
+                        None => {
+                            merged.insert(k, c);
+                        }
+                    }
+                }
+                merged.into_iter().collect()
+            }
+        }
+    }
+}
+
+/// One input of a co-group: either already co-partitioned (narrow, local)
+/// or behind a shuffle.
+enum CoSide<K: Key, V: Data> {
+    Local(Rdd<(K, V)>),
+    Shuffled(Arc<ShuffleDependency<K, V, V>>),
+}
+
+impl<K: Key, V: Data> CoSide<K, V> {
+    fn prepare(rdd: &Rdd<(K, V)>, partitioner: &Arc<dyn Partitioner<K>>) -> Self {
+        if rdd.partitioner_sig() == Some(partitioner.sig()) {
+            CoSide::Local(rdd.clone())
+        } else {
+            CoSide::Shuffled(ShuffleDependency::plain(rdd.clone(), partitioner.clone()))
+        }
+    }
+
+    fn dependency(&self) -> Dependency {
+        match self {
+            CoSide::Local(rdd) => Dependency::Narrow(rdd.lineage()),
+            CoSide::Shuffled(dep) => Dependency::Shuffle(dep.clone()),
+        }
+    }
+
+    fn gather(&self, split: usize, tc: &TaskContext) -> Vec<(K, V)> {
+        match self {
+            CoSide::Local(rdd) => (*rdd.iterator(split, tc)).clone(),
+            CoSide::Shuffled(dep) => {
+                let ctx = dep.context().clone();
+                let mut out = Vec::new();
+                for map_id in 0..dep.num_map_partitions() {
+                    let block: Vec<(K, V)> = ctx.inner.shuffle.fetch_block(
+                        &ctx,
+                        BlockId {
+                            shuffle_id: dep.shuffle_id,
+                            map_id,
+                            reduce_id: split,
+                        },
+                    );
+                    out.extend(block);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Co-grouping of two pair datasets on a shared partitioner. Each side
+/// independently chooses the narrow (local) or shuffled path.
+pub struct CoGroupedRdd<K: Key, V: Data, W: Data> {
+    base: RddBase,
+    left: CoSide<K, V>,
+    right: CoSide<K, W>,
+    sig: PartitionerSig,
+}
+
+impl<K: Key, V: Data, W: Data> CoGroupedRdd<K, V, W> {
+    pub(crate) fn create(
+        left: &Rdd<(K, V)>,
+        right: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+        let base = RddBase::new(left.context());
+        Rdd::from_node(Arc::new(CoGroupedRdd {
+            base,
+            left: CoSide::prepare(left, &partitioner),
+            right: CoSide::prepare(right, &partitioner),
+            sig: partitioner.sig(),
+        }))
+    }
+}
+
+impl<K: Key, V: Data, W: Data> RddNode<(K, (Vec<V>, Vec<W>))> for CoGroupedRdd<K, V, W> {
+    fn base(&self) -> &RddBase {
+        &self.base
+    }
+
+    fn num_partitions(&self) -> usize {
+        self.sig.num_partitions
+    }
+
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![self.left.dependency(), self.right.dependency()]
+    }
+
+    fn partitioner_sig(&self) -> Option<PartitionerSig> {
+        Some(self.sig)
+    }
+
+    fn compute(&self, split: usize, tc: &TaskContext) -> Vec<(K, (Vec<V>, Vec<W>))> {
+        let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+        for (k, v) in self.left.gather(split, tc) {
+            groups.entry(k).or_default().0.push(v);
+        }
+        for (k, w) in self.right.gather(split, tc) {
+            groups.entry(k).or_default().1.push(w);
+        }
+        groups.into_iter().collect()
+    }
+}
+
+/// Key-value operations on `Rdd<(K, V)>`.
+pub trait PairRdd<K: Key, V: Data> {
+    /// Re-partitions by key, preserving duplicates.
+    fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, V)>;
+
+    /// Merges all values of each key with `f`, combining map-side first.
+    fn reduce_by_key(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+    ) -> Rdd<(K, V)>;
+
+    /// General combine: per-key accumulator of type `C`.
+    fn combine_by_key<C: Data>(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Rdd<(K, C)>;
+
+    /// Groups all values of each key.
+    fn group_by_key(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, Vec<V>)>;
+
+    /// Groups both datasets' values per key. Sides already partitioned by
+    /// an equal partitioner are read locally without a shuffle.
+    fn cogroup<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (Vec<V>, Vec<W>))>;
+
+    /// Inner join: the cross product of both sides' values per key.
+    fn join<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (V, W))>;
+
+    /// Transforms values, keeping keys and partitioning.
+    fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)>;
+
+    /// Convenience `reduce_by_key` with a hash partitioner sized like the
+    /// parent.
+    fn reduce_by_key_hash(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+    ) -> Rdd<(K, V)>;
+
+    /// Collects into a `HashMap` (later duplicates of a key win).
+    fn collect_as_map(&self) -> Result<HashMap<K, V>, crate::JobError>;
+}
+
+impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
+    fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, V)> {
+        if self.partitioner_sig() == Some(partitioner.sig()) {
+            // Already laid out exactly this way: Spark would also elide the
+            // shuffle here.
+            return self.clone();
+        }
+        let sig = partitioner.sig();
+        let dep = ShuffleDependency::plain(self.clone(), partitioner);
+        ShuffledRdd::create(dep, sig, None)
+    }
+
+    fn reduce_by_key(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+    ) -> Rdd<(K, V)> {
+        let merge = f.clone();
+        self.combine_by_key(partitioner, |v| v, move |c, v| f(c, v), move |a, b| merge(a, b))
+    }
+
+    fn combine_by_key<C: Data>(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Rdd<(K, C)> {
+        let sig = partitioner.sig();
+        let dep = ShuffleDependency::combining(self.clone(), partitioner, create, merge_value);
+        ShuffledRdd::create(dep, sig, Some(Arc::new(merge_combiners)))
+    }
+
+    fn group_by_key(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, Vec<V>)> {
+        self.combine_by_key(
+            partitioner,
+            |v| vec![v],
+            |mut c, v| {
+                c.push(v);
+                c
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    }
+
+    fn cogroup<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+        CoGroupedRdd::create(self, other, partitioner)
+    }
+
+    fn join<W: Data>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (V, W))> {
+        self.cogroup(other, partitioner).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in &vs {
+                for w in &ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+
+    fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)> {
+        // map_values cannot move keys, so the partitioning survives; model
+        // it with map_partitions to keep the signature.
+        let sig = self.partitioner_sig();
+        let mapped = self.map_partitions(move |data| {
+            data.iter()
+                .map(|(k, v)| (k.clone(), f(v.clone())))
+                .collect()
+        });
+        match sig {
+            Some(sig) => KeepSigRdd::create(mapped, sig),
+            None => mapped,
+        }
+    }
+
+    fn reduce_by_key_hash(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+    ) -> Rdd<(K, V)> {
+        let n = self.num_partitions();
+        self.reduce_by_key(Arc::new(HashPartitioner::new(n)), f)
+    }
+
+    fn collect_as_map(&self) -> Result<HashMap<K, V>, crate::JobError> {
+        Ok(self.collect()?.into_iter().collect())
+    }
+}
+
+/// Wrapper that re-attaches a partitioner signature to a dataset whose
+/// transformation is known not to move keys (e.g. `map_values`).
+struct KeepSigRdd<T: Data> {
+    base: RddBase,
+    parent: Rdd<T>,
+    sig: PartitionerSig,
+}
+
+impl<T: Data> KeepSigRdd<T> {
+    fn create(parent: Rdd<T>, sig: PartitionerSig) -> Rdd<T> {
+        Rdd::from_node(Arc::new(KeepSigRdd {
+            base: RddBase::new(parent.context()),
+            parent,
+            sig,
+        }))
+    }
+}
+
+impl<T: Data> RddNode<T> for KeepSigRdd<T> {
+    fn base(&self) -> &RddBase {
+        &self.base
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn dependencies(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.lineage())]
+    }
+    fn compute(&self, split: usize, tc: &TaskContext) -> Vec<T> {
+        (*self.parent.iterator(split, tc)).clone()
+    }
+    fn partitioner_sig(&self) -> Option<PartitionerSig> {
+        Some(self.sig)
+    }
+}

@@ -1,0 +1,465 @@
+//! The DAG scheduler: cuts lineage into stages and runs tasks.
+//!
+//! An action walks the lineage graph of its target RDD, collects every
+//! shuffle dependency in topological order, runs the map stage of each
+//! not-yet-materialised shuffle, and finally runs the result stage. Stages
+//! whose shuffle output already exists are *skipped* (Spark's skipped-stage
+//! reuse); failed task attempts are retried up to the context's limit, and
+//! anything recomputed on retry is rebuilt from lineage.
+//!
+//! Tasks must never trigger nested actions: all actions run on the driver
+//! thread, tasks run on executor threads.
+
+use crate::context::SpangleContext;
+use crate::failure::TaskSite;
+use crate::metrics::MetricField;
+use crate::rdd::pair::ShuffleDepDyn;
+use crate::rdd::{Dependency, LineageNode, Rdd};
+use crate::Data;
+use crossbeam::channel::unbounded;
+use std::collections::HashSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// Information available to a running task.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskContext {
+    /// Stage the task belongs to.
+    pub stage_id: usize,
+    /// Partition the task computes.
+    pub partition: usize,
+    /// Zero-based attempt number (>0 on retries).
+    pub attempt: usize,
+}
+
+/// Why one task attempt failed.
+#[derive(Clone, Debug)]
+pub enum TaskError {
+    /// The failure injector killed this attempt.
+    Injected,
+    /// User code panicked.
+    Panicked(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Injected => write!(f, "injected failure"),
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+        }
+    }
+}
+
+/// A job failed: some task exhausted its attempts.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Stage of the failing task.
+    pub stage_id: usize,
+    /// Partition of the failing task.
+    pub partition: usize,
+    /// Attempts made.
+    pub attempts: usize,
+    /// The final attempt's error.
+    pub last_error: TaskError,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job aborted: stage {} partition {} failed after {} attempts: {}",
+            self.stage_id, self.partition, self.attempts, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Runs `func` over every partition of `rdd`, returning one result per
+/// partition in partition order. This is the single entry point every
+/// action lowers to.
+pub fn run_job<T: Data, R: Send + 'static>(
+    rdd: &Rdd<T>,
+    func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
+) -> Result<Vec<R>, JobError> {
+    let ctx = rdd.context().clone();
+
+    // Map stages, parents before children.
+    for dep in topo_shuffle_deps(rdd.lineage()) {
+        if ctx.inner.shuffle.is_completed(dep.shuffle_id()) {
+            ctx.metrics().add(MetricField::StagesSkipped, 1);
+            continue;
+        }
+        let stage_id = ctx.new_stage_id();
+        let num_maps = dep.num_map_partitions();
+        let site_rdd = dep.parent_rdd_id();
+        let dep_for_tasks = Arc::clone(&dep);
+        run_stage(&ctx, stage_id, num_maps, site_rdd, move |tc| {
+            dep_for_tasks.run_map_task(tc.partition, tc);
+        })?;
+        ctx.inner.shuffle.mark_completed(dep.shuffle_id(), num_maps);
+    }
+
+    // Result stage.
+    let stage_id = ctx.new_stage_id();
+    let target = rdd.clone();
+    let func = Arc::new(func);
+    run_stage(&ctx, stage_id, rdd.num_partitions(), rdd.id(), move |tc| {
+        func(tc.partition, target.iterator(tc.partition, tc))
+    })
+}
+
+/// Collects all shuffle dependencies reachable from `root`, ordered so
+/// that every shuffle appears after the shuffles its map stage reads from.
+fn topo_shuffle_deps(root: Arc<dyn LineageNode>) -> Vec<Arc<dyn ShuffleDepDyn>> {
+    struct Walk {
+        order: Vec<Arc<dyn ShuffleDepDyn>>,
+        seen_shuffles: HashSet<usize>,
+        seen_nodes: HashSet<usize>,
+    }
+
+    impl Walk {
+        fn visit_node(&mut self, node: Arc<dyn LineageNode>) {
+            if !self.seen_nodes.insert(node.rdd_id()) {
+                return;
+            }
+            for dep in node.dependencies() {
+                match dep {
+                    Dependency::Narrow(parent) => self.visit_node(parent),
+                    Dependency::Shuffle(shuffle) => self.visit_shuffle(shuffle),
+                }
+            }
+        }
+
+        fn visit_shuffle(&mut self, shuffle: Arc<dyn ShuffleDepDyn>) {
+            if !self.seen_shuffles.insert(shuffle.shuffle_id()) {
+                return;
+            }
+            self.visit_node(shuffle.parent_lineage());
+            self.order.push(shuffle);
+        }
+    }
+
+    let mut walk = Walk {
+        order: Vec::new(),
+        seen_shuffles: HashSet::new(),
+        seen_nodes: HashSet::new(),
+    };
+    walk.visit_node(root);
+    walk.order
+}
+
+/// Runs one stage: `num_tasks` tasks placed on their partitions'
+/// executors, with retry on injected failures and panics.
+fn run_stage<R: Send + 'static>(
+    ctx: &SpangleContext,
+    stage_id: usize,
+    num_tasks: usize,
+    site_rdd: usize,
+    work: impl Fn(&TaskContext) -> R + Send + Sync + 'static,
+) -> Result<Vec<R>, JobError> {
+    ctx.metrics().add(MetricField::StagesRun, 1);
+    if num_tasks == 0 {
+        return Ok(Vec::new());
+    }
+
+    let work = Arc::new(work);
+    let (tx, rx) = unbounded::<(usize, usize, Result<R, TaskError>)>();
+
+    let submit = |partition: usize, attempt: usize| {
+        let work = Arc::clone(&work);
+        let tx = tx.clone();
+        let task_ctx = ctx.clone();
+        ctx.inner.pool.submit(
+            partition,
+            Box::new(move || {
+                task_ctx.metrics().add(MetricField::TasksRun, 1);
+                let tc = TaskContext {
+                    stage_id,
+                    partition,
+                    attempt,
+                };
+                let site = TaskSite {
+                    rdd_id: site_rdd,
+                    partition,
+                };
+                let outcome = if task_ctx.inner.failures.should_fail(site) {
+                    Err(TaskError::Injected)
+                } else {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc)))
+                        .map_err(|payload| TaskError::Panicked(panic_message(payload.as_ref())))
+                };
+                // The driver may have aborted the job already; a closed
+                // channel is fine.
+                let _ = tx.send((partition, attempt, outcome));
+            }),
+        );
+    };
+
+    for p in 0..num_tasks {
+        submit(p, 0);
+    }
+
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
+    let mut completed = 0usize;
+    while completed < num_tasks {
+        let (partition, attempt, outcome) = rx
+            .recv()
+            .expect("executor pool dropped while a stage was running");
+        match outcome {
+            Ok(r) => {
+                results[partition] = Some(r);
+                completed += 1;
+            }
+            Err(err) => {
+                let attempts_made = attempt + 1;
+                if attempts_made >= ctx.inner.max_task_attempts {
+                    return Err(JobError {
+                        stage_id,
+                        partition,
+                        attempts: attempts_made,
+                        last_error: err,
+                    });
+                }
+                ctx.metrics().add(MetricField::TaskRetries, 1);
+                ctx.metrics().add(MetricField::Recomputations, 1);
+                submit(partition, attempt + 1);
+            }
+        }
+    }
+
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("stage finished with a missing partition result"))
+        .collect())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rdd::pair::PairRdd;
+    use crate::{HashPartitioner, SpangleContext};
+    use std::sync::Arc;
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn reduce_by_key_merges_all_values() {
+        let ctx = SpangleContext::new(3);
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 1)).collect();
+        let rdd = ctx.parallelize(pairs, 5);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(4)), |a, b| a + b);
+        let out = sorted(reduced.collect().unwrap());
+        assert_eq!(out, (0u64..10).map(|k| (k, 10u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_job_runs_two_stages_and_charges_bytes() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..50).map(|i| (i % 5, i)).collect(), 4);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(3)), |a, b| a + b);
+        let before = ctx.metrics_snapshot();
+        reduced.collect().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.stages_run, 2, "one map stage + one result stage");
+        assert_eq!(delta.tasks_run, 4 + 3);
+        assert!(delta.shuffle_write_bytes > 0);
+        assert!(delta.shuffle_read_bytes > 0);
+    }
+
+    #[test]
+    fn second_action_skips_the_completed_map_stage() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..50).map(|i| (i % 5, i)).collect(), 4);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(3)), |a, b| a + b);
+        reduced.collect().unwrap();
+        let before = ctx.metrics_snapshot();
+        reduced.count().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.stages_run, 1, "map stage must be skipped");
+        assert_eq!(delta.stages_skipped, 1);
+        assert_eq!(delta.shuffle_write_bytes, 0);
+    }
+
+    #[test]
+    fn join_produces_the_cross_product_per_key() {
+        let ctx = SpangleContext::new(2);
+        let left = ctx.parallelize(vec![(1u64, "a"), (1, "b"), (2, "c")], 2);
+        let right = ctx.parallelize(vec![(1u64, 10u64), (2, 20), (3, 30)], 2);
+        // &str is not MemSize; map to String first.
+        let left = left.map(|(k, v)| (k, v.to_string()));
+        let joined = left.join(&right, Arc::new(HashPartitioner::new(2)));
+        let out = sorted(joined.collect().unwrap());
+        assert_eq!(
+            out,
+            vec![
+                (1, ("a".to_string(), 10)),
+                (1, ("b".to_string(), 10)),
+                (2, ("c".to_string(), 20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cogroup_of_copartitioned_sides_is_shuffle_free() {
+        let ctx = SpangleContext::new(2);
+        let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(4));
+        let left = ctx
+            .parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4)
+            .partition_by(p.clone());
+        let right = ctx
+            .parallelize((0u64..40).map(|i| (i % 8, i * 2)).collect(), 4)
+            .partition_by(p.clone());
+        // Materialise both sides' shuffles first.
+        left.persist().count().unwrap();
+        right.persist().count().unwrap();
+
+        let before = ctx.metrics_snapshot();
+        let grouped = left.cogroup(&right, p);
+        let n = grouped.count().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(n, 8);
+        assert_eq!(delta.shuffle_write_bytes, 0, "local join must not shuffle");
+        assert_eq!(delta.stages_run, 1, "local join runs in a single stage");
+    }
+
+    #[test]
+    fn cogroup_of_unaligned_sides_shuffles_both() {
+        let ctx = SpangleContext::new(2);
+        let left = ctx.parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4);
+        let right = ctx.parallelize((0u64..40).map(|i| (i % 8, i * 2)).collect(), 5);
+        let before = ctx.metrics_snapshot();
+        let grouped = left.cogroup(&right, Arc::new(HashPartitioner::new(4)));
+        grouped.count().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.stages_run, 3, "two map stages + result stage");
+        assert!(delta.shuffle_write_bytes > 0);
+    }
+
+    #[test]
+    fn injected_task_failure_is_retried_and_job_succeeds() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..20).collect(), 4);
+        ctx.failure_injector().fail_task(rdd.id(), 2, 2);
+        let before = ctx.metrics_snapshot();
+        let sum: u64 = rdd.reduce(|a, b| a + b).unwrap().unwrap();
+        assert_eq!(sum, 190);
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.task_retries, 2);
+        assert!(ctx.failure_injector().is_drained());
+    }
+
+    #[test]
+    fn exhausted_attempts_abort_the_job() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..20).collect(), 4);
+        ctx.failure_injector().fail_task(rdd.id(), 1, 100);
+        let err = rdd.collect().unwrap_err();
+        assert_eq!(err.partition, 1);
+        assert_eq!(err.attempts, 4);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_as_job_error() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..10).collect(), 2);
+        let bad = rdd.map(|x| {
+            assert!(x != 7, "poison element");
+            x
+        });
+        let err = bad.collect().unwrap_err();
+        match err.last_error {
+            crate::TaskError::Panicked(msg) => assert!(msg.contains("poison"), "msg was: {msg}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evicted_cached_partition_is_recomputed_from_lineage() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..100).collect(), 4).map(|x| x * 3);
+        rdd.persist();
+        let first = rdd.collect().unwrap();
+        // All four partitions cached now; evict one and recompute.
+        assert!(ctx.evict_cached_partition(rdd.id(), 1));
+        let before = ctx.metrics_snapshot();
+        let second = rdd.collect().unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(first, second);
+        assert_eq!(delta.cache_hits, 3);
+        assert_eq!(delta.cache_misses, 1);
+    }
+
+    #[test]
+    fn cached_shuffled_rdd_survives_without_rerunning_maps() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..40).map(|i| (i % 4, 1u64)).collect(), 4);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+        reduced.persist();
+        reduced.count().unwrap();
+        let before = ctx.metrics_snapshot();
+        let out = sorted(reduced.collect().unwrap());
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(out, vec![(0, 10), (1, 10), (2, 10), (3, 10)]);
+        assert_eq!(delta.cache_hits, 2);
+        assert_eq!(delta.shuffle_read_bytes, 0, "reads come from cache");
+    }
+
+    #[test]
+    fn map_values_preserves_partitioning() {
+        let ctx = SpangleContext::new(2);
+        let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(3));
+        let rdd = ctx
+            .parallelize((0u64..30).map(|i| (i, i)).collect(), 3)
+            .partition_by(p.clone());
+        let mapped = rdd.map_values(|v| v * 2);
+        assert_eq!(
+            mapped.partitioner_sig(),
+            Some(crate::partitioner::Partitioner::<u64>::sig(&*p))
+        );
+        // And filtering keeps it too.
+        let filtered = mapped.filter(|(_, v)| v % 4 == 0);
+        assert!(filtered.partitioner_sig().is_some());
+    }
+
+    #[test]
+    fn chained_shuffles_run_in_topological_order() {
+        let ctx = SpangleContext::new(3);
+        let rdd = ctx.parallelize((0u64..60).map(|i| (i % 6, 1u64)).collect(), 4);
+        // Two chained shuffles: reduce then re-key and reduce again.
+        let once = rdd.reduce_by_key(Arc::new(HashPartitioner::new(3)), |a, b| a + b);
+        let twice = once
+            .map(|(k, v)| (k % 2, v))
+            .reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+        let before = ctx.metrics_snapshot();
+        let out = sorted(twice.collect().unwrap());
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(out, vec![(0, 30), (1, 30)]);
+        assert_eq!(delta.stages_run, 3);
+    }
+
+    #[test]
+    fn group_by_key_collects_every_value() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..12).map(|i| (i % 3, i)).collect(), 3);
+        let grouped = rdd.group_by_key(Arc::new(HashPartitioner::new(2)));
+        let mut out = grouped.collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        for (k, mut vs) in out {
+            vs.sort();
+            assert_eq!(vs, (0..4).map(|j| k + 3 * j).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The in-memory shuffle service.
+//!
+//! A shuffle moves every record of a pair RDD from the executor that
+//! computed it (the *map* side) to the executor that owns its key's reduce
+//! partition. This service plays the role of Spark's shuffle
+//! write/fetch path: map tasks deposit per-reduce-partition buckets, reduce
+//! tasks fetch them, and every byte that logically crosses the network is
+//! charged to the metrics.
+
+use crate::metrics::MetricField;
+use crate::SpangleContext;
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Key of one shuffle block: output of map partition `map_id` destined for
+/// reduce partition `reduce_id` of shuffle `shuffle_id`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// The shuffle this block belongs to.
+    pub shuffle_id: usize,
+    /// Map-side partition that produced the block.
+    pub map_id: usize,
+    /// Reduce-side partition the block is destined for.
+    pub reduce_id: usize,
+}
+
+type BlockPayload = Arc<dyn Any + Send + Sync>;
+
+/// Stores shuffle blocks between stages.
+#[derive(Default)]
+pub struct ShuffleService {
+    blocks: RwLock<HashMap<BlockId, (BlockPayload, usize)>>,
+    /// Shuffles whose map stage ran to completion; the scheduler skips
+    /// re-running those stages (Spark's "skipped stage" behaviour).
+    completed: RwLock<HashSet<usize>>,
+    /// Number of map partitions per completed shuffle.
+    map_counts: RwLock<HashMap<usize, usize>>,
+}
+
+impl ShuffleService {
+    /// Deposits the bucket for one (map, reduce) pair. `bytes` is the deep
+    /// size of the records, charged as shuffle write volume.
+    pub fn put_block<T: Send + Sync + 'static>(
+        &self,
+        ctx: &SpangleContext,
+        id: BlockId,
+        records: Vec<T>,
+        bytes: usize,
+    ) {
+        ctx.metrics().add(MetricField::ShuffleWriteBytes, bytes as u64);
+        ctx.metrics()
+            .add(MetricField::ShuffleRecords, records.len() as u64);
+        self.blocks
+            .write()
+            .insert(id, (Arc::new(records), bytes));
+    }
+
+    /// Fetches one bucket, charging shuffle read volume. Returns an empty
+    /// vector when the map task produced nothing for this reduce partition.
+    pub fn fetch_block<T: Clone + Send + Sync + 'static>(
+        &self,
+        ctx: &SpangleContext,
+        id: BlockId,
+    ) -> Vec<T> {
+        let guard = self.blocks.read();
+        match guard.get(&id) {
+            Some((payload, bytes)) => {
+                ctx.metrics()
+                    .add(MetricField::ShuffleReadBytes, *bytes as u64);
+                payload
+                    .clone()
+                    .downcast::<Vec<T>>()
+                    .expect("shuffle block type mismatch: reduce side fetched a different type than the map side wrote")
+                    .as_ref()
+                    .clone()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Marks the map stage of `shuffle_id` complete with `num_maps` map
+    /// partitions.
+    pub fn mark_completed(&self, shuffle_id: usize, num_maps: usize) {
+        self.completed.write().insert(shuffle_id);
+        self.map_counts.write().insert(shuffle_id, num_maps);
+    }
+
+    /// Whether the map stage of `shuffle_id` already ran.
+    pub fn is_completed(&self, shuffle_id: usize) -> bool {
+        self.completed.read().contains(&shuffle_id)
+    }
+
+    /// Drops all blocks and completion state of one shuffle. Called when
+    /// the owning dependency is garbage-collected so iterative jobs do not
+    /// accumulate dead shuffle outputs.
+    pub fn remove_shuffle(&self, shuffle_id: usize) {
+        self.completed.write().remove(&shuffle_id);
+        self.map_counts.write().remove(&shuffle_id);
+        self.blocks
+            .write()
+            .retain(|id, _| id.shuffle_id != shuffle_id);
+    }
+
+    /// Total bytes currently resident in the service (for memory reports).
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks.read().values().map(|(_, b)| *b).sum()
+    }
+
+    /// Number of blocks currently stored.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_fetch_roundtrip_charges_bytes() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        let id = BlockId {
+            shuffle_id: 1,
+            map_id: 0,
+            reduce_id: 3,
+        };
+        let before = ctx.metrics_snapshot();
+        svc.put_block(&ctx, id, vec![(1u64, 2.0f64); 10], 160);
+        let got: Vec<(u64, f64)> = svc.fetch_block(&ctx, id);
+        assert_eq!(got.len(), 10);
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.shuffle_write_bytes, 160);
+        assert_eq!(delta.shuffle_read_bytes, 160);
+        assert_eq!(delta.shuffle_records, 10);
+    }
+
+    #[test]
+    fn missing_block_is_empty_and_free() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        let before = ctx.metrics_snapshot();
+        let got: Vec<u64> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 9,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert!(got.is_empty());
+        assert_eq!((ctx.metrics_snapshot() - before).shuffle_read_bytes, 0);
+    }
+
+    #[test]
+    fn remove_shuffle_clears_state() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        let id = BlockId {
+            shuffle_id: 5,
+            map_id: 1,
+            reduce_id: 1,
+        };
+        svc.put_block(&ctx, id, vec![1u64], 8);
+        svc.mark_completed(5, 2);
+        assert!(svc.is_completed(5));
+        assert_eq!(svc.num_blocks(), 1);
+        svc.remove_shuffle(5);
+        assert!(!svc.is_completed(5));
+        assert_eq!(svc.num_blocks(), 0);
+        assert_eq!(svc.resident_bytes(), 0);
+    }
+}

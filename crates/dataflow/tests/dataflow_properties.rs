@@ -1,0 +1,139 @@
+//! Property tests: every shuffle operation agrees with a sequential
+//! reference on arbitrary inputs.
+
+use proptest::prelude::*;
+use spangle_dataflow::{HashPartitioner, PairRdd, SpangleContext};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn collect_preserves_order_and_content(
+        data in proptest::collection::vec(any::<i64>(), 0..300),
+        parts in 1usize..9,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize(data.clone(), parts);
+        prop_assert_eq!(rdd.collect().unwrap(), data.clone());
+        prop_assert_eq!(rdd.count().unwrap(), data.len());
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap_reference(
+        pairs in proptest::collection::vec((0u64..20, -100i64..100), 0..300),
+        parts in 1usize..7,
+        reducers in 1usize..7,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize(pairs.clone(), parts);
+        let got = sorted(
+            rdd.reduce_by_key(Arc::new(HashPartitioner::new(reducers)), |a, b| a + b)
+                .collect()
+                .unwrap(),
+        );
+        let mut expected: HashMap<u64, i64> = HashMap::new();
+        for (k, v) in pairs {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        prop_assert_eq!(got, sorted(expected.into_iter().collect()));
+    }
+
+    #[test]
+    fn group_by_key_collects_exact_multisets(
+        pairs in proptest::collection::vec((0u64..10, 0u32..50), 0..200),
+        reducers in 1usize..5,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize(pairs.clone(), 3);
+        let grouped = rdd
+            .group_by_key(Arc::new(HashPartitioner::new(reducers)))
+            .collect()
+            .unwrap();
+        let mut expected: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (k, v) in pairs {
+            expected.entry(k).or_default().push(v);
+        }
+        prop_assert_eq!(grouped.len(), expected.len());
+        for (k, vs) in grouped {
+            prop_assert_eq!(
+                sorted(vs),
+                sorted(expected.remove(&k).expect("unexpected key"))
+            );
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference(
+        left in proptest::collection::vec((0u64..8, 0i32..100), 0..60),
+        right in proptest::collection::vec((0u64..8, 0i32..100), 0..60),
+    ) {
+        let ctx = SpangleContext::new(2);
+        let l = ctx.parallelize(left.clone(), 3);
+        let r = ctx.parallelize(right.clone(), 2);
+        let got = sorted(l.join(&r, Arc::new(HashPartitioner::new(3))).collect().unwrap());
+        let mut expected = Vec::new();
+        for (kl, vl) in &left {
+            for (kr, vr) in &right {
+                if kl == kr {
+                    expected.push((*kl, (*vl, *vr)));
+                }
+            }
+        }
+        prop_assert_eq!(got, sorted(expected));
+    }
+
+    #[test]
+    fn partition_by_is_a_permutation(
+        pairs in proptest::collection::vec((0u64..1000, 0u8..255), 0..300),
+        reducers in 1usize..6,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize(pairs.clone(), 4);
+        let repartitioned = rdd.partition_by(Arc::new(HashPartitioner::new(reducers)));
+        prop_assert_eq!(
+            sorted(repartitioned.collect().unwrap()),
+            sorted(pairs)
+        );
+        prop_assert_eq!(repartitioned.num_partitions(), reducers);
+    }
+
+    #[test]
+    fn union_and_filter_compose_with_reference(
+        a in proptest::collection::vec(-50i64..50, 0..100),
+        b in proptest::collection::vec(-50i64..50, 0..100),
+        threshold in -50i64..50,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let u = ctx
+            .parallelize(a.clone(), 2)
+            .union(&ctx.parallelize(b.clone(), 3))
+            .filter(move |x| *x > threshold);
+        let expected: Vec<i64> = a
+            .into_iter()
+            .chain(b)
+            .filter(|x| *x > threshold)
+            .collect();
+        prop_assert_eq!(u.collect().unwrap(), expected);
+    }
+
+    #[test]
+    fn aggregate_action_matches_fold(
+        data in proptest::collection::vec(-1000i64..1000, 0..400),
+        parts in 1usize..8,
+    ) {
+        let ctx = SpangleContext::new(3);
+        let rdd = ctx.parallelize(data.clone(), parts);
+        let (sum, count) = rdd
+            .aggregate((0i64, 0usize), |(s, c), &x| (s + x, c + 1), |a, b| (a.0 + b.0, a.1 + b.1))
+            .unwrap();
+        prop_assert_eq!(sum, data.iter().sum::<i64>());
+        prop_assert_eq!(count, data.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Runtime-behaviour integration tests: shuffle garbage collection,
+//! broadcast variables inside jobs, stage reuse across actions, and
+//! metrics plumbing.
+
+use spangle_dataflow::{HashPartitioner, PairRdd, SpangleContext};
+use std::sync::Arc;
+
+#[test]
+fn dropping_a_shuffled_rdd_frees_its_shuffle_blocks() {
+    let ctx = SpangleContext::new(2);
+    let base = ctx.parallelize((0u64..200).map(|i| (i % 10, i)).collect(), 4);
+    let reduced = base.reduce_by_key(Arc::new(HashPartitioner::new(4)), |a, b| a + b);
+    reduced.count().unwrap();
+    assert!(
+        ctx.shuffle_resident_bytes() > 0,
+        "shuffle outputs are kept for reuse while the RDD lives"
+    );
+    drop(reduced);
+    assert_eq!(
+        ctx.shuffle_resident_bytes(),
+        0,
+        "dropping the last reader garbage-collects the shuffle"
+    );
+}
+
+#[test]
+fn iterative_jobs_do_not_leak_shuffle_state() {
+    let ctx = SpangleContext::new(2);
+    let base = ctx.parallelize((0u64..100).map(|i| (i % 5, 1u64)).collect(), 4);
+    let mut resident_after_drop = Vec::new();
+    for _ in 0..5 {
+        let step = base.reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+        step.count().unwrap();
+        drop(step);
+        resident_after_drop.push(ctx.shuffle_resident_bytes());
+    }
+    assert!(
+        resident_after_drop.iter().all(|&b| b == 0),
+        "per-iteration shuffles must be reclaimed: {resident_after_drop:?}"
+    );
+}
+
+#[test]
+fn broadcast_values_are_visible_inside_tasks() {
+    let ctx = SpangleContext::new(3);
+    let lookup = ctx.broadcast(vec![10i64, 20, 30, 40]);
+    let rdd = ctx.parallelize(vec![0usize, 1, 2, 3, 2, 1], 3);
+    let mapped = rdd.map(move |i| lookup.value()[i]);
+    assert_eq!(mapped.collect().unwrap(), vec![10, 20, 30, 40, 30, 20]);
+}
+
+#[test]
+fn shuffle_reuse_survives_downstream_transformations() {
+    let ctx = SpangleContext::new(2);
+    let reduced = ctx
+        .parallelize((0u64..100).map(|i| (i % 4, 1u64)).collect(), 4)
+        .reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+    reduced.count().unwrap();
+
+    // Three different downstream pipelines over the same shuffled parent:
+    // the map stage must run exactly once in total.
+    let before = ctx.metrics_snapshot();
+    let a = reduced.map(|(k, v)| (k, v * 2)).collect().unwrap();
+    let b = reduced.filter(|(_, v)| *v > 10).count().unwrap();
+    let c = reduced.map(|(_, v)| v).reduce(|x, y| x + y).unwrap();
+    let delta = ctx.metrics_snapshot() - before;
+    assert_eq!(a.len(), 4);
+    assert_eq!(b, 4);
+    assert_eq!(c, Some(100));
+    assert_eq!(delta.stages_skipped, 3, "each action skips the map stage");
+    assert_eq!(delta.shuffle_write_bytes, 0);
+}
+
+#[test]
+fn per_job_metrics_compose_across_interleaved_jobs() {
+    let ctx = SpangleContext::new(2);
+    let rdd = ctx.parallelize((0u64..1000).collect(), 8);
+    let s0 = ctx.metrics_snapshot();
+    rdd.count().unwrap();
+    let s1 = ctx.metrics_snapshot();
+    rdd.count().unwrap();
+    let s2 = ctx.metrics_snapshot();
+    // Two identical narrow jobs cost the same.
+    assert_eq!((s1 - s0).tasks_run, (s2 - s1).tasks_run);
+    assert_eq!((s1 - s0).stages_run, 1);
+}
+
+#[test]
+fn executor_count_does_not_change_results() {
+    let data: Vec<(u64, u64)> = (0..500).map(|i| (i % 17, i)).collect();
+    let mut outputs = Vec::new();
+    for executors in [1usize, 2, 7] {
+        let ctx = SpangleContext::new(executors);
+        let mut out = ctx
+            .parallelize(data.clone(), 5)
+            .reduce_by_key(Arc::new(HashPartitioner::new(3)), |a, b| a.max(b))
+            .collect()
+            .unwrap();
+        out.sort();
+        outputs.push(out);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}

@@ -1,0 +1,272 @@
+//! Per-block kernels: where the bitmask earns its keep (paper Fig. 5).
+//!
+//! A block is a [`Chunk<f64>`] of extent `rows × cols`, stored column-last
+//! (local offset `r + c * rows`, matching the array mapper's dim-0-fastest
+//! layout). Zero entries are invalid cells; multiplication only touches
+//! pairs that survive the bitmask AND, "avoid[ing] the multiplication if
+//! one of them is zero".
+
+use spangle_bitmask::{choose_validity_repr, OffsetArray, ValidityRepr};
+use spangle_core::{Chunk, ChunkPolicy};
+
+/// Builds a block chunk from a dense column-last buffer, dropping zeros
+/// into the mask (zero == invalid in matrix mode).
+pub fn block_from_dense(values: Vec<f64>, policy: &ChunkPolicy) -> Option<Chunk<f64>> {
+    let mask = spangle_bitmask::Bitmask::from_fn(values.len(), |i| values[i] != 0.0);
+    Chunk::build(values, mask, policy)
+}
+
+/// Builds a block chunk from `(row, col, value)` triplets.
+pub fn block_from_triplets(
+    rows: usize,
+    cols: usize,
+    triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    policy: &ChunkPolicy,
+) -> Option<Chunk<f64>> {
+    let cells = triplets
+        .into_iter()
+        .filter(|&(_, _, v)| v != 0.0)
+        .map(|(r, c, v)| {
+            debug_assert!(r < rows && c < cols, "triplet out of block bounds");
+            (r + c * rows, v)
+        });
+    Chunk::from_cells(rows * cols, cells, policy)
+}
+
+/// `out[r + c*a_rows] += A · B` for blocks `A (a_rows × inner)` and
+/// `B (inner × b_cols)`, skipping invalid (zero) pairs via the sparsity
+/// the bitmask preserved.
+///
+/// The kernel walks A's valid cells once and joins them against a per-row
+/// index of B's valid cells — effectively the bitmask-AND of Fig. 5
+/// evaluated lazily.
+pub fn block_multiply_into(
+    a: &Chunk<f64>,
+    a_rows: usize,
+    b: &Chunk<f64>,
+    inner: usize,
+    b_cols: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a.volume(), a_rows * inner, "A block extent mismatch");
+    debug_assert_eq!(b.volume(), inner * b_cols, "B block extent mismatch");
+    debug_assert_eq!(out.len(), a_rows * b_cols);
+    // Index B by inner row: b_rows[k] lists (col, value).
+    let mut b_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); inner];
+    for (local, v) in b.iter_valid() {
+        let k = local % inner;
+        let c = local / inner;
+        b_rows[k].push((c as u32, v));
+    }
+    for (local, va) in a.iter_valid() {
+        let r = local % a_rows;
+        let k = local / a_rows;
+        for &(c, vb) in &b_rows[k] {
+            out[r + c as usize * a_rows] += va * vb;
+        }
+    }
+}
+
+/// Dense reference kernel: ignores the mask entirely and multiplies every
+/// slot (invalid slots read as 0). This is the SciSpark-style baseline.
+pub fn block_multiply_dense_into(
+    a: &Chunk<f64>,
+    a_rows: usize,
+    b: &Chunk<f64>,
+    inner: usize,
+    b_cols: usize,
+    out: &mut [f64],
+) {
+    let mut a_dense = vec![0.0; a_rows * inner];
+    for (local, v) in a.iter_valid() {
+        a_dense[local] = v;
+    }
+    let mut b_dense = vec![0.0; inner * b_cols];
+    for (local, v) in b.iter_valid() {
+        b_dense[local] = v;
+    }
+    for c in 0..b_cols {
+        for k in 0..inner {
+            let vb = b_dense[k + c * inner];
+            if vb == 0.0 {
+                continue;
+            }
+            let out_col = &mut out[c * a_rows..(c + 1) * a_rows];
+            let a_col = &a_dense[k * a_rows..(k + 1) * a_rows];
+            for r in 0..a_rows {
+                out_col[r] += a_col[r] * vb;
+            }
+        }
+    }
+}
+
+/// Offset-array kernel (§V-A4): the same contraction as
+/// [`block_multiply_into`] but driving A's traversal through an explicit
+/// [`OffsetArray`] instead of the bitmask — profitable for static,
+/// hyper-sparse blocks where the offsets are smaller than the mask.
+pub fn block_multiply_offsets_into(
+    a_offsets: &OffsetArray,
+    a_values: &[f64],
+    a_rows: usize,
+    b: &Chunk<f64>,
+    inner: usize,
+    b_cols: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(a_offsets.count_ones(), a_values.len());
+    debug_assert_eq!(b.volume(), inner * b_cols);
+    let mut b_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); inner];
+    for (local, v) in b.iter_valid() {
+        b_rows[local % inner].push(((local / inner) as u32, v));
+    }
+    for (slot, &off) in a_offsets.offsets().iter().enumerate() {
+        let local = off as usize;
+        let r = local % a_rows;
+        let k = local / a_rows;
+        let va = a_values[slot];
+        for &(c, vb) in &b_rows[k] {
+            out[r + c as usize * a_rows] += va * vb;
+        }
+    }
+}
+
+/// The validity representation a static block should use for repeated
+/// multiplication (bitmask vs offset array), per the paper's size rule.
+pub fn preferred_repr(block: &Chunk<f64>) -> ValidityRepr {
+    choose_validity_repr(block.volume(), block.valid_count())
+}
+
+/// Transposes a block: `(rows × cols)` column-last to `(cols × rows)`
+/// column-last.
+pub fn block_transpose(
+    block: &Chunk<f64>,
+    rows: usize,
+    cols: usize,
+    policy: &ChunkPolicy,
+) -> Option<Chunk<f64>> {
+    debug_assert_eq!(block.volume(), rows * cols);
+    let cells = block.iter_valid().map(|(local, v)| {
+        let r = local % rows;
+        let c = local / rows;
+        (c + r * cols, v)
+    });
+    Chunk::from_cells(rows * cols, cells.collect::<Vec<_>>(), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_of(chunk: &Chunk<f64>) -> Vec<f64> {
+        let mut out = vec![0.0; chunk.volume()];
+        for (i, v) in chunk.iter_valid() {
+            out[i] = v;
+        }
+        out
+    }
+
+    fn reference_multiply(
+        a: &[f64],
+        a_rows: usize,
+        b: &[f64],
+        inner: usize,
+        b_cols: usize,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; a_rows * b_cols];
+        for r in 0..a_rows {
+            for c in 0..b_cols {
+                for k in 0..inner {
+                    out[r + c * a_rows] += a[r + k * a_rows] * b[k + c * inner];
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_block(rows: usize, cols: usize, density_mod: usize, seed: usize) -> Chunk<f64> {
+        block_from_triplets(
+            rows,
+            cols,
+            (0..rows).flat_map(|r| {
+                (0..cols).filter_map(move |c| {
+                    ((r * cols + c + seed) % density_mod == 0)
+                        .then(|| (r, c, (r * 10 + c + 1) as f64))
+                })
+            }),
+            &ChunkPolicy::default(),
+        )
+        .expect("non-empty block")
+    }
+
+    #[test]
+    fn masked_kernel_matches_dense_reference() {
+        for density in [1, 2, 5, 17] {
+            let a = sample_block(6, 5, density, 0);
+            let b = sample_block(5, 7, density, 3);
+            let expected = reference_multiply(&dense_of(&a), 6, &dense_of(&b), 5, 7);
+            let mut got = vec![0.0; 6 * 7];
+            block_multiply_into(&a, 6, &b, 5, 7, &mut got);
+            assert_eq!(got, expected, "density={density}");
+            let mut dense_got = vec![0.0; 6 * 7];
+            block_multiply_dense_into(&a, 6, &b, 5, 7, &mut dense_got);
+            assert_eq!(dense_got, expected, "dense kernel, density={density}");
+        }
+    }
+
+    #[test]
+    fn offset_kernel_matches_masked_kernel() {
+        let a = sample_block(8, 8, 7, 1);
+        let b = sample_block(8, 6, 3, 2);
+        let mut expected = vec![0.0; 8 * 6];
+        block_multiply_into(&a, 8, &b, 8, 6, &mut expected);
+
+        let offsets = OffsetArray::from_mask(&a.mask());
+        let values: Vec<f64> = a.iter_valid().map(|(_, v)| v).collect();
+        let mut got = vec![0.0; 8 * 6];
+        block_multiply_offsets_into(&offsets, &values, 8, &b, 8, 6, &mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn block_from_dense_drops_zeros_into_the_mask() {
+        let block = block_from_dense(vec![0.0, 1.0, 0.0, 2.0], &ChunkPolicy::default()).unwrap();
+        assert_eq!(block.valid_count(), 2);
+        assert_eq!(block.get(0), None, "zero entries are invalid cells");
+        assert_eq!(block.get(1), Some(1.0));
+    }
+
+    #[test]
+    fn all_zero_block_is_not_created() {
+        assert!(block_from_dense(vec![0.0; 16], &ChunkPolicy::default()).is_none());
+        assert!(
+            block_from_triplets(4, 4, vec![(0, 0, 0.0)], &ChunkPolicy::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn transpose_flips_coordinates() {
+        let a = sample_block(4, 6, 3, 0);
+        let t = block_transpose(&a, 4, 6, &ChunkPolicy::default()).unwrap();
+        for r in 0..4 {
+            for c in 0..6 {
+                assert_eq!(a.get(r + c * 4), t.get(c + r * 6), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn preferred_repr_switches_with_sparsity() {
+        // 64x64 block (4096 slots), 2 valid cells: offsets (8 B) < mask
+        // (512 B).
+        let hyper = block_from_triplets(
+            64,
+            64,
+            vec![(0, 0, 1.0), (63, 63, 2.0)],
+            &ChunkPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(preferred_repr(&hyper), ValidityRepr::Offsets);
+        let dense = sample_block(64, 64, 1, 0);
+        assert_eq!(preferred_repr(&dense), ValidityRepr::Bitmask);
+    }
+}

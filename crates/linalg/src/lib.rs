@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Distributed, bitmask-aware linear algebra over ArrayRDD (paper §V-A4,
+//! §VI-A).
+//!
+//! Matrices are two-dimensional [`spangle_core::ArrayRdd`]s whose chunks
+//! are the blocks of a block-partitioned matrix. Following the paper, a
+//! zero matrix entry *is* an invalid cell: the chunk bitmask doubles as the
+//! sparsity structure, and multiplication kernels skip pairs whose bitmask
+//! AND is empty.
+//!
+//! * [`block`] — per-block kernels (bitmask-guided, offset-array and dense
+//!   variants) and block constructors;
+//! * [`matrix`] — [`DistMatrix`]: block matrix multiplication through the
+//!   shuffle path (two join stages + one reduce stage) and through the
+//!   fused **local join** (§VI-A), transpose, element-wise operations, and
+//!   matrix–vector / vector–matrix products with broadcast vectors;
+//! * [`vector`] — [`DenseVector`] with *metadata-only transpose* (the
+//!   opt₂ trick of §VI-C: a vector's orientation is a description, not a
+//!   layout);
+//! * [`solve`] — conjugate gradients and power iteration built purely on
+//!   the broadcast matvec.
+
+pub mod block;
+pub mod matrix;
+pub mod solve;
+pub mod vector;
+
+pub use matrix::{DistMatrix, InnerPartitioned};
+pub use solve::{conjugate_gradient, power_iteration, SolveResult};
+pub use vector::{DenseVector, Orientation};

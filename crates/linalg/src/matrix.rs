@@ -1,0 +1,747 @@
+//! Distributed block matrices (paper §V-A4, §VI-A).
+//!
+//! A [`DistMatrix`] is a rank-2 ArrayRDD whose chunks are matrix blocks.
+//! Multiplication is available in two physical plans:
+//!
+//! * the **shuffle plan** ([`DistMatrix::multiply`]): both operands are
+//!   re-keyed by the contraction index and joined — Spark's "two Join
+//!   stages and one Reduce stage";
+//! * the **local-join plan** ([`DistMatrix::multiply_local`] over
+//!   [`InnerPartitioned`] operands): when "left and right matrices are
+//!   partitioned by row IDs and column IDs respectively, Spangle does not
+//!   shuffle them" — the join collapses into a single narrow stage and only
+//!   the output reduction crosses the network.
+//!
+//! Matrix–vector products keep the vector on the driver and broadcast it,
+//! which is how the tailored PageRank and SGD avoid shuffling anything but
+//! tiny partial vectors.
+
+use crate::block::{block_multiply_into, block_transpose};
+
+/// Merge-adds two sorted sparse partial blocks.
+fn merge_sparse_partials(a: Vec<(u32, f64)>, b: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+use crate::vector::{DenseVector, Orientation};
+use spangle_core::{ArrayBuilder, ArrayMeta, ArrayRdd, Chunk, ChunkPolicy};
+use spangle_dataflow::{
+    HashPartitioner, JobError, ModPartitioner, PairRdd, Rdd, SpangleContext,
+};
+use std::sync::Arc;
+
+/// A distributed block matrix over bitmask chunks.
+pub struct DistMatrix {
+    array: ArrayRdd<f64>,
+}
+
+impl Clone for DistMatrix {
+    fn clone(&self) -> Self {
+        DistMatrix {
+            array: self.array.clone(),
+        }
+    }
+}
+
+impl DistMatrix {
+    /// Wraps a rank-2 array as a matrix (dim 0 = rows, dim 1 = columns).
+    pub fn from_array(array: ArrayRdd<f64>) -> Self {
+        assert_eq!(array.meta().rank(), 2, "matrices are rank-2 arrays");
+        DistMatrix { array }
+    }
+
+    /// Generates a matrix from an entry function; `f(r, c)` returning
+    /// `None` or `Some(0.0)` both mean a zero (invalid) entry.
+    pub fn generate(
+        ctx: &SpangleContext,
+        rows: usize,
+        cols: usize,
+        block_shape: (usize, usize),
+        policy: ChunkPolicy,
+        f: impl Fn(usize, usize) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        let meta = ArrayMeta::new(vec![rows, cols], vec![block_shape.0, block_shape.1]);
+        let array = ArrayBuilder::new(ctx, meta)
+            .policy(policy)
+            .ingest(move |c| f(c[0], c[1]).filter(|v| *v != 0.0))
+            .build();
+        DistMatrix { array }
+    }
+
+    /// Builds from `(row, col, value)` triplets through the distributed
+    /// ingest pipeline.
+    pub fn from_triplets(
+        ctx: &SpangleContext,
+        rows: usize,
+        cols: usize,
+        block_shape: (usize, usize),
+        policy: ChunkPolicy,
+        triplets: Vec<(usize, usize, f64)>,
+        num_partitions: usize,
+    ) -> Self {
+        let meta = ArrayMeta::new(vec![rows, cols], vec![block_shape.0, block_shape.1]);
+        let cells = triplets
+            .into_iter()
+            .filter(|&(_, _, v)| v != 0.0)
+            .map(|(r, c, v)| (vec![r, c], v))
+            .collect();
+        DistMatrix {
+            array: ArrayRdd::from_cells(ctx, meta, policy, cells, num_partitions),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.array.meta().dims()[0]
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.array.meta().dims()[1]
+    }
+
+    /// Block shape `(block_rows, block_cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        let cs = self.array.meta().chunk_shape();
+        (cs[0], cs[1])
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &ArrayRdd<f64> {
+        &self.array
+    }
+
+    /// The cluster handle.
+    pub fn context(&self) -> &SpangleContext {
+        self.array.context()
+    }
+
+    /// Number of explicitly stored (non-zero) entries.
+    pub fn nnz(&self) -> Result<usize, JobError> {
+        self.array.count_valid()
+    }
+
+    /// Deep memory footprint of all blocks.
+    pub fn mem_bytes(&self) -> Result<usize, JobError> {
+        self.array.mem_bytes()
+    }
+
+    /// Marks the block RDD for caching.
+    pub fn persist(&self) -> &Self {
+        self.array.persist();
+        self
+    }
+
+    /// Entry accessor for tests: zero when invalid.
+    pub fn to_local(&self) -> Result<Vec<f64>, JobError> {
+        let rows = self.rows();
+        let mut out = vec![0.0; rows * self.cols()];
+        for (coords, v) in self.array.collect_cells()? {
+            out[coords[0] + coords[1] * rows] = v;
+        }
+        Ok(out)
+    }
+
+    /// Block-grid dimensions `(grid_rows, grid_cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        let g = self.array.meta().grid_dims();
+        (g[0], g[1])
+    }
+
+    /// Matrix multiplication through the shuffle plan.
+    pub fn multiply(&self, other: &DistMatrix) -> DistMatrix {
+        self.multiply_impl(other, None)
+    }
+
+    /// Matrix multiplication through the local-join plan: both operands
+    /// must be [`InnerPartitioned`] over the same partition count (§VI-A).
+    pub fn multiply_local(left: &InnerPartitioned, right: &InnerPartitioned) -> DistMatrix {
+        assert_eq!(
+            left.num_partitions, right.num_partitions,
+            "local join requires matching partition counts"
+        );
+        assert_eq!(
+            left.matrix.cols(),
+            right.matrix.rows(),
+            "inner dimensions must agree"
+        );
+        left.matrix.multiply_impl(&right.matrix, Some((left, right)))
+    }
+
+    fn multiply_impl(
+        &self,
+        other: &DistMatrix,
+        prepared: Option<(&InnerPartitioned, &InnerPartitioned)>,
+    ) -> DistMatrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (a_br, a_bc) = self.block_shape();
+        let (b_br, b_bc) = other.block_shape();
+        assert_eq!(
+            a_bc, b_br,
+            "inner block sizes must agree for block multiplication"
+        );
+        let ctx = self.context().clone();
+        let out_meta = Arc::new(ArrayMeta::new(
+            vec![self.rows(), other.cols()],
+            vec![a_br, b_bc],
+        ));
+        let a_meta = self.array.meta_arc();
+        let b_meta = other.array.meta_arc();
+        let policy = self.array.policy();
+
+        // Key both operands by the contraction (inner) block index.
+        let (keyed_a, keyed_b, partitioner): (
+            Rdd<(u64, (u64, Chunk<f64>))>,
+            Rdd<(u64, (u64, Chunk<f64>))>,
+            Arc<dyn spangle_dataflow::Partitioner<u64>>,
+        ) = match prepared {
+            Some((l, r)) => (
+                l.rdd.clone(),
+                r.rdd.clone(),
+                Arc::new(ModPartitioner::new(l.num_partitions)),
+            ),
+            None => {
+                let ga = self.grid();
+                let a = self.array.rdd().map(move |(id, chunk)| {
+                    let (gr, gc) = (id % ga.0 as u64, id / ga.0 as u64);
+                    (gc, (gr, chunk))
+                });
+                let gb = other.grid();
+                let b = other.array.rdd().map(move |(id, chunk)| {
+                    let (gr, gc) = (id % gb.0 as u64, id / gb.0 as u64);
+                    (gr, (gc, chunk))
+                });
+                let n = self.array.rdd().num_partitions();
+                (a, b, Arc::new(HashPartitioner::new(n)) as _)
+            }
+        };
+
+        // Join on the inner index and contract each (A-block, B-block)
+        // pair. Partials are shipped *sparsely* — sorted `(local offset,
+        // value)` runs — so hyper-sparse contractions (the MᵀM cases that
+        // OOM dense systems, §VII-C) stay proportional to their non-zeros.
+        let out_grid_rows = out_meta.grid_dims()[0] as u64;
+        let contraction_meta = (a_meta.clone(), b_meta.clone());
+        let partials = keyed_a
+            .cogroup(&keyed_b, partitioner)
+            .flat_map(move |(kb, (a_blocks, b_blocks))| {
+                let (a_meta, b_meta) = &contraction_meta;
+                let a_mapper = a_meta.mapper();
+                let b_mapper = b_meta.mapper();
+                let a_grid_rows = a_meta.grid_dims()[0] as u64;
+                let b_grid_rows = b_meta.grid_dims()[0] as u64;
+                let mut out = Vec::with_capacity(a_blocks.len() * b_blocks.len());
+                for (gr, a_chunk) in &a_blocks {
+                    let a_id = gr + kb * a_grid_rows;
+                    let a_extent = a_mapper.chunk_extent(a_id);
+                    for (gc, b_chunk) in &b_blocks {
+                        let b_id = kb + gc * b_grid_rows;
+                        let b_extent = b_mapper.chunk_extent(b_id);
+                        debug_assert_eq!(a_extent[1], b_extent[0]);
+                        // Dense scratch per pair (transient), compacted to
+                        // sparse triplets before it crosses the shuffle.
+                        let mut acc = vec![0.0f64; a_extent[0] * b_extent[1]];
+                        block_multiply_into(
+                            a_chunk,
+                            a_extent[0],
+                            b_chunk,
+                            a_extent[1],
+                            b_extent[1],
+                            &mut acc,
+                        );
+                        let sparse: Vec<(u32, f64)> = acc
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, v)| **v != 0.0)
+                            .map(|(i, &v)| (i as u32, v))
+                            .collect();
+                        if sparse.is_empty() {
+                            continue;
+                        }
+                        let out_id = gr + gc * out_grid_rows;
+                        out.push((out_id, sparse));
+                    }
+                }
+                out
+            });
+
+        // Reduce sparse partials per output chunk (merge-add of sorted
+        // runs) and re-encode as chunks.
+        let n_out = self.array.rdd().num_partitions();
+        let reduced = partials.reduce_by_key(
+            Arc::new(HashPartitioner::new(n_out)),
+            merge_sparse_partials,
+        );
+        let red_meta = out_meta.clone();
+        let rdd = reduced.flat_map(move |(id, cells)| {
+            let volume = red_meta.mapper().chunk_volume(id);
+            // Exact cancellations are zeros, and zeros are invalid cells.
+            let cells = cells
+                .into_iter()
+                .filter(|(_, v)| *v != 0.0)
+                .map(|(i, v)| (i as usize, v));
+            Chunk::from_cells(volume, cells, &policy)
+                .map(|c| (id, c))
+                .into_iter()
+                .collect::<Vec<_>>()
+        });
+        let sig = spangle_dataflow::Partitioner::<u64>::sig(&HashPartitioner::new(n_out));
+        let rdd = rdd.assert_partitioned(sig);
+        DistMatrix {
+            array: ArrayRdd::from_parts(&ctx, out_meta, policy, rdd),
+        }
+    }
+
+    /// Re-partitions this matrix by its *column* (inner, when used as the
+    /// left operand) block index — half of the local-join layout.
+    pub fn partition_left_by_inner(&self, num_partitions: usize) -> InnerPartitioned {
+        let (grid_rows, _) = self.grid();
+        let grid_rows = grid_rows as u64;
+        let keyed = self.array.rdd().map(move |(id, chunk)| {
+            let (gr, gc) = (id % grid_rows, id / grid_rows);
+            (gc, (gr, chunk))
+        });
+        let rdd = keyed.partition_by(Arc::new(ModPartitioner::new(num_partitions)));
+        rdd.persist();
+        InnerPartitioned {
+            matrix: self.clone(),
+            rdd,
+            num_partitions,
+        }
+    }
+
+    /// Re-partitions this matrix by its *row* (inner, when used as the
+    /// right operand) block index — the other half of the local-join
+    /// layout.
+    pub fn partition_right_by_inner(&self, num_partitions: usize) -> InnerPartitioned {
+        let (grid_rows, _) = self.grid();
+        let grid_rows = grid_rows as u64;
+        let keyed = self.array.rdd().map(move |(id, chunk)| {
+            let (gr, gc) = (id % grid_rows, id / grid_rows);
+            (gr, (gc, chunk))
+        });
+        let rdd = keyed.partition_by(Arc::new(ModPartitioner::new(num_partitions)));
+        rdd.persist();
+        InnerPartitioned {
+            matrix: self.clone(),
+            rdd,
+            num_partitions,
+        }
+    }
+
+    /// Physical transpose: every block moves to its mirrored grid slot and
+    /// is transposed in place. (For *vectors* Spangle never does this —
+    /// see [`DenseVector::transpose`].)
+    pub fn transpose(&self) -> DistMatrix {
+        let (grid_rows, grid_cols) = self.grid();
+        let (br, bc) = self.block_shape();
+        let meta = self.array.meta_arc();
+        let policy = self.array.policy();
+        let out_meta = Arc::new(ArrayMeta::new(
+            vec![self.cols(), self.rows()],
+            vec![bc, br],
+        ));
+        let rdd = self.array.rdd().flat_map(move |(id, chunk)| {
+            let mapper = meta.mapper();
+            let extent = mapper.chunk_extent(id);
+            let (gr, gc) = (id % grid_rows as u64, id / grid_rows as u64);
+            let t_id = gc + gr * grid_cols as u64;
+            block_transpose(&chunk, extent[0], extent[1], &policy)
+                .map(|c| (t_id, c))
+                .into_iter()
+                .collect::<Vec<_>>()
+        });
+        // Keys moved: restore the canonical hash layout.
+        let n = self.array.rdd().num_partitions();
+        let rdd = rdd.partition_by(Arc::new(HashPartitioner::new(n)));
+        DistMatrix {
+            array: ArrayRdd::from_parts(self.context(), out_meta, policy, rdd),
+        }
+    }
+
+    /// Gram matrix `MᵀM` — the transpose-and-multiply benchmark of
+    /// Fig. 10.
+    pub fn gram(&self) -> DistMatrix {
+        self.transpose().multiply(self)
+    }
+
+    /// `y = M·x` with a broadcast column vector: every block contributes a
+    /// partial row-segment, reduced per block row. No matrix data moves.
+    pub fn matvec(&self, x: &DenseVector) -> Result<DenseVector, JobError> {
+        assert_eq!(
+            x.orientation(),
+            Orientation::Column,
+            "matvec needs a column vector; transpose() is metadata-only"
+        );
+        assert_eq!(x.len(), self.cols(), "dimension mismatch in M·x");
+        let ctx = self.context().clone();
+        let bc = ctx.broadcast(x.as_slice().to_vec());
+        let meta = self.array.meta_arc();
+        let (grid_rows, _) = self.grid();
+        let partials = self.array.rdd().map(move |(id, chunk)| {
+            let mapper = meta.mapper();
+            let extent = mapper.chunk_extent(id);
+            let origin = mapper.chunk_origin(id);
+            let gr = id % grid_rows as u64;
+            let x = bc.value();
+            let mut acc = vec![0.0f64; extent[0]];
+            for (local, v) in chunk.iter_valid() {
+                let r = local % extent[0];
+                let c = local / extent[0];
+                acc[r] += v * x[origin[1] + c];
+            }
+            (gr, acc)
+        });
+        let n = self.array.rdd().num_partitions();
+        let reduced = partials.reduce_by_key(Arc::new(HashPartitioner::new(n)), |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        let segments = reduced.collect()?;
+        let (br, _) = self.block_shape();
+        let mut out = vec![0.0; self.rows()];
+        for (gr, seg) in segments {
+            let base = gr as usize * br;
+            out[base..base + seg.len()].copy_from_slice(&seg);
+        }
+        Ok(DenseVector::column(out))
+    }
+
+    /// `yᵀ = xᵀ·M` with a broadcast row vector, reduced per block column.
+    pub fn vecmat(&self, x: &DenseVector) -> Result<DenseVector, JobError> {
+        assert_eq!(
+            x.orientation(),
+            Orientation::Row,
+            "vecmat needs a row vector; transpose() is metadata-only"
+        );
+        assert_eq!(x.len(), self.rows(), "dimension mismatch in xᵀ·M");
+        let ctx = self.context().clone();
+        let bc = ctx.broadcast(x.as_slice().to_vec());
+        let meta = self.array.meta_arc();
+        let (grid_rows, _) = self.grid();
+        let partials = self.array.rdd().map(move |(id, chunk)| {
+            let mapper = meta.mapper();
+            let extent = mapper.chunk_extent(id);
+            let origin = mapper.chunk_origin(id);
+            let gc = id / grid_rows as u64;
+            let x = bc.value();
+            let mut acc = vec![0.0f64; extent[1]];
+            for (local, v) in chunk.iter_valid() {
+                let r = local % extent[0];
+                let c = local / extent[0];
+                acc[c] += v * x[origin[0] + r];
+            }
+            (gc, acc)
+        });
+        let n = self.array.rdd().num_partitions();
+        let reduced = partials.reduce_by_key(Arc::new(HashPartitioner::new(n)), |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        let segments = reduced.collect()?;
+        let (_, bcols) = self.block_shape();
+        let mut out = vec![0.0; self.cols()];
+        for (gc, seg) in segments {
+            let base = gc as usize * bcols;
+            out[base..base + seg.len()].copy_from_slice(&seg);
+        }
+        Ok(DenseVector::row(out))
+    }
+
+    /// Element-wise sum — embarrassingly parallel, shuffle-free when the
+    /// operands are co-partitioned.
+    pub fn add(&self, other: &DistMatrix) -> DistMatrix {
+        self.elementwise(other, |a, b| a + b)
+    }
+
+    /// Hadamard (element-wise) product; the bitmask AND makes this skip
+    /// every pair with an invalid side (Fig. 5's element-wise case).
+    pub fn hadamard(&self, other: &DistMatrix) -> DistMatrix {
+        DistMatrix {
+            array: self
+                .array
+                .zip_with(&other.array, |a, b| a.zip(b).map(|(x, y)| x * y)),
+        }
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: f64) -> DistMatrix {
+        DistMatrix {
+            array: self.array.map_values(move |v| v * s),
+        }
+    }
+
+    fn elementwise(&self, other: &DistMatrix, f: impl Fn(f64, f64) -> f64 + Send + Sync + 'static) -> DistMatrix {
+        DistMatrix {
+            array: self.array.zip_with(&other.array, move |a, b| {
+                let v = f(a.unwrap_or(0.0), b.unwrap_or(0.0));
+                (v != 0.0).then_some(v)
+            }),
+        }
+    }
+}
+
+/// A matrix re-partitioned by its contraction index, ready for
+/// [`DistMatrix::multiply_local`]. Building one costs a shuffle; reusing it
+/// across iterations (PageRank, SGD) amortises that cost to zero, which is
+/// the entire point of §VI-A.
+pub struct InnerPartitioned {
+    matrix: DistMatrix,
+    rdd: Rdd<(u64, (u64, Chunk<f64>))>,
+    num_partitions: usize,
+}
+
+impl InnerPartitioned {
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &DistMatrix {
+        &self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SpangleContext {
+        SpangleContext::new(4)
+    }
+
+    fn dense_mat(ctx: &SpangleContext, rows: usize, cols: usize, block: (usize, usize)) -> DistMatrix {
+        DistMatrix::generate(ctx, rows, cols, block, ChunkPolicy::default(), |r, c| {
+            Some(((r * 31 + c * 17) % 7) as f64 - 3.0)
+        })
+    }
+
+    fn sparse_mat(ctx: &SpangleContext, rows: usize, cols: usize, block: (usize, usize)) -> DistMatrix {
+        DistMatrix::generate(ctx, rows, cols, block, ChunkPolicy::default(), |r, c| {
+            ((r + 2 * c) % 11 == 0).then(|| (r + c + 1) as f64)
+        })
+    }
+
+    fn reference_multiply(a: &[f64], m: usize, k: usize, b: &[f64], p: usize) -> Vec<f64> {
+        let mut out = vec![0.0; m * p];
+        for c in 0..p {
+            for kk in 0..k {
+                let vb = b[kk + c * k];
+                for r in 0..m {
+                    out[r + c * m] += a[r + kk * m] * vb;
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn shuffle_multiply_matches_reference() {
+        let ctx = ctx();
+        // Non-square, edge blocks on both operands.
+        let a = dense_mat(&ctx, 30, 22, (8, 8));
+        let b = sparse_mat(&ctx, 22, 17, (8, 8));
+        let got = a.multiply(&b).to_local().unwrap();
+        let expected = reference_multiply(&a.to_local().unwrap(), 30, 22, &b.to_local().unwrap(), 17);
+        assert_close(&got, &expected);
+    }
+
+    #[test]
+    fn local_multiply_matches_shuffle_multiply() {
+        let ctx = ctx();
+        let a = dense_mat(&ctx, 24, 24, (8, 8));
+        let b = sparse_mat(&ctx, 24, 16, (8, 8));
+        let shuffle = a.multiply(&b).to_local().unwrap();
+        let left = a.partition_left_by_inner(4);
+        let right = b.partition_right_by_inner(4);
+        let local = DistMatrix::multiply_local(&left, &right).to_local().unwrap();
+        assert_close(&local, &shuffle);
+    }
+
+    #[test]
+    fn local_multiply_joins_without_shuffling_inputs() {
+        let ctx = ctx();
+        let a = dense_mat(&ctx, 24, 24, (8, 8));
+        let b = dense_mat(&ctx, 24, 24, (8, 8));
+        let left = a.partition_left_by_inner(4);
+        let right = b.partition_right_by_inner(4);
+        // Materialise the prepared layouts.
+        left.matrix().nnz().unwrap();
+        DistMatrix::multiply_local(&left, &right).nnz().unwrap();
+
+        // A second multiply against the same prepared layout re-shuffles
+        // nothing on the join side; only the output reduction shuffles, and
+        // its volume is far below the input volume.
+        let before = ctx.metrics_snapshot();
+        let c = DistMatrix::multiply_local(&left, &right);
+        c.nnz().unwrap();
+        let local_delta = ctx.metrics_snapshot() - before;
+
+        let before = ctx.metrics_snapshot();
+        let c2 = a.multiply(&b);
+        c2.nnz().unwrap();
+        let shuffle_delta = ctx.metrics_snapshot() - before;
+
+        assert!(
+            local_delta.shuffle_write_bytes < shuffle_delta.shuffle_write_bytes,
+            "local join should move less data: {} vs {}",
+            local_delta.shuffle_write_bytes,
+            shuffle_delta.shuffle_write_bytes
+        );
+        assert!(
+            local_delta.stages_run < shuffle_delta.stages_run,
+            "local join should run fewer stages: {} vs {}",
+            local_delta.stages_run,
+            shuffle_delta.stages_run
+        );
+    }
+
+    #[test]
+    fn transpose_mirrors_entries() {
+        let ctx = ctx();
+        let a = sparse_mat(&ctx, 14, 9, (4, 4));
+        let t = a.transpose();
+        assert_eq!(t.rows(), 9);
+        assert_eq!(t.cols(), 14);
+        let a_local = a.to_local().unwrap();
+        let t_local = t.to_local().unwrap();
+        for r in 0..14 {
+            for c in 0..9 {
+                assert_eq!(a_local[r + c * 14], t_local[c + r * 9], "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_reference() {
+        let ctx = ctx();
+        let a = sparse_mat(&ctx, 20, 12, (6, 6));
+        let local = a.to_local().unwrap();
+        let t: Vec<f64> = {
+            let mut t = vec![0.0; 12 * 20];
+            for r in 0..20 {
+                for c in 0..12 {
+                    t[c + r * 12] = local[r + c * 20];
+                }
+            }
+            t
+        };
+        let expected = reference_multiply(&t, 12, 20, &local, 12);
+        assert_close(&a.gram().to_local().unwrap(), &expected);
+    }
+
+    #[test]
+    fn matvec_and_vecmat_match_reference() {
+        let ctx = ctx();
+        let a = dense_mat(&ctx, 18, 11, (5, 4));
+        let local = a.to_local().unwrap();
+        let x = DenseVector::column((0..11).map(|i| i as f64 * 0.5 - 2.0).collect());
+        let y = a.matvec(&x).unwrap();
+        for r in 0..18 {
+            let expected: f64 = (0..11).map(|c| local[r + c * 18] * x.as_slice()[c]).sum();
+            assert!((y.as_slice()[r] - expected).abs() < 1e-9, "row {r}");
+        }
+
+        let xr = DenseVector::row((0..18).map(|i| (i % 5) as f64).collect());
+        let yt = a.vecmat(&xr).unwrap();
+        for c in 0..11 {
+            let expected: f64 = (0..18).map(|r| local[r + c * 18] * xr.as_slice()[r]).sum();
+            assert!((yt.as_slice()[c] - expected).abs() < 1e-9, "col {c}");
+        }
+    }
+
+    #[test]
+    fn matvec_moves_no_matrix_blocks() {
+        let ctx = ctx();
+        let a = dense_mat(&ctx, 64, 64, (16, 16));
+        a.persist();
+        a.nnz().unwrap();
+        let block_bytes = a.mem_bytes().unwrap();
+        let x = DenseVector::column(vec![1.0; 64]);
+        let before = ctx.metrics_snapshot();
+        a.matvec(&x).unwrap();
+        let delta = ctx.metrics_snapshot() - before;
+        assert!(
+            (delta.shuffle_write_bytes as usize) < block_bytes / 4,
+            "only small partial vectors may cross the shuffle: {} vs {} block bytes",
+            delta.shuffle_write_bytes,
+            block_bytes
+        );
+    }
+
+    #[test]
+    fn elementwise_ops_match_reference() {
+        let ctx = ctx();
+        let a = sparse_mat(&ctx, 10, 10, (4, 4));
+        let b = dense_mat(&ctx, 10, 10, (4, 4));
+        let al = a.to_local().unwrap();
+        let bl = b.to_local().unwrap();
+
+        let sum = a.add(&b).to_local().unwrap();
+        let had = a.hadamard(&b).to_local().unwrap();
+        let scaled = a.scale(-2.0).to_local().unwrap();
+        for i in 0..100 {
+            assert!((sum[i] - (al[i] + bl[i])).abs() < 1e-12);
+            assert!((had[i] - al[i] * bl[i]).abs() < 1e-12);
+            assert!((scaled[i] - al[i] * -2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_is_rejected() {
+        let ctx = ctx();
+        let a = dense_mat(&ctx, 8, 8, (4, 4));
+        let b = dense_mat(&ctx, 9, 8, (4, 4));
+        let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn zero_rich_product_drops_zero_entries() {
+        let ctx = ctx();
+        // a * b where the product has exact zeros: those cells must be
+        // invalid, not stored zeros.
+        let a = DistMatrix::generate(&ctx, 4, 4, (2, 2), ChunkPolicy::default(), |r, c| {
+            (r == c).then(|| if r < 2 { 1.0 } else { 0.0 })
+        });
+        let b = dense_mat(&ctx, 4, 4, (2, 2));
+        let product = a.multiply(&b);
+        let nnz = product.nnz().unwrap();
+        assert!(nnz <= 8, "rows 2..4 are zero and must not be stored, nnz={nnz}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Iterative solvers and spectral utilities on top of the broadcast
+//! matrix–vector product — the linear-algebra workloads the paper's
+//! introduction motivates ("solving a system of linear equations",
+//! principal components).
+//!
+//! Both routines only touch the matrix through [`DistMatrix::matvec`], so
+//! every iteration is one broadcast + one small reduce: the same
+//! communication pattern as the tailored PageRank.
+
+use crate::matrix::DistMatrix;
+use crate::vector::DenseVector;
+use spangle_dataflow::JobError;
+
+/// Outcome of an iterative solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The solution / eigenvector estimate.
+    pub x: DenseVector,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm (CG) or eigenvalue estimate (power iteration).
+    pub metric: f64,
+}
+
+/// Solves `A·x = b` for a symmetric positive-definite `A` by conjugate
+/// gradients. Stops when the residual 2-norm drops below `tolerance` or
+/// after `max_iters` iterations.
+pub fn conjugate_gradient(
+    a: &DistMatrix,
+    b: &DenseVector,
+    tolerance: f64,
+    max_iters: usize,
+) -> Result<SolveResult, JobError> {
+    assert_eq!(a.rows(), a.cols(), "CG needs a square (SPD) matrix");
+    assert_eq!(b.len(), a.rows(), "dimension mismatch in A·x = b");
+    let n = b.len();
+    let mut x = vec![0.0f64; n];
+    let mut r: Vec<f64> = b.as_slice().to_vec();
+    let mut p = r.clone();
+    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    let mut iterations = 0;
+
+    while iterations < max_iters && rs_old.sqrt() > tolerance {
+        iterations += 1;
+        let ap = a.matvec(&DenseVector::column(p.clone()))?;
+        let ap = ap.as_slice();
+        let denom: f64 = p.iter().zip(ap).map(|(pi, api)| pi * api).sum();
+        if denom.abs() < f64::MIN_POSITIVE {
+            break; // breakdown: p is (numerically) in A's null space
+        }
+        let alpha = rs_old / denom;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+
+    Ok(SolveResult {
+        x: DenseVector::column(x),
+        iterations,
+        metric: rs_old.sqrt(),
+    })
+}
+
+/// Estimates the dominant eigenvalue/eigenvector of `A` by power
+/// iteration (the same kernel PageRank is, §VI-B). Stops when successive
+/// eigenvalue estimates differ by less than `tolerance`.
+pub fn power_iteration(
+    a: &DistMatrix,
+    tolerance: f64,
+    max_iters: usize,
+) -> Result<SolveResult, JobError> {
+    assert_eq!(a.rows(), a.cols(), "power iteration needs a square matrix");
+    let n = a.rows();
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut eigen = 0.0f64;
+    let mut iterations = 0;
+
+    while iterations < max_iters {
+        iterations += 1;
+        let y = a.matvec(&DenseVector::column(x.clone()))?;
+        let y = y.as_slice();
+        let norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < f64::MIN_POSITIVE {
+            eigen = 0.0;
+            break; // x was in the null space
+        }
+        let next_eigen: f64 = x.iter().zip(y).map(|(xi, yi)| xi * yi).sum();
+        x = y.iter().map(|v| v / norm).collect();
+        let converged = (next_eigen - eigen).abs() < tolerance;
+        eigen = next_eigen;
+        if converged {
+            break;
+        }
+    }
+
+    Ok(SolveResult {
+        x: DenseVector::column(x),
+        iterations,
+        metric: eigen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spangle_core::ChunkPolicy;
+    use spangle_dataflow::SpangleContext;
+
+    /// A small SPD matrix: tridiagonal (2, -1) Laplacian plus identity.
+    fn spd(ctx: &SpangleContext, n: usize) -> DistMatrix {
+        DistMatrix::generate(ctx, n, n, (8, 8), ChunkPolicy::default(), |r, c| {
+            if r == c {
+                Some(3.0)
+            } else if r.abs_diff(c) == 1 {
+                Some(-1.0)
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn cg_solves_an_spd_system() {
+        let ctx = SpangleContext::new(2);
+        let n = 40;
+        let a = spd(&ctx, n);
+        a.persist();
+        let b = DenseVector::column((0..n).map(|i| ((i % 5) as f64) - 2.0).collect());
+        let result = conjugate_gradient(&a, &b, 1e-10, 200).unwrap();
+        assert!(result.metric < 1e-9, "residual {}", result.metric);
+        // Verify A·x == b directly.
+        let ax = a.matvec(&result.x).unwrap();
+        for (got, want) in ax.as_slice().iter().zip(b.as_slice()) {
+            assert!((got - want).abs() < 1e-7);
+        }
+        assert!(result.iterations <= n, "CG converges in <= n steps");
+    }
+
+    #[test]
+    fn cg_on_the_identity_converges_immediately() {
+        let ctx = SpangleContext::new(2);
+        let eye = DistMatrix::generate(&ctx, 16, 16, (8, 8), ChunkPolicy::default(), |r, c| {
+            (r == c).then_some(1.0)
+        });
+        let b = DenseVector::column(vec![2.0; 16]);
+        let result = conjugate_gradient(&eye, &b, 1e-12, 10).unwrap();
+        assert_eq!(result.iterations, 1);
+        for v in result.x.as_slice() {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_iteration_finds_the_dominant_eigenpair() {
+        let ctx = SpangleContext::new(2);
+        // Diagonal matrix: dominant eigenvalue is the largest entry.
+        let a = DistMatrix::generate(&ctx, 12, 12, (4, 4), ChunkPolicy::default(), |r, c| {
+            (r == c).then(|| (r + 1) as f64)
+        });
+        let result = power_iteration(&a, 1e-12, 2000).unwrap();
+        assert!(
+            (result.metric - 12.0).abs() < 1e-6,
+            "eigenvalue {}",
+            result.metric
+        );
+        // Eigenvector concentrates on the last coordinate.
+        let x = result.x.as_slice();
+        assert!(x[11].abs() > 0.999, "eigenvector {x:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn cg_rejects_rectangular_matrices() {
+        let ctx = SpangleContext::new(1);
+        let a = DistMatrix::generate(&ctx, 4, 6, (2, 2), ChunkPolicy::default(), |_, _| {
+            Some(1.0)
+        });
+        let _ = conjugate_gradient(&a, &DenseVector::column(vec![1.0; 6]), 1e-6, 10);
+    }
+}

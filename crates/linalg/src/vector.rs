@@ -1,0 +1,199 @@
+//! Driver-resident dense vectors with metadata-only transpose (§VI-C).
+//!
+//! Vectors in the paper's workloads (PageRank ranks, SGD weights) are tiny
+//! next to the matrices, so Spangle keeps them on the driver and ships them
+//! to executors by broadcast. Transposing such a vector "only replaces
+//! metadata (e.g., from 1×n to n×1)" — the opt₂ optimisation — instead of
+//! copying the payload.
+
+/// Row (`1×n`) or column (`n×1`) orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// A `1×n` row vector.
+    Row,
+    /// An `n×1` column vector.
+    Column,
+}
+
+/// A dense driver-side vector with an orientation tag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseVector {
+    data: Vec<f64>,
+    orientation: Orientation,
+}
+
+impl DenseVector {
+    /// A column vector (`n×1`).
+    pub fn column(data: Vec<f64>) -> Self {
+        DenseVector {
+            data,
+            orientation: Orientation::Column,
+        }
+    }
+
+    /// A row vector (`1×n`).
+    pub fn row(data: Vec<f64>) -> Self {
+        DenseVector {
+            data,
+            orientation: Orientation::Row,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Current orientation.
+    pub fn orientation(&self) -> Orientation {
+        self.orientation
+    }
+
+    /// The entries.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the entries.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes into the raw entries.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Metadata-only transpose (opt₂): O(1), flips the orientation tag and
+    /// shares no work with the payload.
+    pub fn transpose(mut self) -> Self {
+        self.orientation = match self.orientation {
+            Orientation::Row => Orientation::Column,
+            Orientation::Column => Orientation::Row,
+        };
+        self
+    }
+
+    /// Physical transpose: what a layout-faithful system would do — copy
+    /// the payload element by element into the new layout. Semantically
+    /// identical to [`DenseVector::transpose`]; exists so the opt₂ ablation
+    /// (Fig. 12b) has a real cost to remove.
+    pub fn transpose_physical(self) -> Self {
+        let mut copied = Vec::with_capacity(self.data.len());
+        for &v in &self.data {
+            copied.push(v);
+        }
+        DenseVector {
+            data: copied,
+            orientation: match self.orientation {
+                Orientation::Row => Orientation::Column,
+                Orientation::Column => Orientation::Row,
+            },
+        }
+    }
+
+    /// Element-wise (Hadamard) product, used by PageRank's `w ∘ p`.
+    pub fn hadamard(&self, other: &DenseVector) -> DenseVector {
+        assert_eq!(self.len(), other.len(), "hadamard length mismatch");
+        DenseVector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+            orientation: self.orientation,
+        }
+    }
+
+    /// `self · other`.
+    pub fn dot(&self, other: &DenseVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// `α·self + β·other`, element-wise.
+    pub fn axpby(&self, alpha: f64, beta: f64, other: &DenseVector) -> DenseVector {
+        assert_eq!(self.len(), other.len(), "axpby length mismatch");
+        DenseVector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| alpha * a + beta * b)
+                .collect(),
+            orientation: self.orientation,
+        }
+    }
+
+    /// Adds a scalar to every entry (PageRank's teleport term).
+    pub fn add_scalar(&self, s: f64) -> DenseVector {
+        DenseVector {
+            data: self.data.iter().map(|v| v + s).collect(),
+            orientation: self.orientation,
+        }
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, s: f64) -> DenseVector {
+        DenseVector {
+            data: self.data.iter().map(|v| v * s).collect(),
+            orientation: self.orientation,
+        }
+    }
+
+    /// L1 distance to another vector (PageRank/SGD convergence checks).
+    pub fn l1_distance(&self, other: &DenseVector) -> f64 {
+        assert_eq!(self.len(), other.len(), "distance length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_transpose_is_pure_metadata() {
+        let v = DenseVector::row(vec![1.0, 2.0, 3.0]);
+        let t = v.clone().transpose();
+        assert_eq!(t.orientation(), Orientation::Column);
+        assert_eq!(t.as_slice(), v.as_slice());
+        assert_eq!(t.transpose().orientation(), Orientation::Row);
+    }
+
+    #[test]
+    fn physical_transpose_agrees_with_metadata_transpose() {
+        let v = DenseVector::column(vec![4.0, 5.0]);
+        assert_eq!(v.clone().transpose(), v.transpose_physical());
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = DenseVector::column(vec![1.0, 2.0, 3.0]);
+        let b = DenseVector::column(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!(a.axpby(2.0, 1.0, &b).as_slice(), &[6.0, 9.0, 12.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+        assert_eq!(a.scale(3.0).as_slice(), &[3.0, 6.0, 9.0]);
+        assert_eq!(a.l1_distance(&b), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_are_rejected() {
+        let a = DenseVector::column(vec![1.0]);
+        let b = DenseVector::column(vec![1.0, 2.0]);
+        let _ = a.dot(&b);
+    }
+}

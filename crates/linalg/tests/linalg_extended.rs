@@ -1,0 +1,143 @@
+//! Extended linear-algebra tests: algebraic identities, extreme shapes,
+//! and property-based equivalence of the two multiplication plans.
+
+use proptest::prelude::*;
+use spangle_core::ChunkPolicy;
+use spangle_dataflow::SpangleContext;
+use spangle_linalg::{DenseVector, DistMatrix, Orientation};
+
+fn entry(seed: u64) -> impl Fn(usize, usize) -> Option<f64> + Send + Sync + Clone + 'static {
+    move |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+            .wrapping_add(seed)
+            .wrapping_mul(0xBF58476D1CE4E5B9)
+            >> 33;
+        (h % 3 != 0).then(|| (h % 17) as f64 - 8.0)
+    }
+}
+
+#[test]
+fn transpose_is_an_involution() {
+    let ctx = SpangleContext::new(2);
+    let a = DistMatrix::generate(&ctx, 23, 17, (8, 4), ChunkPolicy::default(), entry(1));
+    let round = a.transpose().transpose();
+    assert_eq!(a.to_local().unwrap(), round.to_local().unwrap());
+    assert_eq!(round.rows(), 23);
+    assert_eq!(round.cols(), 17);
+}
+
+#[test]
+fn multiplication_distributes_over_addition() {
+    let ctx = SpangleContext::new(2);
+    let a = DistMatrix::generate(&ctx, 16, 16, (8, 8), ChunkPolicy::default(), entry(2));
+    let b = DistMatrix::generate(&ctx, 16, 16, (8, 8), ChunkPolicy::default(), entry(3));
+    let c = DistMatrix::generate(&ctx, 16, 12, (8, 8), ChunkPolicy::default(), entry(4));
+    let left = a.add(&b).multiply(&c).to_local().unwrap();
+    let right_a = a.multiply(&c).to_local().unwrap();
+    let right_b = b.multiply(&c).to_local().unwrap();
+    for i in 0..left.len() {
+        assert!((left[i] - (right_a[i] + right_b[i])).abs() < 1e-9, "index {i}");
+    }
+}
+
+#[test]
+fn scale_commutes_with_multiplication() {
+    let ctx = SpangleContext::new(2);
+    let a = DistMatrix::generate(&ctx, 12, 10, (4, 4), ChunkPolicy::default(), entry(5));
+    let b = DistMatrix::generate(&ctx, 10, 8, (4, 4), ChunkPolicy::default(), entry(6));
+    let scaled_first = a.scale(3.0).multiply(&b).to_local().unwrap();
+    let scaled_last = a.multiply(&b).scale(3.0).to_local().unwrap();
+    for (x, y) in scaled_first.iter().zip(&scaled_last) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn single_column_and_single_row_matrices() {
+    let ctx = SpangleContext::new(2);
+    // Column matrix times row matrix: outer product.
+    let col = DistMatrix::generate(&ctx, 9, 1, (4, 1), ChunkPolicy::default(), |r, _| {
+        Some((r + 1) as f64)
+    });
+    let row = DistMatrix::generate(&ctx, 1, 7, (1, 4), ChunkPolicy::default(), |_, c| {
+        Some((c + 1) as f64)
+    });
+    let outer = col.multiply(&row).to_local().unwrap();
+    for r in 0..9 {
+        for c in 0..7 {
+            assert_eq!(outer[r + c * 9], ((r + 1) * (c + 1)) as f64);
+        }
+    }
+    // Row times column: a 1x1 inner product.
+    let inner = row
+        .multiply(&DistMatrix::generate(&ctx, 7, 1, (4, 1), ChunkPolicy::default(), |r, _| {
+            Some((r + 1) as f64)
+        }))
+        .to_local()
+        .unwrap();
+    assert_eq!(inner, vec![(1..=7).map(|i| (i * i) as f64).sum::<f64>()]);
+}
+
+#[test]
+fn matvec_respects_vector_orientation() {
+    let ctx = SpangleContext::new(2);
+    let a = DistMatrix::generate(&ctx, 6, 6, (3, 3), ChunkPolicy::default(), entry(7));
+    let col = DenseVector::column(vec![1.0; 6]);
+    assert_eq!(col.orientation(), Orientation::Column);
+    let y = a.matvec(&col).unwrap();
+    // The metadata transpose converts for vecmat with zero copies.
+    let z = a.vecmat(&y.transpose()).unwrap();
+    assert_eq!(z.orientation(), Orientation::Row);
+    assert_eq!(z.len(), 6);
+}
+
+#[test]
+#[should_panic(expected = "matvec needs a column vector")]
+fn matvec_rejects_row_vectors() {
+    let ctx = SpangleContext::new(1);
+    let a = DistMatrix::generate(&ctx, 4, 4, (2, 2), ChunkPolicy::default(), entry(8));
+    let _ = a.matvec(&DenseVector::row(vec![1.0; 4]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The shuffle plan and the local-join plan agree on arbitrary
+    /// shapes, block sizes and partition counts.
+    #[test]
+    fn local_join_equals_shuffle_plan(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        block in 2usize..9,
+        parts in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let a = DistMatrix::generate(&ctx, m, k, (block, block), ChunkPolicy::default(), entry(seed));
+        let b = DistMatrix::generate(&ctx, k, n, (block, block), ChunkPolicy::default(), entry(seed + 1));
+        let via_shuffle = a.multiply(&b).to_local().unwrap();
+        let left = a.partition_left_by_inner(parts);
+        let right = b.partition_right_by_inner(parts);
+        let via_local = DistMatrix::multiply_local(&left, &right).to_local().unwrap();
+        for (i, (x, y)) in via_shuffle.iter().zip(&via_local).enumerate() {
+            prop_assert!((x - y).abs() < 1e-9, "index {}: {} vs {}", i, x, y);
+        }
+    }
+
+    /// `(A·B)ᵀ == Bᵀ·Aᵀ` for arbitrary shapes.
+    #[test]
+    fn product_transpose_identity(
+        m in 1usize..16, k in 1usize..16, n in 1usize..16,
+        seed in 0u64..50,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let a = DistMatrix::generate(&ctx, m, k, (4, 4), ChunkPolicy::default(), entry(seed));
+        let b = DistMatrix::generate(&ctx, k, n, (4, 4), ChunkPolicy::default(), entry(seed + 9));
+        let lhs = a.multiply(&b).transpose().to_local().unwrap();
+        let rhs = b.transpose().multiply(&a.transpose()).to_local().unwrap();
+        for (i, (x, y)) in lhs.iter().zip(&rhs).enumerate() {
+            prop_assert!((x - y).abs() < 1e-9, "index {}", i);
+        }
+    }
+}

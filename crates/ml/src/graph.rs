@@ -1,0 +1,186 @@
+//! Graphs as distributed edge sets, plus a power-law generator.
+//!
+//! The paper evaluates PageRank on SNAP graphs (Enron, Epinions,
+//! LiveJournal, Twitter). Those exact datasets are not redistributable
+//! here, so [`Graph::power_law`] generates R-MAT-style graphs with the same
+//! |V|/|E| ratios and a heavy-tailed degree distribution — the properties
+//! the experiment actually exercises.
+
+use spangle_dataflow::rdd::sources::GeneratedRdd;
+use spangle_dataflow::{Rdd, SpangleContext};
+
+/// A directed graph: a vertex count and a distributed edge list
+/// `(src, dst)`.
+pub struct Graph {
+    num_vertices: usize,
+    edges: Rdd<(u64, u64)>,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            num_vertices: self.num_vertices,
+            edges: self.edges.clone(),
+        }
+    }
+}
+
+/// Split-mix style hash; deterministic edge generation.
+#[inline]
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Graph {
+    /// Wraps an existing edge RDD.
+    pub fn new(num_vertices: usize, edges: Rdd<(u64, u64)>) -> Self {
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Builds from a driver-local edge list.
+    pub fn from_edges(
+        ctx: &SpangleContext,
+        num_vertices: usize,
+        edges: Vec<(u64, u64)>,
+        num_partitions: usize,
+    ) -> Self {
+        Graph {
+            num_vertices,
+            edges: ctx.parallelize(edges, num_partitions),
+        }
+    }
+
+    /// Generates a deterministic R-MAT-style power-law graph with
+    /// `num_edges` directed edges over `num_vertices` vertices. Edges are
+    /// generated on the executors, so the driver never holds the graph.
+    pub fn power_law(
+        ctx: &SpangleContext,
+        num_vertices: usize,
+        num_edges: usize,
+        seed: u64,
+        num_partitions: usize,
+    ) -> Self {
+        assert!(num_vertices > 1, "need at least two vertices");
+        let levels = (usize::BITS - (num_vertices - 1).leading_zeros()) as usize;
+        let edges = GeneratedRdd::create(ctx, num_partitions, move |p| {
+            let lo = p * num_edges / num_partitions;
+            let hi = (p + 1) * num_edges / num_partitions;
+            let mut out = Vec::with_capacity(hi - lo);
+            for e in lo..hi {
+                // R-MAT quadrant recursion with (a,b,c,d) ≈
+                // (0.57, 0.19, 0.19, 0.05).
+                let mut src = 0u64;
+                let mut dst = 0u64;
+                for level in 0..levels {
+                    let r = mix(seed ^ ((e as u64) << 20) ^ (level as u64)) % 100;
+                    let (sbit, dbit) = if r < 57 {
+                        (0, 0)
+                    } else if r < 76 {
+                        (0, 1)
+                    } else if r < 95 {
+                        (1, 0)
+                    } else {
+                        (1, 1)
+                    };
+                    src = (src << 1) | sbit;
+                    dst = (dst << 1) | dbit;
+                }
+                src %= num_vertices as u64;
+                dst %= num_vertices as u64;
+                out.push((src, dst));
+            }
+            out
+        });
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The distributed edge list.
+    pub fn edges(&self) -> &Rdd<(u64, u64)> {
+        &self.edges
+    }
+
+    /// Number of edges (an action).
+    pub fn num_edges(&self) -> Result<usize, spangle_dataflow::JobError> {
+        self.edges.count()
+    }
+
+    /// Out-degree of every vertex, gathered on the driver (a `|V|`-sized
+    /// vector, like the paper's `w` vector).
+    pub fn out_degrees(&self) -> Result<Vec<u64>, spangle_dataflow::JobError> {
+        let counts = self
+            .edges
+            .run_partitions(|_, edges| {
+                let mut local = std::collections::HashMap::<u64, u64>::new();
+                for (src, _) in edges {
+                    *local.entry(*src).or_insert(0) += 1;
+                }
+                local.into_iter().collect::<Vec<_>>()
+            })?;
+        let mut out = vec![0u64; self.num_vertices];
+        for part in counts {
+            for (v, c) in part {
+                out[v as usize] += c;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_generates_the_requested_edge_count() {
+        let ctx = SpangleContext::new(2);
+        let g = Graph::power_law(&ctx, 1000, 5000, 42, 4);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges().unwrap(), 5000);
+    }
+
+    #[test]
+    fn power_law_is_deterministic() {
+        let ctx = SpangleContext::new(2);
+        let a = Graph::power_law(&ctx, 500, 2000, 7, 4).edges().collect().unwrap();
+        let b = Graph::power_law(&ctx, 500, 2000, 7, 4).edges().collect().unwrap();
+        assert_eq!(a, b);
+        let c = Graph::power_law(&ctx, 500, 2000, 8, 4).edges().collect().unwrap();
+        assert_ne!(a, c, "different seeds give different graphs");
+    }
+
+    #[test]
+    fn power_law_degrees_are_heavy_tailed() {
+        let ctx = SpangleContext::new(2);
+        let g = Graph::power_law(&ctx, 2048, 40_000, 3, 4);
+        let mut degs = g.out_degrees().unwrap();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = degs.iter().sum();
+        let top_decile: u64 = degs[..205].iter().sum();
+        assert!(
+            top_decile * 100 > total * 35,
+            "top 10% of vertices should own well over a third of the edges \
+             ({top_decile}/{total})"
+        );
+    }
+
+    #[test]
+    fn out_degrees_match_edge_list() {
+        let ctx = SpangleContext::new(2);
+        let g = Graph::from_edges(&ctx, 4, vec![(0, 1), (0, 2), (1, 0), (3, 3)], 2);
+        assert_eq!(g.out_degrees().unwrap(), vec![2, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic synthetic raster generators (stand-ins for SDSS and
+//! SeaWiFS CHL, see DESIGN.md §1).
+//!
+//! Both generators are *pure functions of coordinates*: `f(coords) ->
+//! Option<f64>`. That makes them usable as ArrayRDD ingest lineage, lets
+//! every comparison system hold bit-identical data, and keeps failure
+//! recovery deterministic.
+
+/// Split-mix hash used by all generators.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h % (1 << 24)) as f64 / (1 << 24) as f64
+}
+
+/// SDSS-like astronomy frames: mostly-null images with clustered point
+/// sources (stars/galaxies), five bands (*u g r i z*) per frame.
+///
+/// The array geometry is `[width, height, images]` per band. A source
+/// lives in a `cell × cell` neighbourhood with a hashed centre and radius;
+/// pixel values follow a Gaussian falloff from the centre, scaled by a
+/// per-band gain so bands are correlated but distinct.
+#[derive(Clone, Copy, Debug)]
+pub struct SdssConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of frames (the time/image dimension).
+    pub images: usize,
+    /// Source-neighbourhood size in pixels.
+    pub cell: usize,
+    /// Per-mille probability that a neighbourhood contains a source.
+    pub source_per_mille: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SdssConfig {
+    fn default() -> Self {
+        SdssConfig {
+            width: 512,
+            height: 384,
+            images: 16,
+            cell: 16,
+            source_per_mille: 400,
+            seed: 0x5D55,
+        }
+    }
+}
+
+impl SdssConfig {
+    /// Array dimensions `[width, height, images]`.
+    pub fn dims(&self) -> Vec<usize> {
+        vec![self.width, self.height, self.images]
+    }
+
+    /// Pixel value of `band` at `(x, y)` of frame `img`, or `None` for
+    /// background (null).
+    pub fn value(&self, band: usize, x: usize, y: usize, img: usize) -> Option<f64> {
+        let (cx, cy) = (x / self.cell, y / self.cell);
+        let h = mix(self.seed ^ mix((img as u64) << 40 ^ (cx as u64) << 20 ^ cy as u64));
+        if h % 1000 >= self.source_per_mille {
+            return None;
+        }
+        // Source centre and radius within the neighbourhood.
+        let sx = (cx * self.cell) as f64 + unit(mix(h ^ 1)) * self.cell as f64;
+        let sy = (cy * self.cell) as f64 + unit(mix(h ^ 2)) * self.cell as f64;
+        let radius = 1.5 + unit(mix(h ^ 3)) * (self.cell as f64 / 3.0);
+        let d2 = (x as f64 - sx).powi(2) + (y as f64 - sy).powi(2);
+        if d2 > radius * radius {
+            return None;
+        }
+        let amplitude = 50.0 + unit(mix(h ^ 4)) * 5000.0;
+        let band_gain = 0.6 + 0.2 * band as f64;
+        let sigma2 = (radius / 2.0).powi(2).max(0.5);
+        Some(amplitude * band_gain * (-d2 / (2.0 * sigma2)).exp())
+    }
+
+    /// The ingest closure for `band`, over `[x, y, img]` coordinates.
+    pub fn band_fn(
+        &self,
+        band: usize,
+    ) -> impl Fn(&[usize]) -> Option<f64> + Send + Sync + Clone + 'static {
+        let cfg = *self;
+        move |c: &[usize]| cfg.value(band, c[0], c[1], c[2])
+    }
+}
+
+/// SeaWiFS-CHL-like chlorophyll grid: `[longitude, latitude, time]`, one
+/// attribute. Land and per-timestep cloud patches are null; ocean values
+/// are lognormal-ish with a latitude trend.
+#[derive(Clone, Copy, Debug)]
+pub struct ChlConfig {
+    /// Longitude cells.
+    pub lon: usize,
+    /// Latitude cells.
+    pub lat: usize,
+    /// Time steps (8-day composites in the real data).
+    pub time: usize,
+    /// Coarse landmass cell size.
+    pub land_cell: usize,
+    /// Per-mille probability that a coarse cell is land.
+    pub land_per_mille: u64,
+    /// Per-mille probability that a coarse cell is cloud-covered in a
+    /// given time step.
+    pub cloud_per_mille: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChlConfig {
+    fn default() -> Self {
+        ChlConfig {
+            lon: 1024,
+            lat: 512,
+            time: 8,
+            land_cell: 32,
+            land_per_mille: 300,
+            cloud_per_mille: 150,
+            seed: 0xC417,
+        }
+    }
+}
+
+impl ChlConfig {
+    /// Array dimensions `[lon, lat, time]`.
+    pub fn dims(&self) -> Vec<usize> {
+        vec![self.lon, self.lat, self.time]
+    }
+
+    /// Chlorophyll at `(lon, lat, t)`, or `None` over land/cloud.
+    pub fn value(&self, lon: usize, lat: usize, t: usize) -> Option<f64> {
+        let (cx, cy) = (lon / self.land_cell, lat / self.land_cell);
+        let land = mix(self.seed ^ mix(((cx as u64) << 24) ^ cy as u64));
+        if land % 1000 < self.land_per_mille {
+            return None; // land
+        }
+        let cloud = mix(self.seed ^ mix(((cx as u64) << 40) ^ ((cy as u64) << 16) ^ t as u64));
+        if cloud % 1000 < self.cloud_per_mille {
+            return None; // cloud cover this composite
+        }
+        // Chlorophyll is higher near the coasts and poles; approximate
+        // with a latitude trend plus hashed lognormal noise.
+        let lat_frac = lat as f64 / self.lat as f64;
+        let trend = 0.05 + 0.8 * (lat_frac - 0.5).abs();
+        let noise = unit(mix(self.seed ^ ((lon as u64) << 32) ^ ((lat as u64) << 8) ^ t as u64));
+        Some(trend * (0.2 + 3.0 * noise * noise))
+    }
+
+    /// The ingest closure over `[lon, lat, t]` coordinates.
+    pub fn value_fn(&self) -> impl Fn(&[usize]) -> Option<f64> + Send + Sync + Clone + 'static {
+        let cfg = *self;
+        move |c: &[usize]| cfg.value(c[0], c[1], c[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdss_is_deterministic_and_sparse() {
+        let cfg = SdssConfig::default();
+        let mut valid = 0usize;
+        let total = 200 * 200;
+        for x in 0..200 {
+            for y in 0..200 {
+                let a = cfg.value(2, x, y, 0);
+                assert_eq!(a, cfg.value(2, x, y, 0), "deterministic");
+                if a.is_some() {
+                    valid += 1;
+                }
+            }
+        }
+        let density = valid as f64 / total as f64;
+        assert!(
+            (0.001..0.4).contains(&density),
+            "astronomy frames are sparse: density {density}"
+        );
+    }
+
+    #[test]
+    fn sdss_bands_are_correlated_but_distinct() {
+        let cfg = SdssConfig::default();
+        let mut same_support = true;
+        let mut identical_values = true;
+        for x in 0..100 {
+            for y in 0..100 {
+                let u = cfg.value(0, x, y, 1);
+                let g = cfg.value(1, x, y, 1);
+                if u.is_some() != g.is_some() {
+                    same_support = false;
+                }
+                if let (Some(a), Some(b)) = (u, g) {
+                    if (a - b).abs() > 1e-12 {
+                        identical_values = false;
+                    }
+                }
+            }
+        }
+        assert!(same_support, "bands observe the same sources");
+        assert!(!identical_values, "bands have distinct gains");
+    }
+
+    #[test]
+    fn chl_has_persistent_land_and_transient_clouds() {
+        let cfg = ChlConfig::default();
+        let mut land_cells = 0;
+        let mut checked = 0;
+        for lon in (0..cfg.lon).step_by(64) {
+            for lat in (0..cfg.lat).step_by(64) {
+                checked += 1;
+                // Land is invalid at every time step; clouds move.
+                let all_null = (0..cfg.time).all(|t| cfg.value(lon, lat, t).is_none());
+                if all_null {
+                    land_cells += 1;
+                }
+            }
+        }
+        assert!(land_cells > 0, "some land exists");
+        assert!(land_cells < checked, "some ocean exists");
+    }
+
+    #[test]
+    fn chl_values_are_positive() {
+        let cfg = ChlConfig::default();
+        for lon in (0..cfg.lon).step_by(37) {
+            for lat in (0..cfg.lat).step_by(23) {
+                if let Some(v) = cfg.value(lon, lat, 3) {
+                    assert!(v > 0.0, "chlorophyll concentrations are positive");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Text ingest: the CSV path of the paper's pipeline (§III-A: "Spangle
+//! first ingests data (e.g., CSV and NetCDF)").
+//!
+//! Each record is one cell: `coord0,coord1,...,value`. Records are keyed
+//! by ChunkID (Algorithm 1), shuffled into their chunks and assembled into
+//! payload+bitmask — the distributed ingest pipeline of Fig. 2. Cells
+//! absent from the file are null.
+
+use spangle_core::{ArrayMeta, ArrayRdd, ChunkPolicy};
+use spangle_dataflow::SpangleContext;
+
+/// A malformed record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses delimited text into `(coords, value)` cells for an array of
+/// geometry `meta`. Lines that are empty or start with `#` are skipped.
+pub fn parse_cells(
+    meta: &ArrayMeta,
+    text: &str,
+    delimiter: char,
+) -> Result<Vec<(Vec<usize>, f64)>, ParseError> {
+    let rank = meta.rank();
+    let mut cells = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(delimiter).map(str::trim).collect();
+        if fields.len() != rank + 1 {
+            return Err(ParseError {
+                line: line_no,
+                message: format!(
+                    "expected {} coordinates + 1 value, found {} fields",
+                    rank,
+                    fields.len()
+                ),
+            });
+        }
+        let mut coords = Vec::with_capacity(rank);
+        for (d, field) in fields[..rank].iter().enumerate() {
+            let c: usize = field.parse().map_err(|e| ParseError {
+                line: line_no,
+                message: format!("bad coordinate in dimension {d}: {e}"),
+            })?;
+            if c >= meta.dims()[d] {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!(
+                        "coordinate {c} out of bounds for dimension {d} (size {})",
+                        meta.dims()[d]
+                    ),
+                });
+            }
+            coords.push(c);
+        }
+        let value: f64 = fields[rank].parse().map_err(|e| ParseError {
+            line: line_no,
+            message: format!("bad value: {e}"),
+        })?;
+        cells.push((coords, value));
+    }
+    Ok(cells)
+}
+
+/// Ingests delimited text through the full distributed pipeline
+/// (ChunkID keying → shuffle grouping → chunk assembly).
+pub fn array_from_text(
+    ctx: &SpangleContext,
+    meta: ArrayMeta,
+    policy: ChunkPolicy,
+    text: &str,
+    delimiter: char,
+    num_partitions: usize,
+) -> Result<ArrayRdd<f64>, ParseError> {
+    let cells = parse_cells(&meta, text, delimiter)?;
+    Ok(ArrayRdd::from_cells(
+        ctx,
+        meta,
+        policy,
+        cells,
+        num_partitions,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spangle_core::aggregate::builtin::Sum;
+
+    fn meta() -> ArrayMeta {
+        ArrayMeta::new(vec![8, 8], vec![4, 4])
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_cells() {
+        let text = "# a comment\n\n0,0,1.5\n7, 7, -2.0\n 3,4 , 0.25\n";
+        let cells = parse_cells(&meta(), text, ',').unwrap();
+        assert_eq!(
+            cells,
+            vec![
+                (vec![0, 0], 1.5),
+                (vec![7, 7], -2.0),
+                (vec![3, 4], 0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = parse_cells(&meta(), "1,2\n", ',').unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected 2 coordinates"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_bad_numbers() {
+        let err = parse_cells(&meta(), "9,0,1.0\n", ',').unwrap_err();
+        assert!(err.message.contains("out of bounds"));
+        let err = parse_cells(&meta(), "0,0,abc\n", ',').unwrap_err();
+        assert!(err.message.contains("bad value"));
+        let err = parse_cells(&meta(), "0,x,1.0\n", ',').unwrap_err();
+        assert!(err.message.contains("bad coordinate"));
+    }
+
+    #[test]
+    fn text_ingest_builds_a_queryable_array() {
+        let ctx = SpangleContext::new(2);
+        let text = "0,0,1.0\n1,1,2.0\n6,7,3.0\n";
+        let arr =
+            array_from_text(&ctx, meta(), ChunkPolicy::default(), text, ',', 2).unwrap();
+        assert_eq!(arr.count_valid().unwrap(), 3);
+        assert_eq!(arr.aggregate(Sum), Some(6.0));
+        assert_eq!(arr.get(&[6, 7]).unwrap(), Some(3.0));
+        assert_eq!(arr.get(&[5, 5]).unwrap(), None);
+    }
+
+    #[test]
+    fn error_lines_are_reported_one_based() {
+        let text = "0,0,1.0\n0,0,oops\n";
+        let err = parse_cells(&meta(), text, ',').unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

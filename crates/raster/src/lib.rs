@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Synthetic raster datasets and the SS-DB-derived benchmark queries of
+//! Table I (paper §VII-B).
+//!
+//! * [`gen`] — deterministic cell-value functions mimicking the paper's
+//!   two datasets: SDSS-like multi-band astronomy frames (sparse point
+//!   sources over a null background) and SeaWiFS-CHL-like chlorophyll
+//!   grids (land/cloud null regions, lognormal values). Every system under
+//!   comparison ingests the *same function*, so all hold identical data.
+//! * [`systems`] — the [`systems::RasterSystem`] trait (the five queries
+//!   of Table I) and its implementations: Spangle (sparse chunks, chunk
+//!   pruning, overlap), a SciSpark-like dense engine (dense chunks, full
+//!   scans), and a RasterFrames-like tile store (driver-side ingest, dense
+//!   tiles with bounding-box pruning).
+
+pub mod gen;
+pub mod ingest;
+pub mod systems;
+
+pub use gen::{ChlConfig, SdssConfig};
+pub use ingest::{array_from_text, parse_cells, ParseError};
+pub use systems::{DenseRaster, QueryRange, RasterSystem, SpangleRaster, TileRaster};

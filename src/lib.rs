@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # Spangle
+//!
+//! A distributed in-memory processing system for large-scale arrays — a
+//! Rust reproduction of *Spangle* (Kim, Kim, Moon; ICDE 2021).
+//!
+//! This umbrella crate re-exports the entire workspace under one roof:
+//!
+//! * [`bitmask`] — bit vectors, population-count strategies, hierarchical
+//!   masks, and offset arrays (paper §IV).
+//! * [`dataflow`] — the Spark-substitute runtime: a lineage-based, lazily
+//!   evaluated, fault-tolerant distributed dataset abstraction with a DAG
+//!   scheduler, shuffle service and simulated executor cluster (§II-C).
+//! * [`array`] — ArrayRDD, chunks, metadata/mapper, MaskRDD and the array
+//!   operators Subarray / Filter / Join / Aggregator / Accumulator (§III–V).
+//! * [`linalg`] — bitmask-aware distributed matrices: multiplication with
+//!   the local-join optimisation, matrix–vector products and metadata
+//!   transpose (§V-A4, §VI-A).
+//! * [`ml`] — PageRank via bitmask adjacency decomposition and parallel
+//!   SGD / logistic regression (§VI-B, §VI-C).
+//! * [`raster`] — synthetic SDSS-like and chlorophyll-like raster datasets
+//!   plus the five SS-DB benchmark queries of Table I (§VII-B).
+//! * [`baselines`] — the comparator systems of §VII: dense chunked arrays
+//!   (SciSpark-like), COO and CSC block matrices (Spark/MLlib-like),
+//!   edge-list and Pregel-style PageRank (Spark/GraphX-like), a row-based
+//!   logistic regression, and a single-process array engine standing in for
+//!   SciDB.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spangle::dataflow::SpangleContext;
+//! use spangle::array::{ArrayBuilder, ArrayMeta};
+//! use spangle::array::aggregate::builtin::Avg;
+//!
+//! // A simulated 4-executor cluster.
+//! let ctx = SpangleContext::new(4);
+//!
+//! // A 64x64 array chunked 16x16, with a null hole in the middle.
+//! let meta = ArrayMeta::new(vec![64, 64], vec![16, 16]);
+//! let arr = ArrayBuilder::new(&ctx, meta)
+//!     .ingest(|coords| {
+//!         let (x, y) = (coords[0], coords[1]);
+//!         if (16..48).contains(&x) && (16..48).contains(&y) {
+//!             None // null region
+//!         } else {
+//!             Some((x + y) as f64)
+//!         }
+//!     })
+//!     .build();
+//!
+//! // Average of a subarray, skipping nulls.
+//! let avg = arr.subarray(&[0, 0], &[32, 32]).aggregate(Avg);
+//! assert!(avg.is_some());
+//! ```
+
+pub use spangle_baselines as baselines;
+pub use spangle_bitmask as bitmask;
+pub use spangle_core as array;
+/// Alias of [`array`] under the crate's original name.
+pub use spangle_core as core;
+pub use spangle_dataflow as dataflow;
+pub use spangle_linalg as linalg;
+pub use spangle_ml as ml;
+pub use spangle_raster as raster;

@@ -1,0 +1,177 @@
+//! End-to-end raster pipelines across the full stack: ingest → operators
+//! → aggregation, with every system under comparison agreeing on the
+//! answers.
+
+use spangle::array::aggregate::builtin::{Avg, Count, Sum};
+use spangle::array::maskrdd::{JoinMode, SpangleArray};
+use spangle::array::{ArrayBuilder, ArrayMeta, ChunkPolicy};
+use spangle::baselines::LocalArrayEngine;
+use spangle::dataflow::SpangleContext;
+use spangle::raster::{ChlConfig, DenseRaster, QueryRange, RasterSystem, SpangleRaster, TileRaster};
+
+fn chl() -> ChlConfig {
+    ChlConfig {
+        lon: 128,
+        lat: 96,
+        time: 4,
+        land_cell: 16,
+        ..ChlConfig::default()
+    }
+}
+
+#[test]
+fn four_systems_agree_on_all_five_queries() {
+    let ctx = SpangleContext::new(4);
+    let cfg = chl();
+    let meta = ArrayMeta::new(cfg.dims(), vec![32, 32, 1]);
+    let spangle = SpangleRaster::ingest(&ctx, meta.clone(), cfg.value_fn());
+    let dense = DenseRaster::ingest(&ctx, meta.clone(), cfg.value_fn());
+    let tiles = TileRaster::ingest(&ctx, meta.clone(), 32, cfg.value_fn());
+    let local = LocalArrayEngine::ingest(meta, cfg.value_fn());
+
+    let range = QueryRange {
+        lo: vec![16, 8, 1],
+        hi: vec![112, 88, 3],
+    };
+
+    // Distributed systems through the trait...
+    let systems: Vec<&dyn RasterSystem> = vec![&spangle, &dense, &tiles];
+    let q1: Vec<f64> = systems.iter().map(|s| s.q1_avg(&range).unwrap()).collect();
+    let q3: Vec<f64> = systems
+        .iter()
+        .map(|s| s.q3_cond_avg(&range, 0.3).unwrap())
+        .collect();
+    let q4: Vec<usize> = systems
+        .iter()
+        .map(|s| s.q4_filter_count(&range, 0.1, 0.7))
+        .collect();
+    let q5: Vec<usize> = systems.iter().map(|s| s.q5_density(&range, 16, 200)).collect();
+
+    // ...and the single-process engine directly.
+    let l1 = local.range_avg(&range.lo, &range.hi, |_| true).unwrap();
+    let l3 = local.range_avg(&range.lo, &range.hi, |v| v > 0.3).unwrap();
+    let l4 = local.range_count(&range.lo, &range.hi, |v| (0.1..0.7).contains(&v));
+    let l5 = local.range_density(&range.lo, &range.hi, 16, 200).len();
+
+    for i in 0..systems.len() {
+        assert!((q1[i] - l1).abs() < 1e-9, "q1 {}", systems[i].name());
+        assert!((q3[i] - l3).abs() < 1e-9, "q3 {}", systems[i].name());
+        assert_eq!(q4[i], l4, "q4 {}", systems[i].name());
+        assert_eq!(q5[i], l5, "q5 {}", systems[i].name());
+    }
+    assert!(q4[0] > 0 && q5[0] > 0, "queries must not be vacuous");
+}
+
+#[test]
+fn operator_pipeline_is_order_insensitive_where_algebra_says_so() {
+    let ctx = SpangleContext::new(4);
+    let cfg = chl();
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(cfg.dims(), vec![32, 32, 2]))
+        .ingest(cfg.value_fn())
+        .build();
+    // subarray ∘ filter == filter ∘ subarray.
+    let a = arr
+        .subarray(&[10, 10, 0], &[100, 90, 3])
+        .filter(|v| v > 0.25);
+    let b = arr
+        .filter(|v| v > 0.25)
+        .subarray(&[10, 10, 0], &[100, 90, 3]);
+    assert_eq!(a.count_valid().unwrap(), b.count_valid().unwrap());
+    assert_eq!(a.aggregate(Sum), b.aggregate(Sum));
+    // Intersecting subarrays compose.
+    let c = arr
+        .subarray(&[0, 0, 0], &[100, 96, 4])
+        .subarray(&[10, 10, 0], &[128, 90, 3]);
+    let d = arr.subarray(&[10, 10, 0], &[100, 90, 3]);
+    assert_eq!(c.collect_cells().unwrap(), d.collect_cells().unwrap());
+}
+
+#[test]
+fn multi_attribute_join_pipeline_lazy_equals_eager() {
+    let ctx = SpangleContext::new(4);
+    let cfg = chl();
+    let meta = ArrayMeta::new(cfg.dims(), vec![32, 32, 1]);
+    let build = |lazy: bool| {
+        let a = ArrayBuilder::new(&ctx, meta.clone())
+            .ingest(cfg.value_fn())
+            .build();
+        let b = ArrayBuilder::new(&ctx, meta.clone())
+            .ingest(move |c| cfg.value(c[0], c[1], c[2]).map(|v| v * 2.0))
+            .build();
+        SpangleArray::new(vec![("a".into(), a)], lazy)
+            .join(&SpangleArray::new(vec![("b".into(), b)], lazy), JoinMode::And)
+            .subarray(&[8, 8, 0], &[120, 88, 4])
+            .filter_attribute("b", |v| v > 0.4)
+    };
+    let lazy = build(true);
+    let eager = build(false);
+    for attr in ["a", "b"] {
+        assert_eq!(
+            lazy.count_valid(attr).unwrap(),
+            eager.count_valid(attr).unwrap(),
+            "attribute {attr}"
+        );
+        let l = lazy.materialize(attr).aggregate(Avg);
+        let e = eager.materialize(attr).aggregate(Avg);
+        match (l, e) {
+            (Some(l), Some(e)) => assert!((l - e).abs() < 1e-9, "attribute {attr}"),
+            (l, e) => assert_eq!(l.is_some(), e.is_some()),
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_policies_agree_on_results_but_not_memory() {
+    let ctx = SpangleContext::new(4);
+    let cfg = ChlConfig {
+        land_per_mille: 700,
+        ..chl()
+    };
+    let meta = ArrayMeta::new(cfg.dims(), vec![32, 32, 1]);
+    let sparse = ArrayBuilder::new(&ctx, meta.clone())
+        .ingest(cfg.value_fn())
+        .build();
+    let dense = ArrayBuilder::new(&ctx, meta)
+        .policy(ChunkPolicy::always_dense())
+        .ingest(cfg.value_fn())
+        .build();
+    assert_eq!(
+        sparse.collect_cells().unwrap(),
+        dense.collect_cells().unwrap()
+    );
+    assert_eq!(sparse.aggregate(Count), dense.aggregate(Count));
+    assert!(
+        sparse.mem_bytes().unwrap() < dense.mem_bytes().unwrap(),
+        "mostly-null data must be smaller sparsely"
+    );
+}
+
+#[test]
+fn regrid_then_aggregate_matches_direct_grouped_aggregate() {
+    let ctx = SpangleContext::new(4);
+    let cfg = chl();
+    let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(cfg.dims(), vec![32, 32, 1]))
+        .ingest(cfg.value_fn())
+        .build();
+    let regridded = arr.regrid_mean(&[16, 16, 1]);
+    let direct = arr
+        .aggregate_by(
+            |c| ((c[0] / 16) as u64, (c[1] / 16) as u64, c[2] as u64),
+            Avg,
+        )
+        .unwrap();
+    let mut direct_sorted = direct;
+    direct_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut via_regrid: Vec<((u64, u64, u64), f64)> = regridded
+        .collect_cells()
+        .unwrap()
+        .into_iter()
+        .map(|(c, v)| ((c[0] as u64, c[1] as u64, c[2] as u64), v))
+        .collect();
+    via_regrid.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(direct_sorted.len(), via_regrid.len());
+    for ((ka, va), (kb, vb)) in direct_sorted.iter().zip(&via_regrid) {
+        assert_eq!(ka, kb);
+        assert!((va - vb).abs() < 1e-9, "group {ka:?}");
+    }
+}

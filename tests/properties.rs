@@ -1,0 +1,182 @@
+//! Property-based tests over the core invariants, spanning crates.
+//!
+//! Contexts are created inside each case; proptest shrinks over array
+//! geometry, masks and values. Cases are kept small so the executor
+//! cluster spins up quickly.
+
+use proptest::prelude::*;
+use spangle::array::{ArrayBuilder, ArrayMeta, ChunkPolicy};
+use spangle::bitmask::{Bitmask, HierarchicalBitmask, Milestones, OffsetArray};
+use spangle::core::Chunk;
+use spangle::dataflow::SpangleContext;
+use spangle::linalg::DistMatrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every rank strategy agrees with the reference prefix count.
+    #[test]
+    fn rank_strategies_agree(bits in proptest::collection::vec(any::<bool>(), 1..2048)) {
+        let mask = Bitmask::from_fn(bits.len(), |i| bits[i]);
+        let milestones = Milestones::build(&mask);
+        let hier = HierarchicalBitmask::compress(&mask);
+        let offsets = OffsetArray::from_mask(&mask);
+        let mut expected = 0usize;
+        for i in 0..bits.len() {
+            prop_assert_eq!(mask.rank_naive(i), expected);
+            prop_assert_eq!(milestones.rank(&mask, i), expected);
+            prop_assert_eq!(hier.rank(i), expected);
+            prop_assert_eq!(offsets.rank(i), expected);
+            if bits[i] {
+                expected += 1;
+            }
+        }
+    }
+
+    /// Chunk mode re-encoding never changes logical content.
+    #[test]
+    fn chunk_reencode_roundtrip(
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..1500)
+    ) {
+        let volume = values.len();
+        let payload: Vec<f64> = values.iter().map(|v| v.unwrap_or_default()).collect();
+        let mask = Bitmask::from_fn(volume, |i| values[i].is_some());
+        prop_assume!(!mask.all_zero());
+        let policies = [
+            ChunkPolicy::default(),
+            ChunkPolicy::always_dense(),
+            ChunkPolicy::naive_sparse(),
+            ChunkPolicy { dense_threshold: 1.1, build_milestones: true },
+        ];
+        let reference = Chunk::build(payload.clone(), mask.clone(), &policies[0]).unwrap();
+        for policy in &policies[1..] {
+            let chunk = Chunk::build(payload.clone(), mask.clone(), policy).unwrap();
+            prop_assert_eq!(&chunk, &reference);
+            let re = chunk.reencode(&policies[0]).unwrap();
+            prop_assert_eq!(&re, &reference);
+        }
+    }
+
+    /// The mapper is a bijection between cells and (chunk, local) slots.
+    #[test]
+    fn mapper_bijection(
+        dims in proptest::collection::vec(1usize..14, 1..4),
+        chunk_seed in proptest::collection::vec(1usize..6, 3),
+    ) {
+        let chunk_shape: Vec<usize> = dims
+            .iter()
+            .zip(&chunk_seed)
+            .map(|(&d, &c)| c.min(d))
+            .collect();
+        let mapper = ArrayMeta::new(dims.clone(), chunk_shape).mapper();
+        let volume: usize = dims.iter().product();
+        let mut seen = std::collections::HashSet::new();
+        // Odometer over all coordinates.
+        let mut pos = vec![0usize; dims.len()];
+        for _ in 0..volume {
+            let id = mapper.chunk_id_of(&pos);
+            let local = mapper.local_index_of(&pos);
+            prop_assert!(seen.insert((id, local)), "slot collision at {:?}", pos);
+            prop_assert_eq!(mapper.global_coords_of(id, local), pos.clone());
+            let mut d = 0;
+            loop {
+                if d == dims.len() { break; }
+                pos[d] += 1;
+                if pos[d] < dims[d] { break; }
+                pos[d] = 0;
+                d += 1;
+            }
+        }
+        prop_assert_eq!(seen.len(), volume);
+    }
+
+    /// Distributed subarray+filter equals the sequential reference.
+    #[test]
+    fn subarray_filter_matches_reference(
+        seed in 0u64..1000,
+        lo_x in 0usize..20, lo_y in 0usize..20,
+        w in 1usize..20, h in 1usize..20,
+        threshold in -50.0f64..50.0,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let value = move |x: usize, y: usize| {
+            let v = ((x * 31 + y * 17 + seed as usize) % 101) as f64 - 50.0;
+            ((x + y + seed as usize) % 4 != 0).then_some(v)
+        };
+        let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![24, 24], vec![7, 5]))
+            .ingest(move |c| value(c[0], c[1]))
+            .build();
+        let hi_x = (lo_x + w).min(24);
+        let hi_y = (lo_y + h).min(24);
+        let got = arr
+            .subarray(&[lo_x, lo_y], &[hi_x, hi_y])
+            .filter(move |v| v > threshold)
+            .collect_cells()
+            .unwrap();
+        let mut expected = Vec::new();
+        for x in lo_x..hi_x {
+            for y in lo_y..hi_y {
+                if let Some(v) = value(x, y) {
+                    if v > threshold {
+                        expected.push((vec![x, y], v));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Distributed matmul equals the triple-loop reference.
+    #[test]
+    fn distributed_matmul_matches_reference(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let ctx = SpangleContext::new(2);
+        let entry = move |salt: u64, r: usize, c: usize| -> Option<f64> {
+            let h = (r as u64 * 2654435761 + c as u64 * 40503 + seed * 97 + salt)
+                .wrapping_mul(0x9E3779B97F4A7C15) >> 33;
+            (h % 3 != 0).then(|| (h % 13) as f64 - 6.0)
+        };
+        let a = DistMatrix::generate(&ctx, m, k, (4, 4), ChunkPolicy::default(),
+            move |r, c| entry(1, r, c));
+        let b = DistMatrix::generate(&ctx, k, n, (4, 4), ChunkPolicy::default(),
+            move |r, c| entry(2, r, c));
+        let got = a.multiply(&b).to_local().unwrap();
+        let al = a.to_local().unwrap();
+        let bl = b.to_local().unwrap();
+        for r in 0..m {
+            for c in 0..n {
+                let expected: f64 = (0..k).map(|kk| al[r + kk * m] * bl[kk + c * k]).sum();
+                prop_assert!((got[r + c * m] - expected).abs() < 1e-9,
+                    "({}, {}): {} vs {}", r, c, got[r + c * m], expected);
+            }
+        }
+    }
+
+    /// Restriction masks compose: restrict(A∧B) == restrict(A)∘restrict(B).
+    #[test]
+    fn chunk_restriction_composes(
+        valid in proptest::collection::vec(any::<bool>(), 64..256),
+        keep_a in proptest::collection::vec(any::<bool>(), 256),
+        keep_b in proptest::collection::vec(any::<bool>(), 256),
+    ) {
+        let volume = valid.len();
+        let mask = Bitmask::from_fn(volume, |i| valid[i]);
+        prop_assume!(!mask.all_zero());
+        let payload: Vec<f64> = (0..volume).map(|i| i as f64).collect();
+        let policy = ChunkPolicy::default();
+        let chunk = Chunk::build(payload, mask, &policy).unwrap();
+        let a = Bitmask::from_fn(volume, |i| keep_a[i]);
+        let b = Bitmask::from_fn(volume, |i| keep_b[i]);
+        let combined = chunk.restrict(&a.and(&b), &policy);
+        let sequential = chunk
+            .restrict(&a, &policy)
+            .and_then(|c| c.restrict(&b, &policy));
+        match (combined, sequential) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert_eq!(x, y),
+            (x, y) => prop_assert!(false, "mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
+        }
+    }
+}
