@@ -188,8 +188,7 @@ impl MatrixBlock for CscBlock {
     }
 
     fn matvec_into(&self, q: &[f64], acc: &mut [f64]) {
-        for c in 0..self.cols {
-            let qc = q[c];
+        for (c, &qc) in q.iter().enumerate().take(self.cols) {
             if qc == 0.0 {
                 continue;
             }
@@ -200,12 +199,12 @@ impl MatrixBlock for CscBlock {
     }
 
     fn vecmat_into(&self, x: &[f64], acc: &mut [f64]) {
-        for c in 0..self.cols {
+        for (c, slot) in acc.iter_mut().enumerate().take(self.cols) {
             let mut sum = 0.0;
             for i in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
                 sum += x[self.row_idx[i] as usize] * self.vals[i];
             }
-            acc[c] += sum;
+            *slot += sum;
         }
     }
 
@@ -274,23 +273,19 @@ impl MatrixBlock for DenseBlock {
     }
 
     fn matvec_into(&self, q: &[f64], acc: &mut [f64]) {
-        for c in 0..self.cols {
-            let qc = q[c];
+        for (c, &qc) in q.iter().enumerate().take(self.cols) {
             let col = &self.data[c * self.rows..(c + 1) * self.rows];
-            for r in 0..self.rows {
-                acc[r] += col[r] * qc;
+            for (slot, &v) in acc.iter_mut().zip(col) {
+                *slot += v * qc;
             }
         }
     }
 
     fn vecmat_into(&self, x: &[f64], acc: &mut [f64]) {
-        for c in 0..self.cols {
+        for (c, slot) in acc.iter_mut().enumerate().take(self.cols) {
             let col = &self.data[c * self.rows..(c + 1) * self.rows];
-            let mut sum = 0.0;
-            for r in 0..self.rows {
-                sum += x[r] * col[r];
-            }
-            acc[c] += sum;
+            let sum: f64 = x.iter().zip(col).map(|(&xv, &cv)| xv * cv).sum();
+            *slot += sum;
         }
     }
 
@@ -519,9 +514,8 @@ impl<B: MatrixBlock> BlockMatrix<B> {
             .rdd
             .map(move |(id, blk)| (id % b_grid_rows, (id / b_grid_rows, blk)));
         let n = self.rdd.num_partitions();
-        let partials = a
-            .cogroup(&b, Arc::new(HashPartitioner::new(n)))
-            .flat_map(move |(_, (links, rights))| {
+        let partials = a.cogroup(&b, Arc::new(HashPartitioner::new(n))).flat_map(
+            move |(_, (links, rights))| {
                 let mut out = Vec::with_capacity(links.len() * rights.len());
                 for (gr, ab) in &links {
                     for (gc, bb) in &rights {
@@ -533,16 +527,15 @@ impl<B: MatrixBlock> BlockMatrix<B> {
                     }
                 }
                 out
-            });
-        let reduced = partials.reduce_by_key(
-            Arc::new(HashPartitioner::new(n)),
-            |(r, mut a), (_, b)| {
+            },
+        );
+        let reduced =
+            partials.reduce_by_key(Arc::new(HashPartitioner::new(n)), |(r, mut a), (_, b)| {
                 for (x, y) in a.iter_mut().zip(&b) {
                     *x += y;
                 }
                 (r, a)
-            },
-        );
+            });
         let rdd = reduced.flat_map(|(id, (rows, acc))| {
             let cols = acc.len() / rows;
             let triplets: Vec<(u32, u32, f64)> = acc
@@ -635,7 +628,9 @@ mod tests {
     use super::*;
 
     fn entry(r: usize, c: usize) -> Option<f64> {
-        ((r + 2 * c) % 5 == 0).then(|| (r * 7 + c + 1) as f64)
+        (r + 2 * c)
+            .is_multiple_of(5)
+            .then(|| (r * 7 + c + 1) as f64)
     }
 
     fn reference(rows: usize, cols: usize) -> Vec<f64> {
@@ -677,13 +672,8 @@ mod tests {
         let product = m.multiply(&mt).to_local().unwrap();
         for r in 0..18 {
             for c in 0..18 {
-                let expected: f64 = (0..13)
-                    .map(|k| local[r + k * 18] * local[c + k * 18])
-                    .sum();
-                assert!(
-                    (product[r + c * 18] - expected).abs() < 1e-9,
-                    "({r},{c})"
-                );
+                let expected: f64 = (0..13).map(|k| local[r + k * 18] * local[c + k * 18]).sum();
+                assert!((product[r + c * 18] - expected).abs() < 1e-9, "({r},{c})");
             }
         }
 
@@ -691,9 +681,7 @@ mod tests {
         let gram = m.gram().to_local().unwrap();
         for a in 0..13 {
             for b in 0..13 {
-                let expected: f64 = (0..18)
-                    .map(|k| local[k + a * 18] * local[k + b * 18])
-                    .sum();
+                let expected: f64 = (0..18).map(|k| local[k + a * 18] * local[k + b * 18]).sum();
                 assert!((gram[a + b * 13] - expected).abs() < 1e-9, "({a},{b})");
             }
         }
@@ -722,7 +710,11 @@ mod tests {
         let dense = BlockMatrix::<DenseBlock>::generate(&ctx, 16, 16, (4, 4), f);
         let coo = BlockMatrix::<CooBlock>::generate(&ctx, 16, 16, (4, 4), f);
         assert_eq!(dense.rdd().count().unwrap(), 16, "every grid slot exists");
-        assert_eq!(coo.rdd().count().unwrap(), 1, "sparse formats elide empties");
+        assert_eq!(
+            coo.rdd().count().unwrap(),
+            1,
+            "sparse formats elide empties"
+        );
         assert!(dense.mem_bytes().unwrap() > 4 * coo.mem_bytes().unwrap());
     }
 
@@ -730,7 +722,7 @@ mod tests {
     fn memory_ordering_matches_the_paper_for_sparse_data() {
         let ctx = SpangleContext::new(2);
         // ~2% density.
-        let f = |r: usize, c: usize| ((r * 53 + c * 19) % 50 == 0).then_some(1.0);
+        let f = |r: usize, c: usize| (r * 53 + c * 19).is_multiple_of(50).then_some(1.0);
         let coo = BlockMatrix::<CooBlock>::generate(&ctx, 256, 256, (64, 64), f)
             .mem_bytes()
             .unwrap();
@@ -740,6 +732,9 @@ mod tests {
         let dense = BlockMatrix::<DenseBlock>::generate(&ctx, 256, 256, (64, 64), f)
             .mem_bytes()
             .unwrap();
-        assert!(csc < dense && coo < dense, "sparse formats beat dense: coo={coo} csc={csc} dense={dense}");
+        assert!(
+            csc < dense && coo < dense,
+            "sparse formats beat dense: coo={coo} csc={csc} dense={dense}"
+        );
     }
 }

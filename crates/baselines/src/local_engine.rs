@@ -93,12 +93,7 @@ impl LocalArrayEngine {
     /// Visits every valid `(coords, value)` pair inside `[lo, hi)`,
     /// charging IO for each touched chunk. Chunks outside the box are
     /// pruned by ID, like Subarray.
-    pub fn scan_range(
-        &self,
-        lo: &[usize],
-        hi: &[usize],
-        mut visit: impl FnMut(&[usize], f64),
-    ) {
+    pub fn scan_range(&self, lo: &[usize], hi: &[usize], mut visit: impl FnMut(&[usize], f64)) {
         let selected: std::collections::HashSet<ChunkId> =
             self.mapper.chunks_in_range(lo, hi).into_iter().collect();
         for (id, chunk) in &self.chunks {
@@ -160,10 +155,7 @@ impl LocalArrayEngine {
             );
             *counts.entry(key).or_insert(0) += 1;
         });
-        let mut out: Vec<_> = counts
-            .into_iter()
-            .filter(|(_, c)| *c > threshold)
-            .collect();
+        let mut out: Vec<_> = counts.into_iter().filter(|(_, c)| *c > threshold).collect();
         out.sort_unstable();
         out
     }
@@ -171,12 +163,7 @@ impl LocalArrayEngine {
     /// Block-mean regrid of a range (Q2-style): averages aligned `k × k`
     /// groups of the first two dimensions, returning `(block coords,
     /// mean)`.
-    pub fn range_regrid(
-        &self,
-        lo: &[usize],
-        hi: &[usize],
-        k: usize,
-    ) -> Vec<((u64, u64), f64)> {
+    pub fn range_regrid(&self, lo: &[usize], hi: &[usize], k: usize) -> Vec<((u64, u64), f64)> {
         let mut acc = std::collections::HashMap::<(u64, u64), (f64, usize)>::new();
         self.scan_range(lo, hi, |coords, v| {
             let key = ((coords[0] / k) as u64, (coords[1] / k) as u64);
@@ -188,7 +175,7 @@ impl LocalArrayEngine {
             .into_iter()
             .map(|(k, (s, n))| (k, s / n as f64))
             .collect();
-        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out.sort_unstable_by_key(|e| e.0);
         out
     }
 
@@ -223,7 +210,7 @@ mod tests {
 
     fn engine() -> LocalArrayEngine {
         LocalArrayEngine::ingest(ArrayMeta::new(vec![40, 40], vec![16, 16]), |c| {
-            (c[0] % 2 == 0).then(|| (c[0] * 100 + c[1]) as f64)
+            c[0].is_multiple_of(2).then(|| (c[0] * 100 + c[1]) as f64)
         })
     }
 
@@ -273,9 +260,9 @@ mod tests {
         });
         let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
         let y = e.matvec(&x);
-        for r in 0..6 {
+        for (r, &got) in y.iter().enumerate().take(6) {
             let expected: f64 = (0..5).map(|c| ((r * 5 + c + 1) * c) as f64).sum();
-            assert!((y[r] - expected).abs() < 1e-9, "row {r}");
+            assert!((got - expected).abs() < 1e-9, "row {r}");
         }
     }
 }

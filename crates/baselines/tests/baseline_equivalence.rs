@@ -1,7 +1,6 @@
 //! Cross-format equivalence: all block formats and the Spangle matrix
 //! compute the same linear algebra on random inputs.
 
-use proptest::prelude::*;
 use spangle_baselines::{BlockMatrix, CooBlock, CscBlock, DenseBlock};
 use spangle_core::ChunkPolicy;
 use spangle_dataflow::SpangleContext;
@@ -14,24 +13,22 @@ fn entry(seed: u64) -> impl Fn(usize, usize) -> Option<f64> + Send + Sync + Clon
             .wrapping_add((c as u64).wrapping_mul(0xD1B54A32D192ED03))
             .wrapping_add(seed.wrapping_mul(0x2545F4914F6CDD1D))
             >> 31;
-        (h % 4 == 0).then(|| (h % 19) as f64 - 9.0)
+        h.is_multiple_of(4).then_some((h % 19) as f64 - 9.0)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn every_format_computes_the_same_matvec(
-        rows in 1usize..40,
-        cols in 1usize..40,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn every_format_computes_the_same_matvec() {
+    spangle_testkit::run_cases(0xBA5E_0001, 10, |rng| {
+        let rows = rng.usize_in(1..40);
+        let cols = rng.usize_in(1..40);
+        let seed = rng.u64_in(0..100);
         let ctx = SpangleContext::new(2);
         let f = entry(seed);
         let x: Vec<f64> = (0..cols).map(|i| (i % 7) as f64 - 3.0).collect();
 
-        let spangle = DistMatrix::generate(&ctx, rows, cols, (8, 8), ChunkPolicy::default(), f.clone());
+        let spangle =
+            DistMatrix::generate(&ctx, rows, cols, (8, 8), ChunkPolicy::default(), f.clone());
         let reference = spangle.matvec(&DenseVector::column(x.clone())).unwrap();
 
         let coo = BlockMatrix::<CooBlock>::generate(&ctx, rows, cols, (8, 8), f.clone());
@@ -43,20 +40,22 @@ proptest! {
             ("dense", dense.matvec(&x).unwrap()),
         ] {
             for (i, (a, b)) in got.iter().zip(reference.as_slice()).enumerate() {
-                prop_assert!((a - b).abs() < 1e-9, "{} row {}: {} vs {}", name, i, a, b);
+                assert!((a - b).abs() < 1e-9, "{} row {}: {} vs {}", name, i, a, b);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_format_computes_the_same_gram(
-        rows in 1usize..24,
-        cols in 1usize..16,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn every_format_computes_the_same_gram() {
+    spangle_testkit::run_cases(0xBA5E_0002, 10, |rng| {
+        let rows = rng.usize_in(1..24);
+        let cols = rng.usize_in(1..16);
+        let seed = rng.u64_in(0..100);
         let ctx = SpangleContext::new(2);
         let f = entry(seed);
-        let spangle = DistMatrix::generate(&ctx, rows, cols, (4, 4), ChunkPolicy::default(), f.clone());
+        let spangle =
+            DistMatrix::generate(&ctx, rows, cols, (4, 4), ChunkPolicy::default(), f.clone());
         let reference = spangle.gram().to_local().unwrap();
 
         let coo = BlockMatrix::<CooBlock>::generate(&ctx, rows, cols, (4, 4), f.clone());
@@ -65,10 +64,10 @@ proptest! {
             ("coo", coo.gram().to_local().unwrap()),
             ("csc", csc.gram().to_local().unwrap()),
         ] {
-            prop_assert_eq!(got.len(), reference.len());
+            assert_eq!(got.len(), reference.len());
             for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
-                prop_assert!((a - b).abs() < 1e-9, "{} index {}: {} vs {}", name, i, a, b);
+                assert!((a - b).abs() < 1e-9, "{} index {}: {} vs {}", name, i, a, b);
             }
         }
-    }
+    });
 }

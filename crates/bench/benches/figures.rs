@@ -2,10 +2,11 @@
 //! `cargo bench` completes quickly. The full-scale sweeps live in the
 //! `fig7`…`fig12`/`table3` binaries (see `spangle-bench`'s crate docs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spangle_baselines::{
     pagerank_edge_list, BlockMatrix, CooBlock, CscBlock, DenseBlock, RowLogReg,
 };
+use spangle_bench::criterion::{BenchmarkId, Criterion};
+use spangle_bench::{criterion_group, criterion_main};
 use spangle_core::{ArrayBuilder, ArrayMeta, ChunkPolicy};
 use spangle_dataflow::SpangleContext;
 use spangle_linalg::{DenseVector, DistMatrix};
@@ -59,9 +60,21 @@ fn bench_fig8(c: &mut Criterion) {
     for w in [32usize, 128] {
         let meta = ArrayMeta::new(cfg.dims(), vec![w, w, 1]);
         for (label, policy) in [
-            ("naive", ChunkPolicy { dense_threshold: 1.1, build_milestones: false }),
+            (
+                "naive",
+                ChunkPolicy {
+                    dense_threshold: 1.1,
+                    build_milestones: false,
+                },
+            ),
             ("dense", ChunkPolicy::always_dense()),
-            ("opt", ChunkPolicy { dense_threshold: 1.1, build_milestones: true }),
+            (
+                "opt",
+                ChunkPolicy {
+                    dense_threshold: 1.1,
+                    build_milestones: true,
+                },
+            ),
         ] {
             let arr = ArrayBuilder::new(&ctx, meta.clone())
                 .policy(policy)
@@ -144,7 +157,11 @@ fn bench_fig10(c: &mut Criterion) {
     let ctx = small_ctx();
     let n = 1024;
     let block = 128;
-    let f = |r: usize, cc: usize| ((r * 31 + cc * 17) % 70 == 0).then(|| (r + cc) as f64);
+    let f = |r: usize, cc: usize| {
+        (r * 31 + cc * 17)
+            .is_multiple_of(70)
+            .then(|| (r + cc) as f64)
+    };
     let spangle = DistMatrix::generate(&ctx, n, n, (block, block), ChunkPolicy::default(), f);
     spangle.persist();
     spangle.nnz().expect("ingest");
@@ -165,7 +182,9 @@ fn bench_fig10(c: &mut Criterion) {
     group.bench_function("spangle", |b| b.iter(|| spangle.matvec(&xv).expect("mv")));
     group.bench_function("spark_coo", |b| b.iter(|| coo.matvec(&x).expect("mv")));
     group.bench_function("mllib_csc", |b| b.iter(|| csc.matvec(&x).expect("mv")));
-    group.bench_function("scispark_dense", |b| b.iter(|| dense.matvec(&x).expect("mv")));
+    group.bench_function("scispark_dense", |b| {
+        b.iter(|| dense.matvec(&x).expect("mv"))
+    });
     group.finish();
 }
 
@@ -228,13 +247,19 @@ fn bench_fig12(c: &mut Criterion) {
 fn bench_local_join_ablation(c: &mut Criterion) {
     let ctx = small_ctx();
     let n = 512;
-    let f = |r: usize, cc: usize| ((r * 13 + cc * 29) % 40 == 0).then(|| (r % 7) as f64 + 1.0);
+    let f = |r: usize, cc: usize| {
+        (r * 13 + cc * 29)
+            .is_multiple_of(40)
+            .then_some((r % 7) as f64 + 1.0)
+    };
     let a = DistMatrix::generate(&ctx, n, n, (64, 64), ChunkPolicy::default(), f);
     a.persist();
     a.nnz().expect("ingest");
     let left = a.partition_left_by_inner(4);
     let right = a.partition_right_by_inner(4);
-    DistMatrix::multiply_local(&left, &right).nnz().expect("warm");
+    DistMatrix::multiply_local(&left, &right)
+        .nnz()
+        .expect("warm");
 
     let mut group = c.benchmark_group("ablation_local_join");
     group.sample_size(10);
@@ -242,7 +267,11 @@ fn bench_local_join_ablation(c: &mut Criterion) {
         b.iter(|| a.multiply(&a).nnz().expect("multiply"))
     });
     group.bench_function("local_join_reused_layout", |b| {
-        b.iter(|| DistMatrix::multiply_local(&left, &right).nnz().expect("multiply"))
+        b.iter(|| {
+            DistMatrix::multiply_local(&left, &right)
+                .nnz()
+                .expect("multiply")
+        })
     });
     group.finish();
 }
@@ -267,7 +296,7 @@ fn bench_mask_mode_ablation(c: &mut Criterion) {
 }
 
 /// Short measurement windows so `cargo bench --workspace` stays quick;
-/// pass `-- --measurement-time 5` to a specific bench for tighter CIs.
+/// raise `measurement_time`/`sample_size` here for tighter numbers.
 fn quick_config() -> Criterion {
     Criterion::default()
         .sample_size(10)

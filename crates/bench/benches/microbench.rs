@@ -2,8 +2,11 @@
 //! count strategies (the substance of Fig. 8), chunk access modes, and
 //! block-multiply kernels (the substance of Fig. 5 / §V-A4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spangle_bitmask::{harley_seal, Bitmask, DeltaCursor, HierarchicalBitmask, Milestones, OffsetArray};
+use spangle_bench::criterion::{BenchmarkId, Criterion};
+use spangle_bench::{criterion_group, criterion_main};
+use spangle_bitmask::{
+    harley_seal, Bitmask, DeltaCursor, HierarchicalBitmask, Milestones, OffsetArray,
+};
 use spangle_core::{Chunk, ChunkPolicy};
 use spangle_linalg::block::{
     block_from_triplets, block_multiply_dense_into, block_multiply_into,
@@ -41,12 +44,7 @@ fn bench_rank_strategies(c: &mut Criterion) {
         let milestones = Milestones::build(&mask);
         let positions: Vec<usize> = (0..bits).step_by(97).collect();
         group.bench_with_input(BenchmarkId::new("naive", bits), &bits, |b, _| {
-            b.iter(|| {
-                positions
-                    .iter()
-                    .map(|&p| mask.rank_naive(p))
-                    .sum::<usize>()
-            })
+            b.iter(|| positions.iter().map(|&p| mask.rank_naive(p)).sum::<usize>())
         });
         group.bench_with_input(BenchmarkId::new("milestones", bits), &bits, |b, _| {
             b.iter(|| {
@@ -72,8 +70,8 @@ fn bench_chunk_access(c: &mut Criterion) {
     let volume = 65536;
     let payload: Vec<f64> = (0..volume).map(|i| i as f64).collect();
     let mask = pattern_mask(volume, 5);
-    let sparse_naive = Chunk::build(payload.clone(), mask.clone(), &ChunkPolicy::naive_sparse())
-        .expect("chunk");
+    let sparse_naive =
+        Chunk::build(payload.clone(), mask.clone(), &ChunkPolicy::naive_sparse()).expect("chunk");
     let sparse_opt =
         Chunk::build(payload.clone(), mask.clone(), &ChunkPolicy::default()).expect("chunk");
     let dense = Chunk::build(payload, mask, &ChunkPolicy::always_dense()).expect("chunk");
@@ -116,9 +114,9 @@ fn bench_block_kernels(c: &mut Criterion) {
             n,
             n,
             (0..n).flat_map(|r| {
-                (0..n).filter_map(move |cc| {
-                    ((r * 31 + cc * 7) % every == 0).then(|| (r, cc, 1.5))
-                })
+                (0..n)
+                    .filter(move |cc| (r * 31 + cc * 7) % every == 0)
+                    .map(move |cc| (r, cc, 1.5))
             }),
             &ChunkPolicy::default(),
         )
@@ -127,9 +125,9 @@ fn bench_block_kernels(c: &mut Criterion) {
             n,
             n,
             (0..n).flat_map(|r| {
-                (0..n).filter_map(move |cc| {
-                    ((r * 13 + cc * 3) % every == 0).then(|| (r, cc, 0.5))
-                })
+                (0..n)
+                    .filter(move |cc| (r * 13 + cc * 3) % every == 0)
+                    .map(move |cc| (r, cc, 0.5))
             }),
             &ChunkPolicy::default(),
         )
@@ -174,7 +172,7 @@ fn bench_hierarchical(c: &mut Criterion) {
 }
 
 /// Short measurement windows so `cargo bench --workspace` stays quick;
-/// pass `-- --measurement-time 5` to a specific bench for tighter CIs.
+/// raise `measurement_time`/`sample_size` here for tighter numbers.
 fn quick_config() -> Criterion {
     Criterion::default()
         .sample_size(10)

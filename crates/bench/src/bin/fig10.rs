@@ -165,7 +165,16 @@ fn main() {
 
         let x_col = unit_vec(w.cols);
         let x_row = unit_vec(w.rows);
-        let mut table = Table::new(&["op", "spangle", "spark-coo", "mllib-csc", "scispark-dense", "scidb(+io)"]);
+        let mut table = Table::new(&[
+            "op",
+            "spangle",
+            "spark-coo",
+            "mllib-csc",
+            "scispark-dense",
+            "scidb(+io)",
+        ]);
+
+        let mut spangle_reports = Vec::new();
 
         // M x V
         {
@@ -174,6 +183,7 @@ fn main() {
                     .matvec(&DenseVector::column(x_col.clone()))
                     .expect("matvec")
             });
+            spangle_reports.extend(ctx.last_job_report().map(|r| ("MxV", r)));
             let (_, t_coo) = time(|| coo.matvec(&x_col).expect("matvec"));
             let (_, t_csc) = time(|| csc.matvec(&x_col).expect("matvec"));
             let t_dense = dense
@@ -228,10 +238,15 @@ fn main() {
             let partial_bytes = 16usize // map partitions
                 .saturating_mul(out_blocks)
                 .saturating_mul(block_c * block_c * 8)
-                .min(grid_inner.saturating_mul(out_blocks).saturating_mul(block_c * block_c * 8));
+                .min(
+                    grid_inner
+                        .saturating_mul(out_blocks)
+                        .saturating_mul(block_c * block_c * 8),
+                );
             let baselines_fit = partial_bytes <= DENSE_BUDGET_BYTES * 8;
 
             let (_, t_sp) = time(|| spangle.gram().nnz().expect("gram"));
+            spangle_reports.extend(ctx.last_job_report().map(|r| ("MtM", r)));
             let t_coo = baselines_fit.then(|| time(|| coo.gram().nnz().expect("gram")).1);
             let t_csc = baselines_fit.then(|| time(|| csc.gram().nnz().expect("gram")).1);
             let gram_dense_bytes = w.cols * w.cols * 8;
@@ -259,6 +274,9 @@ fn main() {
         }
         table.print();
 
+        for (op, report) in &spangle_reports {
+            println!("   spangle {op} scheduler report: {report}");
+        }
         println!(
             "   nnz={}  memory: spangle={} KiB, coo={} KiB, csc={} KiB, dense={}",
             spangle.nnz().unwrap(),

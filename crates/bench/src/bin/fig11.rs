@@ -88,16 +88,29 @@ fn main() {
         g.edges().persist();
         g.num_edges().expect("graph generation");
 
-        // Spangle: bitmask adjacency decomposition.
+        // Spangle: bitmask adjacency decomposition. Snapshot the job-id
+        // watermark so the per-job scheduler reports below cover exactly
+        // this run.
+        let first_job = ctx.last_job_report().map_or(0, |r| r.job_id + 1);
         let (res, total) = time(|| {
-            pagerank(&g, spec.block, spec.super_sparse, ALPHA, ITERATIONS).expect("spangle pagerank")
+            pagerank(&g, spec.block, spec.super_sparse, ALPHA, ITERATIONS)
+                .expect("spangle pagerank")
         });
+        let reports: Vec<_> = ctx
+            .job_reports()
+            .into_iter()
+            .filter(|r| r.job_id >= first_job)
+            .collect();
         let (_, avg, last) = stats(&res.iteration_times);
         table.row(vec![
             spec.name.into(),
             format!(
                 "spangle({})",
-                if spec.super_sparse { "super-sparse" } else { "sparse" }
+                if spec.super_sparse {
+                    "super-sparse"
+                } else {
+                    "sparse"
+                }
             ),
             secs(res.build_time),
             secs(total),
@@ -105,11 +118,28 @@ fn main() {
             ms(last),
             format!("{:.4}", res.ranks.as_slice().iter().sum::<f64>()),
         ]);
+        let stages_run: usize = reports.iter().map(|r| r.stages_run()).sum();
+        let stages_skipped: usize = reports.iter().map(|r| r.stages_skipped()).sum();
+        let peak = reports
+            .iter()
+            .map(|r| r.max_concurrent_stages)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages)",
+            spec.name,
+            reports.len(),
+            stages_run,
+            stages_skipped,
+            peak,
+        );
+        if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
+            println!("   slowest job: {longest}");
+        }
 
         // Spark edge-list.
-        let (res, total) = time(|| {
-            pagerank_edge_list(&g, ALPHA, ITERATIONS, 8).expect("edge-list pagerank")
-        });
+        let (res, total) =
+            time(|| pagerank_edge_list(&g, ALPHA, ITERATIONS, 8).expect("edge-list pagerank"));
         let (_, avg, last) = stats(&res.iteration_times);
         table.row(vec![
             spec.name.into(),
@@ -122,9 +152,8 @@ fn main() {
         ]);
 
         // GraphX-like.
-        let (res, total) = time(|| {
-            pagerank_pregel_like(&g, ALPHA, ITERATIONS, 8).expect("pregel pagerank")
-        });
+        let (res, total) =
+            time(|| pagerank_pregel_like(&g, ALPHA, ITERATIONS, 8).expect("pregel pagerank"));
         let (_, avg, last) = stats(&res.iteration_times);
         table.row(vec![
             spec.name.into(),

@@ -7,14 +7,17 @@
 //! total).
 
 use spangle_bench::{banner, secs, Table};
+use spangle_dataflow::SpangleContext;
 use spangle_ml::datasets;
 use spangle_ml::{LogisticRegression, OptLevel, SgdConfig};
-use spangle_dataflow::SpangleContext;
 
 const FIXED_ITERS: usize = 60;
 
 fn main() {
-    banner("Figure 12", "SGD: partition sweep and optimisation ablation");
+    banner(
+        "Figure 12",
+        "SGD: partition sweep and optimisation ablation",
+    );
     let ctx = SpangleContext::new(8);
 
     // ---- part (a): partitions vs time --------------------------------

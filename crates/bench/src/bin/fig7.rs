@@ -54,10 +54,13 @@ impl RasterSystem for ScidbStandin {
         self.engine.range_avg(&r.lo, &r.hi, |v| v > threshold)
     }
     fn q4_filter_count(&self, r: &QueryRange, vlo: f64, vhi: f64) -> usize {
-        self.engine.range_count(&r.lo, &r.hi, |v| v >= vlo && v < vhi)
+        self.engine
+            .range_count(&r.lo, &r.hi, |v| v >= vlo && v < vhi)
     }
     fn q5_density(&self, r: &QueryRange, cell: usize, min_count: usize) -> usize {
-        self.engine.range_density(&r.lo, &r.hi, cell, min_count).len()
+        self.engine
+            .range_density(&r.lo, &r.hi, cell, min_count)
+            .len()
     }
     fn mem_bytes(&self) -> usize {
         self.engine.mem_bytes()
@@ -71,7 +74,10 @@ fn run_part(
     range: QueryRange,
     queries: &[&str],
 ) {
-    println!("-- part {label}: {}x{}x{} frames, chunk 128x128x1", cfg.width, cfg.height, cfg.images);
+    println!(
+        "-- part {label}: {}x{}x{} frames, chunk 128x128x1",
+        cfg.width, cfg.height, cfg.images
+    );
     let meta = ArrayMeta::new(cfg.dims(), vec![128, 128, 1]);
     let band = 2; // the r band
 
@@ -81,7 +87,15 @@ fn run_part(
     let scidb = ScidbStandin::ingest(meta, cfg.band_fn(band));
 
     let systems: Vec<&dyn RasterSystem> = vec![&spangle, &dense, &tiles, &scidb];
-    let mut table = Table::new(&["query", "spangle(ms)", "scispark(ms)", "rasterframes(ms)", "scidb cpu(ms)", "scidb +io(ms)", "result"]);
+    let mut table = Table::new(&[
+        "query",
+        "spangle(ms)",
+        "scispark(ms)",
+        "rasterframes(ms)",
+        "scidb cpu(ms)",
+        "scidb +io(ms)",
+        "result",
+    ]);
 
     for &q in queries {
         let mut cells: Vec<String> = vec![q.to_string()];
@@ -152,7 +166,13 @@ fn main() {
         lo: vec![0, 0, 0],
         hi: cfg_a.dims(),
     };
-    run_part(&ctx, "(a) no-range queries", cfg_a, full, &["Q1", "Q3", "Q4"]);
+    run_part(
+        &ctx,
+        "(a) no-range queries",
+        cfg_a,
+        full,
+        &["Q1", "Q3", "Q4"],
+    );
 
     // Part (b): range queries over the larger dataset.
     let cfg_b = SdssConfig {

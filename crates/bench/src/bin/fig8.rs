@@ -92,7 +92,13 @@ fn main() {
     let threshold = 0.3;
 
     let mut table = Table::new(&[
-        "w", "naive(ms)", "dense(ms)", "opt(ms)", "delta(ms)", "valid", "matches",
+        "w",
+        "naive(ms)",
+        "dense(ms)",
+        "opt(ms)",
+        "delta(ms)",
+        "valid",
+        "matches",
     ]);
     for w in [16usize, 32, 64, 128, 250, 500, 1000] {
         let meta = ArrayMeta::new(cfg.dims(), vec![w, w, 1]);

@@ -11,7 +11,10 @@ use spangle_dataflow::SpangleContext;
 use spangle_raster::ChlConfig;
 
 fn main() {
-    banner("Figure 9a", "data size vs chunk size, dense vs sparse modes");
+    banner(
+        "Figure 9a",
+        "data size vs chunk size, dense vs sparse modes",
+    );
     // Sparser than the generator default: most of the globe is land or
     // cloud, as in the paper's CHL composites, so chunks really are sparse.
     let cfg = ChlConfig {
@@ -36,9 +39,7 @@ fn main() {
             .policy(ChunkPolicy::always_dense())
             .ingest(cfg.value_fn())
             .build();
-        let sparse = ArrayBuilder::new(&ctx, meta)
-            .ingest(cfg.value_fn())
-            .build();
+        let sparse = ArrayBuilder::new(&ctx, meta).ingest(cfg.value_fn()).build();
         table.row(vec![
             w.to_string(),
             mib(dense.mem_bytes().expect("dense size")),

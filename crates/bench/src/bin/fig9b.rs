@@ -13,12 +13,7 @@ use spangle_core::{ArrayBuilder, ArrayMeta};
 use spangle_dataflow::SpangleContext;
 use spangle_raster::SdssConfig;
 
-fn build_bands(
-    ctx: &SpangleContext,
-    cfg: &SdssConfig,
-    k: usize,
-    lazy: bool,
-) -> SpangleArray<f64> {
+fn build_bands(ctx: &SpangleContext, cfg: &SdssConfig, k: usize, lazy: bool) -> SpangleArray<f64> {
     const BAND_NAMES: [&str; 5] = ["u", "g", "r", "i", "z"];
     let meta = ArrayMeta::new(cfg.dims(), vec![128, 128, 1]);
     let attributes: Vec<(String, _)> = (0..k)

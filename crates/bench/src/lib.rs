@@ -19,6 +19,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod criterion;
+
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -90,9 +92,7 @@ impl Table {
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, description: &str) {
     println!("== {id}: {description}");
-    println!(
-        "== cluster: simulated in-process executors; times are wall-clock on this machine"
-    );
+    println!("== cluster: simulated in-process executors; times are wall-clock on this machine");
     println!();
 }
 

@@ -359,7 +359,15 @@ mod tests {
 
     #[test]
     fn set_range_matches_per_bit_sets() {
-        for (start, end) in [(0, 0), (0, 1), (3, 61), (3, 64), (60, 130), (64, 128), (5, 199)] {
+        for (start, end) in [
+            (0, 0),
+            (0, 1),
+            (3, 61),
+            (3, 64),
+            (60, 130),
+            (64, 128),
+            (5, 199),
+        ] {
             let mut fast = Bitmask::zeros(200);
             fast.set_range(start, end);
             let slow = Bitmask::from_fn(200, |i| i >= start && i < end);

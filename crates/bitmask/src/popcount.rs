@@ -50,10 +50,8 @@ pub fn harley_seal(words: &[u64]) -> usize {
         fours = f;
         total += 8 * eights.count_ones() as u64;
     }
-    total = 4 * fours.count_ones() as u64
-        + 2 * twos.count_ones() as u64
-        + ones.count_ones() as u64
-        + total;
+    total +=
+        4 * fours.count_ones() as u64 + 2 * twos.count_ones() as u64 + ones.count_ones() as u64;
     for &w in remainder {
         total += w.count_ones() as u64;
     }
@@ -191,7 +189,9 @@ mod tests {
     #[test]
     fn harley_seal_matches_scalar_popcount() {
         for n in [0, 1, 7, 8, 9, 63, 64, 65, 200] {
-            let words: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+            let words: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .collect();
             let scalar: usize = words.iter().map(|w| w.count_ones() as usize).sum();
             assert_eq!(harley_seal(&words), scalar, "n={n}");
         }

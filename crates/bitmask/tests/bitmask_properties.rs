@@ -1,53 +1,58 @@
 //! Property tests for the bitmask substrate: rank/select duality, boolean
 //! algebra, and representation round-trips.
 
-use proptest::prelude::*;
 use spangle_bitmask::{
     choose_validity_repr, harley_seal, Bitmask, DeltaCursor, HierarchicalBitmask, Milestones,
     OffsetArray, ValidityRepr,
 };
+use spangle_testkit::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn select_is_the_inverse_of_rank(bits in proptest::collection::vec(any::<bool>(), 1..4000)) {
+#[test]
+fn select_is_the_inverse_of_rank() {
+    run_cases(0xB177_0001, CASES, |rng| {
+        let bits = rng.vec_of(1..4000, |r| r.bool());
         let mask = Bitmask::from_fn(bits.len(), |i| bits[i]);
         for (k, pos) in mask.iter_ones().enumerate() {
-            prop_assert_eq!(mask.select(k), Some(pos));
-            prop_assert_eq!(mask.rank_naive(pos), k);
-            prop_assert!(mask.get(pos));
+            assert_eq!(mask.select(k), Some(pos));
+            assert_eq!(mask.rank_naive(pos), k);
+            assert!(mask.get(pos));
         }
-        prop_assert_eq!(mask.select(mask.count_ones()), None);
-    }
+        assert_eq!(mask.select(mask.count_ones()), None);
+    });
+}
 
-    #[test]
-    fn boolean_algebra_holds(
-        a_bits in proptest::collection::vec(any::<bool>(), 1..1000),
-        b_seed in any::<u64>(),
-    ) {
+#[test]
+fn boolean_algebra_holds() {
+    run_cases(0xB177_0002, CASES, |rng| {
+        let a_bits = rng.vec_of(1..1000, |r| r.bool());
+        let b_seed = rng.next_u64();
         let n = a_bits.len();
         let a = Bitmask::from_fn(n, |i| a_bits[i]);
-        let b = Bitmask::from_fn(n, |i| (i as u64).wrapping_mul(b_seed | 1) % 3 == 0);
+        let b = Bitmask::from_fn(n, |i| (i as u64).wrapping_mul(b_seed | 1).is_multiple_of(3));
         // De Morgan-ish identities expressible without complement:
         // |A∧B| + |A∨B| == |A| + |B|.
-        prop_assert_eq!(
+        assert_eq!(
             a.and(&b).count_ones() + a.or(&b).count_ones(),
             a.count_ones() + b.count_ones()
         );
         // AND/OR are commutative and idempotent.
-        prop_assert_eq!(a.and(&b), b.and(&a));
-        prop_assert_eq!(a.or(&b), b.or(&a));
-        prop_assert_eq!(a.and(&a), a.clone());
-        prop_assert_eq!(a.or(&a), a.clone());
+        assert_eq!(a.and(&b), b.and(&a));
+        assert_eq!(a.or(&b), b.or(&a));
+        assert_eq!(a.and(&a), a.clone());
+        assert_eq!(a.or(&a), a.clone());
         // ANDNOT partitions A.
         let mut only_a = a.clone();
         only_a.and_not_assign(&b);
-        prop_assert_eq!(only_a.count_ones() + a.and(&b).count_ones(), a.count_ones());
-    }
+        assert_eq!(only_a.count_ones() + a.and(&b).count_ones(), a.count_ones());
+    });
+}
 
-    #[test]
-    fn all_rank_structures_agree(bits in proptest::collection::vec(any::<bool>(), 1..6000)) {
+#[test]
+fn all_rank_structures_agree() {
+    run_cases(0xB177_0003, CASES, |rng| {
+        let bits = rng.vec_of(1..6000, |r| r.bool());
         let mask = Bitmask::from_fn(bits.len(), |i| bits[i]);
         let milestones = Milestones::build(&mask);
         let hier = HierarchicalBitmask::compress(&mask);
@@ -55,47 +60,52 @@ proptest! {
         let mut cursor = DeltaCursor::new(&mask);
         for pos in (0..=bits.len()).step_by(37) {
             let expected = mask.rank_naive(pos);
-            prop_assert_eq!(milestones.rank(&mask, pos), expected);
-            prop_assert_eq!(hier.rank(pos), expected);
-            prop_assert_eq!(offsets.rank(pos), expected);
-            prop_assert_eq!(cursor.rank(pos), expected);
+            assert_eq!(milestones.rank(&mask, pos), expected);
+            assert_eq!(hier.rank(pos), expected);
+            assert_eq!(offsets.rank(pos), expected);
+            assert_eq!(cursor.rank(pos), expected);
         }
-        prop_assert_eq!(milestones.total(), mask.count_ones());
-        prop_assert_eq!(harley_seal(mask.words()), mask.count_ones());
-    }
+        assert_eq!(milestones.total(), mask.count_ones());
+        assert_eq!(harley_seal(mask.words()), mask.count_ones());
+    });
+}
 
-    #[test]
-    fn hierarchical_and_offset_roundtrips(bits in proptest::collection::vec(any::<bool>(), 1..3000)) {
+#[test]
+fn hierarchical_and_offset_roundtrips() {
+    run_cases(0xB177_0004, CASES, |rng| {
+        let bits = rng.vec_of(1..3000, |r| r.bool());
         let mask = Bitmask::from_fn(bits.len(), |i| bits[i]);
-        prop_assert_eq!(HierarchicalBitmask::compress(&mask).decompress(), mask.clone());
-        prop_assert_eq!(OffsetArray::from_mask(&mask).to_mask(), mask);
-    }
+        assert_eq!(HierarchicalBitmask::compress(&mask).decompress(), mask);
+        assert_eq!(OffsetArray::from_mask(&mask).to_mask(), mask);
+    });
+}
 
-    #[test]
-    fn set_range_equals_per_bit_sets(
-        len in 1usize..2000,
-        a in 0usize..2000,
-        b in 0usize..2000,
-    ) {
+#[test]
+fn set_range_equals_per_bit_sets() {
+    run_cases(0xB177_0005, CASES, |rng| {
+        let len = rng.usize_in(1..2000);
+        let a = rng.usize_in(0..2000);
+        let b = rng.usize_in(0..2000);
         let (start, end) = (a.min(b).min(len), a.max(b).min(len));
         let mut fast = Bitmask::zeros(len);
         fast.set_range(start, end);
         let slow = Bitmask::from_fn(len, |i| i >= start && i < end);
-        prop_assert_eq!(fast, slow);
-    }
+        assert_eq!(fast, slow);
+    });
+}
 
-    #[test]
-    fn repr_choice_is_consistent_with_actual_sizes(
-        volume in 64usize..100_000,
-        valid_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn repr_choice_is_consistent_with_actual_sizes() {
+    run_cases(0xB177_0006, CASES, |rng| {
+        let volume = rng.usize_in(64..100_000);
+        let valid_frac = rng.f64_unit();
         let valid = ((volume as f64) * valid_frac) as usize;
         let repr = choose_validity_repr(volume, valid);
         let mask_bytes = volume.div_ceil(8);
         let offset_bytes = valid * 4;
         match repr {
-            ValidityRepr::Offsets => prop_assert!(offset_bytes < mask_bytes),
-            ValidityRepr::Bitmask => prop_assert!(offset_bytes >= mask_bytes),
+            ValidityRepr::Offsets => assert!(offset_bytes < mask_bytes),
+            ValidityRepr::Bitmask => assert!(offset_bytes >= mask_bytes),
         }
-    }
+    });
 }

@@ -64,10 +64,11 @@ impl<E: Element> Accumulator<E> {
 
         for w in 0..waves {
             let wave_meta = meta.clone();
-            let wave = array.rdd().filter(move |(id, _)| {
-                wave_meta.mapper().grid_coords_of(*id)[axis] == w
-            });
-            let carry_list: Vec<(LineKey, E)> = carries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let wave = array
+                .rdd()
+                .filter(move |(id, _)| wave_meta.mapper().grid_coords_of(*id)[axis] == w);
+            let carry_list: Vec<(LineKey, E)> =
+                carries.iter().map(|(k, v)| (k.clone(), *v)).collect();
             let bc = ctx.broadcast(carry_list);
             let op = self.op.clone();
             let zero = self.zero;
@@ -84,7 +85,8 @@ impl<E: Element> Accumulator<E> {
             let op = self.op.clone();
             let zero = self.zero;
             let total_meta = meta.clone();
-            let carry_list: Vec<(LineKey, E)> = carries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let carry_list: Vec<(LineKey, E)> =
+                carries.iter().map(|(k, v)| (k.clone(), *v)).collect();
             let bc2 = ctx.broadcast(carry_list);
             let totals: Vec<(LineKey, E)> = array
                 .rdd()
@@ -109,8 +111,7 @@ impl<E: Element> Accumulator<E> {
             });
         }
 
-        let rdd = wave_outputs
-            .unwrap_or_else(|| ctx.parallelize(Vec::new(), 1));
+        let rdd = wave_outputs.unwrap_or_else(|| ctx.parallelize(Vec::new(), 1));
         Ok(ArrayRdd::from_parts(&ctx, meta, policy, rdd))
     }
 
@@ -137,9 +138,8 @@ impl<E: Element> Accumulator<E> {
         internal.persist();
 
         // Phase 2 (driver): exclusive prefix of chunk totals per line.
-        let totals: Vec<(ChunkId, Vec<(LineKey, E)>)> = internal
-            .map(|(id, (_, totals))| (id, totals))
-            .collect()?;
+        let totals: Vec<(ChunkId, Vec<(LineKey, E)>)> =
+            internal.map(|(id, (_, totals))| (id, totals)).collect()?;
         let mapper = meta.mapper();
         // Order chunks per line by their axis grid coordinate.
         let mut per_line: HashMap<LineKey, Vec<(usize, ChunkId, E)>> = HashMap::new();
@@ -169,7 +169,7 @@ impl<E: Element> Accumulator<E> {
             let offsets: HashMap<(u64, LineKey), E> = bc.value().iter().cloned().collect();
             let mapper = apply_meta.mapper();
             let adjusted = chunk.map_values(|v| v); // clone via identity
-            // Rebuild with per-line offsets applied.
+                                                    // Rebuild with per-line offsets applied.
             let volume = adjusted.volume();
             let mut cells = Vec::with_capacity(adjusted.valid_count());
             for (local, v) in adjusted.iter_valid() {
@@ -178,8 +178,8 @@ impl<E: Element> Accumulator<E> {
                 let off = offsets.get(&(id, line)).copied().unwrap_or(zero);
                 cells.push((local, op(off, v)));
             }
-            let chunk = Chunk::from_cells(volume, cells, &policy)
-                .expect("scan preserves non-emptiness");
+            let chunk =
+                Chunk::from_cells(volume, cells, &policy).expect("scan preserves non-emptiness");
             (id, chunk)
         });
         Ok(ArrayRdd::from_parts(&ctx, meta, policy, rdd))
@@ -276,7 +276,7 @@ mod tests {
     fn check(axis: usize, holes: bool) {
         let ctx = SpangleContext::new(4);
         let value = move |x: usize, y: usize| {
-            if holes && (x + y) % 3 == 0 {
+            if holes && (x + y).is_multiple_of(3) {
                 None
             } else {
                 Some((x * 7 + y) as f64)

@@ -12,9 +12,7 @@ use crate::element::Element;
 use crate::meta::{ArrayMeta, ChunkId, Mapper};
 use spangle_bitmask::Bitmask;
 use spangle_dataflow::rdd::sources::GeneratedRdd;
-use spangle_dataflow::{
-    HashPartitioner, JobError, PairRdd, Partitioner, Rdd, SpangleContext,
-};
+use spangle_dataflow::{HashPartitioner, JobError, PairRdd, Partitioner, Rdd, SpangleContext};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -44,6 +42,7 @@ pub struct ArrayBuilder<E: Element> {
     meta: ArrayMeta,
     policy: ChunkPolicy,
     num_partitions: usize,
+    #[allow(clippy::type_complexity)]
     ingest: Option<Arc<dyn Fn(&[usize]) -> Option<E> + Send + Sync>>,
 }
 
@@ -105,10 +104,10 @@ impl<E: Element> ArrayBuilder<E> {
                 let mut coords = vec![0usize; origin.len()];
                 let mut payload = vec![E::default(); volume];
                 let mut mask = Bitmask::zeros(volume);
-                for local in 0..volume {
+                for (local, slot) in payload.iter_mut().enumerate() {
                     crate::meta::Mapper::unravel(&origin, &extent, local, &mut coords);
                     if let Some(v) = f(&coords) {
-                        payload[local] = v;
+                        *slot = v;
                         mask.set(local, true);
                     }
                 }
@@ -323,7 +322,7 @@ impl<E: Element> ArrayRdd<E> {
         let policy = self.policy;
         let rdd = self.rdd.flat_map(move |(id, chunk)| {
             chunk
-                .filter(|v| pred(v), &policy)
+                .filter(&pred, &policy)
                 .map(|c| (id, c))
                 .into_iter()
                 .collect()
@@ -419,7 +418,11 @@ impl<E: Element> ArrayRdd<E> {
     /// Re-encodes every chunk under `policy` (e.g. dense ⇄ sparse).
     pub fn reencode(&self, policy: ChunkPolicy) -> ArrayRdd<E> {
         let rdd = self.rdd.flat_map(move |(id, chunk)| {
-            chunk.reencode(&policy).map(|c| (id, c)).into_iter().collect()
+            chunk
+                .reencode(&policy)
+                .map(|c| (id, c))
+                .into_iter()
+                .collect()
         });
         let rdd = match self.rdd.partitioner_sig() {
             Some(sig) => rdd.assert_partitioned(sig),
@@ -490,10 +493,9 @@ impl<E: Element> ArrayRdd<E> {
         });
         let merge_agg = agg.clone();
         let n = self.rdd.num_partitions();
-        let reduced = states.reduce_by_key(
-            Arc::new(HashPartitioner::new(n)),
-            move |a, b| merge_agg.merge(a, b),
-        );
+        let reduced = states.reduce_by_key(Arc::new(HashPartitioner::new(n)), move |a, b| {
+            merge_agg.merge(a, b)
+        });
         let collected = reduced.collect()?;
         Ok(collected
             .into_iter()
@@ -510,6 +512,7 @@ impl<E: Element> ArrayRdd<E> {
     ///
     /// Requires the metadata to carry dimension names
     /// ([`ArrayMeta::with_dim_names`]).
+    #[allow(clippy::type_complexity)]
     pub fn aggregate_over<A>(
         &self,
         collapse: &[&str],
@@ -576,7 +579,7 @@ pub(crate) fn range_mask(
     let loc_lo: Vec<usize> = origin
         .iter()
         .zip(lo)
-        .map(|(&o, &l)| l.saturating_sub(o).min(usize::MAX))
+        .map(|(&o, &l)| l.saturating_sub(o))
         .collect();
     let loc_hi: Vec<usize> = origin
         .iter()
@@ -595,11 +598,7 @@ pub(crate) fn range_mask(
     let run_len = loc_hi[0] - loc_lo[0];
     let mut cursor = loc_lo.clone();
     loop {
-        let base: usize = cursor
-            .iter()
-            .zip(&strides)
-            .map(|(&c, &s)| c * s)
-            .sum();
+        let base: usize = cursor.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
         mask.set_range(base, base + run_len);
         // Increment dims 1..rank.
         let mut d = 1;
@@ -629,7 +628,7 @@ mod tests {
     /// 60x40 array chunked 16x16; value x*100+y on even x, null on odd x.
     fn sample_array(ctx: &SpangleContext) -> ArrayRdd<f64> {
         ArrayBuilder::new(ctx, ArrayMeta::new(vec![60, 40], vec![16, 16]))
-            .ingest(|c| (c[0] % 2 == 0).then(|| (c[0] * 100 + c[1]) as f64))
+            .ingest(|c| c[0].is_multiple_of(2).then(|| (c[0] * 100 + c[1]) as f64))
             .build()
     }
 
@@ -775,7 +774,7 @@ mod tests {
         assert_eq!(and.get(&[2, 3]).unwrap(), None);
         // OR join: either valid.
         let or = a.zip_with(&b, |x, y| {
-            x.map(|v| v).or(y).map(|_| x.unwrap_or(0.0) + y.unwrap_or(0.0))
+            x.or(y).map(|_| x.unwrap_or(0.0) + y.unwrap_or(0.0))
         });
         assert_eq!(or.count_valid().unwrap(), 20 * 20);
     }
@@ -818,13 +817,10 @@ mod tests {
     fn reencode_changes_modes_not_content() {
         let ctx = ctx();
         let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![64, 64], vec![32, 32]))
-            .ingest(|c| (c[0] % 10 == 0).then_some(1.0f64))
+            .ingest(|c| c[0].is_multiple_of(10).then_some(1.0f64))
             .build();
         let dense = arr.reencode(ChunkPolicy::always_dense());
-        assert_eq!(
-            arr.collect_cells().unwrap(),
-            dense.collect_cells().unwrap()
-        );
+        assert_eq!(arr.collect_cells().unwrap(), dense.collect_cells().unwrap());
         assert_eq!(dense.mode_counts().unwrap()["dense"], 4);
         assert!(dense.mem_bytes().unwrap() > arr.mem_bytes().unwrap());
     }

@@ -325,7 +325,11 @@ impl<E: Element> Chunk<E> {
     /// Keeps only the cells whose bit is set in `keep` (bitwise AND of the
     /// validity mask, §V-A). Returns `None` when nothing survives.
     pub fn restrict(&self, keep: &Bitmask, policy: &ChunkPolicy) -> Option<Chunk<E>> {
-        assert_eq!(keep.len(), self.volume(), "restriction mask length mismatch");
+        assert_eq!(
+            keep.len(),
+            self.volume(),
+            "restriction mask length mismatch"
+        );
         let new_mask = self.mask().and(keep);
         if new_mask.all_zero() {
             return None;
@@ -419,7 +423,10 @@ mod tests {
         assert_eq!(make_chunk(4096, 50, &policy).mode(), ChunkMode::Sparse);
         // 4096 cells, 64ths of them valid => super-sparse boundary: valid =
         // 41 < 64 => super-sparse.
-        assert_eq!(make_chunk(4096, 100, &policy).mode(), ChunkMode::SuperSparse);
+        assert_eq!(
+            make_chunk(4096, 100, &policy).mode(),
+            ChunkMode::SuperSparse
+        );
     }
 
     #[test]
@@ -439,8 +446,8 @@ mod tests {
         ] {
             for every in [2, 7, 100] {
                 let c = make_chunk(1000, every, &policy);
-                for i in 0..1000 {
-                    let expected = (i % every == 0).then(|| i as f64);
+                for i in 0usize..1000 {
+                    let expected = i.is_multiple_of(every).then_some(i as f64);
                     assert_eq!(c.get(i), expected, "mode={:?} i={i}", c.mode());
                     assert_eq!(c.get_naive(i), expected);
                 }
@@ -453,9 +460,8 @@ mod tests {
         for every in [3, 64, 200] {
             let c = make_chunk(2000, every, &ChunkPolicy::default());
             let via_iter: Vec<(usize, f64)> = c.iter_valid().collect();
-            let via_get: Vec<(usize, f64)> = (0..2000)
-                .filter_map(|i| c.get(i).map(|v| (i, v)))
-                .collect();
+            let via_get: Vec<(usize, f64)> =
+                (0..2000).filter_map(|i| c.get(i).map(|v| (i, v))).collect();
             assert_eq!(via_iter, via_get);
             assert_eq!(c.scan_with_delta_cursor(), via_iter);
         }
@@ -488,8 +494,8 @@ mod tests {
         let c = make_chunk(100, 2, &ChunkPolicy::default());
         let keep = Bitmask::from_fn(100, |i| i % 3 == 0);
         let r = c.restrict(&keep, &ChunkPolicy::default()).unwrap();
-        for i in 0..100 {
-            let expected = (i % 2 == 0 && i % 3 == 0).then(|| i as f64);
+        for i in 0usize..100 {
+            let expected = (i.is_multiple_of(2) && i.is_multiple_of(3)).then_some(i as f64);
             assert_eq!(r.get(i), expected, "i={i}");
         }
     }

@@ -329,22 +329,23 @@ fn apply_mask<E: Element>(array: &ArrayRdd<E>, mask: &MaskRdd) -> ArrayRdd<E> {
     let n = array.rdd().num_partitions();
     let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(n));
     let policy = array.policy();
-    let rdd = array
-        .rdd()
-        .cogroup(mask.rdd(), partitioner)
-        .flat_map(move |(id, (chunks, masks))| {
-            let chunk = chunks.into_iter().next();
-            let mask = masks.into_iter().next();
-            match (chunk, mask) {
-                (Some(c), Some(m)) => c
-                    .restrict(&m.0, &policy)
-                    .map(|c| (id, c))
-                    .into_iter()
-                    .collect::<Vec<_>>(),
-                // No mask chunk: every cell of this chunk is invalid.
-                _ => Vec::new(),
-            }
-        });
+    let rdd =
+        array
+            .rdd()
+            .cogroup(mask.rdd(), partitioner)
+            .flat_map(move |(id, (chunks, masks))| {
+                let chunk = chunks.into_iter().next();
+                let mask = masks.into_iter().next();
+                match (chunk, mask) {
+                    (Some(c), Some(m)) => c
+                        .restrict(&m.0, &policy)
+                        .map(|c| (id, c))
+                        .into_iter()
+                        .collect::<Vec<_>>(),
+                    // No mask chunk: every cell of this chunk is invalid.
+                    _ => Vec::new(),
+                }
+            });
     ArrayRdd::from_parts(array.context(), array.meta_arc(), policy, rdd)
 }
 

@@ -147,9 +147,9 @@ impl Mapper {
         debug_assert_eq!(pos.len(), self.meta.rank());
         let mut chunk_id: u64 = 0;
         let mut length: u64 = 1;
-        for i in 0..self.meta.rank() {
-            debug_assert!(pos[i] < self.meta.dims[i], "coordinate out of bounds");
-            chunk_id += (pos[i] / self.meta.chunk_shape[i]) as u64 * length;
+        for (i, &p) in pos.iter().enumerate() {
+            debug_assert!(p < self.meta.dims[i], "coordinate out of bounds");
+            chunk_id += (p / self.meta.chunk_shape[i]) as u64 * length;
             length *= self.grid_dims[i] as u64;
         }
         chunk_id
@@ -339,7 +339,7 @@ mod tests {
         // pos (33, 40): grid (1, 1); id = 1*1 + 1*4 = 5.
         assert_eq!(m.chunk_id_of(&[33, 40]), 5);
         assert_eq!(m.chunk_id_of(&[0, 0]), 0);
-        assert_eq!(m.chunk_id_of(&[99, 59]), 3 + 1 * 4);
+        assert_eq!(m.chunk_id_of(&[99, 59]), 3 + 4);
     }
 
     #[test]

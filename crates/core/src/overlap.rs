@@ -48,13 +48,12 @@ impl<E: Element> OverlapChunk<E> {
     pub fn get_global(&self, pos: &[usize]) -> Option<E> {
         let mut idx = 0usize;
         let mut stride = 1usize;
-        for i in 0..pos.len() {
-            if pos[i] < self.expanded_origin[i]
-                || pos[i] >= self.expanded_origin[i] + self.expanded_extent[i]
+        for (i, &p) in pos.iter().enumerate() {
+            if p < self.expanded_origin[i] || p >= self.expanded_origin[i] + self.expanded_extent[i]
             {
                 return None;
             }
-            idx += (pos[i] - self.expanded_origin[i]) * stride;
+            idx += (p - self.expanded_origin[i]) * stride;
             stride *= self.expanded_extent[i];
         }
         self.mask.get(idx).then(|| self.payload[idx])
@@ -118,10 +117,10 @@ impl<E: Element> OverlapArrayRdd<E> {
                 let mut mask = Bitmask::zeros(volume);
                 let mut any_core_valid = false;
                 let mut pos = vec![0usize; expanded_origin.len()];
-                for idx in 0..volume {
+                for (idx, slot) in payload.iter_mut().enumerate() {
                     crate::meta::Mapper::unravel(&expanded_origin, &expanded_extent, idx, &mut pos);
                     if let Some(v) = f(&pos) {
-                        payload[idx] = v;
+                        *slot = v;
                         mask.set(idx, true);
                         let in_core = pos
                             .iter()
@@ -285,13 +284,24 @@ impl<E: Element> ArrayRdd<E> {
             meta.dims()
         );
         assert!(
-            meta.chunk_shape().iter().zip(factors).all(|(c, k)| c % k == 0),
+            meta.chunk_shape()
+                .iter()
+                .zip(factors)
+                .all(|(c, k)| c % k == 0),
             "chunk shape {:?} not divisible by regrid factors {factors:?}",
             meta.chunk_shape()
         );
         let out_meta = Arc::new(ArrayMeta::new(
-            meta.dims().iter().zip(factors).map(|(d, k)| d / k).collect(),
-            meta.chunk_shape().iter().zip(factors).map(|(c, k)| c / k).collect(),
+            meta.dims()
+                .iter()
+                .zip(factors)
+                .map(|(d, k)| d / k)
+                .collect(),
+            meta.chunk_shape()
+                .iter()
+                .zip(factors)
+                .map(|(c, k)| c / k)
+                .collect(),
         ));
         let factors = factors.to_vec();
         let policy = self.policy();
@@ -306,8 +316,7 @@ impl<E: Element> ArrayRdd<E> {
             let mut counts = vec![0usize; out_volume];
             for (local, v) in chunk.iter_valid() {
                 let pos = in_mapper.global_coords_of(id, local);
-                let out_pos: Vec<usize> =
-                    pos.iter().zip(&factors).map(|(&p, &k)| p / k).collect();
+                let out_pos: Vec<usize> = pos.iter().zip(&factors).map(|(&p, &k)| p / k).collect();
                 let out_local = out_mapper.local_index_of(&out_pos);
                 sums[out_local] += v.into();
                 counts[out_local] += 1;
@@ -355,7 +364,7 @@ mod tests {
     #[test]
     fn to_array_recovers_the_core_cells() {
         let ctx = SpangleContext::new(2);
-        let f = |c: &[usize]| (c[0] % 3 != 0).then(|| (c[0] + c[1]) as f64);
+        let f = |c: &[usize]| (!c[0].is_multiple_of(3)).then_some((c[0] + c[1]) as f64);
         let ov = OverlapArrayRdd::ingest(
             &ctx,
             ArrayMeta::new(vec![20, 10], vec![8, 8]),
@@ -454,14 +463,11 @@ mod tests {
     fn regrid_mean_ignores_null_cells() {
         let ctx = SpangleContext::new(2);
         let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![4, 4], vec![4, 4]))
-            .ingest(|c| (c[0] == 0).then(|| 10.0f64))
+            .ingest(|c| (c[0] == 0).then_some(10.0f64))
             .build();
         let regridded = arr.regrid_mean(&[2, 2]);
         let cells = regridded.collect_cells().unwrap();
         // Each 2x2 block in the x=0 column has two valid cells of 10.0.
-        assert_eq!(
-            cells,
-            vec![(vec![0, 0], 10.0), (vec![0, 1], 10.0)]
-        );
+        assert_eq!(cells, vec![(vec![0, 0], 10.0), (vec![0, 1], 10.0)]);
     }
 }

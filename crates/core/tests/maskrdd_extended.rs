@@ -7,7 +7,7 @@ use spangle_dataflow::SpangleContext;
 
 fn stripes(ctx: &SpangleContext, modulus: usize, phase: usize) -> spangle_core::ArrayRdd<f64> {
     ArrayBuilder::new(ctx, ArrayMeta::new(vec![48, 48], vec![16, 16]))
-        .ingest(move |c| ((c[0] + phase) % modulus == 0).then(|| c[1] as f64))
+        .ingest(move |c| (c[0] + phase).is_multiple_of(modulus).then(|| c[1] as f64))
         .build()
 }
 
@@ -113,5 +113,9 @@ fn global_mask_reflects_pending_operators() {
         .rdd()
         .aggregate(0usize, |acc, (_, m)| acc + m.0.count_ones(), |x, y| x + y)
         .unwrap();
-    assert_eq!(mask_count, 24 * 48, "the pending subarray lives in the mask");
+    assert_eq!(
+        mask_count,
+        24 * 48,
+        "the pending subarray lives in the mask"
+    );
 }

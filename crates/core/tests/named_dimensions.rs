@@ -49,7 +49,7 @@ fn collapsing_time_averages_per_spatial_cell() {
 fn collapsing_space_counts_per_time_step() {
     let ctx = SpangleContext::new(2);
     let arr = ArrayBuilder::new(&ctx, meta())
-        .ingest(|c| (c[2] != 1 || c[0] % 2 == 0).then_some(1.0f64))
+        .ingest(|c| (c[2] != 1 || c[0].is_multiple_of(2)).then_some(1.0f64))
         .build();
     let mut groups = arr.aggregate_over(&["x", "y"], Count).unwrap();
     groups.sort();

@@ -33,14 +33,20 @@ fn running_max_accumulator_works_with_custom_operator() {
 fn three_dimensional_pipeline_end_to_end() {
     let ctx = SpangleContext::new(4);
     let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![12, 10, 6], vec![5, 4, 2]))
-        .ingest(|c| ((c[0] + c[1] + c[2]) % 2 == 0).then(|| (c[0] * 100 + c[1] * 10 + c[2]) as f64))
+        .ingest(|c| {
+            (c[0] + c[1] + c[2])
+                .is_multiple_of(2)
+                .then(|| (c[0] * 100 + c[1] * 10 + c[2]) as f64)
+        })
         .build();
     let sub = arr.subarray(&[2, 1, 1], &[10, 9, 5]);
-    let expected: Vec<f64> = (2..10)
+    let expected: Vec<f64> = (2u64..10)
         .flat_map(|x| {
             (1..9).flat_map(move |y| {
                 (1..5).filter_map(move |z| {
-                    ((x + y + z) % 2 == 0).then(|| (x * 100 + y * 10 + z) as f64)
+                    (x + y + z)
+                        .is_multiple_of(2)
+                        .then_some((x * 100 + y * 10 + z) as f64)
                 })
             })
         })
@@ -89,7 +95,11 @@ fn fully_null_arrays_have_no_chunks_and_empty_aggregates() {
     assert_eq!(empty.aggregate(Sum), Some(0.0));
     // Operators on an empty array stay empty and do not panic.
     assert_eq!(
-        empty.subarray(&[0, 0], &[16, 16]).filter(|v| v > 0.0).count_valid().unwrap(),
+        empty
+            .subarray(&[0, 0], &[16, 16])
+            .filter(|v| v > 0.0)
+            .count_valid()
+            .unwrap(),
         0
     );
 }
@@ -121,7 +131,9 @@ fn subarray_of_subarray_prunes_cumulatively() {
         .build();
     arr.persist();
     arr.count_valid().unwrap();
-    let sub = arr.subarray(&[0, 0], &[32, 32]).subarray(&[16, 16], &[64, 64]);
+    let sub = arr
+        .subarray(&[0, 0], &[32, 32])
+        .subarray(&[16, 16], &[64, 64]);
     // Intersection is [16,32) x [16,32): exactly one chunk survives.
     assert_eq!(sub.num_chunks().unwrap(), 1);
     assert_eq!(sub.count_valid().unwrap(), 256);
@@ -152,7 +164,7 @@ fn one_dimensional_subarray_and_boundary_chunks() {
     let ctx = SpangleContext::new(2);
     // 1-D array with an edge chunk (100 cells in chunks of 16).
     let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![100], vec![16]))
-        .ingest(|c| (c[0] % 3 != 0).then(|| c[0] as f64))
+        .ingest(|c| (!c[0].is_multiple_of(3)).then(|| c[0] as f64))
         .build();
     let sub = arr.subarray(&[10], &[90]);
     let expected: Vec<f64> = (10..90).filter(|x| x % 3 != 0).map(|x| x as f64).collect();

@@ -6,7 +6,7 @@
 //! silently falls back to lineage recomputation — the Spark fault-tolerance
 //! contract the paper's iterative algorithms (PageRank, SGD) lean on.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -22,6 +22,7 @@ pub(crate) struct ContextInner {
     next_rdd_id: AtomicUsize,
     next_shuffle_id: AtomicUsize,
     next_stage_id: AtomicUsize,
+    next_job_id: AtomicUsize,
     /// Maximum attempts per task before the job fails.
     pub(crate) max_task_attempts: usize,
 }
@@ -46,6 +47,7 @@ impl SpangleContext {
                 next_rdd_id: AtomicUsize::new(0),
                 next_shuffle_id: AtomicUsize::new(0),
                 next_stage_id: AtomicUsize::new(0),
+                next_job_id: AtomicUsize::new(0),
                 max_task_attempts: 4,
             }),
         }
@@ -92,7 +94,9 @@ impl SpangleContext {
     /// Drops a cached partition, simulating the loss of an executor's
     /// block; the next access recomputes it from lineage.
     pub fn evict_cached_partition(&self, rdd_id: usize, partition: usize) -> bool {
-        self.inner.cache.evict(crate::cache::CacheKey { rdd_id, partition })
+        self.inner
+            .cache
+            .evict(crate::cache::CacheKey { rdd_id, partition })
     }
 
     /// Total bytes currently held by the block manager.
@@ -115,6 +119,20 @@ impl SpangleContext {
 
     pub(crate) fn new_stage_id(&self) -> usize {
         self.inner.next_stage_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn new_job_id(&self) -> usize {
+        self.inner.next_job_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Scheduler reports of recent jobs, oldest first (bounded history).
+    pub fn job_reports(&self) -> Vec<crate::metrics::JobReport> {
+        self.inner.metrics.job_reports()
+    }
+
+    /// The most recently finished job's scheduler report.
+    pub fn last_job_report(&self) -> Option<crate::metrics::JobReport> {
+        self.inner.metrics.last_job_report()
     }
 }
 

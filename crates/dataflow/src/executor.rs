@@ -7,15 +7,34 @@
 //! `p` are computed on the same executor, no data crosses the (simulated)
 //! network, and no shuffle bytes are charged.
 
-use crossbeam::channel::{unbounded, Sender};
+use crate::sync::channel::{unbounded, Sender};
+use crate::sync::{Mutex, RwLock};
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Submitting a task to a pool that is (or finished) shutting down.
+///
+/// Returned instead of panicking so a driver racing a context teardown can
+/// abort its job cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolShutdown;
+
+impl std::fmt::Display for PoolShutdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "executor pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolShutdown {}
+
 /// Fixed pool of executor threads with per-executor queues.
 pub struct ExecutorPool {
-    senders: Vec<Sender<Task>>,
-    handles: Vec<JoinHandle<()>>,
+    /// Emptied by [`ExecutorPool::shutdown`]; an empty vector means the
+    /// pool no longer accepts tasks.
+    senders: RwLock<Vec<Sender<Task>>>,
+    num_executors: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ExecutorPool {
@@ -37,36 +56,59 @@ impl ExecutorPool {
             senders.push(tx);
             handles.push(handle);
         }
-        ExecutorPool { senders, handles }
+        ExecutorPool {
+            senders: RwLock::new(senders),
+            num_executors,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// Number of executors in the cluster.
     pub fn num_executors(&self) -> usize {
-        self.senders.len()
+        self.num_executors
     }
 
     /// Executor a partition is placed on.
     #[inline]
     pub fn executor_for(&self, partition: usize) -> usize {
-        partition % self.senders.len()
+        partition % self.num_executors
     }
 
-    /// Queues a task on the executor owning `partition`.
-    pub fn submit(&self, partition: usize, task: Task) {
-        let executor = self.executor_for(partition);
-        self.senders[executor]
+    /// Queues a task on the executor owning `partition`. Fails (instead of
+    /// panicking) when the pool has been shut down or the worker thread is
+    /// gone, so a job racing a teardown can abort cleanly.
+    pub fn submit(&self, partition: usize, task: Task) -> Result<(), PoolShutdown> {
+        let senders = self.senders.read();
+        if senders.is_empty() {
+            return Err(PoolShutdown);
+        }
+        senders[self.executor_for(partition)]
             .send(task)
-            .expect("executor thread terminated");
+            .map_err(|_| PoolShutdown)
+    }
+
+    /// Whether [`ExecutorPool::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.senders.read().is_empty()
+    }
+
+    /// Stops accepting tasks, lets the workers drain their queues, and
+    /// joins them. Idempotent: later calls (including the one from `Drop`)
+    /// are no-ops.
+    pub fn shutdown(&self) {
+        // Dropping the senders closes the channels, which ends each
+        // worker's recv loop after it drains what was already queued.
+        self.senders.write().clear();
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
     }
 }
 
 impl Drop for ExecutorPool {
     fn drop(&mut self) {
-        // Closing the channels lets the workers drain and exit.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -88,7 +130,8 @@ mod tests {
                     let name = std::thread::current().name().unwrap_or("").to_string();
                     tx.send((p, name)).unwrap();
                 }),
-            );
+            )
+            .unwrap();
         }
         for _ in 0..9 {
             let (p, name) = rx.recv().unwrap();
@@ -110,12 +153,42 @@ mod tests {
                     counter.fetch_add(1, Ordering::SeqCst);
                     tx.send(()).unwrap();
                 }),
-            );
+            )
+            .unwrap();
         }
         for _ in 0..100 {
             rx.recv().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_without_panicking() {
+        let pool = ExecutorPool::new(2);
+        pool.submit(0, Box::new(|| {})).unwrap();
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        assert_eq!(pool.submit(0, Box::new(|| {})), Err(PoolShutdown));
+        // A second shutdown (and the one Drop issues later) is a no-op.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_already_queued_tasks() {
+        let pool = ExecutorPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = counter.clone();
+            pool.submit(
+                0,
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
     }
 
     #[test]

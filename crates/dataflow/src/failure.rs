@@ -5,7 +5,7 @@
 //! task attempts; dropping cached blocks is done directly through
 //! [`crate::cache::BlockManager::evict`].
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 
 /// Identifies a schedulable task: the RDD whose partition the task produces
@@ -44,25 +44,35 @@ impl FailureInjector {
             .insert(TaskSite { rdd_id, partition }, times);
     }
 
-    /// Makes the next `n` task attempts fail, whatever they compute.
+    /// Makes the next `n` distinct tasks fail their first attempt, whatever
+    /// they compute.
+    ///
+    /// Only first attempts are killed; a retry of an already-killed task is
+    /// spared even while injections remain. Otherwise an instantly-failing
+    /// retry could race ahead of its sibling tasks and burn through the
+    /// whole budget (aborting the job), which is never what a recovery test
+    /// armed with this method wants. Use [`FailureInjector::fail_task`] to
+    /// kill retries of a specific task.
     pub fn fail_next_tasks(&self, n: usize) {
-        self.any
-            .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+        self.any.fetch_add(n, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Consumes one injected failure for the site, if any remain.
-    pub(crate) fn should_fail(&self, site: TaskSite) -> bool {
-        // Site-independent injections first.
-        let mut current = self.any.load(std::sync::atomic::Ordering::SeqCst);
-        while current > 0 {
-            match self.any.compare_exchange(
-                current,
-                current - 1,
-                std::sync::atomic::Ordering::SeqCst,
-                std::sync::atomic::Ordering::SeqCst,
-            ) {
-                Ok(_) => return true,
-                Err(now) => current = now,
+    pub(crate) fn should_fail(&self, site: TaskSite, attempt: usize) -> bool {
+        // Site-independent injections first; they only apply to first
+        // attempts (see `fail_next_tasks`).
+        if attempt == 0 {
+            let mut current = self.any.load(std::sync::atomic::Ordering::SeqCst);
+            while current > 0 {
+                match self.any.compare_exchange(
+                    current,
+                    current - 1,
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                ) {
+                    Ok(_) => return true,
+                    Err(now) => current = now,
+                }
             }
         }
         let mut map = self.remaining.lock();
@@ -81,8 +91,7 @@ impl FailureInjector {
     /// True when no injections are pending (useful to assert a test
     /// consumed everything it armed).
     pub fn is_drained(&self) -> bool {
-        self.remaining.lock().is_empty()
-            && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
+        self.remaining.lock().is_empty() && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
     }
 }
 
@@ -94,16 +103,45 @@ mod tests {
     fn injector_fails_exactly_n_times() {
         let inj = FailureInjector::default();
         inj.fail_task(7, 2, 2);
-        let site = TaskSite { rdd_id: 7, partition: 2 };
-        assert!(inj.should_fail(site));
-        assert!(inj.should_fail(site));
-        assert!(!inj.should_fail(site));
+        let site = TaskSite {
+            rdd_id: 7,
+            partition: 2,
+        };
+        assert!(inj.should_fail(site, 0));
+        assert!(inj.should_fail(site, 1));
+        assert!(!inj.should_fail(site, 2));
         assert!(inj.is_drained());
     }
 
     #[test]
     fn unarmed_sites_never_fail() {
         let inj = FailureInjector::default();
-        assert!(!inj.should_fail(TaskSite { rdd_id: 0, partition: 0 }));
+        assert!(!inj.should_fail(
+            TaskSite {
+                rdd_id: 0,
+                partition: 0
+            },
+            0
+        ));
+    }
+
+    #[test]
+    fn site_independent_injections_spare_retries() {
+        let inj = FailureInjector::default();
+        inj.fail_next_tasks(2);
+        let a = TaskSite {
+            rdd_id: 1,
+            partition: 0,
+        };
+        let b = TaskSite {
+            rdd_id: 1,
+            partition: 1,
+        };
+        assert!(inj.should_fail(a, 0));
+        // The retry of `a` must not consume the second injection...
+        assert!(!inj.should_fail(a, 1));
+        // ...which is left for the first attempt of a different task.
+        assert!(inj.should_fail(b, 0));
+        assert!(inj.is_drained());
     }
 }

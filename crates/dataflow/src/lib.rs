@@ -40,10 +40,11 @@ pub mod partitioner;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
+pub mod sync;
 
 pub use context::{Broadcast, SpangleContext};
 pub use memsize::MemSize;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{
     HashPartitioner, ModPartitioner, Partitioner, PartitionerSig, RangePartitioner,
 };

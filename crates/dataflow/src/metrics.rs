@@ -1,9 +1,20 @@
-//! Cumulative runtime metrics.
+//! Cumulative runtime metrics and per-job stage reports.
 //!
-//! Counters are cumulative per context; experiments take a
-//! [`MetricsSnapshot`] before and after a job and subtract.
+//! Two views exist side by side. The *cumulative counters* are per
+//! context; experiments take a [`MetricsSnapshot`] before and after a job
+//! and subtract. The *job reports* are scoped: the DAG scheduler records
+//! one [`JobReport`] per finished job — its stages, per-stage task time,
+//! and the peak number of concurrently running stages — which the
+//! experiment binaries print to show how the event-driven scheduler
+//! overlapped sibling stages.
 
+use crate::sync::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Most recent job reports kept per context (iterative workloads run
+/// hundreds of jobs; older reports are dropped oldest-first).
+const MAX_JOB_REPORTS: usize = 256;
 
 /// Cumulative counters maintained by the runtime.
 #[derive(Debug, Default)]
@@ -19,6 +30,10 @@ pub struct Metrics {
     pub(crate) cache_misses: AtomicU64,
     pub(crate) recomputations: AtomicU64,
     pub(crate) broadcast_bytes: AtomicU64,
+    /// Highest number of stages ever running concurrently in one job.
+    max_concurrent_stages: AtomicU64,
+    /// Per-job reports, newest last.
+    job_reports: Mutex<VecDeque<JobReport>>,
 }
 
 impl Metrics {
@@ -40,6 +55,28 @@ impl Metrics {
             MetricField::Recomputations => &self.recomputations,
             MetricField::BroadcastBytes => &self.broadcast_bytes,
         }
+    }
+
+    /// Records a finished job's report, raising the context-wide
+    /// concurrent-stage high-water mark.
+    pub(crate) fn record_job(&self, report: JobReport) {
+        self.max_concurrent_stages
+            .fetch_max(report.max_concurrent_stages as u64, Ordering::Relaxed);
+        let mut reports = self.job_reports.lock();
+        if reports.len() == MAX_JOB_REPORTS {
+            reports.pop_front();
+        }
+        reports.push_back(report);
+    }
+
+    /// All retained job reports, oldest first.
+    pub fn job_reports(&self) -> Vec<JobReport> {
+        self.job_reports.lock().iter().cloned().collect()
+    }
+
+    /// The most recent job report, if any job finished yet.
+    pub fn last_job_report(&self) -> Option<JobReport> {
+        self.job_reports.lock().back().cloned()
     }
 
     /// Copies the current counter values.
@@ -74,6 +111,98 @@ pub(crate) enum MetricField {
     CacheMisses,
     Recomputations,
     BroadcastBytes,
+}
+
+/// How one stage of a job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// The stage's tasks ran in this job.
+    Ran,
+    /// The stage's shuffle output already existed (or another concurrent
+    /// job produced it); nothing ran here.
+    Skipped,
+}
+
+/// Per-stage accounting of one job.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Context-wide stage id (allocated when the stage was scheduled).
+    pub stage_id: usize,
+    /// The shuffle this map stage feeds, `None` for the result stage.
+    pub shuffle_id: Option<usize>,
+    /// Number of tasks the stage owns.
+    pub num_tasks: usize,
+    /// Whether the stage ran or was skipped.
+    pub outcome: StageOutcome,
+    /// Total CPU time spent in this stage's task bodies, summed over
+    /// attempts, in nanoseconds.
+    pub task_nanos: u64,
+    /// Wall-clock time from first submission to last task completion, in
+    /// nanoseconds. Zero for skipped stages.
+    pub wall_nanos: u64,
+}
+
+/// Scheduler-level accounting of one finished job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Context-wide job id.
+    pub job_id: usize,
+    /// One entry per stage the job touched, in completion order.
+    pub stages: Vec<StageReport>,
+    /// Peak number of stages whose tasks were in flight simultaneously.
+    pub max_concurrent_stages: usize,
+    /// End-to-end wall-clock time of the job, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+impl JobReport {
+    /// Stages that actually ran (not skipped).
+    pub fn stages_run(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.outcome == StageOutcome::Ran)
+            .count()
+    }
+
+    /// Stages satisfied from existing shuffle output.
+    pub fn stages_skipped(&self) -> usize {
+        self.stages.len() - self.stages_run()
+    }
+}
+
+impl std::fmt::Display for JobReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {}: {} stages ({} run, {} skipped), max {} concurrent, {:.2} ms wall",
+            self.job_id,
+            self.stages.len(),
+            self.stages_run(),
+            self.stages_skipped(),
+            self.max_concurrent_stages,
+            self.wall_nanos as f64 / 1e6
+        )?;
+        for s in &self.stages {
+            let kind = match s.shuffle_id {
+                Some(id) => format!("map(shuffle {id})"),
+                None => "result".to_string(),
+            };
+            match s.outcome {
+                StageOutcome::Ran => write!(
+                    f,
+                    "\n  stage {:>3} {kind:<16} {:>3} tasks  task {:>8.2} ms  wall {:>8.2} ms",
+                    s.stage_id,
+                    s.num_tasks,
+                    s.task_nanos as f64 / 1e6,
+                    s.wall_nanos as f64 / 1e6,
+                )?,
+                StageOutcome::Skipped => {
+                    write!(f, "\n  stage {:>3} {kind:<16} skipped", s.stage_id)?
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A point-in-time copy of all counters. Subtract two snapshots to get the
@@ -139,5 +268,47 @@ mod tests {
         assert_eq!(delta.tasks_run, 5);
         assert_eq!(delta.shuffle_write_bytes, 1024);
         assert_eq!(delta.stages_run, 0);
+    }
+
+    #[test]
+    fn job_reports_are_capped_and_ordered() {
+        let m = Metrics::default();
+        for id in 0..(MAX_JOB_REPORTS + 10) {
+            m.record_job(JobReport {
+                job_id: id,
+                stages: Vec::new(),
+                max_concurrent_stages: 1,
+                wall_nanos: 0,
+            });
+        }
+        let reports = m.job_reports();
+        assert_eq!(reports.len(), MAX_JOB_REPORTS);
+        assert_eq!(reports.first().unwrap().job_id, 10);
+        assert_eq!(m.last_job_report().unwrap().job_id, MAX_JOB_REPORTS + 9);
+    }
+
+    #[test]
+    fn report_counts_run_and_skipped_stages() {
+        let stage = |outcome| StageReport {
+            stage_id: 0,
+            shuffle_id: None,
+            num_tasks: 2,
+            outcome,
+            task_nanos: 0,
+            wall_nanos: 0,
+        };
+        let report = JobReport {
+            job_id: 1,
+            stages: vec![
+                stage(StageOutcome::Ran),
+                stage(StageOutcome::Skipped),
+                stage(StageOutcome::Ran),
+            ],
+            max_concurrent_stages: 2,
+            wall_nanos: 0,
+        };
+        assert_eq!(report.stages_run(), 2);
+        assert_eq!(report.stages_skipped(), 1);
+        assert!(format!("{report}").contains("max 2 concurrent"));
     }
 }

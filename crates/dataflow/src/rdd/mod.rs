@@ -197,18 +197,18 @@ impl<T: Data> Rdd<T> {
 
     /// Folds every partition from `zero` with `f`, then combines the
     /// per-partition results with `combine` on the driver.
-    pub fn aggregate<A: Send + Sync + 'static>(
+    pub fn aggregate<A>(
         &self,
         zero: A,
         f: impl Fn(A, &T) -> A + Send + Sync + 'static,
         combine: impl Fn(A, A) -> A,
     ) -> Result<A, JobError>
     where
-        A: Clone,
+        A: Clone + Send + Sync + 'static,
     {
         let zero2 = zero.clone();
         let parts = scheduler::run_job(self, move |_, data: Arc<Vec<T>>| {
-            data.iter().fold(zero2.clone(), |acc, t| f(acc, t))
+            data.iter().fold(zero2.clone(), &f)
         })?;
         Ok(parts.into_iter().fold(zero, combine))
     }
@@ -236,10 +236,7 @@ impl<T: Data> Rdd<T> {
     }
 
     /// One-to-many transformation.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         transforms::FlatMapRdd::create(self.clone(), f)
     }
 

@@ -43,8 +43,12 @@ pub struct ShuffleDependency<K: Key, V: Data, C: Data> {
     shuffle_id: usize,
     parent: Rdd<(K, V)>,
     num_reduce_partitions: usize,
-    route: Arc<dyn Fn(&[(K, V)], usize) -> Vec<Vec<(K, C)>> + Send + Sync>,
+    route: RouteFn<K, V, C>,
 }
+
+/// Map-side routing: one partition's records in, per-reduce-bucket outputs
+/// out.
+type RouteFn<K, V, C> = Arc<dyn Fn(&[(K, V)], usize) -> Vec<Vec<(K, C)>> + Send + Sync>;
 
 impl<K: Key, V: Data> ShuffleDependency<K, V, V> {
     /// A plain shuffle: records are routed by `partitioner`, duplicates
@@ -154,10 +158,7 @@ impl<K: Key, V: Data, C: Data> Drop for ShuffleDependency<K, V, C> {
         // Free the shuffle outputs when the last reader disappears so that
         // iterative jobs (20 PageRank rounds, hundreds of SGD steps) do not
         // accumulate dead blocks.
-        self.context()
-            .inner
-            .shuffle
-            .remove_shuffle(self.shuffle_id);
+        self.context().inner.shuffle.remove_shuffle(self.shuffle_id);
     }
 }
 
@@ -179,7 +180,12 @@ impl<K: Key, V: Data, C: Data> ShuffledRdd<K, V, C> {
         merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
     ) -> Rdd<(K, C)> {
         let base = RddBase::new(dep.parent.context());
-        Rdd::from_node(Arc::new(ShuffledRdd { base, dep, merge, sig }))
+        Rdd::from_node(Arc::new(ShuffledRdd {
+            base,
+            dep,
+            merge,
+            sig,
+        }))
     }
 }
 
@@ -289,12 +295,15 @@ pub struct CoGroupedRdd<K: Key, V: Data, W: Data> {
     sig: PartitionerSig,
 }
 
+/// Result shape of [`PairRdd::cogroup`]: per key, both sides' values.
+pub type CoGrouped<K, V, W> = Rdd<(K, (Vec<V>, Vec<W>))>;
+
 impl<K: Key, V: Data, W: Data> CoGroupedRdd<K, V, W> {
     pub(crate) fn create(
         left: &Rdd<(K, V)>,
         right: &Rdd<(K, W)>,
         partitioner: Arc<dyn Partitioner<K>>,
-    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+    ) -> CoGrouped<K, V, W> {
         let base = RddBase::new(left.context());
         Rdd::from_node(Arc::new(CoGroupedRdd {
             base,
@@ -364,7 +373,7 @@ pub trait PairRdd<K: Key, V: Data> {
         &self,
         other: &Rdd<(K, W)>,
         partitioner: Arc<dyn Partitioner<K>>,
-    ) -> Rdd<(K, (Vec<V>, Vec<W>))>;
+    ) -> CoGrouped<K, V, W>;
 
     /// Inner join: the cross product of both sides' values per key.
     fn join<W: Data>(
@@ -405,7 +414,7 @@ impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
         f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
     ) -> Rdd<(K, V)> {
         let merge = f.clone();
-        self.combine_by_key(partitioner, |v| v, move |c, v| f(c, v), move |a, b| merge(a, b))
+        self.combine_by_key(partitioner, |v| v, f, merge)
     }
 
     fn combine_by_key<C: Data>(
@@ -439,7 +448,7 @@ impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
         &self,
         other: &Rdd<(K, W)>,
         partitioner: Arc<dyn Partitioner<K>>,
-    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+    ) -> CoGrouped<K, V, W> {
         CoGroupedRdd::create(self, other, partitioner)
     }
 

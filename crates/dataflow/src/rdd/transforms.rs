@@ -52,7 +52,10 @@ pub struct FilterRdd<T: Data> {
 }
 
 impl<T: Data> FilterRdd<T> {
-    pub(crate) fn create(parent: Rdd<T>, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+    pub(crate) fn create(
+        parent: Rdd<T>,
+        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
+    ) -> Rdd<T> {
         Rdd::from_node(Arc::new(FilterRdd {
             base: RddBase::new(parent.context()),
             parent,
@@ -130,6 +133,7 @@ impl<T: Data, U: Data> RddNode<U> for FlatMapRdd<T, U> {
 pub struct MapPartitionsRdd<T: Data, U: Data> {
     base: RddBase,
     parent: Rdd<T>,
+    #[allow(clippy::type_complexity)]
     f: Arc<dyn Fn(usize, &[T]) -> Vec<U> + Send + Sync>,
 }
 
@@ -210,6 +214,7 @@ pub struct ZipPartitionsRdd<T: Data, U: Data, O: Data> {
     base: RddBase,
     left: Rdd<T>,
     right: Rdd<U>,
+    #[allow(clippy::type_complexity)]
     f: Arc<dyn Fn(&[T], &[U]) -> Vec<O> + Send + Sync>,
 }
 

@@ -1,29 +1,50 @@
-//! The DAG scheduler: cuts lineage into stages and runs tasks.
+//! The event-driven DAG scheduler.
 //!
-//! An action walks the lineage graph of its target RDD, collects every
-//! shuffle dependency in topological order, runs the map stage of each
-//! not-yet-materialised shuffle, and finally runs the result stage. Stages
-//! whose shuffle output already exists are *skipped* (Spark's skipped-stage
-//! reuse); failed task attempts are retried up to the context's limit, and
-//! anything recomputed on retry is rebuilt from lineage.
+//! An action builds an explicit stage graph from the lineage of its target
+//! RDD: one *map stage* per shuffle dependency plus one *result stage*,
+//! with parent/child edges wherever a stage reads a shuffle's output. The
+//! driver then submits every stage whose parents are satisfied and
+//! advances purely on completion events — sibling map stages (the two
+//! sides of an unaligned join, the two shuffles of a matmul) run
+//! concurrently instead of barriering one after the other.
 //!
-//! Tasks must never trigger nested actions: all actions run on the driver
-//! thread, tasks run on executor threads.
+//! Stage activation is demand-driven and race-free: a map stage first
+//! [`ShuffleService::try_claim`]s its shuffle. Exactly one job becomes the
+//! owner and runs the stage; a job that finds the shuffle `Completed`
+//! skips the stage (Spark's skipped-stage reuse, without even visiting its
+//! ancestors), and a job that finds it `InFlight` parks a waiter thread on
+//! the shuffle and treats the stage as *external* — when the owning job
+//! finishes, the waiter injects an event and the dependents proceed.
+//!
+//! Failure semantics are unchanged from the barrier scheduler: failed task
+//! attempts retry up to the context's limit with lineage recomputation,
+//! and an exhausted task aborts the whole job. On abort every shuffle the
+//! job still owns is abandoned so concurrent or subsequent jobs can
+//! re-claim them — an abort never wedges the cluster.
+//!
+//! Tasks must never trigger nested actions: all actions run on driver
+//! (user) threads, tasks run on executor threads.
+//!
+//! [`ShuffleService::try_claim`]: crate::shuffle::ShuffleService::try_claim
 
 use crate::context::SpangleContext;
 use crate::failure::TaskSite;
-use crate::metrics::MetricField;
+use crate::metrics::{JobReport, MetricField, StageOutcome, StageReport};
 use crate::rdd::pair::ShuffleDepDyn;
 use crate::rdd::{Dependency, LineageNode, Rdd};
+use crate::shuffle::ShuffleClaim;
+use crate::sync::channel::{unbounded, Receiver, Sender};
 use crate::Data;
-use crossbeam::channel::unbounded;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Information available to a running task.
 #[derive(Clone, Copy, Debug)]
 pub struct TaskContext {
+    /// Job the task belongs to.
+    pub job_id: usize,
     /// Stage the task belongs to.
     pub stage_id: usize,
     /// Partition the task computes.
@@ -39,6 +60,8 @@ pub enum TaskError {
     Injected,
     /// User code panicked.
     Panicked(String),
+    /// The executor pool shut down while the job was running.
+    ExecutorShutdown,
 }
 
 impl std::fmt::Display for TaskError {
@@ -46,13 +69,17 @@ impl std::fmt::Display for TaskError {
         match self {
             TaskError::Injected => write!(f, "injected failure"),
             TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::ExecutorShutdown => write!(f, "executor pool shut down"),
         }
     }
 }
 
-/// A job failed: some task exhausted its attempts.
+/// A job failed: some task exhausted its attempts (or the cluster went
+/// away underneath it).
 #[derive(Clone, Debug)]
 pub struct JobError {
+    /// Job that aborted.
+    pub job_id: usize,
     /// Stage of the failing task.
     pub stage_id: usize,
     /// Partition of the failing task.
@@ -67,13 +94,73 @@ impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job aborted: stage {} partition {} failed after {} attempts: {}",
-            self.stage_id, self.partition, self.attempts, self.last_error
+            "job {} aborted: stage {} partition {} failed after {} attempts: {}",
+            self.job_id, self.stage_id, self.partition, self.attempts, self.last_error
         )
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// Lifecycle of one stage inside one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StageState {
+    /// Not reached by activation yet.
+    Idle,
+    /// This job owns the stage and is waiting on `waiting_on` parents.
+    Waiting,
+    /// Another job is running the stage; a waiter thread is watching it.
+    External,
+    /// Tasks submitted, `remaining` still outstanding.
+    Running,
+    /// All tasks done (and the shuffle, if any, marked complete).
+    Finished,
+    /// Satisfied without running: the shuffle output already existed.
+    Skipped,
+}
+
+/// Task body of a stage: map stages write shuffle blocks and yield `None`,
+/// the result stage yields `Some(R)`.
+type StageWork<R> = Arc<dyn Fn(&TaskContext) -> Option<R> + Send + Sync>;
+
+/// One node of the job's stage graph.
+struct Stage<R> {
+    /// The shuffle this map stage feeds; `None` for the result stage.
+    shuffle_id: Option<usize>,
+    work: StageWork<R>,
+    /// Stage indices this stage reads shuffle output from.
+    parents: Vec<usize>,
+    /// Stage indices that read this stage's shuffle output.
+    children: Vec<usize>,
+    num_tasks: usize,
+    /// RDD id used as the failure-injection site for this stage's tasks.
+    site_rdd: usize,
+    state: StageState,
+    /// Context-wide stage id, allocated when the stage is scheduled.
+    stage_id: usize,
+    /// Unsatisfied parents (only meaningful in `Waiting`).
+    waiting_on: usize,
+    /// Outstanding tasks (only meaningful in `Running`).
+    remaining: usize,
+    /// Summed task CPU time over all attempts.
+    task_nanos: u64,
+    started: Option<Instant>,
+}
+
+/// What wakes the driver's event loop.
+enum Event<R> {
+    /// A task attempt finished (successfully or not).
+    Task {
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+        nanos: u64,
+        outcome: Result<Option<R>, TaskError>,
+    },
+    /// An external (other-job) map stage finished: `completed` says
+    /// whether its owner completed it or abandoned it.
+    External { stage_idx: usize, completed: bool },
+}
 
 /// Runs `func` over every partition of `rdd`, returning one result per
 /// partition in partition order. This is the single entry point every
@@ -83,30 +170,117 @@ pub fn run_job<T: Data, R: Send + 'static>(
     func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
 ) -> Result<Vec<R>, JobError> {
     let ctx = rdd.context().clone();
+    let job_id = ctx.new_job_id();
+    let started = Instant::now();
+    let (tx, rx) = unbounded::<Event<R>>();
 
-    // Map stages, parents before children.
-    for dep in topo_shuffle_deps(rdd.lineage()) {
-        if ctx.inner.shuffle.is_completed(dep.shuffle_id()) {
-            ctx.metrics().add(MetricField::StagesSkipped, 1);
-            continue;
-        }
-        let stage_id = ctx.new_stage_id();
-        let num_maps = dep.num_map_partitions();
-        let site_rdd = dep.parent_rdd_id();
-        let dep_for_tasks = Arc::clone(&dep);
-        run_stage(&ctx, stage_id, num_maps, site_rdd, move |tc| {
-            dep_for_tasks.run_map_task(tc.partition, tc);
-        })?;
-        ctx.inner.shuffle.mark_completed(dep.shuffle_id(), num_maps);
+    let stages = build_stages(rdd, func);
+    let result_idx = stages.len() - 1;
+    let num_results = stages[result_idx].num_tasks;
+
+    let mut run = JobRun {
+        ctx,
+        job_id,
+        stages,
+        tx,
+        owned: HashSet::new(),
+        running: 0,
+        max_concurrent: 0,
+        reports: Vec::new(),
+    };
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_results).collect();
+
+    run.activate(result_idx)?;
+    run.drive(&rx, result_idx, &mut results)?;
+
+    run.ctx.metrics().record_job(JobReport {
+        job_id,
+        stages: run.reports,
+        max_concurrent_stages: run.max_concurrent,
+        wall_nanos: started.elapsed().as_nanos() as u64,
+    });
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("job finished with a missing partition result"))
+        .collect())
+}
+
+/// Builds the job's stage graph: one map stage per reachable shuffle
+/// (parents before children, so indices are topological) plus the result
+/// stage at the end.
+fn build_stages<T: Data, R: Send + 'static>(
+    rdd: &Rdd<T>,
+    func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
+) -> Vec<Stage<R>> {
+    let deps = topo_shuffle_deps(rdd.lineage());
+    let mut by_shuffle: HashMap<usize, usize> = HashMap::new();
+    let mut stages: Vec<Stage<R>> = Vec::with_capacity(deps.len() + 1);
+
+    for dep in &deps {
+        by_shuffle.insert(dep.shuffle_id(), stages.len());
+        let work = {
+            let dep = Arc::clone(dep);
+            Arc::new(move |tc: &TaskContext| {
+                dep.run_map_task(tc.partition, tc);
+                None
+            })
+        };
+        stages.push(Stage {
+            shuffle_id: Some(dep.shuffle_id()),
+            work,
+            parents: Vec::new(),
+            children: Vec::new(),
+            num_tasks: dep.num_map_partitions(),
+            site_rdd: dep.parent_rdd_id(),
+            state: StageState::Idle,
+            stage_id: 0,
+            waiting_on: 0,
+            remaining: 0,
+            task_nanos: 0,
+            started: None,
+        });
     }
 
-    // Result stage.
-    let stage_id = ctx.new_stage_id();
-    let target = rdd.clone();
-    let func = Arc::new(func);
-    run_stage(&ctx, stage_id, rdd.num_partitions(), rdd.id(), move |tc| {
-        func(tc.partition, target.iterator(tc.partition, tc))
-    })
+    // Wire map-stage edges: a stage's parents are the shuffles its map
+    // side reads, i.e. the shuffle dependencies reachable from its parent
+    // lineage without crossing another shuffle boundary.
+    for (idx, dep) in deps.iter().enumerate() {
+        for parent in direct_parent_shuffles(dep.parent_lineage()) {
+            let p = by_shuffle[&parent.shuffle_id()];
+            stages[p].children.push(idx);
+            stages[idx].parents.push(p);
+        }
+    }
+
+    let result_idx = stages.len();
+    let mut result_parents = Vec::new();
+    for parent in direct_parent_shuffles(rdd.lineage()) {
+        let p = by_shuffle[&parent.shuffle_id()];
+        stages[p].children.push(result_idx);
+        result_parents.push(p);
+    }
+    let work = {
+        let target = rdd.clone();
+        let func = Arc::new(func);
+        Arc::new(move |tc: &TaskContext| {
+            Some(func(tc.partition, target.iterator(tc.partition, tc)))
+        })
+    };
+    stages.push(Stage {
+        shuffle_id: None,
+        work,
+        parents: result_parents,
+        children: Vec::new(),
+        num_tasks: rdd.num_partitions(),
+        site_rdd: rdd.id(),
+        state: StageState::Idle,
+        stage_id: 0,
+        waiting_on: 0,
+        remaining: 0,
+        task_nanos: 0,
+        started: None,
+    });
+    stages
 }
 
 /// Collects all shuffle dependencies reachable from `root`, ordered so
@@ -149,89 +323,337 @@ fn topo_shuffle_deps(root: Arc<dyn LineageNode>) -> Vec<Arc<dyn ShuffleDepDyn>> 
     walk.order
 }
 
-/// Runs one stage: `num_tasks` tasks placed on their partitions'
-/// executors, with retry on injected failures and panics.
-fn run_stage<R: Send + 'static>(
-    ctx: &SpangleContext,
-    stage_id: usize,
-    num_tasks: usize,
-    site_rdd: usize,
-    work: impl Fn(&TaskContext) -> R + Send + Sync + 'static,
-) -> Result<Vec<R>, JobError> {
-    ctx.metrics().add(MetricField::StagesRun, 1);
-    if num_tasks == 0 {
-        return Ok(Vec::new());
-    }
-
-    let work = Arc::new(work);
-    let (tx, rx) = unbounded::<(usize, usize, Result<R, TaskError>)>();
-
-    let submit = |partition: usize, attempt: usize| {
-        let work = Arc::clone(&work);
-        let tx = tx.clone();
-        let task_ctx = ctx.clone();
-        ctx.inner.pool.submit(
-            partition,
-            Box::new(move || {
-                task_ctx.metrics().add(MetricField::TasksRun, 1);
-                let tc = TaskContext {
-                    stage_id,
-                    partition,
-                    attempt,
-                };
-                let site = TaskSite {
-                    rdd_id: site_rdd,
-                    partition,
-                };
-                let outcome = if task_ctx.inner.failures.should_fail(site) {
-                    Err(TaskError::Injected)
-                } else {
-                    std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc)))
-                        .map_err(|payload| TaskError::Panicked(panic_message(payload.as_ref())))
-                };
-                // The driver may have aborted the job already; a closed
-                // channel is fine.
-                let _ = tx.send((partition, attempt, outcome));
-            }),
-        );
-    };
-
-    for p in 0..num_tasks {
-        submit(p, 0);
-    }
-
-    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
-    let mut completed = 0usize;
-    while completed < num_tasks {
-        let (partition, attempt, outcome) = rx
-            .recv()
-            .expect("executor pool dropped while a stage was running");
-        match outcome {
-            Ok(r) => {
-                results[partition] = Some(r);
-                completed += 1;
-            }
-            Err(err) => {
-                let attempts_made = attempt + 1;
-                if attempts_made >= ctx.inner.max_task_attempts {
-                    return Err(JobError {
-                        stage_id,
-                        partition,
-                        attempts: attempts_made,
-                        last_error: err,
-                    });
+/// The shuffle dependencies `root` reads *directly*: reachable through
+/// narrow edges only, without descending past another shuffle boundary.
+fn direct_parent_shuffles(root: Arc<dyn LineageNode>) -> Vec<Arc<dyn ShuffleDepDyn>> {
+    let mut out: Vec<Arc<dyn ShuffleDepDyn>> = Vec::new();
+    let mut seen_nodes = HashSet::new();
+    let mut seen_shuffles = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if !seen_nodes.insert(node.rdd_id()) {
+            continue;
+        }
+        for dep in node.dependencies() {
+            match dep {
+                Dependency::Narrow(parent) => stack.push(parent),
+                Dependency::Shuffle(shuffle) => {
+                    if seen_shuffles.insert(shuffle.shuffle_id()) {
+                        out.push(shuffle);
+                    }
                 }
-                ctx.metrics().add(MetricField::TaskRetries, 1);
-                ctx.metrics().add(MetricField::Recomputations, 1);
-                submit(partition, attempt + 1);
             }
         }
     }
+    out
+}
 
-    Ok(results
-        .into_iter()
-        .map(|r| r.expect("stage finished with a missing partition result"))
-        .collect())
+/// Mutable driver-side state of one running job.
+struct JobRun<R> {
+    ctx: SpangleContext,
+    job_id: usize,
+    stages: Vec<Stage<R>>,
+    tx: Sender<Event<R>>,
+    /// Shuffles this job claimed ownership of and has not completed yet;
+    /// abandoned on abort so other jobs can re-claim them.
+    owned: HashSet<usize>,
+    /// Stages currently in `Running` state.
+    running: usize,
+    /// High-water mark of `running`.
+    max_concurrent: usize,
+    reports: Vec<StageReport>,
+}
+
+impl<R: Send + 'static> JobRun<R> {
+    /// Processes events until the result stage finishes.
+    fn drive(
+        &mut self,
+        rx: &Receiver<Event<R>>,
+        result_idx: usize,
+        results: &mut [Option<R>],
+    ) -> Result<(), JobError> {
+        while self.stages[result_idx].state != StageState::Finished {
+            let event = rx
+                .recv()
+                .expect("executor pool dropped while a job was running");
+            match event {
+                Event::Task {
+                    stage_idx,
+                    partition,
+                    attempt,
+                    nanos,
+                    outcome,
+                } => {
+                    self.stages[stage_idx].task_nanos += nanos;
+                    match outcome {
+                        Ok(result) => {
+                            if let Some(r) = result {
+                                results[partition] = Some(r);
+                            }
+                            self.stages[stage_idx].remaining -= 1;
+                            if self.stages[stage_idx].remaining == 0 {
+                                self.finish_stage(stage_idx)?;
+                            }
+                        }
+                        Err(err) => {
+                            let attempts = attempt + 1;
+                            if attempts >= self.ctx.inner.max_task_attempts {
+                                return Err(self.abort(stage_idx, partition, attempts, err));
+                            }
+                            self.ctx.metrics().add(MetricField::TaskRetries, 1);
+                            self.ctx.metrics().add(MetricField::Recomputations, 1);
+                            self.submit_task(stage_idx, partition, attempt + 1)?;
+                        }
+                    }
+                }
+                Event::External {
+                    stage_idx,
+                    completed,
+                } => {
+                    if completed {
+                        self.skip(stage_idx);
+                        self.satisfy_children(stage_idx)?;
+                    } else {
+                        // The owning job abandoned the shuffle; race to
+                        // re-claim it (we may become the owner now).
+                        self.stages[stage_idx].state = StageState::Idle;
+                        self.activate(stage_idx)?;
+                        // If activation skipped or finished it already,
+                        // wake the children that were counting on it.
+                        if self.stages[stage_idx].is_satisfied() {
+                            self.satisfy_children(stage_idx)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Demand-driven activation: resolves the stage to `Skipped`,
+    /// `External`, `Running`, or `Waiting` (and recursively activates its
+    /// ancestors when this job owns it). Idempotent.
+    fn activate(&mut self, idx: usize) -> Result<(), JobError> {
+        if self.stages[idx].state != StageState::Idle {
+            return Ok(());
+        }
+        match self.stages[idx].shuffle_id {
+            // The result stage is always ours to run.
+            None => self.activate_owned(idx),
+            Some(shuffle_id) => match self.ctx.inner.shuffle.try_claim(shuffle_id) {
+                ShuffleClaim::Completed => {
+                    self.skip(idx);
+                    Ok(())
+                }
+                ShuffleClaim::InFlight => {
+                    self.watch(idx, shuffle_id);
+                    Ok(())
+                }
+                ShuffleClaim::Owner => {
+                    self.owned.insert(shuffle_id);
+                    self.activate_owned(idx)
+                }
+            },
+        }
+    }
+
+    /// Activates a stage this job owns: activates its parents, then either
+    /// submits it (all parents satisfied) or parks it in `Waiting`.
+    fn activate_owned(&mut self, idx: usize) -> Result<(), JobError> {
+        self.stages[idx].state = StageState::Waiting;
+        let parents = self.stages[idx].parents.clone();
+        let mut waiting_on = 0;
+        for p in parents {
+            self.activate(p)?;
+            if !self.stages[p].is_satisfied() {
+                waiting_on += 1;
+            }
+        }
+        self.stages[idx].waiting_on = waiting_on;
+        if waiting_on == 0 {
+            self.submit_stage(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Marks a stage satisfied-without-running and accounts the skip.
+    fn skip(&mut self, idx: usize) {
+        let stage = &mut self.stages[idx];
+        stage.state = StageState::Skipped;
+        stage.stage_id = self.ctx.new_stage_id();
+        self.ctx.metrics().add(MetricField::StagesSkipped, 1);
+        self.reports.push(StageReport {
+            stage_id: stage.stage_id,
+            shuffle_id: stage.shuffle_id,
+            num_tasks: stage.num_tasks,
+            outcome: StageOutcome::Skipped,
+            task_nanos: 0,
+            wall_nanos: 0,
+        });
+    }
+
+    /// Parks a waiter thread on an in-flight external shuffle; the thread
+    /// reports back through the job's event channel.
+    fn watch(&mut self, idx: usize, shuffle_id: usize) {
+        self.stages[idx].state = StageState::External;
+        let ctx = self.ctx.clone();
+        let tx = self.tx.clone();
+        std::thread::Builder::new()
+            .name(format!("spangle-stage-waiter-{shuffle_id}"))
+            .spawn(move || {
+                let completed = ctx.inner.shuffle.wait_finished(shuffle_id);
+                // The driver may have aborted meanwhile; a closed channel
+                // is fine.
+                let _ = tx.send(Event::External {
+                    stage_idx: idx,
+                    completed,
+                });
+            })
+            .expect("failed to spawn stage waiter thread");
+    }
+
+    /// Submits every task of a stage to the executor pool.
+    fn submit_stage(&mut self, idx: usize) -> Result<(), JobError> {
+        let stage = &mut self.stages[idx];
+        stage.stage_id = self.ctx.new_stage_id();
+        stage.state = StageState::Running;
+        stage.remaining = stage.num_tasks;
+        stage.started = Some(Instant::now());
+        self.ctx.metrics().add(MetricField::StagesRun, 1);
+        self.running += 1;
+        self.max_concurrent = self.max_concurrent.max(self.running);
+        let num_tasks = stage.num_tasks;
+        if num_tasks == 0 {
+            return self.finish_stage(idx);
+        }
+        for partition in 0..num_tasks {
+            self.submit_task(idx, partition, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Submits one task attempt, placed on the executor owning its
+    /// partition. A shut-down pool aborts the job cleanly.
+    fn submit_task(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+    ) -> Result<(), JobError> {
+        let stage = &self.stages[stage_idx];
+        let tc = TaskContext {
+            job_id: self.job_id,
+            stage_id: stage.stage_id,
+            partition,
+            attempt,
+        };
+        let site = TaskSite {
+            rdd_id: stage.site_rdd,
+            partition,
+        };
+        let work = Arc::clone(&stage.work);
+        let tx = self.tx.clone();
+        let ctx = self.ctx.clone();
+        let task = Box::new(move || {
+            ctx.metrics().add(MetricField::TasksRun, 1);
+            let start = Instant::now();
+            let outcome = if ctx.inner.failures.should_fail(site, attempt) {
+                Err(TaskError::Injected)
+            } else {
+                std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc)))
+                    .map_err(|payload| TaskError::Panicked(panic_message(payload.as_ref())))
+            };
+            // Release the work closure (and the lineage Arcs it captures)
+            // BEFORE signalling the driver: once the driver sees the final
+            // event the job may return and drop its RDDs, and shuffle
+            // garbage collection relies on those being the last references.
+            drop(work);
+            // The driver may have aborted the job already; a closed
+            // channel is fine.
+            let _ = tx.send(Event::Task {
+                stage_idx,
+                partition,
+                attempt,
+                nanos: start.elapsed().as_nanos() as u64,
+                outcome,
+            });
+        });
+        if self.ctx.inner.pool.submit(partition, task).is_err() {
+            return Err(self.abort(stage_idx, partition, attempt, TaskError::ExecutorShutdown));
+        }
+        Ok(())
+    }
+
+    /// All tasks of a stage completed: publish its shuffle, account it,
+    /// and wake children that were waiting on it.
+    fn finish_stage(&mut self, idx: usize) -> Result<(), JobError> {
+        let stage = &mut self.stages[idx];
+        stage.state = StageState::Finished;
+        self.running -= 1;
+        let wall_nanos = stage
+            .started
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        if let Some(shuffle_id) = stage.shuffle_id {
+            self.ctx
+                .inner
+                .shuffle
+                .mark_completed(shuffle_id, stage.num_tasks);
+            self.owned.remove(&shuffle_id);
+        }
+        self.reports.push(StageReport {
+            stage_id: stage.stage_id,
+            shuffle_id: stage.shuffle_id,
+            num_tasks: stage.num_tasks,
+            outcome: StageOutcome::Ran,
+            task_nanos: stage.task_nanos,
+            wall_nanos,
+        });
+        self.satisfy_children(idx)
+    }
+
+    /// Decrements the waiting count of every child parked on this (now
+    /// satisfied) stage and submits those that became ready.
+    fn satisfy_children(&mut self, idx: usize) -> Result<(), JobError> {
+        let children = self.stages[idx].children.clone();
+        for child in children {
+            if self.stages[child].state == StageState::Waiting {
+                self.stages[child].waiting_on -= 1;
+                if self.stages[child].waiting_on == 0 {
+                    self.submit_stage(child)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts the job: releases every shuffle claim the job still holds so
+    /// other (or future) jobs can re-claim and run those map stages.
+    fn abort(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempts: usize,
+        last_error: TaskError,
+    ) -> JobError {
+        for shuffle_id in self.owned.drain() {
+            self.ctx.inner.shuffle.abandon(shuffle_id);
+        }
+        JobError {
+            job_id: self.job_id,
+            stage_id: self.stages[stage_idx].stage_id,
+            partition,
+            attempts,
+            last_error,
+        }
+    }
+}
+
+impl<R> Stage<R> {
+    /// Whether dependents of this stage can read its shuffle output.
+    fn is_satisfied(&self) -> bool {
+        matches!(self.state, StageState::Finished | StageState::Skipped)
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -291,6 +713,9 @@ mod tests {
         assert_eq!(delta.stages_run, 1, "map stage must be skipped");
         assert_eq!(delta.stages_skipped, 1);
         assert_eq!(delta.shuffle_write_bytes, 0);
+        let report = ctx.last_job_report().unwrap();
+        assert_eq!(report.stages_run(), 1);
+        assert_eq!(report.stages_skipped(), 1);
     }
 
     #[test]
@@ -346,6 +771,73 @@ mod tests {
         let delta = ctx.metrics_snapshot() - before;
         assert_eq!(delta.stages_run, 3, "two map stages + result stage");
         assert!(delta.shuffle_write_bytes > 0);
+    }
+
+    /// The event-driven scheduler's signature behaviour: the two map
+    /// stages of an unaligned join have no edge between them, so both are
+    /// submitted before any task completes and run concurrently.
+    #[test]
+    fn unaligned_join_runs_sibling_map_stages_concurrently() {
+        let ctx = SpangleContext::new(4);
+        let left = ctx.parallelize((0u64..400).map(|i| (i % 16, i)).collect(), 4);
+        let right = ctx.parallelize((0u64..400).map(|i| (i % 16, i * 2)).collect(), 5);
+        let joined = left.join(&right, Arc::new(HashPartitioner::new(4)));
+        let n = joined.count().unwrap();
+        assert!(n > 0);
+        let report = ctx.last_job_report().unwrap();
+        assert!(
+            report.max_concurrent_stages >= 2,
+            "sibling map stages must overlap, report was: {report}"
+        );
+        assert_eq!(report.stages.len(), 3);
+    }
+
+    /// When one sibling map stage exhausts its retries the job aborts
+    /// without deadlocking, and every shuffle claim the job held is
+    /// released so a rerun can claim and complete them.
+    #[test]
+    fn sibling_stage_failure_aborts_and_releases_claims() {
+        let ctx = SpangleContext::new(2);
+        let left = ctx.parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4);
+        let right = ctx.parallelize((0u64..40).map(|i| (i % 8, i * 2)).collect(), 5);
+        // Kill one left-side map task exactly as often as the attempt
+        // limit: the first job aborts, the injector drains, a rerun works.
+        ctx.failure_injector().fail_task(left.id(), 1, 4);
+        let grouped = left.cogroup(&right, Arc::new(HashPartitioner::new(4)));
+        let err = grouped.count().unwrap_err();
+        assert_eq!(err.partition, 1);
+        assert_eq!(err.attempts, 4);
+        assert!(ctx.failure_injector().is_drained());
+        // Claims were abandoned, not leaked: the rerun owns both map
+        // stages again and completes.
+        let n = grouped.count().unwrap();
+        assert_eq!(n, 8);
+    }
+
+    /// Two jobs racing over the same shuffled RDD: the claim protocol
+    /// elects one owner for the map stage, the other job waits for (or
+    /// reuses) its output, and the maps run exactly once in total.
+    #[test]
+    fn concurrent_jobs_run_a_shared_map_stage_exactly_once() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..60).map(|i| (i % 6, 1u64)).collect(), 4);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(3)), |a, b| a + b);
+        let before = ctx.metrics_snapshot();
+        let (a, b) = {
+            let ra = reduced.clone();
+            let rb = reduced.clone();
+            let ta = std::thread::spawn(move || sorted(ra.collect().unwrap()));
+            let tb = std::thread::spawn(move || sorted(rb.collect().unwrap()));
+            (ta.join().unwrap(), tb.join().unwrap())
+        };
+        assert_eq!(a, b);
+        assert_eq!(a, (0u64..6).map(|k| (k, 10u64)).collect::<Vec<_>>());
+        let delta = ctx.metrics_snapshot() - before;
+        // One map stage (4 tasks) ran once; each job ran its own result
+        // stage (3 tasks); the non-owner skipped the map stage.
+        assert_eq!(delta.tasks_run, 4 + 3 + 3, "map tasks must not run twice");
+        assert_eq!(delta.stages_run, 3);
+        assert_eq!(delta.stages_skipped, 1);
     }
 
     #[test]
@@ -448,6 +940,18 @@ mod tests {
         let delta = ctx.metrics_snapshot() - before;
         assert_eq!(out, vec![(0, 30), (1, 30)]);
         assert_eq!(delta.stages_run, 3);
+        // Chained stages depend on each other, so the event-driven
+        // scheduler must still run them one at a time, parents first.
+        let report = ctx.last_job_report().unwrap();
+        assert_eq!(report.max_concurrent_stages, 1);
+        let order: Vec<Option<usize>> = report.stages.iter().map(|s| s.shuffle_id).collect();
+        assert_eq!(order.len(), 3);
+        assert!(order[0].is_some() && order[1].is_some());
+        assert!(
+            order[0].unwrap() < order[1].unwrap(),
+            "first shuffle must complete before the one that reads it"
+        );
+        assert_eq!(order[2], None, "result stage completes last");
     }
 
     #[test]

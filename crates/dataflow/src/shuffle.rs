@@ -6,12 +6,21 @@
 //! write/fetch path: map tasks deposit per-reduce-partition buckets, reduce
 //! tasks fetch them, and every byte that logically crosses the network is
 //! charged to the metrics.
+//!
+//! Besides block storage, the service is the arbiter of *map-stage
+//! ownership*. Concurrent jobs (or sibling stages of one job) may share a
+//! shuffle dependency; `is_completed`-then-run was a check-then-act race
+//! that could run the same map stage twice. Schedulers now
+//! [`ShuffleService::try_claim`] a shuffle: exactly one caller becomes the
+//! owner and runs the stage, everyone else either reuses the completed
+//! output or waits for the in-flight owner via
+//! [`ShuffleService::wait_finished`].
 
 use crate::metrics::MetricField;
+use crate::sync::{Condvar, Mutex, RwLock};
 use crate::SpangleContext;
-use parking_lot::RwLock;
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Key of one shuffle block: output of map partition `map_id` destined for
@@ -28,15 +37,39 @@ pub struct BlockId {
 
 type BlockPayload = Arc<dyn Any + Send + Sync>;
 
-/// Stores shuffle blocks between stages.
+/// Map-stage progress of one shuffle.
+#[derive(Clone, Copy, Debug)]
+enum MapStageState {
+    /// Some job claimed the map stage and is running it.
+    InFlight,
+    /// The map stage ran to completion with this many map partitions.
+    Completed {
+        #[allow(dead_code)]
+        num_maps: usize,
+    },
+}
+
+/// Outcome of [`ShuffleService::try_claim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShuffleClaim {
+    /// The caller now owns the map stage and must run it, then call
+    /// [`ShuffleService::mark_completed`] or [`ShuffleService::abandon`].
+    Owner,
+    /// The map stage already ran; its output can be read immediately.
+    Completed,
+    /// Another scheduler is running the map stage right now; wait for it
+    /// with [`ShuffleService::wait_finished`].
+    InFlight,
+}
+
+/// Stores shuffle blocks between stages and tracks map-stage ownership.
 #[derive(Default)]
 pub struct ShuffleService {
     blocks: RwLock<HashMap<BlockId, (BlockPayload, usize)>>,
-    /// Shuffles whose map stage ran to completion; the scheduler skips
-    /// re-running those stages (Spark's "skipped stage" behaviour).
-    completed: RwLock<HashSet<usize>>,
-    /// Number of map partitions per completed shuffle.
-    map_counts: RwLock<HashMap<usize, usize>>,
+    /// Per-shuffle map-stage state; absent means "never run, unclaimed".
+    stages: Mutex<HashMap<usize, MapStageState>>,
+    /// Signalled whenever an in-flight map stage completes or is abandoned.
+    stage_changed: Condvar,
 }
 
 impl ShuffleService {
@@ -49,12 +82,11 @@ impl ShuffleService {
         records: Vec<T>,
         bytes: usize,
     ) {
-        ctx.metrics().add(MetricField::ShuffleWriteBytes, bytes as u64);
+        ctx.metrics()
+            .add(MetricField::ShuffleWriteBytes, bytes as u64);
         ctx.metrics()
             .add(MetricField::ShuffleRecords, records.len() as u64);
-        self.blocks
-            .write()
-            .insert(id, (Arc::new(records), bytes));
+        self.blocks.write().insert(id, (Arc::new(records), bytes));
     }
 
     /// Fetches one bucket, charging shuffle read volume. Returns an empty
@@ -80,24 +112,73 @@ impl ShuffleService {
         }
     }
 
+    /// Atomically claims the map stage of `shuffle_id`. At most one caller
+    /// is ever told [`ShuffleClaim::Owner`] per run of the stage; the
+    /// owner must finish with [`ShuffleService::mark_completed`] (success)
+    /// or [`ShuffleService::abandon`] (job abort) so waiters wake up.
+    pub fn try_claim(&self, shuffle_id: usize) -> ShuffleClaim {
+        let mut stages = self.stages.lock();
+        match stages.get(&shuffle_id) {
+            Some(MapStageState::Completed { .. }) => ShuffleClaim::Completed,
+            Some(MapStageState::InFlight) => ShuffleClaim::InFlight,
+            None => {
+                stages.insert(shuffle_id, MapStageState::InFlight);
+                ShuffleClaim::Owner
+            }
+        }
+    }
+
     /// Marks the map stage of `shuffle_id` complete with `num_maps` map
-    /// partitions.
+    /// partitions, waking any waiters. Callable with or without a prior
+    /// claim (tests seed completed shuffles directly).
     pub fn mark_completed(&self, shuffle_id: usize, num_maps: usize) {
-        self.completed.write().insert(shuffle_id);
-        self.map_counts.write().insert(shuffle_id, num_maps);
+        self.stages
+            .lock()
+            .insert(shuffle_id, MapStageState::Completed { num_maps });
+        self.stage_changed.notify_all();
+    }
+
+    /// Releases an [`ShuffleClaim::Owner`] claim without completing the
+    /// stage (the owning job aborted). Waiters wake and race to re-claim.
+    pub fn abandon(&self, shuffle_id: usize) {
+        let mut stages = self.stages.lock();
+        if let Some(MapStageState::InFlight) = stages.get(&shuffle_id) {
+            stages.remove(&shuffle_id);
+        }
+        drop(stages);
+        self.stage_changed.notify_all();
+    }
+
+    /// Blocks until the map stage of `shuffle_id` is no longer in flight.
+    /// Returns `true` when it completed, `false` when the owner abandoned
+    /// it (the caller should [`ShuffleService::try_claim`] again).
+    pub fn wait_finished(&self, shuffle_id: usize) -> bool {
+        let mut stages = self.stages.lock();
+        loop {
+            match stages.get(&shuffle_id) {
+                Some(MapStageState::Completed { .. }) => return true,
+                Some(MapStageState::InFlight) => {
+                    stages = self.stage_changed.wait(stages);
+                }
+                None => return false,
+            }
+        }
     }
 
     /// Whether the map stage of `shuffle_id` already ran.
     pub fn is_completed(&self, shuffle_id: usize) -> bool {
-        self.completed.read().contains(&shuffle_id)
+        matches!(
+            self.stages.lock().get(&shuffle_id),
+            Some(MapStageState::Completed { .. })
+        )
     }
 
     /// Drops all blocks and completion state of one shuffle. Called when
     /// the owning dependency is garbage-collected so iterative jobs do not
     /// accumulate dead shuffle outputs.
     pub fn remove_shuffle(&self, shuffle_id: usize) {
-        self.completed.write().remove(&shuffle_id);
-        self.map_counts.write().remove(&shuffle_id);
+        self.stages.lock().remove(&shuffle_id);
+        self.stage_changed.notify_all();
         self.blocks
             .write()
             .retain(|id, _| id.shuffle_id != shuffle_id);
@@ -171,5 +252,61 @@ mod tests {
         assert!(!svc.is_completed(5));
         assert_eq!(svc.num_blocks(), 0);
         assert_eq!(svc.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn only_one_claimant_becomes_owner() {
+        let svc = ShuffleService::default();
+        assert_eq!(svc.try_claim(3), ShuffleClaim::Owner);
+        assert_eq!(svc.try_claim(3), ShuffleClaim::InFlight);
+        svc.mark_completed(3, 4);
+        assert_eq!(svc.try_claim(3), ShuffleClaim::Completed);
+    }
+
+    #[test]
+    fn abandon_lets_the_next_claimant_own() {
+        let svc = ShuffleService::default();
+        assert_eq!(svc.try_claim(1), ShuffleClaim::Owner);
+        svc.abandon(1);
+        assert!(!svc.wait_finished(1), "abandoned, not completed");
+        assert_eq!(svc.try_claim(1), ShuffleClaim::Owner);
+    }
+
+    #[test]
+    fn waiters_wake_on_completion() {
+        let svc = Arc::new(ShuffleService::default());
+        assert_eq!(svc.try_claim(2), ShuffleClaim::Owner);
+        let waiter = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.wait_finished(2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        svc.mark_completed(2, 1);
+        assert!(waiter.join().unwrap(), "waiter must see completion");
+    }
+
+    /// The historical check-then-act race: two schedulers checking
+    /// `is_completed` before running would both run the map stage. With
+    /// the claim API exactly one of N concurrent claimants owns the
+    /// stage, no matter the interleaving.
+    #[test]
+    fn concurrent_claims_elect_exactly_one_owner() {
+        for round in 0..50usize {
+            let svc = Arc::new(ShuffleService::default());
+            let claims: Vec<ShuffleClaim> = (0..4)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    std::thread::spawn(move || svc.try_claim(round))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect();
+            let owners = claims.iter().filter(|c| **c == ShuffleClaim::Owner).count();
+            assert_eq!(owners, 1, "round {round}: claims were {claims:?}");
+            assert!(claims
+                .iter()
+                .all(|c| matches!(c, ShuffleClaim::Owner | ShuffleClaim::InFlight)));
+        }
     }
 }

@@ -1,0 +1,123 @@
+//! Minimal synchronisation primitives over `std::sync`.
+//!
+//! The runtime used to depend on `parking_lot` (locks) and `crossbeam`
+//! (channels). Both are replaced here with thin wrappers over the standard
+//! library so the workspace builds with no external crates at all: the
+//! locks expose the `parking_lot`-style non-poisoning API (a panicked
+//! holder does not wedge every later job — lineage recomputation assumes
+//! the runtime's own state stays usable after a task panic), and the
+//! channel module re-exports the unbounded MPSC channel under the same
+//! names the scheduler and executor pool were written against.
+
+use std::sync::{LockResult, PoisonError};
+
+/// Unwraps a poisoned lock into its inner guard: a panicking task must not
+/// take the whole runtime's shared state down with it.
+fn ignore_poison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A mutual-exclusion lock with the `parking_lot` calling convention:
+/// `lock()` returns the guard directly and never observes poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        ignore_poison(self.0.lock())
+    }
+}
+
+/// A readers-writer lock with the `parking_lot` calling convention.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        ignore_poison(self.0.read())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        ignore_poison(self.0.write())
+    }
+}
+
+/// A condition variable paired with [`Mutex`] guards.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks on the guard until notified.
+    pub fn wait<'a, T>(&self, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+        ignore_poison(self.0.wait(guard))
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Unbounded MPSC channels under the names the runtime was written
+/// against (previously `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_a_panicked_holder() {
+        let lock = Arc::new(Mutex::new(1u64));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 1, "lock must stay usable after poisoning");
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let lock = RwLock::new(7u64);
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u64).unwrap();
+        tx2.send(2u64).unwrap();
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 3);
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests: every shuffle operation agrees with a sequential
 //! reference on arbitrary inputs.
 
-use proptest::prelude::*;
 use spangle_dataflow::{HashPartitioner, PairRdd, SpangleContext};
+use spangle_testkit::{run_cases, DEFAULT_CASES};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -11,26 +11,24 @@ fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn collect_preserves_order_and_content(
-        data in proptest::collection::vec(any::<i64>(), 0..300),
-        parts in 1usize..9,
-    ) {
+#[test]
+fn collect_preserves_order_and_content() {
+    run_cases(0xDA7A_0001, DEFAULT_CASES, |rng| {
+        let data = rng.vec_of(0..300, |r| r.next_u64() as i64);
+        let parts = rng.usize_in(1..9);
         let ctx = SpangleContext::new(2);
         let rdd = ctx.parallelize(data.clone(), parts);
-        prop_assert_eq!(rdd.collect().unwrap(), data.clone());
-        prop_assert_eq!(rdd.count().unwrap(), data.len());
-    }
+        assert_eq!(rdd.collect().unwrap(), data);
+        assert_eq!(rdd.count().unwrap(), data.len());
+    });
+}
 
-    #[test]
-    fn reduce_by_key_matches_hashmap_reference(
-        pairs in proptest::collection::vec((0u64..20, -100i64..100), 0..300),
-        parts in 1usize..7,
-        reducers in 1usize..7,
-    ) {
+#[test]
+fn reduce_by_key_matches_hashmap_reference() {
+    run_cases(0xDA7A_0002, DEFAULT_CASES, |rng| {
+        let pairs = rng.vec_of(0..300, |r| (r.u64_in(0..20), r.i64_in(-100..100)));
+        let parts = rng.usize_in(1..7);
+        let reducers = rng.usize_in(1..7);
         let ctx = SpangleContext::new(2);
         let rdd = ctx.parallelize(pairs.clone(), parts);
         let got = sorted(
@@ -42,14 +40,15 @@ proptest! {
         for (k, v) in pairs {
             *expected.entry(k).or_insert(0) += v;
         }
-        prop_assert_eq!(got, sorted(expected.into_iter().collect()));
-    }
+        assert_eq!(got, sorted(expected.into_iter().collect()));
+    });
+}
 
-    #[test]
-    fn group_by_key_collects_exact_multisets(
-        pairs in proptest::collection::vec((0u64..10, 0u32..50), 0..200),
-        reducers in 1usize..5,
-    ) {
+#[test]
+fn group_by_key_collects_exact_multisets() {
+    run_cases(0xDA7A_0003, DEFAULT_CASES, |rng| {
+        let pairs = rng.vec_of(0..200, |r| (r.u64_in(0..10), r.u32_in(0..50)));
+        let reducers = rng.usize_in(1..5);
         let ctx = SpangleContext::new(2);
         let rdd = ctx.parallelize(pairs.clone(), 3);
         let grouped = rdd
@@ -60,24 +59,29 @@ proptest! {
         for (k, v) in pairs {
             expected.entry(k).or_default().push(v);
         }
-        prop_assert_eq!(grouped.len(), expected.len());
+        assert_eq!(grouped.len(), expected.len());
         for (k, vs) in grouped {
-            prop_assert_eq!(
+            assert_eq!(
                 sorted(vs),
                 sorted(expected.remove(&k).expect("unexpected key"))
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn join_matches_nested_loop_reference(
-        left in proptest::collection::vec((0u64..8, 0i32..100), 0..60),
-        right in proptest::collection::vec((0u64..8, 0i32..100), 0..60),
-    ) {
+#[test]
+fn join_matches_nested_loop_reference() {
+    run_cases(0xDA7A_0004, DEFAULT_CASES, |rng| {
+        let left = rng.vec_of(0..60, |r| (r.u64_in(0..8), r.i32_in(0..100)));
+        let right = rng.vec_of(0..60, |r| (r.u64_in(0..8), r.i32_in(0..100)));
         let ctx = SpangleContext::new(2);
         let l = ctx.parallelize(left.clone(), 3);
         let r = ctx.parallelize(right.clone(), 2);
-        let got = sorted(l.join(&r, Arc::new(HashPartitioner::new(3))).collect().unwrap());
+        let got = sorted(
+            l.join(&r, Arc::new(HashPartitioner::new(3)))
+                .collect()
+                .unwrap(),
+        );
         let mut expected = Vec::new();
         for (kl, vl) in &left {
             for (kr, vr) in &right {
@@ -86,54 +90,54 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, sorted(expected));
-    }
+        assert_eq!(got, sorted(expected));
+    });
+}
 
-    #[test]
-    fn partition_by_is_a_permutation(
-        pairs in proptest::collection::vec((0u64..1000, 0u8..255), 0..300),
-        reducers in 1usize..6,
-    ) {
+#[test]
+fn partition_by_is_a_permutation() {
+    run_cases(0xDA7A_0005, DEFAULT_CASES, |rng| {
+        let pairs = rng.vec_of(0..300, |r| (r.u64_in(0..1000), r.u32_in(0..255) as u8));
+        let reducers = rng.usize_in(1..6);
         let ctx = SpangleContext::new(2);
         let rdd = ctx.parallelize(pairs.clone(), 4);
         let repartitioned = rdd.partition_by(Arc::new(HashPartitioner::new(reducers)));
-        prop_assert_eq!(
-            sorted(repartitioned.collect().unwrap()),
-            sorted(pairs)
-        );
-        prop_assert_eq!(repartitioned.num_partitions(), reducers);
-    }
+        assert_eq!(sorted(repartitioned.collect().unwrap()), sorted(pairs));
+        assert_eq!(repartitioned.num_partitions(), reducers);
+    });
+}
 
-    #[test]
-    fn union_and_filter_compose_with_reference(
-        a in proptest::collection::vec(-50i64..50, 0..100),
-        b in proptest::collection::vec(-50i64..50, 0..100),
-        threshold in -50i64..50,
-    ) {
+#[test]
+fn union_and_filter_compose_with_reference() {
+    run_cases(0xDA7A_0006, DEFAULT_CASES, |rng| {
+        let a = rng.vec_of(0..100, |r| r.i64_in(-50..50));
+        let b = rng.vec_of(0..100, |r| r.i64_in(-50..50));
+        let threshold = rng.i64_in(-50..50);
         let ctx = SpangleContext::new(2);
         let u = ctx
             .parallelize(a.clone(), 2)
             .union(&ctx.parallelize(b.clone(), 3))
             .filter(move |x| *x > threshold);
-        let expected: Vec<i64> = a
-            .into_iter()
-            .chain(b)
-            .filter(|x| *x > threshold)
-            .collect();
-        prop_assert_eq!(u.collect().unwrap(), expected);
-    }
+        let expected: Vec<i64> = a.into_iter().chain(b).filter(|x| *x > threshold).collect();
+        assert_eq!(u.collect().unwrap(), expected);
+    });
+}
 
-    #[test]
-    fn aggregate_action_matches_fold(
-        data in proptest::collection::vec(-1000i64..1000, 0..400),
-        parts in 1usize..8,
-    ) {
+#[test]
+fn aggregate_action_matches_fold() {
+    run_cases(0xDA7A_0007, DEFAULT_CASES, |rng| {
+        let data = rng.vec_of(0..400, |r| r.i64_in(-1000..1000));
+        let parts = rng.usize_in(1..8);
         let ctx = SpangleContext::new(3);
         let rdd = ctx.parallelize(data.clone(), parts);
         let (sum, count) = rdd
-            .aggregate((0i64, 0usize), |(s, c), &x| (s + x, c + 1), |a, b| (a.0 + b.0, a.1 + b.1))
+            .aggregate(
+                (0i64, 0usize),
+                |(s, c), &x| (s + x, c + 1),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
             .unwrap();
-        prop_assert_eq!(sum, data.iter().sum::<i64>());
-        prop_assert_eq!(count, data.len());
-    }
+        assert_eq!(sum, data.iter().sum::<i64>());
+        assert_eq!(count, data.len());
+    });
 }

@@ -51,7 +51,7 @@ fn iterative_loop_with_persist_reuses_previous_iterations() {
         );
     }
     let mut out = ranks.collect().unwrap();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.sort_by_key(|e| e.0);
     // Each key has 4 links; rank multiplies by 4 per iteration: 4^5.
     for (_, r) in out {
         assert_eq!(r, 1024.0);

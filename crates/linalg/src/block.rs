@@ -188,10 +188,9 @@ mod tests {
             rows,
             cols,
             (0..rows).flat_map(|r| {
-                (0..cols).filter_map(move |c| {
-                    ((r * cols + c + seed) % density_mod == 0)
-                        .then(|| (r, c, (r * 10 + c + 1) as f64))
-                })
+                (0..cols)
+                    .filter(move |c| (r * cols + c + seed).is_multiple_of(density_mod))
+                    .map(move |c| (r, c, (r * 10 + c + 1) as f64))
             }),
             &ChunkPolicy::default(),
         )
@@ -238,9 +237,7 @@ mod tests {
     #[test]
     fn all_zero_block_is_not_created() {
         assert!(block_from_dense(vec![0.0; 16], &ChunkPolicy::default()).is_none());
-        assert!(
-            block_from_triplets(4, 4, vec![(0, 0, 0.0)], &ChunkPolicy::default()).is_none()
-        );
+        assert!(block_from_triplets(4, 4, vec![(0, 0, 0.0)], &ChunkPolicy::default()).is_none());
     }
 
     #[test]

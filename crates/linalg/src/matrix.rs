@@ -45,9 +45,7 @@ fn merge_sparse_partials(a: Vec<(u32, f64)>, b: Vec<(u32, f64)>) -> Vec<(u32, f6
 }
 use crate::vector::{DenseVector, Orientation};
 use spangle_core::{ArrayBuilder, ArrayMeta, ArrayRdd, Chunk, ChunkPolicy};
-use spangle_dataflow::{
-    HashPartitioner, JobError, ModPartitioner, PairRdd, Rdd, SpangleContext,
-};
+use spangle_dataflow::{HashPartitioner, JobError, ModPartitioner, PairRdd, Rdd, SpangleContext};
 use std::sync::Arc;
 
 /// A distributed block matrix over bitmask chunks.
@@ -185,7 +183,8 @@ impl DistMatrix {
             right.matrix.rows(),
             "inner dimensions must agree"
         );
-        left.matrix.multiply_impl(&right.matrix, Some((left, right)))
+        left.matrix
+            .multiply_impl(&right.matrix, Some((left, right)))
     }
 
     fn multiply_impl(
@@ -218,9 +217,10 @@ impl DistMatrix {
         let policy = self.array.policy();
 
         // Key both operands by the contraction (inner) block index.
+        type Keyed = Rdd<(u64, (u64, Chunk<f64>))>;
         let (keyed_a, keyed_b, partitioner): (
-            Rdd<(u64, (u64, Chunk<f64>))>,
-            Rdd<(u64, (u64, Chunk<f64>))>,
+            Keyed,
+            Keyed,
             Arc<dyn spangle_dataflow::Partitioner<u64>>,
         ) = match prepared {
             Some((l, r)) => (
@@ -250,56 +250,55 @@ impl DistMatrix {
         // OOM dense systems, §VII-C) stay proportional to their non-zeros.
         let out_grid_rows = out_meta.grid_dims()[0] as u64;
         let contraction_meta = (a_meta.clone(), b_meta.clone());
-        let partials = keyed_a
-            .cogroup(&keyed_b, partitioner)
-            .flat_map(move |(kb, (a_blocks, b_blocks))| {
-                let (a_meta, b_meta) = &contraction_meta;
-                let a_mapper = a_meta.mapper();
-                let b_mapper = b_meta.mapper();
-                let a_grid_rows = a_meta.grid_dims()[0] as u64;
-                let b_grid_rows = b_meta.grid_dims()[0] as u64;
-                let mut out = Vec::with_capacity(a_blocks.len() * b_blocks.len());
-                for (gr, a_chunk) in &a_blocks {
-                    let a_id = gr + kb * a_grid_rows;
-                    let a_extent = a_mapper.chunk_extent(a_id);
-                    for (gc, b_chunk) in &b_blocks {
-                        let b_id = kb + gc * b_grid_rows;
-                        let b_extent = b_mapper.chunk_extent(b_id);
-                        debug_assert_eq!(a_extent[1], b_extent[0]);
-                        // Dense scratch per pair (transient), compacted to
-                        // sparse triplets before it crosses the shuffle.
-                        let mut acc = vec![0.0f64; a_extent[0] * b_extent[1]];
-                        block_multiply_into(
-                            a_chunk,
-                            a_extent[0],
-                            b_chunk,
-                            a_extent[1],
-                            b_extent[1],
-                            &mut acc,
-                        );
-                        let sparse: Vec<(u32, f64)> = acc
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, v)| **v != 0.0)
-                            .map(|(i, &v)| (i as u32, v))
-                            .collect();
-                        if sparse.is_empty() {
-                            continue;
+        let partials =
+            keyed_a
+                .cogroup(&keyed_b, partitioner)
+                .flat_map(move |(kb, (a_blocks, b_blocks))| {
+                    let (a_meta, b_meta) = &contraction_meta;
+                    let a_mapper = a_meta.mapper();
+                    let b_mapper = b_meta.mapper();
+                    let a_grid_rows = a_meta.grid_dims()[0] as u64;
+                    let b_grid_rows = b_meta.grid_dims()[0] as u64;
+                    let mut out = Vec::with_capacity(a_blocks.len() * b_blocks.len());
+                    for (gr, a_chunk) in &a_blocks {
+                        let a_id = gr + kb * a_grid_rows;
+                        let a_extent = a_mapper.chunk_extent(a_id);
+                        for (gc, b_chunk) in &b_blocks {
+                            let b_id = kb + gc * b_grid_rows;
+                            let b_extent = b_mapper.chunk_extent(b_id);
+                            debug_assert_eq!(a_extent[1], b_extent[0]);
+                            // Dense scratch per pair (transient), compacted to
+                            // sparse triplets before it crosses the shuffle.
+                            let mut acc = vec![0.0f64; a_extent[0] * b_extent[1]];
+                            block_multiply_into(
+                                a_chunk,
+                                a_extent[0],
+                                b_chunk,
+                                a_extent[1],
+                                b_extent[1],
+                                &mut acc,
+                            );
+                            let sparse: Vec<(u32, f64)> = acc
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, v)| **v != 0.0)
+                                .map(|(i, &v)| (i as u32, v))
+                                .collect();
+                            if sparse.is_empty() {
+                                continue;
+                            }
+                            let out_id = gr + gc * out_grid_rows;
+                            out.push((out_id, sparse));
                         }
-                        let out_id = gr + gc * out_grid_rows;
-                        out.push((out_id, sparse));
                     }
-                }
-                out
-            });
+                    out
+                });
 
         // Reduce sparse partials per output chunk (merge-add of sorted
         // runs) and re-encode as chunks.
         let n_out = self.array.rdd().num_partitions();
-        let reduced = partials.reduce_by_key(
-            Arc::new(HashPartitioner::new(n_out)),
-            merge_sparse_partials,
-        );
+        let reduced =
+            partials.reduce_by_key(Arc::new(HashPartitioner::new(n_out)), merge_sparse_partials);
         let red_meta = out_meta.clone();
         let rdd = reduced.flat_map(move |(id, cells)| {
             let volume = red_meta.mapper().chunk_volume(id);
@@ -365,10 +364,7 @@ impl DistMatrix {
         let (br, bc) = self.block_shape();
         let meta = self.array.meta_arc();
         let policy = self.array.policy();
-        let out_meta = Arc::new(ArrayMeta::new(
-            vec![self.cols(), self.rows()],
-            vec![bc, br],
-        ));
+        let out_meta = Arc::new(ArrayMeta::new(vec![self.cols(), self.rows()], vec![bc, br]));
         let rdd = self.array.rdd().flat_map(move |(id, chunk)| {
             let mapper = meta.mapper();
             let extent = mapper.chunk_extent(id);
@@ -503,7 +499,11 @@ impl DistMatrix {
         }
     }
 
-    fn elementwise(&self, other: &DistMatrix, f: impl Fn(f64, f64) -> f64 + Send + Sync + 'static) -> DistMatrix {
+    fn elementwise(
+        &self,
+        other: &DistMatrix,
+        f: impl Fn(f64, f64) -> f64 + Send + Sync + 'static,
+    ) -> DistMatrix {
         DistMatrix {
             array: self.array.zip_with(&other.array, move |a, b| {
                 let v = f(a.unwrap_or(0.0), b.unwrap_or(0.0));
@@ -538,15 +538,25 @@ mod tests {
         SpangleContext::new(4)
     }
 
-    fn dense_mat(ctx: &SpangleContext, rows: usize, cols: usize, block: (usize, usize)) -> DistMatrix {
+    fn dense_mat(
+        ctx: &SpangleContext,
+        rows: usize,
+        cols: usize,
+        block: (usize, usize),
+    ) -> DistMatrix {
         DistMatrix::generate(ctx, rows, cols, block, ChunkPolicy::default(), |r, c| {
             Some(((r * 31 + c * 17) % 7) as f64 - 3.0)
         })
     }
 
-    fn sparse_mat(ctx: &SpangleContext, rows: usize, cols: usize, block: (usize, usize)) -> DistMatrix {
+    fn sparse_mat(
+        ctx: &SpangleContext,
+        rows: usize,
+        cols: usize,
+        block: (usize, usize),
+    ) -> DistMatrix {
         DistMatrix::generate(ctx, rows, cols, block, ChunkPolicy::default(), |r, c| {
-            ((r + 2 * c) % 11 == 0).then(|| (r + c + 1) as f64)
+            (r + 2 * c).is_multiple_of(11).then_some((r + c + 1) as f64)
         })
     }
 
@@ -577,7 +587,8 @@ mod tests {
         let a = dense_mat(&ctx, 30, 22, (8, 8));
         let b = sparse_mat(&ctx, 22, 17, (8, 8));
         let got = a.multiply(&b).to_local().unwrap();
-        let expected = reference_multiply(&a.to_local().unwrap(), 30, 22, &b.to_local().unwrap(), 17);
+        let expected =
+            reference_multiply(&a.to_local().unwrap(), 30, 22, &b.to_local().unwrap(), 17);
         assert_close(&got, &expected);
     }
 
@@ -589,7 +600,9 @@ mod tests {
         let shuffle = a.multiply(&b).to_local().unwrap();
         let left = a.partition_left_by_inner(4);
         let right = b.partition_right_by_inner(4);
-        let local = DistMatrix::multiply_local(&left, &right).to_local().unwrap();
+        let local = DistMatrix::multiply_local(&left, &right)
+            .to_local()
+            .unwrap();
         assert_close(&local, &shuffle);
     }
 
@@ -737,11 +750,14 @@ mod tests {
         // a * b where the product has exact zeros: those cells must be
         // invalid, not stored zeros.
         let a = DistMatrix::generate(&ctx, 4, 4, (2, 2), ChunkPolicy::default(), |r, c| {
-            (r == c).then(|| if r < 2 { 1.0 } else { 0.0 })
+            (r == c).then_some(if r < 2 { 1.0 } else { 0.0 })
         });
         let b = dense_mat(&ctx, 4, 4, (2, 2));
         let product = a.multiply(&b);
         let nnz = product.nnz().unwrap();
-        assert!(nnz <= 8, "rows 2..4 are zero and must not be stored, nnz={nnz}");
+        assert!(
+            nnz <= 8,
+            "rows 2..4 are zero and must not be stored, nnz={nnz}"
+        );
     }
 }

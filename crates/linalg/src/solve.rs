@@ -179,9 +179,7 @@ mod tests {
     #[should_panic(expected = "square")]
     fn cg_rejects_rectangular_matrices() {
         let ctx = SpangleContext::new(1);
-        let a = DistMatrix::generate(&ctx, 4, 6, (2, 2), ChunkPolicy::default(), |_, _| {
-            Some(1.0)
-        });
+        let a = DistMatrix::generate(&ctx, 4, 6, (2, 2), ChunkPolicy::default(), |_, _| Some(1.0));
         let _ = conjugate_gradient(&a, &DenseVector::column(vec![1.0; 6]), 1e-6, 10);
     }
 }

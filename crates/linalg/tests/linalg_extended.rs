@@ -1,7 +1,6 @@
 //! Extended linear-algebra tests: algebraic identities, extreme shapes,
 //! and property-based equivalence of the two multiplication plans.
 
-use proptest::prelude::*;
 use spangle_core::ChunkPolicy;
 use spangle_dataflow::SpangleContext;
 use spangle_linalg::{DenseVector, DistMatrix, Orientation};
@@ -14,7 +13,7 @@ fn entry(seed: u64) -> impl Fn(usize, usize) -> Option<f64> + Send + Sync + Clon
             .wrapping_add(seed)
             .wrapping_mul(0xBF58476D1CE4E5B9)
             >> 33;
-        (h % 3 != 0).then(|| (h % 17) as f64 - 8.0)
+        (!h.is_multiple_of(3)).then_some((h % 17) as f64 - 8.0)
     }
 }
 
@@ -38,7 +37,10 @@ fn multiplication_distributes_over_addition() {
     let right_a = a.multiply(&c).to_local().unwrap();
     let right_b = b.multiply(&c).to_local().unwrap();
     for i in 0..left.len() {
-        assert!((left[i] - (right_a[i] + right_b[i])).abs() < 1e-9, "index {i}");
+        assert!(
+            (left[i] - (right_a[i] + right_b[i])).abs() < 1e-9,
+            "index {i}"
+        );
     }
 }
 
@@ -72,9 +74,14 @@ fn single_column_and_single_row_matrices() {
     }
     // Row times column: a 1x1 inner product.
     let inner = row
-        .multiply(&DistMatrix::generate(&ctx, 7, 1, (4, 1), ChunkPolicy::default(), |r, _| {
-            Some((r + 1) as f64)
-        }))
+        .multiply(&DistMatrix::generate(
+            &ctx,
+            7,
+            1,
+            (4, 1),
+            ChunkPolicy::default(),
+            |r, _| Some((r + 1) as f64),
+        ))
         .to_local()
         .unwrap();
     assert_eq!(inner, vec![(1..=7).map(|i| (i * i) as f64).sum::<f64>()]);
@@ -101,43 +108,61 @@ fn matvec_rejects_row_vectors() {
     let _ = a.matvec(&DenseVector::row(vec![1.0; 4]));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The shuffle plan and the local-join plan agree on arbitrary
-    /// shapes, block sizes and partition counts.
-    #[test]
-    fn local_join_equals_shuffle_plan(
-        m in 1usize..24, k in 1usize..24, n in 1usize..24,
-        block in 2usize..9,
-        parts in 1usize..5,
-        seed in 0u64..50,
-    ) {
+/// The shuffle plan and the local-join plan agree on arbitrary shapes,
+/// block sizes and partition counts.
+#[test]
+fn local_join_equals_shuffle_plan() {
+    spangle_testkit::run_cases(0x11A1_0001, 12, |rng| {
+        let m = rng.usize_in(1..24);
+        let k = rng.usize_in(1..24);
+        let n = rng.usize_in(1..24);
+        let block = rng.usize_in(2..9);
+        let parts = rng.usize_in(1..5);
+        let seed = rng.u64_in(0..50);
         let ctx = SpangleContext::new(2);
-        let a = DistMatrix::generate(&ctx, m, k, (block, block), ChunkPolicy::default(), entry(seed));
-        let b = DistMatrix::generate(&ctx, k, n, (block, block), ChunkPolicy::default(), entry(seed + 1));
+        let a = DistMatrix::generate(
+            &ctx,
+            m,
+            k,
+            (block, block),
+            ChunkPolicy::default(),
+            entry(seed),
+        );
+        let b = DistMatrix::generate(
+            &ctx,
+            k,
+            n,
+            (block, block),
+            ChunkPolicy::default(),
+            entry(seed + 1),
+        );
         let via_shuffle = a.multiply(&b).to_local().unwrap();
         let left = a.partition_left_by_inner(parts);
         let right = b.partition_right_by_inner(parts);
-        let via_local = DistMatrix::multiply_local(&left, &right).to_local().unwrap();
+        let via_local = DistMatrix::multiply_local(&left, &right)
+            .to_local()
+            .unwrap();
         for (i, (x, y)) in via_shuffle.iter().zip(&via_local).enumerate() {
-            prop_assert!((x - y).abs() < 1e-9, "index {}: {} vs {}", i, x, y);
+            assert!((x - y).abs() < 1e-9, "index {}: {} vs {}", i, x, y);
         }
-    }
+    });
+}
 
-    /// `(A·B)ᵀ == Bᵀ·Aᵀ` for arbitrary shapes.
-    #[test]
-    fn product_transpose_identity(
-        m in 1usize..16, k in 1usize..16, n in 1usize..16,
-        seed in 0u64..50,
-    ) {
+/// `(A·B)ᵀ == Bᵀ·Aᵀ` for arbitrary shapes.
+#[test]
+fn product_transpose_identity() {
+    spangle_testkit::run_cases(0x11A1_0002, 12, |rng| {
+        let m = rng.usize_in(1..16);
+        let k = rng.usize_in(1..16);
+        let n = rng.usize_in(1..16);
+        let seed = rng.u64_in(0..50);
         let ctx = SpangleContext::new(2);
         let a = DistMatrix::generate(&ctx, m, k, (4, 4), ChunkPolicy::default(), entry(seed));
         let b = DistMatrix::generate(&ctx, k, n, (4, 4), ChunkPolicy::default(), entry(seed + 9));
         let lhs = a.multiply(&b).transpose().to_local().unwrap();
         let rhs = b.transpose().multiply(&a.transpose()).to_local().unwrap();
         for (i, (x, y)) in lhs.iter().zip(&rhs).enumerate() {
-            prop_assert!((x - y).abs() < 1e-9, "index {}", i);
+            assert!((x - y).abs() < 1e-9, "index {}", i);
         }
-    }
+    });
 }

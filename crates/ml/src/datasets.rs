@@ -68,7 +68,11 @@ fn generate_row(
     // ~3% label noise, deterministically.
     let noisy = mix(seed ^ global_row ^ 0xF00D) % 100 < 3;
     let clean_label = if margin >= 0.0 { 1.0 } else { 0.0 };
-    let label = if noisy { 1.0 - clean_label } else { clean_label };
+    let label = if noisy {
+        1.0 - clean_label
+    } else {
+        clean_label
+    };
     (row, label)
 }
 

@@ -121,15 +121,13 @@ impl Graph {
     /// Out-degree of every vertex, gathered on the driver (a `|V|`-sized
     /// vector, like the paper's `w` vector).
     pub fn out_degrees(&self) -> Result<Vec<u64>, spangle_dataflow::JobError> {
-        let counts = self
-            .edges
-            .run_partitions(|_, edges| {
-                let mut local = std::collections::HashMap::<u64, u64>::new();
-                for (src, _) in edges {
-                    *local.entry(*src).or_insert(0) += 1;
-                }
-                local.into_iter().collect::<Vec<_>>()
-            })?;
+        let counts = self.edges.run_partitions(|_, edges| {
+            let mut local = std::collections::HashMap::<u64, u64>::new();
+            for (src, _) in edges {
+                *local.entry(*src).or_insert(0) += 1;
+            }
+            local.into_iter().collect::<Vec<_>>()
+        })?;
         let mut out = vec![0u64; self.num_vertices];
         for part in counts {
             for (v, c) in part {
@@ -155,10 +153,19 @@ mod tests {
     #[test]
     fn power_law_is_deterministic() {
         let ctx = SpangleContext::new(2);
-        let a = Graph::power_law(&ctx, 500, 2000, 7, 4).edges().collect().unwrap();
-        let b = Graph::power_law(&ctx, 500, 2000, 7, 4).edges().collect().unwrap();
+        let a = Graph::power_law(&ctx, 500, 2000, 7, 4)
+            .edges()
+            .collect()
+            .unwrap();
+        let b = Graph::power_law(&ctx, 500, 2000, 7, 4)
+            .edges()
+            .collect()
+            .unwrap();
         assert_eq!(a, b);
-        let c = Graph::power_law(&ctx, 500, 2000, 8, 4).edges().collect().unwrap();
+        let c = Graph::power_law(&ctx, 500, 2000, 8, 4)
+            .edges()
+            .collect()
+            .unwrap();
         assert_ne!(a, c, "different seeds give different graphs");
     }
 

@@ -179,12 +179,13 @@ impl AdjacencyMatrix {
             (block_id % grid, acc)
         });
         let n_parts = self.rdd.num_partitions();
-        let reduced = partials.reduce_by_key(Arc::new(HashPartitioner::new(n_parts)), |mut a, b| {
-            for (x, y) in a.iter_mut().zip(&b) {
-                *x += y;
-            }
-            a
-        });
+        let reduced =
+            partials.reduce_by_key(Arc::new(HashPartitioner::new(n_parts)), |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            });
         let mut out = vec![0.0; self.num_vertices];
         for (gr, seg) in reduced.collect()? {
             let base = gr as usize * self.block_size;

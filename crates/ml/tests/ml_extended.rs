@@ -1,6 +1,5 @@
 //! Extended ML tests: PageRank invariants and SGD determinism.
 
-use proptest::prelude::*;
 use spangle_dataflow::SpangleContext;
 use spangle_ml::pagerank::pagerank_reference;
 use spangle_ml::{datasets, pagerank, Graph, LogisticRegression, SgdConfig};
@@ -40,7 +39,10 @@ fn duplicate_edges_do_not_change_the_result() {
     let clean = pagerank(&Graph::from_edges(&ctx, 3, edges, 2), 2, false, 0.85, 15).unwrap();
     let dup = pagerank(&Graph::from_edges(&ctx, 3, doubled, 2), 2, false, 0.85, 15).unwrap();
     for (a, b) in clean.ranks.as_slice().iter().zip(dup.ranks.as_slice()) {
-        assert!((a - b).abs() < 1e-15, "bitmask semantics collapse duplicates");
+        assert!(
+            (a - b).abs() < 1e-15,
+            "bitmask semantics collapse duplicates"
+        );
     }
 }
 
@@ -60,14 +62,7 @@ fn sgd_training_is_deterministic_for_a_fixed_seed() {
     let b = LogisticRegression::train(&data, cfg).unwrap();
     assert_eq!(a.weights.as_slice(), b.weights.as_slice());
     // A different sampling seed changes the trajectory.
-    let c = LogisticRegression::train(
-        &data,
-        SgdConfig {
-            seed: 778,
-            ..cfg
-        },
-    )
-    .unwrap();
+    let c = LogisticRegression::train(&data, SgdConfig { seed: 778, ..cfg }).unwrap();
     assert_ne!(a.weights.as_slice(), c.weights.as_slice());
 }
 
@@ -92,27 +87,21 @@ fn sgd_tolerance_stops_early() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Distributed PageRank equals the sequential reference on random
-    /// graphs, in both mask modes.
-    #[test]
-    fn pagerank_matches_reference_on_random_graphs(
-        n in 8usize..80,
-        edge_seeds in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 5..120),
-        super_sparse in any::<bool>(),
-    ) {
+/// Distributed PageRank equals the sequential reference on random graphs,
+/// in both mask modes.
+#[test]
+fn pagerank_matches_reference_on_random_graphs() {
+    spangle_testkit::run_cases(0x3117_0001, 10, |rng| {
+        let n = rng.usize_in(8..80);
+        let edges: Vec<(u64, u64)> =
+            rng.vec_of(5..120, |r| (r.u64_in(0..n as u64), r.u64_in(0..n as u64)));
+        let super_sparse = rng.bool();
         let ctx = SpangleContext::new(2);
-        let edges: Vec<(u64, u64)> = edge_seeds
-            .into_iter()
-            .map(|(a, b)| (a % n as u64, b % n as u64))
-            .collect();
         let g = Graph::from_edges(&ctx, n, edges.clone(), 2);
         let got = pagerank(&g, 16, super_sparse, 0.85, 8).unwrap();
         let expected = pagerank_reference(n, &edges, 0.85, 8);
         for (v, (a, b)) in got.ranks.as_slice().iter().zip(&expected).enumerate() {
-            prop_assert!((a - b).abs() < 1e-12, "vertex {}: {} vs {}", v, a, b);
+            assert!((a - b).abs() < 1e-12, "vertex {}: {} vs {}", v, a, b);
         }
-    }
+    });
 }

@@ -151,7 +151,10 @@ impl ChlConfig {
         // with a latitude trend plus hashed lognormal noise.
         let lat_frac = lat as f64 / self.lat as f64;
         let trend = 0.05 + 0.8 * (lat_frac - 0.5).abs();
-        let noise = unit(mix(self.seed ^ ((lon as u64) << 32) ^ ((lat as u64) << 8) ^ t as u64));
+        let noise = unit(mix(self.seed
+            ^ ((lon as u64) << 32)
+            ^ ((lat as u64) << 8)
+            ^ t as u64));
         Some(trend * (0.2 + 3.0 * noise * noise))
     }
 

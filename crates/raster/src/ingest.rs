@@ -113,11 +113,7 @@ mod tests {
         let cells = parse_cells(&meta(), text, ',').unwrap();
         assert_eq!(
             cells,
-            vec![
-                (vec![0, 0], 1.5),
-                (vec![7, 7], -2.0),
-                (vec![3, 4], 0.25),
-            ]
+            vec![(vec![0, 0], 1.5), (vec![7, 7], -2.0), (vec![3, 4], 0.25),]
         );
     }
 
@@ -142,8 +138,7 @@ mod tests {
     fn text_ingest_builds_a_queryable_array() {
         let ctx = SpangleContext::new(2);
         let text = "0,0,1.0\n1,1,2.0\n6,7,3.0\n";
-        let arr =
-            array_from_text(&ctx, meta(), ChunkPolicy::default(), text, ',', 2).unwrap();
+        let arr = array_from_text(&ctx, meta(), ChunkPolicy::default(), text, ',', 2).unwrap();
         assert_eq!(arr.count_valid().unwrap(), 3);
         assert_eq!(arr.aggregate(Sum), Some(6.0));
         assert_eq!(arr.get(&[6, 7]).unwrap(), Some(3.0));

@@ -103,10 +103,7 @@ impl RasterSystem for SpangleRaster {
     fn q2_regrid(&self, range: &QueryRange, k: usize) -> (usize, f64) {
         let sub = self.arr.subarray(&range.lo, &range.hi);
         let groups = sub
-            .aggregate_by(
-                move |c| ((c[0] / k) as u64, (c[1] / k) as u64),
-                Avg,
-            )
+            .aggregate_by(move |c| ((c[0] / k) as u64, (c[1] / k) as u64), Avg)
             .expect("q2 failed");
         let count = groups.len();
         let sum = groups.iter().map(|(_, m)| m).sum();
@@ -131,10 +128,7 @@ impl RasterSystem for SpangleRaster {
     fn q5_density(&self, range: &QueryRange, cell: usize, min_count: usize) -> usize {
         self.arr
             .subarray(&range.lo, &range.hi)
-            .aggregate_by(
-                move |c| ((c[0] / cell) as u64, (c[1] / cell) as u64),
-                Count,
-            )
+            .aggregate_by(move |c| ((c[0] / cell) as u64, (c[1] / cell) as u64), Count)
             .expect("q5 failed")
             .into_iter()
             .filter(|(_, n)| *n > min_count)
@@ -474,7 +468,10 @@ impl RasterSystem for TileRaster {
                 a
             },
         );
-        (groups.len(), groups.values().map(|(s, n)| s / *n as f64).sum())
+        (
+            groups.len(),
+            groups.values().map(|(s, n)| s / *n as f64).sum(),
+        )
     }
 
     fn q3_cond_avg(&self, range: &QueryRange, threshold: f64) -> Option<f64> {
@@ -626,8 +623,6 @@ mod tests {
         // answer but Spangle's subarray materialises a single chunk.
         let sub = spangle.array().subarray(&range.lo, &range.hi);
         assert_eq!(sub.num_chunks().unwrap(), 1);
-        assert!(
-            (spangle.q1_avg(&range).unwrap() - dense.q1_avg(&range).unwrap()).abs() < 1e-9
-        );
+        assert!((spangle.q1_avg(&range).unwrap() - dense.q1_avg(&range).unwrap()).abs() < 1e-9);
     }
 }

@@ -37,8 +37,12 @@ fn main() {
     println!("== the composite");
     let total = meta.volume();
     let valid = chl.count_valid().unwrap();
-    println!("  {} of {} cells observed ({:.1}% — the rest is land/cloud)",
-        valid, total, 100.0 * valid as f64 / total as f64);
+    println!(
+        "  {} of {} cells observed ({:.1}% — the rest is land/cloud)",
+        valid,
+        total,
+        100.0 * valid as f64 / total as f64
+    );
     println!("  chunk modes: {:?}", chl.mode_counts().unwrap());
 
     println!("\n== area of interest: a coastal box, first two composites");

@@ -20,7 +20,9 @@ fn main() {
     // A 1024x1024 sparse matrix (1.5% non-zeros) in 128x128 blocks.
     let n = 1024;
     let a = DistMatrix::generate(&ctx, n, n, (128, 128), ChunkPolicy::default(), |r, c| {
-        ((r * 31 + c * 17) % 67 == 0).then(|| ((r + c) % 9) as f64 - 4.0)
+        (r * 31 + c * 17)
+            .is_multiple_of(67)
+            .then_some(((r + c) % 9) as f64 - 4.0)
     });
     a.persist();
     println!(
@@ -35,12 +37,18 @@ fn main() {
     // --- matrix-vector products with broadcast vectors ----------------
     let x = DenseVector::column((0..n).map(|i| (i % 5) as f64).collect());
     let y = a.matvec(&x).unwrap();
-    println!("\nM·x   : |y|_1 = {:.1}", y.as_slice().iter().map(|v| v.abs()).sum::<f64>());
+    println!(
+        "\nM·x   : |y|_1 = {:.1}",
+        y.as_slice().iter().map(|v| v.abs()).sum::<f64>()
+    );
 
     // A vector transpose is metadata-only (opt2): free, no copy.
     let yt = y.transpose(); // column -> row, O(1)
     let z = a.vecmat(&yt).unwrap();
-    println!("yᵀ·M  : |z|_1 = {:.1}", z.as_slice().iter().map(|v| v.abs()).sum::<f64>());
+    println!(
+        "yᵀ·M  : |z|_1 = {:.1}",
+        z.as_slice().iter().map(|v| v.abs()).sum::<f64>()
+    );
 
     // --- shuffle multiply vs the local join ---------------------------
     let before = ctx.metrics_snapshot();
@@ -64,13 +72,24 @@ fn main() {
 
     assert_eq!(nnz_shuffle, nnz_local);
     println!("\nA·A through the shuffle plan : {t_shuffle:?}");
-    println!("  stages={}, shuffle bytes={}", shuffle_stats.stages_run, shuffle_stats.shuffle_write_bytes);
+    println!(
+        "  stages={}, shuffle bytes={}",
+        shuffle_stats.stages_run, shuffle_stats.shuffle_write_bytes
+    );
     println!("A·A through the local join   : {t_local:?}");
-    println!("  stages={}, shuffle bytes={}", local_stats.stages_run, local_stats.shuffle_write_bytes);
+    println!(
+        "  stages={}, shuffle bytes={}",
+        local_stats.stages_run, local_stats.shuffle_write_bytes
+    );
 
     // --- gram matrix ----------------------------------------------------
     let gram = a.gram();
-    println!("\nAᵀA: nnz={} ({}x{})", gram.nnz().unwrap(), gram.cols(), gram.cols());
+    println!(
+        "\nAᵀA: nnz={} ({}x{})",
+        gram.nnz().unwrap(),
+        gram.cols(),
+        gram.cols()
+    );
 
     // --- bitmask vs offset-array representation -------------------------
     println!("\nvalidity representation the size rule picks per block:");
@@ -82,5 +101,7 @@ fn main() {
             ValidityRepr::Offsets => offsets += 1,
         }
     }
-    println!("  bitmask: {masks} blocks, offset-array: {offsets} blocks (1.5% density favours offsets)");
+    println!(
+        "  bitmask: {masks} blocks, offset-array: {offsets} blocks (1.5% density favours offsets)"
+    );
 }

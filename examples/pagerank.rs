@@ -63,7 +63,10 @@ fn main() {
             .fold(0.0f64, f64::max)
     };
     println!("\nmax |rank - reference|:");
-    println!("  spangle        : {:.3e}", max_err(spangle.ranks.as_slice()));
+    println!(
+        "  spangle        : {:.3e}",
+        max_err(spangle.ranks.as_slice())
+    );
     println!("  spark-edgelist : {:.3e}", max_err(&spark.ranks));
     println!("  graphx-like    : {:.3e}", max_err(&graphx.ranks));
 

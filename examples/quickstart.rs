@@ -30,13 +30,19 @@ fn main() {
 
     println!("== ingest");
     println!("  valid cells : {}", arr.count_valid().unwrap());
-    println!("  chunks      : {} (empty chunks are never created)", arr.num_chunks().unwrap());
+    println!(
+        "  chunks      : {} (empty chunks are never created)",
+        arr.num_chunks().unwrap()
+    );
     println!("  modes       : {:?}", arr.mode_counts().unwrap());
     println!("  memory      : {} KiB", arr.mem_bytes().unwrap() / 1024);
 
     println!("\n== point queries");
     println!("  arr[10, 20]   = {:?}", arr.get(&[10, 20]).unwrap());
-    println!("  arr[128, 128] = {:?} (inside the null hole)", arr.get(&[128, 128]).unwrap());
+    println!(
+        "  arr[128, 128] = {:?} (inside the null hole)",
+        arr.get(&[128, 128]).unwrap()
+    );
 
     println!("\n== subarray + aggregator");
     let sub = arr.subarray(&[0, 0], &[128, 128]);
@@ -47,7 +53,10 @@ fn main() {
 
     println!("\n== filter (non-matching cells become null)");
     let filtered = arr.filter(|v| v >= 400.0);
-    println!("  cells with value >= 400: {}", filtered.count_valid().unwrap());
+    println!(
+        "  cells with value >= 400: {}",
+        filtered.count_valid().unwrap()
+    );
 
     println!("\n== grouped aggregation (Q5-style density)");
     let mut groups = arr
@@ -60,14 +69,20 @@ fn main() {
 
     println!("\n== cell-wise join of two arrays");
     let other = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![256, 256], vec![64, 64]))
-        .ingest(|c| (c[0] % 2 == 0).then(|| 1000.0))
+        .ingest(|c| c[0].is_multiple_of(2).then_some(1000.0))
         .build();
     let and_join = arr.zip_with(&other, |a, b| a.zip(b).map(|(x, y)| x + y));
-    println!("  AND-join valid cells: {}", and_join.count_valid().unwrap());
+    println!(
+        "  AND-join valid cells: {}",
+        and_join.count_valid().unwrap()
+    );
 
     println!("\n== chunk modes under different densities");
     let sparse = arr.filter(|v| v % 97.0 < 3.0); // ~3% survive
-    println!("  after a highly selective filter: {:?}", sparse.mode_counts().unwrap());
+    println!(
+        "  after a highly selective filter: {:?}",
+        sparse.mode_counts().unwrap()
+    );
     let dense_again = sparse.reencode(ChunkPolicy::always_dense());
     println!(
         "  sparse {} KiB vs forced-dense {} KiB",
@@ -81,5 +96,8 @@ fn main() {
     ctx.failure_injector().fail_task(arr.rdd().id(), 1, 1);
     let after = arr.count_valid().unwrap();
     println!("  evicted a cached partition and killed a task attempt;");
-    println!("  recomputed from lineage: {before} == {after} -> {}", before == after);
+    println!(
+        "  recomputed from lineage: {before} == {after} -> {}",
+        before == after
+    );
 }

@@ -7,7 +7,9 @@ use spangle::array::maskrdd::{JoinMode, SpangleArray};
 use spangle::array::{ArrayBuilder, ArrayMeta, ChunkPolicy};
 use spangle::baselines::LocalArrayEngine;
 use spangle::dataflow::SpangleContext;
-use spangle::raster::{ChlConfig, DenseRaster, QueryRange, RasterSystem, SpangleRaster, TileRaster};
+use spangle::raster::{
+    ChlConfig, DenseRaster, QueryRange, RasterSystem, SpangleRaster, TileRaster,
+};
 
 fn chl() -> ChlConfig {
     ChlConfig {
@@ -45,7 +47,10 @@ fn four_systems_agree_on_all_five_queries() {
         .iter()
         .map(|s| s.q4_filter_count(&range, 0.1, 0.7))
         .collect();
-    let q5: Vec<usize> = systems.iter().map(|s| s.q5_density(&range, 16, 200)).collect();
+    let q5: Vec<usize> = systems
+        .iter()
+        .map(|s| s.q5_density(&range, 16, 200))
+        .collect();
 
     // ...and the single-process engine directly.
     let l1 = local.range_avg(&range.lo, &range.hi, |_| true).unwrap();
@@ -99,7 +104,10 @@ fn multi_attribute_join_pipeline_lazy_equals_eager() {
             .ingest(move |c| cfg.value(c[0], c[1], c[2]).map(|v| v * 2.0))
             .build();
         SpangleArray::new(vec![("a".into(), a)], lazy)
-            .join(&SpangleArray::new(vec![("b".into(), b)], lazy), JoinMode::And)
+            .join(
+                &SpangleArray::new(vec![("b".into(), b)], lazy),
+                JoinMode::And,
+            )
             .subarray(&[8, 8, 0], &[120, 88, 4])
             .filter_attribute("b", |v| v > 0.4)
     };
@@ -161,14 +169,14 @@ fn regrid_then_aggregate_matches_direct_grouped_aggregate() {
         )
         .unwrap();
     let mut direct_sorted = direct;
-    direct_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    direct_sorted.sort_by_key(|e| e.0);
     let mut via_regrid: Vec<((u64, u64, u64), f64)> = regridded
         .collect_cells()
         .unwrap()
         .into_iter()
         .map(|(c, v)| ((c[0] as u64, c[1] as u64, c[2] as u64), v))
         .collect();
-    via_regrid.sort_by(|a, b| a.0.cmp(&b.0));
+    via_regrid.sort_by_key(|e| e.0);
     assert_eq!(direct_sorted.len(), via_regrid.len());
     for ((ka, va), (kb, vb)) in direct_sorted.iter().zip(&via_regrid) {
         assert_eq!(ka, kb);

@@ -13,7 +13,7 @@ use spangle::ml::{pagerank, Graph};
 fn array_pipeline_survives_task_failures() {
     let ctx = SpangleContext::new(4);
     let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![96, 96], vec![24, 24]))
-        .ingest(|c| ((c[0] + c[1]) % 3 != 0).then(|| (c[0] * 96 + c[1]) as f64))
+        .ingest(|c| (!(c[0] + c[1]).is_multiple_of(3)).then(|| (c[0] * 96 + c[1]) as f64))
         .build();
     let clean = arr.subarray(&[5, 5], &[90, 80]).filter(|v| v > 100.0);
     let expected_count = clean.count_valid().unwrap();
@@ -28,7 +28,10 @@ fn array_pipeline_survives_task_failures() {
         ctx.failure_injector().fail_task(failed.rdd().id(), p, 2);
     }
     assert_eq!(failed.count_valid().unwrap(), expected_count);
-    assert!(ctx.failure_injector().is_drained(), "all injections consumed");
+    assert!(
+        ctx.failure_injector().is_drained(),
+        "all injections consumed"
+    );
     assert_eq!(failed.aggregate(Sum).unwrap(), expected_sum);
 }
 
@@ -55,7 +58,7 @@ fn matrix_multiplication_survives_failures_in_every_stage() {
         Some(((r * 13 + c * 7) % 11) as f64 - 5.0)
     });
     let b = DistMatrix::generate(&ctx, 32, 24, (8, 8), ChunkPolicy::default(), |r, c| {
-        ((r + c) % 4 == 0).then(|| (r + c) as f64)
+        (r + c).is_multiple_of(4).then_some((r + c) as f64)
     });
     let expected = a.multiply(&b).to_local().unwrap();
 
@@ -74,7 +77,8 @@ fn job_aborts_cleanly_when_a_task_always_fails() {
     let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![32, 32], vec![16, 16]))
         .ingest(|_| Some(1.0f64))
         .build();
-    ctx.failure_injector().fail_task(arr.rdd().id(), 0, usize::MAX);
+    ctx.failure_injector()
+        .fail_task(arr.rdd().id(), 0, usize::MAX);
     let err = arr.count_valid().unwrap_err();
     assert_eq!(err.partition, 0);
     assert!(err.attempts >= 4);

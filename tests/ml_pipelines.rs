@@ -12,7 +12,9 @@ fn matrix_chain_equals_sequential_reference() {
     let ctx = SpangleContext::new(4);
     // (A·B)·x == A·(B·x)
     let a = DistMatrix::generate(&ctx, 40, 32, (8, 8), ChunkPolicy::default(), |r, c| {
-        ((r + c) % 3 == 0).then(|| ((r * 5 + c) % 7) as f64 - 3.0)
+        (r + c)
+            .is_multiple_of(3)
+            .then_some(((r * 5 + c) % 7) as f64 - 3.0)
     });
     let b = DistMatrix::generate(&ctx, 32, 24, (8, 8), ChunkPolicy::default(), |r, c| {
         Some(((r * 3 + c * 11) % 5) as f64 - 2.0)
@@ -37,7 +39,9 @@ fn local_join_multiply_is_reusable_across_iterations() {
     // Run the local-join product repeatedly; results stay identical and
     // the prepared layout is reused.
     for _ in 0..3 {
-        let got = DistMatrix::multiply_local(&left, &right).to_local().unwrap();
+        let got = DistMatrix::multiply_local(&left, &right)
+            .to_local()
+            .unwrap();
         for (g, e) in got.iter().zip(&expected) {
             assert!((g - e).abs() < 1e-9);
         }
@@ -58,9 +62,11 @@ fn three_pagerank_systems_agree_end_to_end() {
     let spangle_ss = pagerank(&g, 64, true, 0.85, 10).unwrap();
     let spark = pagerank_edge_list(&g, 0.85, 10, 4).unwrap();
     let graphx = pagerank_pregel_like(&g, 0.85, 10, 4).unwrap();
-    for v in 0..n {
-        let r = reference[v];
-        assert!((spangle.ranks.as_slice()[v] - r).abs() < 1e-12, "spangle {v}");
+    for (v, &r) in reference.iter().enumerate().take(n) {
+        assert!(
+            (spangle.ranks.as_slice()[v] - r).abs() < 1e-12,
+            "spangle {v}"
+        );
         assert!(
             (spangle_ss.ranks.as_slice()[v] - r).abs() < 1e-12,
             "spangle super-sparse {v}"
@@ -137,7 +143,9 @@ fn opt_levels_produce_identical_training_trajectories() {
 fn gram_matrix_is_symmetric_and_positive_semidefinite_on_diagonal() {
     let ctx = SpangleContext::new(4);
     let m = DistMatrix::generate(&ctx, 48, 20, (8, 8), ChunkPolicy::default(), |r, c| {
-        ((r * 7 + c * 3) % 6 == 0).then(|| ((r + c) % 9) as f64 - 4.0)
+        (r * 7 + c * 3)
+            .is_multiple_of(6)
+            .then_some(((r + c) % 9) as f64 - 4.0)
     });
     let gram = m.gram().to_local().unwrap();
     for i in 0..20 {

@@ -1,68 +1,74 @@
 //! Property-based tests over the core invariants, spanning crates.
 //!
-//! Contexts are created inside each case; proptest shrinks over array
-//! geometry, masks and values. Cases are kept small so the executor
-//! cluster spins up quickly.
+//! Contexts are created inside each case; inputs are drawn from the
+//! seeded testkit generator, so any failure reports a replayable seed.
+//! Cases are kept small so the executor cluster spins up quickly.
 
-use proptest::prelude::*;
 use spangle::array::{ArrayBuilder, ArrayMeta, ChunkPolicy};
 use spangle::bitmask::{Bitmask, HierarchicalBitmask, Milestones, OffsetArray};
 use spangle::core::Chunk;
 use spangle::dataflow::SpangleContext;
 use spangle::linalg::DistMatrix;
+use spangle_testkit::{run_cases, DEFAULT_CASES};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every rank strategy agrees with the reference prefix count.
-    #[test]
-    fn rank_strategies_agree(bits in proptest::collection::vec(any::<bool>(), 1..2048)) {
+/// Every rank strategy agrees with the reference prefix count.
+#[test]
+fn rank_strategies_agree() {
+    run_cases(0x5A17_0001, DEFAULT_CASES, |rng| {
+        let bits = rng.vec_of(1..2048, |r| r.bool());
         let mask = Bitmask::from_fn(bits.len(), |i| bits[i]);
         let milestones = Milestones::build(&mask);
         let hier = HierarchicalBitmask::compress(&mask);
         let offsets = OffsetArray::from_mask(&mask);
         let mut expected = 0usize;
-        for i in 0..bits.len() {
-            prop_assert_eq!(mask.rank_naive(i), expected);
-            prop_assert_eq!(milestones.rank(&mask, i), expected);
-            prop_assert_eq!(hier.rank(i), expected);
-            prop_assert_eq!(offsets.rank(i), expected);
-            if bits[i] {
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!(mask.rank_naive(i), expected);
+            assert_eq!(milestones.rank(&mask, i), expected);
+            assert_eq!(hier.rank(i), expected);
+            assert_eq!(offsets.rank(i), expected);
+            if bit {
                 expected += 1;
             }
         }
-    }
+    });
+}
 
-    /// Chunk mode re-encoding never changes logical content.
-    #[test]
-    fn chunk_reencode_roundtrip(
-        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..1500)
-    ) {
+/// Chunk mode re-encoding never changes logical content.
+#[test]
+fn chunk_reencode_roundtrip() {
+    run_cases(0x5A17_0002, DEFAULT_CASES, |rng| {
+        let values = rng.vec_of(1..1500, |r| r.bool().then(|| r.f64_unit() * 200.0 - 100.0));
         let volume = values.len();
         let payload: Vec<f64> = values.iter().map(|v| v.unwrap_or_default()).collect();
         let mask = Bitmask::from_fn(volume, |i| values[i].is_some());
-        prop_assume!(!mask.all_zero());
+        if mask.all_zero() {
+            return;
+        }
         let policies = [
             ChunkPolicy::default(),
             ChunkPolicy::always_dense(),
             ChunkPolicy::naive_sparse(),
-            ChunkPolicy { dense_threshold: 1.1, build_milestones: true },
+            ChunkPolicy {
+                dense_threshold: 1.1,
+                build_milestones: true,
+            },
         ];
         let reference = Chunk::build(payload.clone(), mask.clone(), &policies[0]).unwrap();
         for policy in &policies[1..] {
             let chunk = Chunk::build(payload.clone(), mask.clone(), policy).unwrap();
-            prop_assert_eq!(&chunk, &reference);
+            assert_eq!(&chunk, &reference);
             let re = chunk.reencode(&policies[0]).unwrap();
-            prop_assert_eq!(&re, &reference);
+            assert_eq!(&re, &reference);
         }
-    }
+    });
+}
 
-    /// The mapper is a bijection between cells and (chunk, local) slots.
-    #[test]
-    fn mapper_bijection(
-        dims in proptest::collection::vec(1usize..14, 1..4),
-        chunk_seed in proptest::collection::vec(1usize..6, 3),
-    ) {
+/// The mapper is a bijection between cells and (chunk, local) slots.
+#[test]
+fn mapper_bijection() {
+    run_cases(0x5A17_0003, DEFAULT_CASES, |rng| {
+        let dims = rng.vec_of(1..4, |r| r.usize_in(1..14));
+        let chunk_seed = rng.vec_of(3..4, |r| r.usize_in(1..6));
         let chunk_shape: Vec<usize> = dims
             .iter()
             .zip(&chunk_seed)
@@ -76,32 +82,39 @@ proptest! {
         for _ in 0..volume {
             let id = mapper.chunk_id_of(&pos);
             let local = mapper.local_index_of(&pos);
-            prop_assert!(seen.insert((id, local)), "slot collision at {:?}", pos);
-            prop_assert_eq!(mapper.global_coords_of(id, local), pos.clone());
+            assert!(seen.insert((id, local)), "slot collision at {:?}", pos);
+            assert_eq!(mapper.global_coords_of(id, local), pos);
             let mut d = 0;
             loop {
-                if d == dims.len() { break; }
+                if d == dims.len() {
+                    break;
+                }
                 pos[d] += 1;
-                if pos[d] < dims[d] { break; }
+                if pos[d] < dims[d] {
+                    break;
+                }
                 pos[d] = 0;
                 d += 1;
             }
         }
-        prop_assert_eq!(seen.len(), volume);
-    }
+        assert_eq!(seen.len(), volume);
+    });
+}
 
-    /// Distributed subarray+filter equals the sequential reference.
-    #[test]
-    fn subarray_filter_matches_reference(
-        seed in 0u64..1000,
-        lo_x in 0usize..20, lo_y in 0usize..20,
-        w in 1usize..20, h in 1usize..20,
-        threshold in -50.0f64..50.0,
-    ) {
+/// Distributed subarray+filter equals the sequential reference.
+#[test]
+fn subarray_filter_matches_reference() {
+    run_cases(0x5A17_0004, DEFAULT_CASES, |rng| {
+        let seed = rng.u64_in(0..1000);
+        let lo_x = rng.usize_in(0..20);
+        let lo_y = rng.usize_in(0..20);
+        let w = rng.usize_in(1..20);
+        let h = rng.usize_in(1..20);
+        let threshold = rng.f64_unit() * 100.0 - 50.0;
         let ctx = SpangleContext::new(2);
         let value = move |x: usize, y: usize| {
             let v = ((x * 31 + y * 17 + seed as usize) % 101) as f64 - 50.0;
-            ((x + y + seed as usize) % 4 != 0).then_some(v)
+            (!(x + y + seed as usize).is_multiple_of(4)).then_some(v)
         };
         let arr = ArrayBuilder::new(&ctx, ArrayMeta::new(vec![24, 24], vec![7, 5]))
             .ingest(move |c| value(c[0], c[1]))
@@ -123,47 +136,62 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Distributed matmul equals the triple-loop reference.
-    #[test]
-    fn distributed_matmul_matches_reference(
-        m in 1usize..20, k in 1usize..20, n in 1usize..20,
-        seed in 0u64..100,
-    ) {
+/// Distributed matmul equals the triple-loop reference.
+#[test]
+fn distributed_matmul_matches_reference() {
+    run_cases(0x5A17_0005, DEFAULT_CASES, |rng| {
+        let m = rng.usize_in(1..20);
+        let k = rng.usize_in(1..20);
+        let n = rng.usize_in(1..20);
+        let seed = rng.u64_in(0..100);
         let ctx = SpangleContext::new(2);
         let entry = move |salt: u64, r: usize, c: usize| -> Option<f64> {
             let h = (r as u64 * 2654435761 + c as u64 * 40503 + seed * 97 + salt)
-                .wrapping_mul(0x9E3779B97F4A7C15) >> 33;
-            (h % 3 != 0).then(|| (h % 13) as f64 - 6.0)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                >> 33;
+            (!h.is_multiple_of(3)).then_some((h % 13) as f64 - 6.0)
         };
-        let a = DistMatrix::generate(&ctx, m, k, (4, 4), ChunkPolicy::default(),
-            move |r, c| entry(1, r, c));
-        let b = DistMatrix::generate(&ctx, k, n, (4, 4), ChunkPolicy::default(),
-            move |r, c| entry(2, r, c));
+        let a = DistMatrix::generate(&ctx, m, k, (4, 4), ChunkPolicy::default(), move |r, c| {
+            entry(1, r, c)
+        });
+        let b = DistMatrix::generate(&ctx, k, n, (4, 4), ChunkPolicy::default(), move |r, c| {
+            entry(2, r, c)
+        });
         let got = a.multiply(&b).to_local().unwrap();
         let al = a.to_local().unwrap();
         let bl = b.to_local().unwrap();
         for r in 0..m {
             for c in 0..n {
                 let expected: f64 = (0..k).map(|kk| al[r + kk * m] * bl[kk + c * k]).sum();
-                prop_assert!((got[r + c * m] - expected).abs() < 1e-9,
-                    "({}, {}): {} vs {}", r, c, got[r + c * m], expected);
+                assert!(
+                    (got[r + c * m] - expected).abs() < 1e-9,
+                    "({}, {}): {} vs {}",
+                    r,
+                    c,
+                    got[r + c * m],
+                    expected
+                );
             }
         }
-    }
+    });
+}
 
-    /// Restriction masks compose: restrict(A∧B) == restrict(A)∘restrict(B).
-    #[test]
-    fn chunk_restriction_composes(
-        valid in proptest::collection::vec(any::<bool>(), 64..256),
-        keep_a in proptest::collection::vec(any::<bool>(), 256),
-        keep_b in proptest::collection::vec(any::<bool>(), 256),
-    ) {
+/// Restriction masks compose: restrict(A∧B) == restrict(A)∘restrict(B).
+#[test]
+fn chunk_restriction_composes() {
+    run_cases(0x5A17_0006, DEFAULT_CASES, |rng| {
+        let valid = rng.vec_of(64..256, |r| r.bool());
+        let keep_a = rng.vec_of(256..257, |r| r.bool());
+        let keep_b = rng.vec_of(256..257, |r| r.bool());
         let volume = valid.len();
         let mask = Bitmask::from_fn(volume, |i| valid[i]);
-        prop_assume!(!mask.all_zero());
+        if mask.all_zero() {
+            return;
+        }
         let payload: Vec<f64> = (0..volume).map(|i| i as f64).collect();
         let policy = ChunkPolicy::default();
         let chunk = Chunk::build(payload, mask, &policy).unwrap();
@@ -175,8 +203,8 @@ proptest! {
             .and_then(|c| c.restrict(&b, &policy));
         match (combined, sequential) {
             (None, None) => {}
-            (Some(x), Some(y)) => prop_assert_eq!(x, y),
-            (x, y) => prop_assert!(false, "mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
+            (Some(x), Some(y)) => assert_eq!(x, y),
+            (x, y) => panic!("mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
         }
-    }
+    });
 }
