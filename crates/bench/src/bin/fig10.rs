@@ -277,6 +277,16 @@ fn main() {
         for (op, report) in &spangle_reports {
             println!("   spangle {op} scheduler report: {report}");
         }
+        let busy_ms: Vec<String> = ctx
+            .executor_busy_nanos()
+            .iter()
+            .map(|n| format!("{:.0}", *n as f64 / 1e6))
+            .collect();
+        println!(
+            "   cluster so far: steals per executor {:?}, busy ms [{}]",
+            ctx.executor_steals(),
+            busy_ms.join(", ")
+        );
         println!(
             "   nnz={}  memory: spangle={} KiB, coo={} KiB, csc={} KiB, dense={}",
             spangle.nnz().unwrap(),

@@ -125,13 +125,20 @@ fn main() {
             .map(|r| r.max_concurrent_stages)
             .max()
             .unwrap_or(0);
+        let stolen: usize = reports.iter().map(|r| r.tasks_stolen()).sum();
+        let worst_skew = reports
+            .iter()
+            .filter_map(|r| r.busy_skew())
+            .fold(0.0f64, f64::max);
         println!(
-            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages)",
+            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2})",
             spec.name,
             reports.len(),
             stages_run,
             stages_skipped,
             peak,
+            stolen,
+            worst_skew,
         );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");

@@ -2,7 +2,7 @@
 //!
 //! For matrix computation the paper (§V-A4) keeps an alternative to the
 //! bitmask: an *offset array*, "similar to the coordinate list format (COO)
-//! but represent[ing] multidimensional coordinates as one-dimensional
+//! but represent\[ing\] multidimensional coordinates as one-dimensional
 //! coordinates". The conversion from a bitmask to an offset array happens
 //! only when the mask would be larger than the offsets — i.e. for static,
 //! hyper-sparse matrices such as training data.

@@ -9,7 +9,7 @@
 //!   (Algorithm 1);
 //! * [`chunk`] — payload+bitmask chunks in Dense / Sparse / SuperSparse
 //!   modes (§IV);
-//! * [`array`] — the [`ArrayRdd`] itself with the Subarray / Filter /
+//! * [`mod@array`] — the [`ArrayRdd`] itself with the Subarray / Filter /
 //!   Join(zip) operators (§V-A);
 //! * [`aggregate`] — the Aggregator framework (§V-B);
 //! * [`maskrdd`] — multi-attribute arrays in column-store layout with the

@@ -109,6 +109,19 @@ impl SpangleContext {
         self.inner.shuffle.resident_bytes()
     }
 
+    /// Cumulative nanoseconds each executor has spent running task bodies
+    /// since the cluster started, indexed by executor id. Per-job busy
+    /// times live in [`crate::metrics::JobReport::executor_busy_nanos`].
+    pub fn executor_busy_nanos(&self) -> Vec<u64> {
+        self.inner.pool.busy_nanos()
+    }
+
+    /// Cumulative tasks each executor stole from a sibling since the
+    /// cluster started, indexed by the thief.
+    pub fn executor_steals(&self) -> Vec<u64> {
+        self.inner.pool.steals_per_executor()
+    }
+
     pub(crate) fn new_rdd_id(&self) -> usize {
         self.inner.next_rdd_id.fetch_add(1, Ordering::Relaxed)
     }

@@ -1,17 +1,44 @@
-//! The simulated executor cluster.
+//! The simulated executor cluster: a locality-aware work-stealing pool.
 //!
 //! Each executor of the paper's Spark deployment becomes one worker thread
-//! with its own task queue. Partition `p` of every RDD is deterministically
+//! with its own task deque. Partition `p` of every RDD is deterministically
 //! *placed* on executor `p % num_executors`, which is what makes
 //! co-partitioned ("local") joins genuinely local: both sides of partition
 //! `p` are computed on the same executor, no data crosses the (simulated)
 //! network, and no shuffle bytes are charged.
+//!
+//! Placement is a *preference*, not a barrier. An executor always serves
+//! its own queue first (FIFO), but when that queue is empty it steals one
+//! task from the back of the busiest sibling's queue — so a skewed stage
+//! no longer leaves most of the cluster idle while one executor drains its
+//! backlog. The steal is guarded by [`StealQueues::MIN_STEAL_LEN`]: a
+//! sibling that is merely keeping up (at most one queued task) is never
+//! robbed, which keeps perfectly balanced co-partitioned work entirely
+//! local and its `tasks_stolen` count at zero. Every task learns where it
+//! ran via [`TaskInfo`], so the scheduler can charge stolen ("remote")
+//! executions to the job's metrics.
 
-use crate::sync::channel::{unbounded, Sender};
-use crate::sync::{Mutex, RwLock};
+use crate::sync::{Mutex, Next, StealQueues};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// Where a task was placed and where it actually ran.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskInfo {
+    /// Executor the task's partition is placed on.
+    pub home: usize,
+    /// Executor whose worker thread ran the task.
+    pub ran_on: usize,
+    /// Whether the task was stolen (`ran_on != home`).
+    pub stolen: bool,
+}
+
+/// A unit of executor work. The pool reports through [`TaskInfo`] where
+/// the task ended up running.
+pub type Task = Box<dyn FnOnce(&TaskInfo) + Send + 'static>;
 
 /// Submitting a task to a pool that is (or finished) shutting down.
 ///
@@ -28,11 +55,25 @@ impl std::fmt::Display for PoolShutdown {
 
 impl std::error::Error for PoolShutdown {}
 
-/// Fixed pool of executor threads with per-executor queues.
+/// A queued task together with its placement.
+struct PlacedTask {
+    home: usize,
+    run: Task,
+}
+
+/// Per-executor counters, updated by the owning worker thread.
+#[derive(Debug, Default)]
+struct ExecutorStats {
+    /// Nanoseconds spent inside task bodies on this executor.
+    busy_nanos: AtomicU64,
+    /// Tasks this executor ran that were placed on a sibling.
+    tasks_stolen: AtomicU64,
+}
+
+/// Fixed pool of executor threads over work-stealing per-executor deques.
 pub struct ExecutorPool {
-    /// Emptied by [`ExecutorPool::shutdown`]; an empty vector means the
-    /// pool no longer accepts tasks.
-    senders: RwLock<Vec<Sender<Task>>>,
+    queues: Arc<StealQueues<PlacedTask>>,
+    stats: Arc<Vec<ExecutorStats>>,
     num_executors: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -41,23 +82,49 @@ impl ExecutorPool {
     /// Spawns `num_executors` worker threads.
     pub fn new(num_executors: usize) -> Self {
         assert!(num_executors > 0, "a cluster needs at least one executor");
-        let mut senders = Vec::with_capacity(num_executors);
+        let queues = Arc::new(StealQueues::<PlacedTask>::new(num_executors));
+        let stats: Arc<Vec<ExecutorStats>> = Arc::new(
+            (0..num_executors)
+                .map(|_| ExecutorStats::default())
+                .collect(),
+        );
         let mut handles = Vec::with_capacity(num_executors);
         for i in 0..num_executors {
-            let (tx, rx) = unbounded::<Task>();
+            let queues = Arc::clone(&queues);
+            let stats = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("spangle-executor-{i}"))
-                .spawn(move || {
-                    while let Ok(task) = rx.recv() {
-                        task();
+                .spawn(move || loop {
+                    let (task, stolen) = match queues.next(i) {
+                        Next::Local(task) => (task, false),
+                        Next::Stolen { item, .. } => (item, true),
+                        Next::Closed => break,
+                    };
+                    let info = TaskInfo {
+                        home: task.home,
+                        ran_on: i,
+                        stolen,
+                    };
+                    if stolen {
+                        stats[i].tasks_stolen.fetch_add(1, Ordering::Relaxed);
                     }
+                    let started = Instant::now();
+                    // A panicking task must not take the worker down with
+                    // it: orphaning the executor's queue would strand
+                    // later local tasks. The scheduler catches panics
+                    // inside its own task bodies anyway; this is the
+                    // backstop for raw pool users.
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| (task.run)(&info)));
+                    stats[i]
+                        .busy_nanos
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 })
                 .expect("failed to spawn executor thread");
-            senders.push(tx);
             handles.push(handle);
         }
         ExecutorPool {
-            senders: RwLock::new(senders),
+            queues,
+            stats,
             num_executors,
             handles: Mutex::new(handles),
         }
@@ -74,31 +141,50 @@ impl ExecutorPool {
         partition % self.num_executors
     }
 
-    /// Queues a task on the executor owning `partition`. Fails (instead of
-    /// panicking) when the pool has been shut down or the worker thread is
-    /// gone, so a job racing a teardown can abort cleanly.
+    /// Queues a task on the executor owning `partition` (an idle sibling
+    /// may steal it). Fails (instead of panicking) when the pool has been
+    /// shut down, so a job racing a teardown can abort cleanly.
     pub fn submit(&self, partition: usize, task: Task) -> Result<(), PoolShutdown> {
-        let senders = self.senders.read();
-        if senders.is_empty() {
-            return Err(PoolShutdown);
-        }
-        senders[self.executor_for(partition)]
-            .send(task)
+        let home = self.executor_for(partition);
+        self.queues
+            .push(home, PlacedTask { home, run: task })
             .map_err(|_| PoolShutdown)
     }
 
     /// Whether [`ExecutorPool::shutdown`] has run.
     pub fn is_shut_down(&self) -> bool {
-        self.senders.read().is_empty()
+        self.queues.is_closed()
     }
 
-    /// Stops accepting tasks, lets the workers drain their queues, and
-    /// joins them. Idempotent: later calls (including the one from `Drop`)
-    /// are no-ops.
+    /// Nanoseconds each executor has spent running task bodies, indexed by
+    /// executor id.
+    pub fn busy_nanos(&self) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| s.busy_nanos.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Tasks each executor ran that were placed on a sibling, indexed by
+    /// the executor that did the stealing.
+    pub fn steals_per_executor(&self) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| s.tasks_stolen.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total tasks that ran away from their placed executor.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.steals_per_executor().iter().sum()
+    }
+
+    /// Stops accepting tasks, lets the workers drain every already-queued
+    /// task (stealing freely during the drain, so even a task whose home
+    /// executor is wedged runs exactly once), and joins them. Idempotent:
+    /// later calls (including the one from `Drop`) are no-ops.
     pub fn shutdown(&self) {
-        // Dropping the senders closes the channels, which ends each
-        // worker's recv loop after it drains what was already queued.
-        self.senders.write().clear();
+        self.queues.close();
         let handles = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
             let _ = handle.join();
@@ -115,27 +201,35 @@ impl Drop for ExecutorPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::channel::unbounded;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
-    fn tasks_run_on_their_assigned_executor() {
+    fn unstolen_tasks_run_on_their_assigned_executor() {
         let pool = ExecutorPool::new(3);
         let (tx, rx) = unbounded();
         for p in 0..9 {
             let tx = tx.clone();
             pool.submit(
                 p,
-                Box::new(move || {
+                Box::new(move |info: &TaskInfo| {
                     let name = std::thread::current().name().unwrap_or("").to_string();
-                    tx.send((p, name)).unwrap();
+                    tx.send((p, *info, name)).unwrap();
                 }),
             )
             .unwrap();
         }
         for _ in 0..9 {
-            let (p, name) = rx.recv().unwrap();
-            assert_eq!(name, format!("spangle-executor-{}", p % 3));
+            let (p, info, name) = rx.recv().unwrap();
+            assert_eq!(info.home, p % 3, "placement is p % num_executors");
+            assert_eq!(name, format!("spangle-executor-{}", info.ran_on));
+            if !info.stolen {
+                assert_eq!(info.ran_on, info.home);
+            } else {
+                assert_ne!(info.ran_on, info.home);
+            }
         }
     }
 
@@ -149,7 +243,7 @@ mod tests {
             let tx = tx.clone();
             pool.submit(
                 p,
-                Box::new(move || {
+                Box::new(move |_: &TaskInfo| {
                     counter.fetch_add(1, Ordering::SeqCst);
                     tx.send(()).unwrap();
                 }),
@@ -163,12 +257,83 @@ mod tests {
     }
 
     #[test]
+    fn skewed_backlog_is_stolen_by_idle_siblings() {
+        let pool = ExecutorPool::new(2);
+        let (tx, rx) = unbounded();
+        // Wedge executor 0 on a slow task, then pile more tasks onto its
+        // queue while executor 1 has nothing: the backlog must be stolen.
+        pool.submit(
+            0,
+            Box::new(|_: &TaskInfo| std::thread::sleep(Duration::from_millis(100))),
+        )
+        .unwrap();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.submit(0, Box::new(move |info: &TaskInfo| tx.send(*info).unwrap()))
+                .unwrap();
+        }
+        let infos: Vec<TaskInfo> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        let stolen = infos.iter().filter(|i| i.stolen).count();
+        assert!(stolen >= 1, "executor 1 must have stolen from the backlog");
+        assert!(pool.tasks_stolen() >= 1);
+        assert_eq!(pool.steals_per_executor()[0], 0, "executor 0 never stole");
+    }
+
+    #[test]
+    fn balanced_one_task_per_executor_never_steals() {
+        let pool = ExecutorPool::new(4);
+        let (tx, rx) = unbounded();
+        for p in 0..4 {
+            let tx = tx.clone();
+            pool.submit(p, Box::new(move |info: &TaskInfo| tx.send(*info).unwrap()))
+                .unwrap();
+        }
+        for _ in 0..4 {
+            let info = rx.recv().unwrap();
+            assert!(!info.stolen, "a lone placed task must stay local");
+            assert_eq!(info.ran_on, info.home);
+        }
+        assert_eq!(pool.tasks_stolen(), 0);
+    }
+
+    #[test]
+    fn busy_time_is_accounted_per_executor() {
+        let pool = ExecutorPool::new(2);
+        let (tx, rx) = unbounded();
+        pool.submit(
+            0,
+            Box::new(move |_: &TaskInfo| {
+                std::thread::sleep(Duration::from_millis(30));
+                tx.send(()).unwrap();
+            }),
+        )
+        .unwrap();
+        rx.recv().unwrap();
+        // The worker accounts busy time just after the task returns; poll
+        // briefly for it.
+        let want = Duration::from_millis(25).as_nanos() as u64;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let busy = pool.busy_nanos();
+            assert_eq!(busy.len(), 2);
+            if busy[0] >= want {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "executor 0 slept ~30ms, busy was {busy:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
     fn submit_after_shutdown_fails_without_panicking() {
         let pool = ExecutorPool::new(2);
-        pool.submit(0, Box::new(|| {})).unwrap();
+        pool.submit(0, Box::new(|_: &TaskInfo| {})).unwrap();
         pool.shutdown();
         assert!(pool.is_shut_down());
-        assert_eq!(pool.submit(0, Box::new(|| {})), Err(PoolShutdown));
+        assert!(pool.submit(0, Box::new(|_: &TaskInfo| {})).is_err());
         // A second shutdown (and the one Drop issues later) is a no-op.
         pool.shutdown();
     }
@@ -181,7 +346,7 @@ mod tests {
             let counter = counter.clone();
             pool.submit(
                 0,
-                Box::new(move || {
+                Box::new(move |_: &TaskInfo| {
                     counter.fetch_add(1, Ordering::SeqCst);
                 }),
             )
@@ -189,6 +354,66 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    /// The stealing pool's shutdown contract: every already-submitted task
+    /// runs exactly once, including tasks that end up on a sibling's
+    /// steal-side because their home executor is wedged.
+    #[test]
+    fn shutdown_runs_every_task_exactly_once_across_steals() {
+        let pool = ExecutorPool::new(2);
+        let (release_tx, release_rx) = unbounded::<()>();
+        // Wedge executor 0 until released.
+        pool.submit(
+            0,
+            Box::new(move |_: &TaskInfo| {
+                let _ = release_rx.recv();
+            }),
+        )
+        .unwrap();
+        const N: usize = 20;
+        let runs: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+        for t in 0..N {
+            let runs = Arc::clone(&runs);
+            // All placed on the wedged executor 0.
+            pool.submit(
+                0,
+                Box::new(move |_: &TaskInfo| {
+                    runs[t].fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        }
+        // Unwedge concurrently with the shutdown drain.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = release_tx.send(());
+        });
+        pool.shutdown();
+        releaser.join().unwrap();
+        for (t, r) in runs.iter().enumerate() {
+            assert_eq!(
+                r.load(Ordering::SeqCst),
+                1,
+                "task {t} must run exactly once"
+            );
+        }
+        assert!(
+            pool.tasks_stolen() >= 1,
+            "executor 1 must have drained the wedged sibling's backlog"
+        );
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = ExecutorPool::new(1);
+        let (tx, rx) = unbounded();
+        pool.submit(0, Box::new(|_: &TaskInfo| panic!("task panic")))
+            .unwrap();
+        pool.submit(0, Box::new(move |_: &TaskInfo| tx.send(()).unwrap()))
+            .unwrap();
+        rx.recv()
+            .expect("the worker must survive a panicking task and run the next one");
     }
 
     #[test]

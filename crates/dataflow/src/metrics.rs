@@ -22,6 +22,7 @@ pub struct Metrics {
     pub(crate) stages_run: AtomicU64,
     pub(crate) stages_skipped: AtomicU64,
     pub(crate) tasks_run: AtomicU64,
+    pub(crate) tasks_stolen: AtomicU64,
     pub(crate) task_retries: AtomicU64,
     pub(crate) shuffle_write_bytes: AtomicU64,
     pub(crate) shuffle_read_bytes: AtomicU64,
@@ -46,6 +47,7 @@ impl Metrics {
             MetricField::StagesRun => &self.stages_run,
             MetricField::StagesSkipped => &self.stages_skipped,
             MetricField::TasksRun => &self.tasks_run,
+            MetricField::TasksStolen => &self.tasks_stolen,
             MetricField::TaskRetries => &self.task_retries,
             MetricField::ShuffleWriteBytes => &self.shuffle_write_bytes,
             MetricField::ShuffleReadBytes => &self.shuffle_read_bytes,
@@ -85,6 +87,7 @@ impl Metrics {
             stages_run: self.stages_run.load(Ordering::Relaxed),
             stages_skipped: self.stages_skipped.load(Ordering::Relaxed),
             tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             task_retries: self.task_retries.load(Ordering::Relaxed),
             shuffle_write_bytes: self.shuffle_write_bytes.load(Ordering::Relaxed),
             shuffle_read_bytes: self.shuffle_read_bytes.load(Ordering::Relaxed),
@@ -103,6 +106,7 @@ pub(crate) enum MetricField {
     StagesRun,
     StagesSkipped,
     TasksRun,
+    TasksStolen,
     TaskRetries,
     ShuffleWriteBytes,
     ShuffleReadBytes,
@@ -132,6 +136,10 @@ pub struct StageReport {
     pub shuffle_id: Option<usize>,
     /// Number of tasks the stage owns.
     pub num_tasks: usize,
+    /// Task attempts of this stage that ran on an executor other than the
+    /// one their partition was placed on (stolen, i.e. charged as
+    /// "remote"). Zero when locality held for every attempt.
+    pub tasks_stolen: usize,
     /// Whether the stage ran or was skipped.
     pub outcome: StageOutcome,
     /// Total CPU time spent in this stage's task bodies, summed over
@@ -151,6 +159,10 @@ pub struct JobReport {
     pub stages: Vec<StageReport>,
     /// Peak number of stages whose tasks were in flight simultaneously.
     pub max_concurrent_stages: usize,
+    /// Nanoseconds each executor spent running this job's task bodies,
+    /// indexed by executor id (built from task completion events, so it is
+    /// exact per job even when jobs run concurrently).
+    pub executor_busy_nanos: Vec<u64>,
     /// End-to-end wall-clock time of the job, in nanoseconds.
     pub wall_nanos: u64,
 }
@@ -168,18 +180,37 @@ impl JobReport {
     pub fn stages_skipped(&self) -> usize {
         self.stages.len() - self.stages_run()
     }
+
+    /// Task attempts of this job that ran away from their placed executor.
+    pub fn tasks_stolen(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks_stolen).sum()
+    }
+
+    /// Busy-time imbalance across executors: max/mean of
+    /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
+    /// `None` when the job did no executor work.
+    pub fn busy_skew(&self) -> Option<f64> {
+        let max = *self.executor_busy_nanos.iter().max()?;
+        let total: u64 = self.executor_busy_nanos.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mean = total as f64 / self.executor_busy_nanos.len() as f64;
+        Some(max as f64 / mean)
+    }
 }
 
 impl std::fmt::Display for JobReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job {}: {} stages ({} run, {} skipped), max {} concurrent, {:.2} ms wall",
+            "job {}: {} stages ({} run, {} skipped), max {} concurrent, {} stolen, {:.2} ms wall",
             self.job_id,
             self.stages.len(),
             self.stages_run(),
             self.stages_skipped(),
             self.max_concurrent_stages,
+            self.tasks_stolen(),
             self.wall_nanos as f64 / 1e6
         )?;
         for s in &self.stages {
@@ -190,9 +221,10 @@ impl std::fmt::Display for JobReport {
             match s.outcome {
                 StageOutcome::Ran => write!(
                     f,
-                    "\n  stage {:>3} {kind:<16} {:>3} tasks  task {:>8.2} ms  wall {:>8.2} ms",
+                    "\n  stage {:>3} {kind:<16} {:>3} tasks ({:>2} stolen)  task {:>8.2} ms  wall {:>8.2} ms",
                     s.stage_id,
                     s.num_tasks,
+                    s.tasks_stolen,
                     s.task_nanos as f64 / 1e6,
                     s.wall_nanos as f64 / 1e6,
                 )?,
@@ -200,6 +232,18 @@ impl std::fmt::Display for JobReport {
                     write!(f, "\n  stage {:>3} {kind:<16} skipped", s.stage_id)?
                 }
             }
+        }
+        if let Some(skew) = self.busy_skew() {
+            let busy: Vec<String> = self
+                .executor_busy_nanos
+                .iter()
+                .map(|n| format!("{:.2}", *n as f64 / 1e6))
+                .collect();
+            write!(
+                f,
+                "\n  executor busy ms: [{}]  skew {skew:.2}",
+                busy.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -215,6 +259,9 @@ pub struct MetricsSnapshot {
     pub stages_skipped: u64,
     /// Task attempts started (including retries).
     pub tasks_run: u64,
+    /// Task attempts that ran on an executor other than the one their
+    /// partition was placed on (work stealing).
+    pub tasks_stolen: u64,
     /// Task attempts re-submitted after a failure.
     pub task_retries: u64,
     /// Deep bytes written to the shuffle service.
@@ -241,6 +288,7 @@ impl std::ops::Sub for MetricsSnapshot {
             stages_run: self.stages_run - rhs.stages_run,
             stages_skipped: self.stages_skipped - rhs.stages_skipped,
             tasks_run: self.tasks_run - rhs.tasks_run,
+            tasks_stolen: self.tasks_stolen - rhs.tasks_stolen,
             task_retries: self.task_retries - rhs.task_retries,
             shuffle_write_bytes: self.shuffle_write_bytes - rhs.shuffle_write_bytes,
             shuffle_read_bytes: self.shuffle_read_bytes - rhs.shuffle_read_bytes,
@@ -278,6 +326,7 @@ mod tests {
                 job_id: id,
                 stages: Vec::new(),
                 max_concurrent_stages: 1,
+                executor_busy_nanos: Vec::new(),
                 wall_nanos: 0,
             });
         }
@@ -293,6 +342,7 @@ mod tests {
             stage_id: 0,
             shuffle_id: None,
             num_tasks: 2,
+            tasks_stolen: 1,
             outcome,
             task_nanos: 0,
             wall_nanos: 0,
@@ -305,10 +355,29 @@ mod tests {
                 stage(StageOutcome::Ran),
             ],
             max_concurrent_stages: 2,
+            executor_busy_nanos: vec![3_000_000, 1_000_000],
             wall_nanos: 0,
         };
         assert_eq!(report.stages_run(), 2);
         assert_eq!(report.stages_skipped(), 1);
-        assert!(format!("{report}").contains("max 2 concurrent"));
+        assert_eq!(report.tasks_stolen(), 3);
+        let skew = report.busy_skew().unwrap();
+        assert!((skew - 1.5).abs() < 1e-9, "3M vs mean 2M, skew was {skew}");
+        let rendered = format!("{report}");
+        assert!(rendered.contains("max 2 concurrent"));
+        assert!(rendered.contains("3 stolen"));
+        assert!(rendered.contains("executor busy ms"));
+    }
+
+    #[test]
+    fn busy_skew_is_none_for_idle_jobs() {
+        let report = JobReport {
+            job_id: 0,
+            stages: Vec::new(),
+            max_concurrent_stages: 0,
+            executor_busy_nanos: vec![0, 0],
+            wall_nanos: 0,
+        };
+        assert_eq!(report.busy_skew(), None);
     }
 }

@@ -12,9 +12,18 @@
 //! [`ShuffleService::try_claim`]s its shuffle. Exactly one job becomes the
 //! owner and runs the stage; a job that finds the shuffle `Completed`
 //! skips the stage (Spark's skipped-stage reuse, without even visiting its
-//! ancestors), and a job that finds it `InFlight` parks a waiter thread on
-//! the shuffle and treats the stage as *external* — when the owning job
-//! finishes, the waiter injects an event and the dependents proceed.
+//! ancestors), and a job that finds it `InFlight` treats the stage as
+//! *external*, registering a completion callback on the shuffle service
+//! ([`ShuffleService::subscribe`]) that injects an event into the job's
+//! own channel when the owner finishes or aborts. No thread is ever
+//! parked on an awaited shuffle — stage readiness is event-driven end to
+//! end, and an aborting owner wakes its externals immediately instead of
+//! leaking parked waiters.
+//!
+//! Tasks are *placed* on the executor owning their partition but may be
+//! stolen by an idle sibling (see [`crate::executor`]); stolen attempts
+//! are charged as remote in the job's [`StageReport::tasks_stolen`] and
+//! the per-executor busy times recorded in each [`JobReport`].
 //!
 //! Failure semantics are unchanged from the barrier scheduler: failed task
 //! attempts retry up to the context's limit with lineage recomputation,
@@ -26,8 +35,10 @@
 //! (user) threads, tasks run on executor threads.
 //!
 //! [`ShuffleService::try_claim`]: crate::shuffle::ShuffleService::try_claim
+//! [`ShuffleService::subscribe`]: crate::shuffle::ShuffleService::subscribe
 
 use crate::context::SpangleContext;
+use crate::executor::TaskInfo;
 use crate::failure::TaskSite;
 use crate::metrics::{JobReport, MetricField, StageOutcome, StageReport};
 use crate::rdd::pair::ShuffleDepDyn;
@@ -144,6 +155,8 @@ struct Stage<R> {
     remaining: usize,
     /// Summed task CPU time over all attempts.
     task_nanos: u64,
+    /// Attempts that ran on a non-home executor (work stealing).
+    tasks_stolen: usize,
     started: Option<Instant>,
 }
 
@@ -155,6 +168,10 @@ enum Event<R> {
         partition: usize,
         attempt: usize,
         nanos: u64,
+        /// Executor the attempt actually ran on.
+        ran_on: usize,
+        /// Whether the attempt was stolen from its placed executor.
+        stolen: bool,
         outcome: Result<Option<R>, TaskError>,
     },
     /// An external (other-job) map stage finished: `completed` says
@@ -178,6 +195,7 @@ pub fn run_job<T: Data, R: Send + 'static>(
     let result_idx = stages.len() - 1;
     let num_results = stages[result_idx].num_tasks;
 
+    let num_executors = ctx.num_executors();
     let mut run = JobRun {
         ctx,
         job_id,
@@ -186,6 +204,7 @@ pub fn run_job<T: Data, R: Send + 'static>(
         owned: HashSet::new(),
         running: 0,
         max_concurrent: 0,
+        executor_busy: vec![0; num_executors],
         reports: Vec::new(),
     };
     let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_results).collect();
@@ -197,6 +216,7 @@ pub fn run_job<T: Data, R: Send + 'static>(
         job_id,
         stages: run.reports,
         max_concurrent_stages: run.max_concurrent,
+        executor_busy_nanos: run.executor_busy,
         wall_nanos: started.elapsed().as_nanos() as u64,
     });
     Ok(results
@@ -237,6 +257,7 @@ fn build_stages<T: Data, R: Send + 'static>(
             waiting_on: 0,
             remaining: 0,
             task_nanos: 0,
+            tasks_stolen: 0,
             started: None,
         });
     }
@@ -278,6 +299,7 @@ fn build_stages<T: Data, R: Send + 'static>(
         waiting_on: 0,
         remaining: 0,
         task_nanos: 0,
+        tasks_stolen: 0,
         started: None,
     });
     stages
@@ -361,6 +383,8 @@ struct JobRun<R> {
     running: usize,
     /// High-water mark of `running`.
     max_concurrent: usize,
+    /// Nanoseconds of this job's task time per executor, from task events.
+    executor_busy: Vec<u64>,
     reports: Vec<StageReport>,
 }
 
@@ -382,9 +406,13 @@ impl<R: Send + 'static> JobRun<R> {
                     partition,
                     attempt,
                     nanos,
+                    ran_on,
+                    stolen,
                     outcome,
                 } => {
                     self.stages[stage_idx].task_nanos += nanos;
+                    self.stages[stage_idx].tasks_stolen += stolen as usize;
+                    self.executor_busy[ran_on] += nanos;
                     match outcome {
                         Ok(result) => {
                             if let Some(r) = result {
@@ -486,30 +514,29 @@ impl<R: Send + 'static> JobRun<R> {
             stage_id: stage.stage_id,
             shuffle_id: stage.shuffle_id,
             num_tasks: stage.num_tasks,
+            tasks_stolen: 0,
             outcome: StageOutcome::Skipped,
             task_nanos: 0,
             wall_nanos: 0,
         });
     }
 
-    /// Parks a waiter thread on an in-flight external shuffle; the thread
-    /// reports back through the job's event channel.
+    /// Subscribes to an in-flight external shuffle: when the owning job
+    /// completes (or abandons) it, the callback reports back through this
+    /// job's event channel. No thread is parked; if this job aborts
+    /// meanwhile, the callback just hits a closed channel when it fires.
     fn watch(&mut self, idx: usize, shuffle_id: usize) {
         self.stages[idx].state = StageState::External;
-        let ctx = self.ctx.clone();
         let tx = self.tx.clone();
-        std::thread::Builder::new()
-            .name(format!("spangle-stage-waiter-{shuffle_id}"))
-            .spawn(move || {
-                let completed = ctx.inner.shuffle.wait_finished(shuffle_id);
-                // The driver may have aborted meanwhile; a closed channel
-                // is fine.
+        self.ctx.inner.shuffle.subscribe(
+            shuffle_id,
+            Box::new(move |completed| {
                 let _ = tx.send(Event::External {
                     stage_idx: idx,
                     completed,
                 });
-            })
-            .expect("failed to spawn stage waiter thread");
+            }),
+        );
     }
 
     /// Submits every task of a stage to the executor pool.
@@ -554,8 +581,11 @@ impl<R: Send + 'static> JobRun<R> {
         let work = Arc::clone(&stage.work);
         let tx = self.tx.clone();
         let ctx = self.ctx.clone();
-        let task = Box::new(move || {
+        let task = Box::new(move |info: &TaskInfo| {
             ctx.metrics().add(MetricField::TasksRun, 1);
+            if info.stolen {
+                ctx.metrics().add(MetricField::TasksStolen, 1);
+            }
             let start = Instant::now();
             let outcome = if ctx.inner.failures.should_fail(site, attempt) {
                 Err(TaskError::Injected)
@@ -575,6 +605,8 @@ impl<R: Send + 'static> JobRun<R> {
                 partition,
                 attempt,
                 nanos: start.elapsed().as_nanos() as u64,
+                ran_on: info.ran_on,
+                stolen: info.stolen,
                 outcome,
             });
         });
@@ -605,6 +637,7 @@ impl<R: Send + 'static> JobRun<R> {
             stage_id: stage.stage_id,
             shuffle_id: stage.shuffle_id,
             num_tasks: stage.num_tasks,
+            tasks_stolen: stage.tasks_stolen,
             outcome: StageOutcome::Ran,
             task_nanos: stage.task_nanos,
             wall_nanos,
@@ -952,6 +985,77 @@ mod tests {
             "first shuffle must complete before the one that reads it"
         );
         assert_eq!(order[2], None, "result stage completes last");
+    }
+
+    /// Deliberately skewed partition durations: the executor owning the
+    /// slow partitions backs up, its idle sibling steals the backlog, and
+    /// the steals are charged as remote in the job report.
+    #[test]
+    fn skewed_partitions_are_stolen_and_charged_remote() {
+        let ctx = SpangleContext::new(2);
+        // 6 partitions of 10 elements on 2 executors: partitions 0/2/4
+        // (all placed on executor 0) sleep once, partitions 1/3/5 are
+        // instant — executor 1 drains its own queue and must steal.
+        let rdd = ctx.parallelize((0u64..60).collect(), 6).map(|x| {
+            if (x / 10) % 2 == 0 && x % 10 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            x
+        });
+        let before = ctx.metrics_snapshot();
+        assert_eq!(rdd.count().unwrap(), 60);
+        let delta = ctx.metrics_snapshot() - before;
+        let report = ctx.last_job_report().unwrap();
+        assert!(
+            report.tasks_stolen() >= 1,
+            "idle executor must steal from the skewed backlog, report was: {report}"
+        );
+        assert_eq!(delta.tasks_stolen, report.tasks_stolen() as u64);
+        assert_eq!(report.executor_busy_nanos.len(), 2);
+        assert!(
+            report.executor_busy_nanos.iter().sum::<u64>() > 0,
+            "busy time must be attributed"
+        );
+    }
+
+    /// The locality guarantee: a perfectly balanced co-partitioned join
+    /// (one task per executor at every stage) never steals — every task
+    /// runs on the executor its partition is placed on, so the join stays
+    /// genuinely local.
+    #[test]
+    fn balanced_copartitioned_join_never_steals() {
+        let ctx = SpangleContext::new(4);
+        let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(4));
+        let left = ctx
+            .parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4)
+            .partition_by(p.clone());
+        let right = ctx
+            .parallelize((0u64..40).map(|i| (i % 8, i * 2)).collect(), 4)
+            .partition_by(p.clone());
+        let before = ctx.metrics_snapshot();
+        left.persist().count().unwrap();
+        right.persist().count().unwrap();
+
+        let before_join = ctx.metrics_snapshot();
+        let grouped = left.cogroup(&right, p);
+        let n = grouped.count().unwrap();
+        let join_delta = ctx.metrics_snapshot() - before_join;
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(n, 8);
+        let report = ctx.last_job_report().unwrap();
+        assert_eq!(
+            report.tasks_stolen(),
+            0,
+            "balanced one-task-per-executor stages must stay local: {report}"
+        );
+        assert_eq!(
+            delta.tasks_stolen, 0,
+            "no stage of this balanced pipeline may steal"
+        );
+        assert_eq!(
+            join_delta.shuffle_write_bytes, 0,
+            "local join must not shuffle"
+        );
     }
 
     #[test]

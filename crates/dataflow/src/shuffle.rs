@@ -13,11 +13,17 @@
 //! that could run the same map stage twice. Schedulers now
 //! [`ShuffleService::try_claim`] a shuffle: exactly one caller becomes the
 //! owner and runs the stage, everyone else either reuses the completed
-//! output or waits for the in-flight owner via
-//! [`ShuffleService::wait_finished`].
+//! output or registers a completion callback via
+//! [`ShuffleService::subscribe`]. Subscription is checked under the same
+//! lock as the stage state, so a callback can never be lost to a
+//! check-then-subscribe race — it fires immediately when the stage is
+//! already resolved, and exactly once from
+//! [`ShuffleService::mark_completed`] / [`ShuffleService::abandon`]
+//! otherwise. No thread ever parks inside the service on behalf of a
+//! scheduler: stage readiness is event-driven end to end.
 
 use crate::metrics::MetricField;
-use crate::sync::{Condvar, Mutex, RwLock};
+use crate::sync::{Mutex, RwLock, Subscribers};
 use crate::SpangleContext;
 use std::any::Any;
 use std::collections::HashMap;
@@ -37,11 +43,15 @@ pub struct BlockId {
 
 type BlockPayload = Arc<dyn Any + Send + Sync>;
 
+/// A one-shot completion callback: `true` means the map stage completed,
+/// `false` that its owner abandoned it (or the shuffle was removed).
+pub type ShuffleCallback = Box<dyn FnOnce(bool) + Send>;
+
 /// Map-stage progress of one shuffle.
-#[derive(Clone, Copy, Debug)]
 enum MapStageState {
-    /// Some job claimed the map stage and is running it.
-    InFlight,
+    /// Some job claimed the map stage and is running it; `waiters` fire
+    /// when it resolves.
+    InFlight { waiters: Subscribers<bool> },
     /// The map stage ran to completion with this many map partitions.
     Completed {
         #[allow(dead_code)]
@@ -57,8 +67,9 @@ pub enum ShuffleClaim {
     Owner,
     /// The map stage already ran; its output can be read immediately.
     Completed,
-    /// Another scheduler is running the map stage right now; wait for it
-    /// with [`ShuffleService::wait_finished`].
+    /// Another scheduler is running the map stage right now; register a
+    /// callback with [`ShuffleService::subscribe`] (or block on
+    /// [`ShuffleService::wait_finished`]).
     InFlight,
 }
 
@@ -68,8 +79,6 @@ pub struct ShuffleService {
     blocks: RwLock<HashMap<BlockId, (BlockPayload, usize)>>,
     /// Per-shuffle map-stage state; absent means "never run, unclaimed".
     stages: Mutex<HashMap<usize, MapStageState>>,
-    /// Signalled whenever an in-flight map stage completes or is abandoned.
-    stage_changed: Condvar,
 }
 
 impl ShuffleService {
@@ -120,49 +129,93 @@ impl ShuffleService {
         let mut stages = self.stages.lock();
         match stages.get(&shuffle_id) {
             Some(MapStageState::Completed { .. }) => ShuffleClaim::Completed,
-            Some(MapStageState::InFlight) => ShuffleClaim::InFlight,
+            Some(MapStageState::InFlight { .. }) => ShuffleClaim::InFlight,
             None => {
-                stages.insert(shuffle_id, MapStageState::InFlight);
+                stages.insert(
+                    shuffle_id,
+                    MapStageState::InFlight {
+                        waiters: Subscribers::new(),
+                    },
+                );
                 ShuffleClaim::Owner
             }
         }
     }
 
+    /// Registers a one-shot callback on the map stage of `shuffle_id`.
+    ///
+    /// The state check and registration happen under one lock, so a
+    /// callback can never miss its notification: if the stage is already
+    /// `Completed` the callback fires immediately with `true`; if it is
+    /// unclaimed (never run, or abandoned) it fires immediately with
+    /// `false` (the caller should [`ShuffleService::try_claim`]); if it is
+    /// in flight, the callback fires exactly once when the owner
+    /// [`ShuffleService::mark_completed`]s (`true`) or
+    /// [`ShuffleService::abandon`]s (`false`) the stage.
+    ///
+    /// Callbacks run on whatever thread resolves the stage (an executor
+    /// or another job's driver) and must not block; schedulers send an
+    /// event into their own channel.
+    pub fn subscribe(&self, shuffle_id: usize, callback: ShuffleCallback) {
+        let mut stages = self.stages.lock();
+        match stages.get_mut(&shuffle_id) {
+            Some(MapStageState::InFlight { waiters }) => {
+                waiters.push(callback);
+            }
+            Some(MapStageState::Completed { .. }) => {
+                drop(stages);
+                callback(true);
+            }
+            None => {
+                drop(stages);
+                callback(false);
+            }
+        }
+    }
+
     /// Marks the map stage of `shuffle_id` complete with `num_maps` map
-    /// partitions, waking any waiters. Callable with or without a prior
-    /// claim (tests seed completed shuffles directly).
+    /// partitions, firing any subscribed callbacks. Callable with or
+    /// without a prior claim (tests seed completed shuffles directly).
     pub fn mark_completed(&self, shuffle_id: usize, num_maps: usize) {
-        self.stages
-            .lock()
-            .insert(shuffle_id, MapStageState::Completed { num_maps });
-        self.stage_changed.notify_all();
+        let mut stages = self.stages.lock();
+        let previous = stages.insert(shuffle_id, MapStageState::Completed { num_maps });
+        drop(stages);
+        if let Some(MapStageState::InFlight { waiters }) = previous {
+            waiters.fire(true);
+        }
     }
 
     /// Releases an [`ShuffleClaim::Owner`] claim without completing the
-    /// stage (the owning job aborted). Waiters wake and race to re-claim.
+    /// stage (the owning job aborted). Subscribed callbacks fire with
+    /// `false` and their schedulers race to re-claim.
     pub fn abandon(&self, shuffle_id: usize) {
         let mut stages = self.stages.lock();
-        if let Some(MapStageState::InFlight) = stages.get(&shuffle_id) {
-            stages.remove(&shuffle_id);
-        }
+        let abandoned = match stages.get(&shuffle_id) {
+            Some(MapStageState::InFlight { .. }) => stages.remove(&shuffle_id),
+            _ => None,
+        };
         drop(stages);
-        self.stage_changed.notify_all();
+        if let Some(MapStageState::InFlight { waiters }) = abandoned {
+            waiters.fire(false);
+        }
     }
 
     /// Blocks until the map stage of `shuffle_id` is no longer in flight.
     /// Returns `true` when it completed, `false` when the owner abandoned
     /// it (the caller should [`ShuffleService::try_claim`] again).
+    ///
+    /// This is [`ShuffleService::subscribe`] plus a channel for callers
+    /// that genuinely have nothing else to do; the scheduler itself never
+    /// blocks here.
     pub fn wait_finished(&self, shuffle_id: usize) -> bool {
-        let mut stages = self.stages.lock();
-        loop {
-            match stages.get(&shuffle_id) {
-                Some(MapStageState::Completed { .. }) => return true,
-                Some(MapStageState::InFlight) => {
-                    stages = self.stage_changed.wait(stages);
-                }
-                None => return false,
-            }
-        }
+        let (tx, rx) = crate::sync::channel::unbounded();
+        self.subscribe(
+            shuffle_id,
+            Box::new(move |completed| {
+                let _ = tx.send(completed);
+            }),
+        );
+        rx.recv().unwrap_or(false)
     }
 
     /// Whether the map stage of `shuffle_id` already ran.
@@ -175,10 +228,13 @@ impl ShuffleService {
 
     /// Drops all blocks and completion state of one shuffle. Called when
     /// the owning dependency is garbage-collected so iterative jobs do not
-    /// accumulate dead shuffle outputs.
+    /// accumulate dead shuffle outputs. Any callbacks still subscribed
+    /// (there should be none by GC time) fire with `false`.
     pub fn remove_shuffle(&self, shuffle_id: usize) {
-        self.stages.lock().remove(&shuffle_id);
-        self.stage_changed.notify_all();
+        let removed = self.stages.lock().remove(&shuffle_id);
+        if let Some(MapStageState::InFlight { waiters }) = removed {
+            waiters.fire(false);
+        }
         self.blocks
             .write()
             .retain(|id, _| id.shuffle_id != shuffle_id);
@@ -270,6 +326,55 @@ mod tests {
         svc.abandon(1);
         assert!(!svc.wait_finished(1), "abandoned, not completed");
         assert_eq!(svc.try_claim(1), ShuffleClaim::Owner);
+    }
+
+    #[test]
+    fn subscribe_fires_immediately_when_already_resolved() {
+        let svc = ShuffleService::default();
+        let (tx, rx) = crate::sync::channel::unbounded();
+        // Unclaimed: resolves false synchronously.
+        let tx2 = tx.clone();
+        svc.subscribe(
+            7,
+            Box::new(move |done| tx2.send(("unclaimed", done)).unwrap()),
+        );
+        assert_eq!(rx.try_recv().unwrap(), ("unclaimed", false));
+        // Completed: resolves true synchronously.
+        svc.mark_completed(7, 2);
+        svc.subscribe(
+            7,
+            Box::new(move |done| tx.send(("completed", done)).unwrap()),
+        );
+        assert_eq!(rx.try_recv().unwrap(), ("completed", true));
+    }
+
+    #[test]
+    fn subscribed_callbacks_fire_exactly_once_on_completion_and_abandon() {
+        let svc = ShuffleService::default();
+        let (tx, rx) = crate::sync::channel::unbounded();
+        assert_eq!(svc.try_claim(1), ShuffleClaim::Owner);
+        for _ in 0..3 {
+            let tx = tx.clone();
+            svc.subscribe(1, Box::new(move |done| tx.send(done).unwrap()));
+        }
+        assert!(rx.try_recv().is_err(), "nothing fires while in flight");
+        svc.mark_completed(1, 4);
+        assert_eq!(
+            (0..3).map(|_| rx.try_recv().unwrap()).collect::<Vec<_>>(),
+            vec![true; 3]
+        );
+        assert!(rx.try_recv().is_err(), "callbacks are one-shot");
+
+        assert_eq!(svc.try_claim(2), ShuffleClaim::Owner);
+        let tx2 = tx.clone();
+        svc.subscribe(2, Box::new(move |done| tx2.send(done).unwrap()));
+        svc.abandon(2);
+        assert!(!rx.try_recv().unwrap(), "abandon notifies with false");
+        assert_eq!(
+            svc.try_claim(2),
+            ShuffleClaim::Owner,
+            "abandoned stage is re-claimable"
+        );
     }
 
     #[test]

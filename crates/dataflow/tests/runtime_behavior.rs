@@ -85,6 +85,90 @@ fn per_job_metrics_compose_across_interleaved_jobs() {
     assert_eq!((s1 - s0).stages_run, 1);
 }
 
+/// Names of every live thread in this process, via `/proc` (comm is
+/// truncated to 15 bytes, so match on prefixes).
+#[cfg(target_os = "linux")]
+fn thread_names() -> Vec<String> {
+    let mut names = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for task in tasks.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(task.path().join("comm")) {
+                names.push(comm.trim().to_string());
+            }
+        }
+    }
+    names
+}
+
+/// A job awaiting a shuffle that another job is producing must not park a
+/// `spangle-stage-waiter-*` thread (the scheduler subscribes a callback on
+/// the shuffle service instead), and the wait must still resolve to the
+/// shared output being computed exactly once.
+#[test]
+#[cfg(target_os = "linux")]
+fn awaiting_an_in_flight_shuffle_spawns_no_waiter_threads() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    let ctx = SpangleContext::new(2);
+    // Two map partitions, each sleeping once: a wide window in which the
+    // map stage is in flight and a second job has to wait on it.
+    let slow = ctx.parallelize(vec![(0u64, 1u64), (1, 2)], 2).map(|kv| {
+        std::thread::sleep(Duration::from_millis(120));
+        kv
+    });
+    let reduced = slow.reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+
+    let before = ctx.metrics_snapshot();
+    let stop = Arc::new(AtomicBool::new(false));
+    let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+    let sampler = {
+        let (stop, seen) = (Arc::clone(&stop), Arc::clone(&seen));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let waiters: Vec<String> = thread_names()
+                    .into_iter()
+                    .filter(|n| n.starts_with("spangle-stage"))
+                    .collect();
+                seen.lock().unwrap().extend(waiters);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let (a, b) = {
+        let ra = reduced.clone();
+        let rb = reduced.clone();
+        let ta = std::thread::spawn(move || ra.collect().unwrap());
+        // Give job A a head start so job B reliably finds the shuffle
+        // in flight and has to await it.
+        std::thread::sleep(Duration::from_millis(30));
+        let tb = std::thread::spawn(move || rb.collect().unwrap());
+        (ta.join().unwrap(), tb.join().unwrap())
+    };
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().unwrap();
+
+    let mut a = a;
+    let mut b = b;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(a, vec![(0, 1), (1, 2)]);
+    let delta = ctx.metrics_snapshot() - before;
+    assert_eq!(delta.tasks_run, 2 + 2 + 2, "the map stage ran exactly once");
+    assert_eq!(
+        delta.stages_skipped, 1,
+        "the second job awaited, then skipped"
+    );
+    let seen = seen.lock().unwrap();
+    assert!(
+        seen.is_empty(),
+        "no spangle-stage-waiter-* thread may ever exist, saw: {seen:?}"
+    );
+}
+
 #[test]
 fn executor_count_does_not_change_results() {
     let data: Vec<(u64, u64)> = (0..500).map(|i| (i % 17, i)).collect();

@@ -3,7 +3,7 @@
 //! A block is a [`Chunk<f64>`] of extent `rows × cols`, stored column-last
 //! (local offset `r + c * rows`, matching the array mapper's dim-0-fastest
 //! layout). Zero entries are invalid cells; multiplication only touches
-//! pairs that survive the bitmask AND, "avoid[ing] the multiplication if
+//! pairs that survive the bitmask AND, "avoid\[ing\] the multiplication if
 //! one of them is zero".
 
 use spangle_bitmask::{choose_validity_repr, OffsetArray, ValidityRepr};

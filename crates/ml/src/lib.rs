@@ -5,7 +5,7 @@
 //! * [`graph`] — graphs as edge sets plus a deterministic power-law
 //!   (R-MAT-style) generator standing in for the SNAP datasets of
 //!   Table IIb;
-//! * [`pagerank`] — the customised PageRank of §VI-B: the transition
+//! * [`mod@pagerank`] — the customised PageRank of §VI-B: the transition
 //!   matrix is decomposed as `A = A' ∘ w` so the 0/1 structure matrix `A'`
 //!   lives in *bitmask-only* adjacency blocks (one bit per edge; the
 //!   hierarchical mask for super-sparse graphs) and the power iteration is

@@ -1,17 +1,70 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
+# CI gate: formatting, lints, release build, docs, and the test suites.
 # Run from anywhere inside the repository.
+#
+# This script is the single entrypoint for both local runs and CI: every
+# job in .github/workflows/ci.yml invokes it with one step name, so the
+# two can never drift.
+#
+# Usage:
+#   scripts/check.sh                  run every step (the full gate)
+#   scripts/check.sh --quick          full gate minus the release build
+#   scripts/check.sh <step> [...]     run only the named steps, in order
+#
+# Steps: fmt clippy build test doc stress
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --all -- --check
+usage() {
+    sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+    exit 2
+}
 
-echo "== cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_fmt() {
+    echo "== cargo fmt --check"
+    cargo fmt --all -- --check
+}
 
-echo "== cargo test"
-cargo test -q --workspace
+run_clippy() {
+    echo "== cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_build() {
+    echo "== cargo build --release"
+    cargo build --release --workspace
+}
+
+run_test() {
+    echo "== cargo test"
+    cargo test -q --workspace
+}
+
+run_doc() {
+    echo "== cargo doc -D warnings"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+}
+
+run_stress() {
+    echo "== stress: concurrent jobs with failure injection"
+    cargo test -q -p spangle-dataflow --test stress_concurrent_jobs -- --ignored
+}
+
+steps=()
+for arg in "$@"; do
+    case "$arg" in
+    --quick) steps+=(fmt clippy test doc) ;;
+    fmt | clippy | build | test | doc | stress) steps+=("$arg") ;;
+    -h | --help | *) usage ;;
+    esac
+done
+if [ ${#steps[@]} -eq 0 ]; then
+    steps=(fmt clippy build test doc)
+fi
+
+for step in "${steps[@]}"; do
+    "run_$step"
+done
 
 echo "== all checks passed"

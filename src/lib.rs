@@ -12,7 +12,7 @@
 //! * [`dataflow`] — the Spark-substitute runtime: a lineage-based, lazily
 //!   evaluated, fault-tolerant distributed dataset abstraction with a DAG
 //!   scheduler, shuffle service and simulated executor cluster (§II-C).
-//! * [`array`] — ArrayRDD, chunks, metadata/mapper, MaskRDD and the array
+//! * [`mod@array`] — ArrayRDD, chunks, metadata/mapper, MaskRDD and the array
 //!   operators Subarray / Filter / Join / Aggregator / Accumulator (§III–V).
 //! * [`linalg`] — bitmask-aware distributed matrices: multiplication with
 //!   the local-join optimisation, matrix–vector products and metadata
@@ -58,7 +58,7 @@
 pub use spangle_baselines as baselines;
 pub use spangle_bitmask as bitmask;
 pub use spangle_core as array;
-/// Alias of [`array`] under the crate's original name.
+/// Alias of [`mod@array`] under the crate's original name.
 pub use spangle_core as core;
 pub use spangle_dataflow as dataflow;
 pub use spangle_linalg as linalg;
