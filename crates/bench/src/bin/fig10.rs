@@ -282,10 +282,15 @@ fn main() {
             .iter()
             .map(|n| format!("{:.0}", *n as f64 / 1e6))
             .collect();
+        let queue_wait_ms: u64 = spangle_reports
+            .iter()
+            .map(|(_, r)| r.queue_wait_nanos / 1_000_000)
+            .sum();
         println!(
-            "   cluster so far: steals per executor {:?}, busy ms [{}]",
+            "   cluster so far: steals per executor {:?}, busy ms [{}], task queue wait {} ms",
             ctx.executor_steals(),
-            busy_ms.join(", ")
+            busy_ms.join(", "),
+            queue_wait_ms
         );
         println!(
             "   nnz={}  memory: spangle={} KiB, coo={} KiB, csc={} KiB, dense={}",

@@ -130,8 +130,9 @@ fn main() {
             .iter()
             .filter_map(|r| r.busy_skew())
             .fold(0.0f64, f64::max);
+        let queue_wait_ms: u64 = reports.iter().map(|r| r.queue_wait_nanos / 1_000_000).sum();
         println!(
-            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2})",
+            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms)",
             spec.name,
             reports.len(),
             stages_run,
@@ -139,6 +140,7 @@ fn main() {
             peak,
             stolen,
             worst_skew,
+            queue_wait_ms,
         );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");

@@ -4,9 +4,10 @@ use crate::cache::BlockManager;
 use crate::executor::ExecutorPool;
 use crate::failure::FailureInjector;
 use crate::memsize::MemSize;
-use crate::metrics::{MetricField, Metrics, MetricsSnapshot};
+use crate::metrics::{MetricField, Metrics, MetricsSnapshot, DEFAULT_JOB_REPORT_HISTORY};
 use crate::rdd::sources::ParallelizeRdd;
 use crate::rdd::Rdd;
+use crate::scheduler::SchedulerService;
 use crate::shuffle::ShuffleService;
 use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,6 +15,9 @@ use std::sync::Arc;
 
 /// Shared state of one simulated cluster.
 pub(crate) struct ContextInner {
+    /// Declared before `pool` so the driver loop shuts down and joins
+    /// before the executor workers do on drop.
+    pub(crate) scheduler: SchedulerService,
     pub(crate) pool: ExecutorPool,
     pub(crate) shuffle: ShuffleService,
     pub(crate) cache: BlockManager,
@@ -34,23 +38,105 @@ pub struct SpangleContext {
     pub(crate) inner: Arc<ContextInner>,
 }
 
-impl SpangleContext {
-    /// Starts a cluster of `num_executors` single-threaded executors.
-    pub fn new(num_executors: usize) -> Self {
+/// Configures and starts a [`SpangleContext`]; obtained from
+/// [`SpangleContext::builder`].
+///
+/// ```
+/// use spangle_dataflow::SpangleContext;
+///
+/// let ctx = SpangleContext::builder()
+///     .executors(4)
+///     .max_task_attempts(2)
+///     .job_report_history(16)
+///     .build();
+/// assert_eq!(ctx.num_executors(), 4);
+/// assert_eq!(ctx.max_task_attempts(), 2);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SpangleContextBuilder {
+    executors: usize,
+    max_task_attempts: usize,
+    job_report_history: usize,
+}
+
+impl Default for SpangleContextBuilder {
+    fn default() -> Self {
+        SpangleContextBuilder {
+            executors: 2,
+            max_task_attempts: 4,
+            job_report_history: DEFAULT_JOB_REPORT_HISTORY,
+        }
+    }
+}
+
+impl SpangleContextBuilder {
+    /// Number of single-threaded executors in the cluster (default 2).
+    pub fn executors(mut self, num_executors: usize) -> Self {
+        self.executors = num_executors;
+        self
+    }
+
+    /// Maximum attempts per task before the job aborts (default 4).
+    pub fn max_task_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "a task needs at least one attempt");
+        self.max_task_attempts = attempts;
+        self
+    }
+
+    /// How many recent [`crate::metrics::JobReport`]s the context retains
+    /// (default 256, clamped to at least 1).
+    pub fn job_report_history(mut self, depth: usize) -> Self {
+        self.job_report_history = depth;
+        self
+    }
+
+    /// Starts the cluster.
+    pub fn build(self) -> SpangleContext {
         SpangleContext {
             inner: Arc::new(ContextInner {
-                pool: ExecutorPool::new(num_executors),
+                scheduler: SchedulerService::new(),
+                pool: ExecutorPool::new(self.executors),
                 shuffle: ShuffleService::default(),
                 cache: BlockManager::default(),
-                metrics: Metrics::default(),
+                metrics: Metrics::with_history(self.job_report_history),
                 failures: FailureInjector::default(),
                 next_rdd_id: AtomicUsize::new(0),
                 next_shuffle_id: AtomicUsize::new(0),
                 next_stage_id: AtomicUsize::new(0),
                 next_job_id: AtomicUsize::new(0),
-                max_task_attempts: 4,
+                max_task_attempts: self.max_task_attempts,
             }),
         }
+    }
+}
+
+impl SpangleContext {
+    /// Starts a cluster of `num_executors` single-threaded executors with
+    /// default settings; see [`SpangleContext::builder`] for the knobs.
+    pub fn new(num_executors: usize) -> Self {
+        SpangleContext::builder().executors(num_executors).build()
+    }
+
+    /// A builder for a cluster with non-default fault-tolerance or
+    /// observability settings.
+    pub fn builder() -> SpangleContextBuilder {
+        SpangleContextBuilder::default()
+    }
+
+    /// Maximum attempts per task before a job aborts, as configured at
+    /// build time.
+    pub fn max_task_attempts(&self) -> usize {
+        self.inner.max_task_attempts
+    }
+
+    /// Runs `f` with every job submitted from this thread scheduled at
+    /// `priority` (higher is served first; everything outside such a scope
+    /// runs in the default FIFO pool at priority 0). Queued tasks of a
+    /// higher-priority job overtake lower-priority work on the executors;
+    /// [`crate::metrics::JobReport::queue_wait_nanos`] shows the effect.
+    /// Scopes nest, and the previous priority is restored on exit.
+    pub fn run_with_priority<O>(&self, priority: i32, f: impl FnOnce() -> O) -> O {
+        crate::scheduler::with_job_priority(priority, f)
     }
 
     /// Number of executors in the cluster.

@@ -17,6 +17,14 @@
 //! local and its `tasks_stolen` count at zero. Every task learns where it
 //! ran via [`TaskInfo`], so the scheduler can charge stolen ("remote")
 //! executions to the job's metrics.
+//!
+//! Tasks submitted through [`ExecutorPool::submit_tagged`] carry a
+//! [`TaskTag`] with their job's priority: each executor serves its queue
+//! highest-priority-first (FIFO within a priority), which is how the
+//! shared scheduler service lets a high-priority job's ready tasks
+//! overtake queued lower-priority work. Steals still come from the *back*
+//! of the victim's queue — the lowest-priority, newest item — so helping a
+//! busy sibling never delays its most urgent task.
 
 use crate::sync::{Mutex, Next, StealQueues};
 use std::panic::AssertUnwindSafe;
@@ -39,6 +47,22 @@ pub struct TaskInfo {
 /// A unit of executor work. The pool reports through [`TaskInfo`] where
 /// the task ended up running.
 pub type Task = Box<dyn FnOnce(&TaskInfo) + Send + 'static>;
+
+/// Scheduling tag carried by a submitted task: which job it belongs to and
+/// at what priority it should be served.
+///
+/// The pool orders each executor's queue by `priority` (higher first, FIFO
+/// within a priority), so a high-priority job's ready tasks overtake
+/// already-queued lower-priority work instead of waiting out the
+/// submission interleaving. `job_id` is not used for ordering — it keeps
+/// queue contents attributable when debugging a shared scheduler loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskTag {
+    /// Job the task belongs to.
+    pub job_id: usize,
+    /// Queue priority (higher runs first; the default FIFO pool is 0).
+    pub priority: i32,
+}
 
 /// Submitting a task to a pool that is (or finished) shutting down.
 ///
@@ -142,12 +166,26 @@ impl ExecutorPool {
     }
 
     /// Queues a task on the executor owning `partition` (an idle sibling
-    /// may steal it). Fails (instead of panicking) when the pool has been
-    /// shut down, so a job racing a teardown can abort cleanly.
+    /// may steal it) at the default priority. Fails (instead of panicking)
+    /// when the pool has been shut down, so a job racing a teardown can
+    /// abort cleanly.
     pub fn submit(&self, partition: usize, task: Task) -> Result<(), PoolShutdown> {
+        self.submit_tagged(partition, TaskTag::default(), task)
+    }
+
+    /// Queues a task on the executor owning `partition`, ordered by the
+    /// tag's job priority: a higher-priority task is popped before any
+    /// queued lower-priority work, FIFO within a priority. Fails when the
+    /// pool has been shut down.
+    pub fn submit_tagged(
+        &self,
+        partition: usize,
+        tag: TaskTag,
+        task: Task,
+    ) -> Result<(), PoolShutdown> {
         let home = self.executor_for(partition);
         self.queues
-            .push(home, PlacedTask { home, run: task })
+            .push_prio(home, tag.priority, PlacedTask { home, run: task })
             .map_err(|_| PoolShutdown)
     }
 
@@ -325,6 +363,43 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    #[test]
+    fn tagged_high_priority_tasks_overtake_queued_default_work() {
+        let pool = ExecutorPool::new(1);
+        let (wedge_tx, wedge_rx) = unbounded::<()>();
+        // Hold the lone executor so the later submissions stack up.
+        pool.submit(
+            0,
+            Box::new(move |_: &TaskInfo| {
+                let _ = wedge_rx.recv();
+            }),
+        )
+        .unwrap();
+        let (tx, rx) = unbounded();
+        for label in ["default-1", "default-2"] {
+            let tx = tx.clone();
+            pool.submit(0, Box::new(move |_: &TaskInfo| tx.send(label).unwrap()))
+                .unwrap();
+        }
+        let high = TaskTag {
+            job_id: 42,
+            priority: 10,
+        };
+        pool.submit_tagged(
+            0,
+            high,
+            Box::new(move |_: &TaskInfo| tx.send("high").unwrap()),
+        )
+        .unwrap();
+        wedge_tx.send(()).unwrap();
+        let order: Vec<&str> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec!["high", "default-1", "default-2"],
+            "priority 10 must jump the default-priority backlog"
+        );
     }
 
     #[test]

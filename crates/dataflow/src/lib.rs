@@ -42,9 +42,9 @@ pub mod scheduler;
 pub mod shuffle;
 pub mod sync;
 
-pub use context::{Broadcast, SpangleContext};
+pub use context::{Broadcast, SpangleContext, SpangleContextBuilder};
 pub use memsize::MemSize;
-pub use metrics::{JobReport, MetricsSnapshot, StageOutcome, StageReport};
+pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{
     HashPartitioner, ModPartitioner, Partitioner, PartitionerSig, RangePartitioner,
 };

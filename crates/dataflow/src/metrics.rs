@@ -12,12 +12,13 @@ use crate::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Most recent job reports kept per context (iterative workloads run
-/// hundreds of jobs; older reports are dropped oldest-first).
-const MAX_JOB_REPORTS: usize = 256;
+/// Default number of recent job reports kept per context (iterative
+/// workloads run hundreds of jobs; older reports are dropped
+/// oldest-first). Override via `SpangleContext::builder()`.
+pub(crate) const DEFAULT_JOB_REPORT_HISTORY: usize = 256;
 
 /// Cumulative counters maintained by the runtime.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     pub(crate) stages_run: AtomicU64,
     pub(crate) stages_skipped: AtomicU64,
@@ -35,9 +36,39 @@ pub struct Metrics {
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
     job_reports: Mutex<VecDeque<JobReport>>,
+    /// Retained-report cap (oldest dropped beyond it).
+    job_report_history: usize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::with_history(DEFAULT_JOB_REPORT_HISTORY)
+    }
 }
 
 impl Metrics {
+    /// Creates zeroed counters retaining at most `job_report_history` job
+    /// reports (oldest dropped first).
+    pub(crate) fn with_history(job_report_history: usize) -> Self {
+        Metrics {
+            stages_run: AtomicU64::new(0),
+            stages_skipped: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            task_retries: AtomicU64::new(0),
+            shuffle_write_bytes: AtomicU64::new(0),
+            shuffle_read_bytes: AtomicU64::new(0),
+            shuffle_records: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            recomputations: AtomicU64::new(0),
+            broadcast_bytes: AtomicU64::new(0),
+            max_concurrent_stages: AtomicU64::new(0),
+            job_reports: Mutex::new(VecDeque::new()),
+            job_report_history: job_report_history.max(1),
+        }
+    }
+
     pub(crate) fn add(&self, field: MetricField, amount: u64) {
         self.counter(field).fetch_add(amount, Ordering::Relaxed);
     }
@@ -65,7 +96,7 @@ impl Metrics {
         self.max_concurrent_stages
             .fetch_max(report.max_concurrent_stages as u64, Ordering::Relaxed);
         let mut reports = self.job_reports.lock();
-        if reports.len() == MAX_JOB_REPORTS {
+        while reports.len() >= self.job_report_history {
             reports.pop_front();
         }
         reports.push_back(report);
@@ -125,6 +156,21 @@ pub enum StageOutcome {
     /// The stage's shuffle output already existed (or another concurrent
     /// job produced it); nothing ran here.
     Skipped,
+    /// The stage was still in flight when its job aborted: some of its
+    /// tasks may have run (their time is accounted), but the stage never
+    /// completed.
+    Aborted,
+}
+
+/// How a whole job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every stage completed and the action's results were returned.
+    Succeeded,
+    /// Some task exhausted its attempts (or the cluster shut down) and the
+    /// job returned a `JobError`. Stages in flight at that moment appear
+    /// in the report as [`StageOutcome::Aborted`].
+    Aborted,
 }
 
 /// Per-stage accounting of one job.
@@ -151,10 +197,21 @@ pub struct StageReport {
 }
 
 /// Scheduler-level accounting of one finished job.
+///
+/// Recorded for *every* job that left the scheduler — succeeded or
+/// aborted — so `last_job_report()` after a failed action describes that
+/// failed job (outcome [`JobOutcome::Aborted`], in-flight stages
+/// [`StageOutcome::Aborted`]) rather than silently showing the previous
+/// job's report.
 #[derive(Clone, Debug)]
 pub struct JobReport {
     /// Context-wide job id.
     pub job_id: usize,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Priority the job was submitted with (higher runs first; the
+    /// default FIFO pool is 0).
+    pub priority: i32,
     /// One entry per stage the job touched, in completion order.
     pub stages: Vec<StageReport>,
     /// Peak number of stages whose tasks were in flight simultaneously.
@@ -163,6 +220,12 @@ pub struct JobReport {
     /// indexed by executor id (built from task completion events, so it is
     /// exact per job even when jobs run concurrently).
     pub executor_busy_nanos: Vec<u64>,
+    /// Nanoseconds this job's task attempts spent queued on executors
+    /// before starting, summed over attempts. Under a shared scheduler
+    /// this is where priority fairness shows: a high-priority job's queue
+    /// wait stays bounded while lower-priority traffic absorbs the
+    /// backlog.
+    pub queue_wait_nanos: u64,
     /// End-to-end wall-clock time of the job, in nanoseconds.
     pub wall_nanos: u64,
 }
@@ -178,7 +241,18 @@ impl JobReport {
 
     /// Stages satisfied from existing shuffle output.
     pub fn stages_skipped(&self) -> usize {
-        self.stages.len() - self.stages_run()
+        self.stages
+            .iter()
+            .filter(|s| s.outcome == StageOutcome::Skipped)
+            .count()
+    }
+
+    /// Stages still in flight when the job aborted.
+    pub fn stages_aborted(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.outcome == StageOutcome::Aborted)
+            .count()
     }
 
     /// Task attempts of this job that ran away from their placed executor.
@@ -204,14 +278,30 @@ impl std::fmt::Display for JobReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job {}: {} stages ({} run, {} skipped), max {} concurrent, {} stolen, {:.2} ms wall",
+            "job {}{}: {} stages ({} run, {} skipped{}), max {} concurrent, {} stolen, queue wait {:.2} ms, {:.2} ms wall{}",
             self.job_id,
+            if self.priority != 0 {
+                format!(" (prio {})", self.priority)
+            } else {
+                String::new()
+            },
             self.stages.len(),
             self.stages_run(),
             self.stages_skipped(),
+            if self.stages_aborted() != 0 {
+                format!(", {} aborted", self.stages_aborted())
+            } else {
+                String::new()
+            },
             self.max_concurrent_stages,
             self.tasks_stolen(),
-            self.wall_nanos as f64 / 1e6
+            self.queue_wait_nanos as f64 / 1e6,
+            self.wall_nanos as f64 / 1e6,
+            if self.outcome == JobOutcome::Aborted {
+                " [ABORTED]"
+            } else {
+                ""
+            },
         )?;
         for s in &self.stages {
             let kind = match s.shuffle_id {
@@ -231,6 +321,12 @@ impl std::fmt::Display for JobReport {
                 StageOutcome::Skipped => {
                     write!(f, "\n  stage {:>3} {kind:<16} skipped", s.stage_id)?
                 }
+                StageOutcome::Aborted => write!(
+                    f,
+                    "\n  stage {:>3} {kind:<16} aborted after {:>8.2} ms task time",
+                    s.stage_id,
+                    s.task_nanos as f64 / 1e6,
+                )?,
             }
         }
         if let Some(skew) = self.busy_skew() {
@@ -318,22 +414,44 @@ mod tests {
         assert_eq!(delta.stages_run, 0);
     }
 
+    fn empty_report(job_id: usize) -> JobReport {
+        JobReport {
+            job_id,
+            outcome: JobOutcome::Succeeded,
+            priority: 0,
+            stages: Vec::new(),
+            max_concurrent_stages: 1,
+            executor_busy_nanos: Vec::new(),
+            queue_wait_nanos: 0,
+            wall_nanos: 0,
+        }
+    }
+
     #[test]
     fn job_reports_are_capped_and_ordered() {
         let m = Metrics::default();
-        for id in 0..(MAX_JOB_REPORTS + 10) {
-            m.record_job(JobReport {
-                job_id: id,
-                stages: Vec::new(),
-                max_concurrent_stages: 1,
-                executor_busy_nanos: Vec::new(),
-                wall_nanos: 0,
-            });
+        for id in 0..(DEFAULT_JOB_REPORT_HISTORY + 10) {
+            m.record_job(empty_report(id));
         }
         let reports = m.job_reports();
-        assert_eq!(reports.len(), MAX_JOB_REPORTS);
+        assert_eq!(reports.len(), DEFAULT_JOB_REPORT_HISTORY);
         assert_eq!(reports.first().unwrap().job_id, 10);
-        assert_eq!(m.last_job_report().unwrap().job_id, MAX_JOB_REPORTS + 9);
+        assert_eq!(
+            m.last_job_report().unwrap().job_id,
+            DEFAULT_JOB_REPORT_HISTORY + 9
+        );
+    }
+
+    #[test]
+    fn history_depth_is_configurable() {
+        let m = Metrics::with_history(3);
+        for id in 0..10 {
+            m.record_job(empty_report(id));
+        }
+        let reports = m.job_reports();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.first().unwrap().job_id, 7);
+        assert_eq!(m.last_job_report().unwrap().job_id, 9);
     }
 
     #[test]
@@ -349,6 +467,8 @@ mod tests {
         };
         let report = JobReport {
             job_id: 1,
+            outcome: JobOutcome::Succeeded,
+            priority: 0,
             stages: vec![
                 stage(StageOutcome::Ran),
                 stage(StageOutcome::Skipped),
@@ -356,10 +476,12 @@ mod tests {
             ],
             max_concurrent_stages: 2,
             executor_busy_nanos: vec![3_000_000, 1_000_000],
+            queue_wait_nanos: 0,
             wall_nanos: 0,
         };
         assert_eq!(report.stages_run(), 2);
         assert_eq!(report.stages_skipped(), 1);
+        assert_eq!(report.stages_aborted(), 0);
         assert_eq!(report.tasks_stolen(), 3);
         let skew = report.busy_skew().unwrap();
         assert!((skew - 1.5).abs() < 1e-9, "3M vs mean 2M, skew was {skew}");
@@ -367,16 +489,45 @@ mod tests {
         assert!(rendered.contains("max 2 concurrent"));
         assert!(rendered.contains("3 stolen"));
         assert!(rendered.contains("executor busy ms"));
+        assert!(!rendered.contains("ABORTED"));
+    }
+
+    #[test]
+    fn aborted_stages_count_separately_from_skipped() {
+        let stage = |outcome| StageReport {
+            stage_id: 0,
+            shuffle_id: Some(1),
+            num_tasks: 4,
+            tasks_stolen: 0,
+            outcome,
+            task_nanos: 5_000_000,
+            wall_nanos: 0,
+        };
+        let report = JobReport {
+            job_id: 2,
+            outcome: JobOutcome::Aborted,
+            priority: 3,
+            stages: vec![stage(StageOutcome::Ran), stage(StageOutcome::Aborted)],
+            max_concurrent_stages: 1,
+            executor_busy_nanos: vec![10_000_000],
+            queue_wait_nanos: 2_000_000,
+            wall_nanos: 0,
+        };
+        assert_eq!(report.stages_run(), 1);
+        assert_eq!(report.stages_skipped(), 0, "aborted is not skipped");
+        assert_eq!(report.stages_aborted(), 1);
+        let rendered = format!("{report}");
+        assert!(rendered.contains("ABORTED"));
+        assert!(rendered.contains("1 aborted"));
+        assert!(rendered.contains("prio 3"));
+        assert!(rendered.contains("aborted after"));
     }
 
     #[test]
     fn busy_skew_is_none_for_idle_jobs() {
         let report = JobReport {
-            job_id: 0,
-            stages: Vec::new(),
-            max_concurrent_stages: 0,
             executor_busy_nanos: vec![0, 0],
-            wall_nanos: 0,
+            ..empty_report(0)
         };
         assert_eq!(report.busy_skew(), None);
     }

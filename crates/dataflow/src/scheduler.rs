@@ -1,12 +1,24 @@
-//! The event-driven DAG scheduler.
+//! The event-driven DAG scheduler: one shared driver service per context.
 //!
 //! An action builds an explicit stage graph from the lineage of its target
 //! RDD: one *map stage* per shuffle dependency plus one *result stage*,
 //! with parent/child edges wherever a stage reads a shuffle's output. The
-//! driver then submits every stage whose parents are satisfied and
-//! advances purely on completion events — sibling map stages (the two
-//! sides of an unaligned join, the two shuffles of a matmul) run
-//! concurrently instead of barriering one after the other.
+//! job is then handed to the context's `SchedulerService` — a single
+//! long-lived driver loop that multiplexes events from *all* concurrent
+//! jobs over one tagged channel ([`crate::sync::channel::MuxSender`]),
+//! keeping per-job state in a `HashMap<job_id, JobRun>`. The caller blocks
+//! on a `JobHandle` until the service resolves the job, so the public
+//! [`run_job`] API (and every action lowered onto it) is unchanged from
+//! the per-job-loop days while the driver side now scales to many jobs
+//! without one event-loop thread per action.
+//!
+//! Jobs carry a *priority* (see `SpangleContext::run_with_priority`;
+//! the default pool is FIFO at priority 0): ready tasks are submitted to
+//! the executors tagged with their job's priority, and each executor
+//! serves its queue highest-priority-first, so a high-priority job's tasks
+//! overtake queued lower-priority work instead of waiting out the
+//! submission interleaving. Every [`JobReport`] records the job's summed
+//! task queue-wait time, which is where that fairness is observable.
 //!
 //! Stage activation is demand-driven and race-free: a map stage first
 //! [`ShuffleService::try_claim`]s its shuffle. Exactly one job becomes the
@@ -14,41 +26,50 @@
 //! skips the stage (Spark's skipped-stage reuse, without even visiting its
 //! ancestors), and a job that finds it `InFlight` treats the stage as
 //! *external*, registering a completion callback on the shuffle service
-//! ([`ShuffleService::subscribe`]) that injects an event into the job's
-//! own channel when the owner finishes or aborts. No thread is ever
-//! parked on an awaited shuffle — stage readiness is event-driven end to
-//! end, and an aborting owner wakes its externals immediately instead of
-//! leaking parked waiters.
+//! ([`ShuffleService::subscribe`]) that posts an event into the shared
+//! loop tagged with the waiting job's id. No thread is ever parked on an
+//! awaited shuffle — stage readiness is event-driven end to end, and an
+//! aborting owner wakes its externals immediately instead of leaking
+//! parked waiters.
 //!
 //! Tasks are *placed* on the executor owning their partition but may be
 //! stolen by an idle sibling (see [`crate::executor`]); stolen attempts
 //! are charged as remote in the job's [`StageReport::tasks_stolen`] and
 //! the per-executor busy times recorded in each [`JobReport`].
 //!
-//! Failure semantics are unchanged from the barrier scheduler: failed task
-//! attempts retry up to the context's limit with lineage recomputation,
-//! and an exhausted task aborts the whole job. On abort every shuffle the
-//! job still owns is abandoned so concurrent or subsequent jobs can
-//! re-claim them — an abort never wedges the cluster.
+//! Failure semantics: failed task attempts retry up to the context's limit
+//! with lineage recomputation, and an exhausted task aborts the whole job.
+//! On abort every shuffle the job still owns is abandoned (dropping its
+//! partial map output) so concurrent or subsequent jobs can re-claim it —
+//! an abort never wedges the cluster — and the aborted job still records a
+//! [`JobReport`] with [`JobOutcome::Aborted`], its in-flight stages marked
+//! [`StageOutcome::Aborted`], so no busy/steal accounting is lost.
 //!
 //! Tasks must never trigger nested actions: all actions run on driver
-//! (user) threads, tasks run on executor threads.
+//! (user) threads, tasks run on executor threads, and the service loop
+//! runs only scheduler state transitions (never user code).
 //!
 //! [`ShuffleService::try_claim`]: crate::shuffle::ShuffleService::try_claim
 //! [`ShuffleService::subscribe`]: crate::shuffle::ShuffleService::subscribe
+//! [`JobOutcome::Aborted`]: crate::metrics::JobOutcome::Aborted
+//! [`StageOutcome::Aborted`]: crate::metrics::StageOutcome::Aborted
 
 use crate::context::SpangleContext;
-use crate::executor::TaskInfo;
+use crate::executor::{TaskInfo, TaskTag};
 use crate::failure::TaskSite;
-use crate::metrics::{JobReport, MetricField, StageOutcome, StageReport};
+use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageReport};
 use crate::rdd::pair::ShuffleDepDyn;
 use crate::rdd::{Dependency, LineageNode, Rdd};
 use crate::shuffle::ShuffleClaim;
-use crate::sync::channel::{unbounded, Receiver, Sender};
+use crate::sync::channel::{unbounded, MuxSender, Receiver, Sender, Tagged};
+use crate::sync::Mutex;
 use crate::Data;
+use std::any::Any;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Information available to a running task.
@@ -120,7 +141,8 @@ enum StageState {
     Idle,
     /// This job owns the stage and is waiting on `waiting_on` parents.
     Waiting,
-    /// Another job is running the stage; a waiter thread is watching it.
+    /// Another job is running the stage; a completion callback will post
+    /// back into the shared loop when it resolves.
     External,
     /// Tasks submitted, `remaining` still outstanding.
     Running,
@@ -130,15 +152,20 @@ enum StageState {
     Skipped,
 }
 
+/// A partition result in type-erased form. The shared service drives every
+/// job through one channel, so result values cross it untyped and
+/// [`run_job`] downcasts them back on the caller's side.
+type ErasedResult = Box<dyn Any + Send>;
+
 /// Task body of a stage: map stages write shuffle blocks and yield `None`,
-/// the result stage yields `Some(R)`.
-type StageWork<R> = Arc<dyn Fn(&TaskContext) -> Option<R> + Send + Sync>;
+/// the result stage yields `Some` type-erased partition result.
+type StageWork = Arc<dyn Fn(&TaskContext) -> Option<ErasedResult> + Send + Sync>;
 
 /// One node of the job's stage graph.
-struct Stage<R> {
+struct Stage {
     /// The shuffle this map stage feeds; `None` for the result stage.
     shuffle_id: Option<usize>,
-    work: StageWork<R>,
+    work: StageWork,
     /// Stage indices this stage reads shuffle output from.
     parents: Vec<usize>,
     /// Stage indices that read this stage's shuffle output.
@@ -160,69 +187,252 @@ struct Stage<R> {
     started: Option<Instant>,
 }
 
-/// What wakes the driver's event loop.
-enum Event<R> {
+/// Everything that flows into the shared driver loop. Each message arrives
+/// wrapped in [`Tagged`] with the job id it belongs to, so one channel
+/// serves every concurrent job.
+enum ServiceEvent {
+    /// A new job entering the loop (tag = its job id).
+    Submit(Box<JobRun>),
     /// A task attempt finished (successfully or not).
     Task {
         stage_idx: usize,
         partition: usize,
         attempt: usize,
+        /// Task-body CPU time.
         nanos: u64,
+        /// Time the attempt spent queued on the executor before starting.
+        wait_nanos: u64,
         /// Executor the attempt actually ran on.
         ran_on: usize,
         /// Whether the attempt was stolen from its placed executor.
         stolen: bool,
-        outcome: Result<Option<R>, TaskError>,
+        outcome: Result<Option<ErasedResult>, TaskError>,
     },
     /// An external (other-job) map stage finished: `completed` says
     /// whether its owner completed it or abandoned it.
     External { stage_idx: usize, completed: bool },
+    /// Context teardown: exit the loop after failing any stragglers.
+    Shutdown,
+}
+
+thread_local! {
+    /// Priority stamped on jobs submitted from this driver thread; scoped
+    /// by [`with_job_priority`] (`SpangleContext::run_with_priority`).
+    static JOB_PRIORITY: Cell<i32> = const { Cell::new(0) };
+}
+
+/// Runs `f` with every job submitted from this thread carrying `priority`
+/// (higher is served first; the default pool is 0). The previous priority
+/// is restored on exit, panic included, so nested scopes compose.
+pub(crate) fn with_job_priority<O>(priority: i32, f: impl FnOnce() -> O) -> O {
+    struct Restore(i32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            JOB_PRIORITY.set(self.0);
+        }
+    }
+    let _restore = Restore(JOB_PRIORITY.replace(priority));
+    f()
 }
 
 /// Runs `func` over every partition of `rdd`, returning one result per
 /// partition in partition order. This is the single entry point every
-/// action lowers to.
+/// action lowers to: it plans the stage graph, hands the job to the
+/// context's shared `SchedulerService`, and blocks on a `JobHandle`
+/// until the service resolves it.
 pub fn run_job<T: Data, R: Send + 'static>(
     rdd: &Rdd<T>,
     func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
 ) -> Result<Vec<R>, JobError> {
     let ctx = rdd.context().clone();
     let job_id = ctx.new_job_id();
-    let started = Instant::now();
-    let (tx, rx) = unbounded::<Event<R>>();
+    let priority = JOB_PRIORITY.get();
 
     let stages = build_stages(rdd, func);
     let result_idx = stages.len() - 1;
     let num_results = stages[result_idx].num_tasks;
 
+    let (handle, done) = JobHandle::new();
     let num_executors = ctx.num_executors();
-    let mut run = JobRun {
-        ctx,
+    let tx = ctx.inner.scheduler.sender(job_id);
+    let run = Box::new(JobRun {
+        ctx: ctx.clone(),
         job_id,
+        priority,
         stages,
+        result_idx,
         tx,
         owned: HashSet::new(),
         running: 0,
         max_concurrent: 0,
         executor_busy: vec![0; num_executors],
+        queue_wait_nanos: 0,
         reports: Vec::new(),
-    };
-    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_results).collect();
-
-    run.activate(result_idx)?;
-    run.drive(&rx, result_idx, &mut results)?;
-
-    run.ctx.metrics().record_job(JobReport {
-        job_id,
-        stages: run.reports,
-        max_concurrent_stages: run.max_concurrent,
-        executor_busy_nanos: run.executor_busy,
-        wall_nanos: started.elapsed().as_nanos() as u64,
+        results: std::iter::repeat_with(|| None).take(num_results).collect(),
+        done,
+        started: Instant::now(),
     });
+    if ctx.inner.scheduler.submit(run).is_err() {
+        // The context is tearing down around this call; abort like a job
+        // that lost its cluster.
+        return Err(JobError {
+            job_id,
+            stage_id: 0,
+            partition: 0,
+            attempts: 0,
+            last_error: TaskError::ExecutorShutdown,
+        });
+    }
+    let results = handle.join()?;
     Ok(results
         .into_iter()
-        .map(|r| r.expect("job finished with a missing partition result"))
+        .map(|r| {
+            *r.downcast::<R>()
+                .expect("job result stage produced a foreign result type")
+        })
         .collect())
+}
+
+/// The caller-side half of one submitted job: [`run_job`] blocks on it
+/// until the shared service finishes or aborts the job.
+struct JobHandle {
+    done: Receiver<Result<Vec<ErasedResult>, JobError>>,
+}
+
+impl JobHandle {
+    fn new() -> (Self, Sender<Result<Vec<ErasedResult>, JobError>>) {
+        let (tx, rx) = unbounded();
+        (JobHandle { done: rx }, tx)
+    }
+
+    /// Blocks until the service resolves the job. The job's report is
+    /// recorded *before* its handle resolves, so `last_job_report()`
+    /// observed after `join` always covers this job — aborted ones
+    /// included.
+    fn join(self) -> Result<Vec<ErasedResult>, JobError> {
+        self.done
+            .recv()
+            .expect("scheduler service dropped a running job (driver loop died)")
+    }
+}
+
+/// The shared driver service: one long-lived `spangle-driver` thread
+/// multiplexing every concurrent job of a context over a single tagged
+/// event channel, with per-job [`JobRun`] state keyed by job id.
+///
+/// Owned by the context; dropping the context shuts the loop down and
+/// joins the thread. Events for a job that already left the map (an
+/// aborted job's straggler tasks, a completion callback that lost a race)
+/// are dropped exactly as the old per-job loops dropped them on a closed
+/// channel.
+pub(crate) struct SchedulerService {
+    tx: Sender<Tagged<ServiceEvent>>,
+    driver: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SchedulerService {
+    /// Spawns the driver loop.
+    pub(crate) fn new() -> Self {
+        let (tx, rx) = unbounded();
+        let driver = std::thread::Builder::new()
+            .name("spangle-driver".to_string())
+            .spawn(move || drive_loop(rx))
+            .expect("failed to spawn the scheduler driver thread");
+        SchedulerService {
+            tx,
+            driver: Mutex::new(Some(driver)),
+        }
+    }
+
+    /// A sender that stamps `job_id` on every event: handed to the job's
+    /// tasks and shuffle subscriptions so they post into the shared loop.
+    fn sender(&self, job_id: usize) -> MuxSender<ServiceEvent> {
+        MuxSender::new(self.tx.clone(), job_id)
+    }
+
+    /// Hands a job to the driver loop. Fails only when the loop is gone
+    /// (context teardown racing the submission).
+    fn submit(&self, job: Box<JobRun>) -> Result<(), ()> {
+        let tag = job.job_id;
+        self.tx
+            .send(Tagged {
+                tag,
+                msg: ServiceEvent::Submit(job),
+            })
+            .map_err(|_| ())
+    }
+
+    /// Stops the driver loop and joins its thread. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        let _ = self.tx.send(Tagged {
+            tag: usize::MAX,
+            msg: ServiceEvent::Shutdown,
+        });
+        if let Some(handle) = self.driver.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SchedulerService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The service's event loop: demultiplexes messages by job tag, advances
+/// the owning job's state machine, and finalises jobs that finish or
+/// abort. Runs no user code — task bodies run on executors, actions block
+/// on their handles.
+fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
+    let mut jobs: HashMap<usize, Box<JobRun>> = HashMap::new();
+    while let Ok(Tagged { tag, msg }) = rx.recv() {
+        match msg {
+            ServiceEvent::Shutdown => break,
+            ServiceEvent::Submit(mut job) => {
+                debug_assert_eq!(tag, job.job_id, "submit tag must be the job id");
+                match job.start() {
+                    Err(err) => job.fail(err),
+                    Ok(()) if job.is_finished() => job.finish(),
+                    Ok(()) => {
+                        jobs.insert(tag, job);
+                    }
+                }
+            }
+            event => {
+                // Stale tags (events of a job that already finished or
+                // aborted) are dropped here.
+                let step = match jobs.get_mut(&tag) {
+                    Some(job) => job.on_event(event),
+                    None => continue,
+                };
+                match step {
+                    Err(err) => {
+                        let job = jobs.remove(&tag).expect("job vanished mid-event");
+                        job.fail(err);
+                    }
+                    Ok(()) => {
+                        if jobs.get(&tag).is_some_and(|job| job.is_finished()) {
+                            let job = jobs.remove(&tag).expect("job vanished mid-event");
+                            job.finish();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Teardown (or every sender dropped) with jobs still live: fail them
+    // so no caller blocks forever on its handle.
+    for (_, job) in jobs.drain() {
+        let err = JobError {
+            job_id: job.job_id,
+            stage_id: 0,
+            partition: 0,
+            attempts: 0,
+            last_error: TaskError::ExecutorShutdown,
+        };
+        job.fail(err);
+    }
 }
 
 /// Builds the job's stage graph: one map stage per reachable shuffle
@@ -231,14 +441,14 @@ pub fn run_job<T: Data, R: Send + 'static>(
 fn build_stages<T: Data, R: Send + 'static>(
     rdd: &Rdd<T>,
     func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
-) -> Vec<Stage<R>> {
+) -> Vec<Stage> {
     let deps = topo_shuffle_deps(rdd.lineage());
     let mut by_shuffle: HashMap<usize, usize> = HashMap::new();
-    let mut stages: Vec<Stage<R>> = Vec::with_capacity(deps.len() + 1);
+    let mut stages: Vec<Stage> = Vec::with_capacity(deps.len() + 1);
 
     for dep in &deps {
         by_shuffle.insert(dep.shuffle_id(), stages.len());
-        let work = {
+        let work: StageWork = {
             let dep = Arc::clone(dep);
             Arc::new(move |tc: &TaskContext| {
                 dep.run_map_task(tc.partition, tc);
@@ -280,11 +490,11 @@ fn build_stages<T: Data, R: Send + 'static>(
         stages[p].children.push(result_idx);
         result_parents.push(p);
     }
-    let work = {
+    let work: StageWork = {
         let target = rdd.clone();
         let func = Arc::new(func);
         Arc::new(move |tc: &TaskContext| {
-            Some(func(tc.partition, target.iterator(tc.partition, tc)))
+            Some(Box::new(func(tc.partition, target.iterator(tc.partition, tc))) as ErasedResult)
         })
     };
     stages.push(Stage {
@@ -370,12 +580,19 @@ fn direct_parent_shuffles(root: Arc<dyn LineageNode>) -> Vec<Arc<dyn ShuffleDepD
     out
 }
 
-/// Mutable driver-side state of one running job.
-struct JobRun<R> {
+/// Driver-side state of one job, owned by the scheduler service while the
+/// job is in flight.
+struct JobRun {
     ctx: SpangleContext,
     job_id: usize,
-    stages: Vec<Stage<R>>,
-    tx: Sender<Event<R>>,
+    /// Priority the job was submitted with (higher is served first).
+    priority: i32,
+    stages: Vec<Stage>,
+    /// Index of the result stage (always the last).
+    result_idx: usize,
+    /// Sender that stamps this job's id on every task / subscription
+    /// event posted into the shared loop.
+    tx: MuxSender<ServiceEvent>,
     /// Shuffles this job claimed ownership of and has not completed yet;
     /// abandoned on abort so other jobs can re-claim them.
     owned: HashSet<usize>,
@@ -385,74 +602,88 @@ struct JobRun<R> {
     max_concurrent: usize,
     /// Nanoseconds of this job's task time per executor, from task events.
     executor_busy: Vec<u64>,
+    /// Nanoseconds this job's task attempts spent queued on executors
+    /// before starting, summed over attempts.
+    queue_wait_nanos: u64,
     reports: Vec<StageReport>,
+    /// Result-stage outputs, filled in as task events arrive.
+    results: Vec<Option<ErasedResult>>,
+    /// Resolves the caller's [`JobHandle`].
+    done: Sender<Result<Vec<ErasedResult>, JobError>>,
+    started: Instant,
 }
 
-impl<R: Send + 'static> JobRun<R> {
-    /// Processes events until the result stage finishes.
-    fn drive(
-        &mut self,
-        rx: &Receiver<Event<R>>,
-        result_idx: usize,
-        results: &mut [Option<R>],
-    ) -> Result<(), JobError> {
-        while self.stages[result_idx].state != StageState::Finished {
-            let event = rx
-                .recv()
-                .expect("executor pool dropped while a job was running");
-            match event {
-                Event::Task {
-                    stage_idx,
-                    partition,
-                    attempt,
-                    nanos,
-                    ran_on,
-                    stolen,
-                    outcome,
-                } => {
-                    self.stages[stage_idx].task_nanos += nanos;
-                    self.stages[stage_idx].tasks_stolen += stolen as usize;
-                    self.executor_busy[ran_on] += nanos;
-                    match outcome {
-                        Ok(result) => {
-                            if let Some(r) = result {
-                                results[partition] = Some(r);
-                            }
-                            self.stages[stage_idx].remaining -= 1;
-                            if self.stages[stage_idx].remaining == 0 {
-                                self.finish_stage(stage_idx)?;
-                            }
+impl JobRun {
+    /// First touch by the service: demand-driven activation from the
+    /// result stage.
+    fn start(&mut self) -> Result<(), JobError> {
+        self.activate(self.result_idx)
+    }
+
+    /// Whether the result stage (and therefore the job) is done.
+    fn is_finished(&self) -> bool {
+        self.stages[self.result_idx].state == StageState::Finished
+    }
+
+    /// Advances the job's state machine by one event from the shared loop.
+    fn on_event(&mut self, event: ServiceEvent) -> Result<(), JobError> {
+        match event {
+            ServiceEvent::Task {
+                stage_idx,
+                partition,
+                attempt,
+                nanos,
+                wait_nanos,
+                ran_on,
+                stolen,
+                outcome,
+            } => {
+                self.stages[stage_idx].task_nanos += nanos;
+                self.stages[stage_idx].tasks_stolen += stolen as usize;
+                self.executor_busy[ran_on] += nanos;
+                self.queue_wait_nanos += wait_nanos;
+                match outcome {
+                    Ok(result) => {
+                        if let Some(r) = result {
+                            self.results[partition] = Some(r);
                         }
-                        Err(err) => {
-                            let attempts = attempt + 1;
-                            if attempts >= self.ctx.inner.max_task_attempts {
-                                return Err(self.abort(stage_idx, partition, attempts, err));
-                            }
-                            self.ctx.metrics().add(MetricField::TaskRetries, 1);
-                            self.ctx.metrics().add(MetricField::Recomputations, 1);
-                            self.submit_task(stage_idx, partition, attempt + 1)?;
+                        self.stages[stage_idx].remaining -= 1;
+                        if self.stages[stage_idx].remaining == 0 {
+                            self.finish_stage(stage_idx)?;
                         }
                     }
+                    Err(err) => {
+                        let attempts = attempt + 1;
+                        if attempts >= self.ctx.inner.max_task_attempts {
+                            return Err(self.abort(stage_idx, partition, attempts, err));
+                        }
+                        self.ctx.metrics().add(MetricField::TaskRetries, 1);
+                        self.ctx.metrics().add(MetricField::Recomputations, 1);
+                        self.submit_task(stage_idx, partition, attempt + 1)?;
+                    }
                 }
-                Event::External {
-                    stage_idx,
-                    completed,
-                } => {
-                    if completed {
-                        self.skip(stage_idx);
+            }
+            ServiceEvent::External {
+                stage_idx,
+                completed,
+            } => {
+                if completed {
+                    self.skip(stage_idx);
+                    self.satisfy_children(stage_idx)?;
+                } else {
+                    // The owning job abandoned the shuffle; race to
+                    // re-claim it (we may become the owner now).
+                    self.stages[stage_idx].state = StageState::Idle;
+                    self.activate(stage_idx)?;
+                    // If activation skipped or finished it already,
+                    // wake the children that were counting on it.
+                    if self.stages[stage_idx].is_satisfied() {
                         self.satisfy_children(stage_idx)?;
-                    } else {
-                        // The owning job abandoned the shuffle; race to
-                        // re-claim it (we may become the owner now).
-                        self.stages[stage_idx].state = StageState::Idle;
-                        self.activate(stage_idx)?;
-                        // If activation skipped or finished it already,
-                        // wake the children that were counting on it.
-                        if self.stages[stage_idx].is_satisfied() {
-                            self.satisfy_children(stage_idx)?;
-                        }
                     }
                 }
+            }
+            ServiceEvent::Submit(_) | ServiceEvent::Shutdown => {
+                unreachable!("control messages are handled by the driver loop")
             }
         }
         Ok(())
@@ -522,16 +753,17 @@ impl<R: Send + 'static> JobRun<R> {
     }
 
     /// Subscribes to an in-flight external shuffle: when the owning job
-    /// completes (or abandons) it, the callback reports back through this
-    /// job's event channel. No thread is parked; if this job aborts
-    /// meanwhile, the callback just hits a closed channel when it fires.
+    /// completes (or abandons) it, the callback posts back into the shared
+    /// loop tagged with this job's id. No thread is parked; if this job
+    /// aborts meanwhile, the event is dropped as a stale tag when it
+    /// fires.
     fn watch(&mut self, idx: usize, shuffle_id: usize) {
         self.stages[idx].state = StageState::External;
         let tx = self.tx.clone();
         self.ctx.inner.shuffle.subscribe(
             shuffle_id,
             Box::new(move |completed| {
-                let _ = tx.send(Event::External {
+                let _ = tx.send(ServiceEvent::External {
                     stage_idx: idx,
                     completed,
                 });
@@ -560,7 +792,8 @@ impl<R: Send + 'static> JobRun<R> {
     }
 
     /// Submits one task attempt, placed on the executor owning its
-    /// partition. A shut-down pool aborts the job cleanly.
+    /// partition and tagged with the job's priority. A shut-down pool
+    /// aborts the job cleanly.
     fn submit_task(
         &mut self,
         stage_idx: usize,
@@ -581,7 +814,9 @@ impl<R: Send + 'static> JobRun<R> {
         let work = Arc::clone(&stage.work);
         let tx = self.tx.clone();
         let ctx = self.ctx.clone();
+        let queued = Instant::now();
         let task = Box::new(move |info: &TaskInfo| {
+            let wait_nanos = queued.elapsed().as_nanos() as u64;
             ctx.metrics().add(MetricField::TasksRun, 1);
             if info.stolen {
                 ctx.metrics().add(MetricField::TasksStolen, 1);
@@ -598,19 +833,30 @@ impl<R: Send + 'static> JobRun<R> {
             // event the job may return and drop its RDDs, and shuffle
             // garbage collection relies on those being the last references.
             drop(work);
-            // The driver may have aborted the job already; a closed
-            // channel is fine.
-            let _ = tx.send(Event::Task {
+            // The driver may have aborted the job already; its tag is
+            // simply stale by the time this lands.
+            let _ = tx.send(ServiceEvent::Task {
                 stage_idx,
                 partition,
                 attempt,
                 nanos: start.elapsed().as_nanos() as u64,
+                wait_nanos,
                 ran_on: info.ran_on,
                 stolen: info.stolen,
                 outcome,
             });
         });
-        if self.ctx.inner.pool.submit(partition, task).is_err() {
+        let tag = TaskTag {
+            job_id: self.job_id,
+            priority: self.priority,
+        };
+        if self
+            .ctx
+            .inner
+            .pool
+            .submit_tagged(partition, tag, task)
+            .is_err()
+        {
             return Err(self.abort(stage_idx, partition, attempt, TaskError::ExecutorShutdown));
         }
         Ok(())
@@ -660,8 +906,9 @@ impl<R: Send + 'static> JobRun<R> {
         Ok(())
     }
 
-    /// Aborts the job: releases every shuffle claim the job still holds so
-    /// other (or future) jobs can re-claim and run those map stages.
+    /// Aborts the job: releases every shuffle claim the job still holds
+    /// (dropping their partial map output) so other or future jobs can
+    /// re-claim and run those map stages.
     fn abort(
         &mut self,
         stage_idx: usize,
@@ -680,9 +927,70 @@ impl<R: Send + 'static> JobRun<R> {
             last_error,
         }
     }
+
+    /// Resolves a successful job: records its report (before the handle
+    /// resolves), then hands the caller its results.
+    fn finish(mut self) {
+        self.record(JobOutcome::Succeeded);
+        let results: Vec<ErasedResult> = std::mem::take(&mut self.results)
+            .into_iter()
+            .map(|r| r.expect("job finished with a missing partition result"))
+            .collect();
+        // Release the stage graph (and the lineage Arcs its work closures
+        // capture) BEFORE unblocking the caller: shuffle garbage
+        // collection relies on the caller's drop being the last reference.
+        self.stages.clear();
+        let _ = self.done.send(Ok(results));
+    }
+
+    /// Resolves an aborted job: every stage still in flight gets a
+    /// [`StageOutcome::Aborted`] entry so its partial task time and steal
+    /// counts are not lost, the report is recorded with
+    /// [`JobOutcome::Aborted`], and only then does the caller's handle
+    /// resolve with the error — `last_job_report()` after a failed action
+    /// therefore describes the failed job, not the previous one.
+    fn fail(mut self, err: JobError) {
+        let aborted: Vec<StageReport> = self
+            .stages
+            .iter()
+            .filter(|stage| stage.state == StageState::Running)
+            .map(|stage| StageReport {
+                stage_id: stage.stage_id,
+                shuffle_id: stage.shuffle_id,
+                num_tasks: stage.num_tasks,
+                tasks_stolen: stage.tasks_stolen,
+                outcome: StageOutcome::Aborted,
+                task_nanos: stage.task_nanos,
+                wall_nanos: stage
+                    .started
+                    .map(|s| s.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+            })
+            .collect();
+        self.reports.extend(aborted);
+        self.record(JobOutcome::Aborted);
+        // As in `finish`: the caller must hold the last lineage references
+        // once it unblocks.
+        self.stages.clear();
+        let _ = self.done.send(Err(err));
+    }
+
+    /// Records the job's [`JobReport`] on the context's metrics.
+    fn record(&mut self, outcome: JobOutcome) {
+        self.ctx.metrics().record_job(JobReport {
+            job_id: self.job_id,
+            outcome,
+            priority: self.priority,
+            stages: std::mem::take(&mut self.reports),
+            max_concurrent_stages: self.max_concurrent,
+            executor_busy_nanos: std::mem::take(&mut self.executor_busy),
+            queue_wait_nanos: self.queue_wait_nanos,
+            wall_nanos: self.started.elapsed().as_nanos() as u64,
+        });
+    }
 }
 
-impl<R> Stage<R> {
+impl Stage {
     /// Whether dependents of this stage can read its shuffle output.
     fn is_satisfied(&self) -> bool {
         matches!(self.state, StageState::Finished | StageState::Skipped)
@@ -701,6 +1009,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 #[cfg(test)]
 mod tests {
+    use crate::metrics::{JobOutcome, StageOutcome};
     use crate::rdd::pair::PairRdd;
     use crate::{HashPartitioner, SpangleContext};
     use std::sync::Arc;
@@ -749,6 +1058,7 @@ mod tests {
         let report = ctx.last_job_report().unwrap();
         assert_eq!(report.stages_run(), 1);
         assert_eq!(report.stages_skipped(), 1);
+        assert_eq!(report.outcome, JobOutcome::Succeeded);
     }
 
     #[test]
@@ -827,20 +1137,30 @@ mod tests {
 
     /// When one sibling map stage exhausts its retries the job aborts
     /// without deadlocking, and every shuffle claim the job held is
-    /// released so a rerun can claim and complete them.
+    /// released so a rerun can claim and complete them. The attempt limit
+    /// comes from the builder, not a magic constant.
     #[test]
     fn sibling_stage_failure_aborts_and_releases_claims() {
-        let ctx = SpangleContext::new(2);
+        let ctx = SpangleContext::builder()
+            .executors(2)
+            .max_task_attempts(3)
+            .build();
         let left = ctx.parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4);
         let right = ctx.parallelize((0u64..40).map(|i| (i % 8, i * 2)).collect(), 5);
         // Kill one left-side map task exactly as often as the attempt
         // limit: the first job aborts, the injector drains, a rerun works.
-        ctx.failure_injector().fail_task(left.id(), 1, 4);
+        ctx.failure_injector()
+            .fail_task(left.id(), 1, ctx.max_task_attempts());
         let grouped = left.cogroup(&right, Arc::new(HashPartitioner::new(4)));
         let err = grouped.count().unwrap_err();
         assert_eq!(err.partition, 1);
-        assert_eq!(err.attempts, 4);
+        assert_eq!(err.attempts, ctx.max_task_attempts());
         assert!(ctx.failure_injector().is_drained());
+        // The aborted job still recorded a report.
+        let report = ctx.last_job_report().unwrap();
+        assert_eq!(report.job_id, err.job_id);
+        assert_eq!(report.outcome, JobOutcome::Aborted);
+        assert!(report.stages_aborted() >= 1);
         // Claims were abandoned, not leaked: the rerun owns both map
         // stages again and completes.
         let n = grouped.count().unwrap();
@@ -886,14 +1206,21 @@ mod tests {
         assert!(ctx.failure_injector().is_drained());
     }
 
+    /// The attempt limit is builder-configurable, and the exhausted job's
+    /// error reflects whatever limit the context was built with.
     #[test]
     fn exhausted_attempts_abort_the_job() {
-        let ctx = SpangleContext::new(2);
-        let rdd = ctx.parallelize((0u64..20).collect(), 4);
-        ctx.failure_injector().fail_task(rdd.id(), 1, 100);
-        let err = rdd.collect().unwrap_err();
-        assert_eq!(err.partition, 1);
-        assert_eq!(err.attempts, 4);
+        for limit in [2usize, 4] {
+            let ctx = SpangleContext::builder()
+                .executors(2)
+                .max_task_attempts(limit)
+                .build();
+            let rdd = ctx.parallelize((0u64..20).collect(), 4);
+            ctx.failure_injector().fail_task(rdd.id(), 1, 100);
+            let err = rdd.collect().unwrap_err();
+            assert_eq!(err.partition, 1);
+            assert_eq!(err.attempts, limit);
+        }
     }
 
     #[test]
@@ -1069,5 +1396,83 @@ mod tests {
             vs.sort();
             assert_eq!(vs, (0..4).map(|j| k + 3 * j).collect::<Vec<_>>());
         }
+    }
+
+    /// Regression (abort-path): an aborted job must record a report of its
+    /// own — outcome `Aborted`, the in-flight stage marked
+    /// `StageOutcome::Aborted`, busy time attributed — instead of leaving
+    /// `last_job_report()` pointing at the previous job.
+    #[test]
+    fn aborted_job_records_its_own_report() {
+        let ctx = SpangleContext::builder()
+            .executors(2)
+            .max_task_attempts(2)
+            .build();
+        // A successful job first, so a missing abort report would surface
+        // as this stale one.
+        let ok = ctx.parallelize((0u64..8).collect(), 2);
+        ok.count().unwrap();
+        let stale = ctx.last_job_report().unwrap();
+
+        let rdd = ctx.parallelize((0u64..40).collect(), 4);
+        ctx.failure_injector().fail_task(rdd.id(), 1, 100);
+        let err = rdd.collect().unwrap_err();
+        let report = ctx.last_job_report().unwrap();
+        assert_ne!(report.job_id, stale.job_id, "the abort must be recorded");
+        assert_eq!(report.job_id, err.job_id);
+        assert_eq!(report.outcome, JobOutcome::Aborted);
+        assert_eq!(report.stages_aborted(), 1);
+        assert!(
+            report
+                .stages
+                .iter()
+                .any(|s| s.outcome == StageOutcome::Aborted && s.task_nanos > 0),
+            "the aborted stage's partial task time must be accounted: {report}"
+        );
+        assert!(
+            report.executor_busy_nanos.iter().sum::<u64>() > 0,
+            "successful sibling attempts must appear in busy accounting"
+        );
+    }
+
+    /// Regression (abort-path): abandoning a shuffle mid-abort drops the
+    /// partial map output, so an aborted job with no rerun leaves zero
+    /// resident shuffle bytes behind.
+    #[test]
+    fn aborted_shuffle_job_leaves_no_resident_bytes() {
+        let ctx = SpangleContext::builder()
+            .executors(2)
+            .max_task_attempts(2)
+            .build();
+        let rdd = ctx.parallelize((0u64..40).map(|i| (i % 4, i)).collect(), 4);
+        let reduced = rdd.reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+        // Partition 1's map task always fails; partitions 0/2/3 write
+        // their buckets before the abort.
+        ctx.failure_injector().fail_task(rdd.id(), 1, 100);
+        let err = reduced.collect().unwrap_err();
+        assert!(matches!(err.last_error, crate::TaskError::Injected));
+        assert_eq!(
+            ctx.shuffle_resident_bytes(),
+            0,
+            "partial map output must be dropped with the abandoned claim"
+        );
+        assert_eq!(ctx.last_job_report().unwrap().outcome, JobOutcome::Aborted);
+    }
+
+    /// Jobs submitted inside `run_with_priority` carry the priority into
+    /// their reports; the scope restores the previous priority on exit.
+    #[test]
+    fn run_with_priority_stamps_the_job_report() {
+        let ctx = SpangleContext::new(2);
+        let rdd = ctx.parallelize((0u64..8).collect(), 2);
+        let n = ctx.run_with_priority(7, || rdd.count().unwrap());
+        assert_eq!(n, 8);
+        assert_eq!(ctx.last_job_report().unwrap().priority, 7);
+        rdd.count().unwrap();
+        assert_eq!(
+            ctx.last_job_report().unwrap().priority,
+            0,
+            "priority scope must not leak out of run_with_priority"
+        );
     }
 }

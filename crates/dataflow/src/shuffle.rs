@@ -188,6 +188,11 @@ impl ShuffleService {
     /// Releases an [`ShuffleClaim::Owner`] claim without completing the
     /// stage (the owning job aborted). Subscribed callbacks fire with
     /// `false` and their schedulers race to re-claim.
+    ///
+    /// Any partial map output the aborted attempt already deposited is
+    /// dropped with the claim: leaving it resident would leak
+    /// `resident_bytes` until shuffle GC, and a re-claiming owner would
+    /// interleave its fresh blocks with the aborted attempt's stale ones.
     pub fn abandon(&self, shuffle_id: usize) {
         let mut stages = self.stages.lock();
         let abandoned = match stages.get(&shuffle_id) {
@@ -196,6 +201,9 @@ impl ShuffleService {
         };
         drop(stages);
         if let Some(MapStageState::InFlight { waiters }) = abandoned {
+            self.blocks
+                .write()
+                .retain(|id, _| id.shuffle_id != shuffle_id);
             waiters.fire(false);
         }
     }
@@ -326,6 +334,52 @@ mod tests {
         svc.abandon(1);
         assert!(!svc.wait_finished(1), "abandoned, not completed");
         assert_eq!(svc.try_claim(1), ShuffleClaim::Owner);
+    }
+
+    #[test]
+    fn abandon_drops_the_aborted_attempts_partial_blocks() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        assert_eq!(svc.try_claim(4), ShuffleClaim::Owner);
+        // The owner's map tasks deposit some output, then the job aborts.
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 4,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![1u64, 2, 3],
+            24,
+        );
+        // An unrelated completed shuffle must survive the abandon.
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 5,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![9u64],
+            8,
+        );
+        svc.mark_completed(5, 1);
+        assert_eq!(svc.resident_bytes(), 32);
+        svc.abandon(4);
+        assert_eq!(
+            svc.resident_bytes(),
+            8,
+            "the abandoned shuffle's partial blocks must be dropped"
+        );
+        assert_eq!(svc.num_blocks(), 1);
+        assert_eq!(
+            svc.try_claim(4),
+            ShuffleClaim::Owner,
+            "a re-claiming owner starts from a clean slate"
+        );
+        // Abandon on a completed shuffle stays a no-op.
+        svc.abandon(5);
+        assert_eq!(svc.resident_bytes(), 8);
     }
 
     #[test]

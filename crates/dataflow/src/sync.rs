@@ -8,12 +8,14 @@
 //! lineage recomputation assumes the runtime's own state stays usable
 //! after a task panic), the channel module re-exports the unbounded MPSC
 //! channel under the same names the scheduler and executor pool were
-//! written against, [`StealQueues`] provides the executor pool's
-//! locality-aware work-stealing deques, and [`Subscribers`] is the one-shot
+//! written against (plus [`channel::MuxSender`], the tagged sender the
+//! shared scheduler service multiplexes every job's events through),
+//! [`StealQueues`] provides the executor pool's locality-aware
+//! work-stealing priority queues, and [`Subscribers`] is the one-shot
 //! callback list behind the shuffle service's event-driven completion
 //! notifications.
 
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 use std::sync::{LockResult, PoisonError};
 
 /// Unwraps a poisoned lock into its inner guard: a panicking task must not
@@ -90,6 +92,57 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
     }
+
+    /// A message labelled with the integer tag of its producer, for many
+    /// logical streams multiplexed onto one shared channel (the scheduler
+    /// service demultiplexes job events by tag).
+    #[derive(Debug)]
+    pub struct Tagged<T> {
+        /// Producer tag stamped by the [`MuxSender`] (a job id, in the
+        /// scheduler's case).
+        pub tag: usize,
+        /// The message itself.
+        pub msg: T,
+    }
+
+    /// A sender that stamps a fixed tag on every message before putting it
+    /// on a shared `Sender<Tagged<T>>`.
+    ///
+    /// Handing a `MuxSender` to a producer (an executor task, a shuffle
+    /// subscription) lets it post into a multiplexed event loop without
+    /// ever knowing — or being able to forge — whose stream it belongs to.
+    pub struct MuxSender<T> {
+        tag: usize,
+        tx: Sender<Tagged<T>>,
+    }
+
+    // Manual impl: `T` itself need not be `Clone`.
+    impl<T> Clone for MuxSender<T> {
+        fn clone(&self) -> Self {
+            MuxSender {
+                tag: self.tag,
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> MuxSender<T> {
+        /// Wraps `tx`, stamping `tag` on every message sent through.
+        pub fn new(tx: Sender<Tagged<T>>, tag: usize) -> Self {
+            MuxSender { tag, tx }
+        }
+
+        /// The tag stamped on every message.
+        pub fn tag(&self) -> usize {
+            self.tag
+        }
+
+        /// Sends `msg` tagged with this sender's tag. Fails only when the
+        /// receiving loop is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<Tagged<T>>> {
+            self.tx.send(Tagged { tag: self.tag, msg })
+        }
+    }
 }
 
 /// What [`StealQueues::next`] hands a worker.
@@ -118,19 +171,35 @@ impl<T> std::fmt::Debug for Closed<T> {
     }
 }
 
+/// Ordering key of one queued item: ascending map order is "highest
+/// priority first, FIFO within a priority" (priority is negated via
+/// [`std::cmp::Reverse`], the sequence number breaks ties submission-first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct QueueKey {
+    priority: std::cmp::Reverse<i32>,
+    seq: u64,
+}
+
 struct QueuesState<T> {
-    queues: Vec<VecDeque<T>>,
+    queues: Vec<BTreeMap<QueueKey, T>>,
+    /// Global submission counter, the FIFO tie-breaker within a priority.
+    next_seq: u64,
     closed: bool,
 }
 
-/// A fixed set of FIFO work queues with locality-aware stealing.
+/// A fixed set of priority work queues with locality-aware stealing.
 ///
-/// Each worker owns one queue: items pushed for it are popped in FIFO
-/// order from the front. A worker whose own queue is empty steals one item
-/// from the *back* of the currently longest sibling queue — but only when
-/// that queue holds at least [`StealQueues::MIN_STEAL_LEN`] items, so a
-/// victim that is merely keeping up never loses the single task placed on
-/// it (the locality guard: perfectly balanced loads see zero steals).
+/// Each worker owns one queue: items pushed for it are popped in priority
+/// order (highest first), FIFO within a priority — so equal-priority
+/// traffic behaves exactly like the plain FIFO deques this replaced, while
+/// a high-priority job's tasks overtake queued lower-priority work instead
+/// of waiting out the submission interleaving. A worker whose own queue is
+/// empty steals one item from the *back* of the currently longest sibling
+/// queue (its lowest-priority, newest item, leaving urgent work to the
+/// owner) — but only when that queue holds at least
+/// [`StealQueues::MIN_STEAL_LEN`] items, so a victim that is merely
+/// keeping up never loses the single task placed on it (the locality
+/// guard: perfectly balanced loads see zero steals).
 ///
 /// [`StealQueues::close`] stops accepting pushes and switches the steal
 /// threshold to one, so already-queued items are drained exactly once —
@@ -154,7 +223,8 @@ impl<T> StealQueues<T> {
         assert!(n > 0, "at least one queue is required");
         StealQueues {
             state: Mutex::new(QueuesState {
-                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                queues: (0..n).map(|_| BTreeMap::new()).collect(),
+                next_seq: 0,
                 closed: false,
             }),
             available: Condvar::new(),
@@ -166,14 +236,27 @@ impl<T> StealQueues<T> {
         self.state.lock().queues.len()
     }
 
-    /// Appends an item to `owner`'s queue, waking idle workers. Fails
-    /// (returning the item) once the queues are closed.
+    /// Appends an item to `owner`'s queue at the default priority (0),
+    /// waking idle workers. Fails (returning the item) once the queues are
+    /// closed.
     pub fn push(&self, owner: usize, item: T) -> Result<(), Closed<T>> {
+        self.push_prio(owner, 0, item)
+    }
+
+    /// Enqueues an item on `owner`'s queue with an explicit priority
+    /// (higher pops first; FIFO within a priority), waking idle workers.
+    /// Fails (returning the item) once the queues are closed.
+    pub fn push_prio(&self, owner: usize, priority: i32, item: T) -> Result<(), Closed<T>> {
         let mut st = self.state.lock();
         if st.closed {
             return Err(Closed(item));
         }
-        st.queues[owner].push_back(item);
+        let key = QueueKey {
+            priority: std::cmp::Reverse(priority),
+            seq: st.next_seq,
+        };
+        st.next_seq += 1;
+        st.queues[owner].insert(key, item);
         drop(st);
         self.available.notify_all();
         Ok(())
@@ -185,7 +268,7 @@ impl<T> StealQueues<T> {
     pub fn next(&self, worker: usize) -> Next<T> {
         let mut st = self.state.lock();
         loop {
-            if let Some(item) = st.queues[worker].pop_front() {
+            if let Some((_, item)) = st.queues[worker].pop_first() {
                 return Next::Local(item);
             }
             let min_len = if st.closed { 1 } else { Self::MIN_STEAL_LEN };
@@ -197,8 +280,8 @@ impl<T> StealQueues<T> {
                 .max_by_key(|(_, q)| q.len())
                 .map(|(i, _)| i);
             if let Some(victim) = victim {
-                let item = st.queues[victim]
-                    .pop_back()
+                let (_, item) = st.queues[victim]
+                    .pop_last()
                     .expect("victim emptied while the queue lock was held");
                 return Next::Stolen { item, victim };
             }
@@ -370,6 +453,61 @@ mod tests {
         seen.sort();
         assert_eq!(seen, vec![1, 2]);
         assert!(matches!(q.next(0), Next::Closed));
+    }
+
+    #[test]
+    fn mux_sender_tags_every_message() {
+        let (tx, rx) = channel::unbounded();
+        let a = channel::MuxSender::new(tx.clone(), 7);
+        let b = channel::MuxSender::new(tx, 9);
+        let a2 = a.clone();
+        assert_eq!(a.tag(), 7);
+        assert_eq!(a2.tag(), 7);
+        a.send("x").unwrap();
+        b.send("y").unwrap();
+        a2.send("z").unwrap();
+        let got: Vec<(usize, &str)> = (0..3)
+            .map(|_| rx.recv().map(|t| (t.tag, t.msg)).unwrap())
+            .collect();
+        assert_eq!(got, vec![(7, "x"), (9, "y"), (7, "z")]);
+    }
+
+    #[test]
+    fn higher_priority_items_overtake_queued_work() {
+        let q = StealQueues::new(1);
+        q.push_prio(0, 0, "low-1").unwrap();
+        q.push_prio(0, 0, "low-2").unwrap();
+        q.push_prio(0, 5, "high").unwrap();
+        q.push_prio(0, 0, "low-3").unwrap();
+        fn pop(q: &StealQueues<&'static str>) -> &'static str {
+            match q.next(0) {
+                Next::Local(v) => v,
+                other => panic!("expected local pop, got {other:?}"),
+            }
+        }
+        assert_eq!(pop(&q), "high", "priority 5 overtakes the queued backlog");
+        // Equal priorities keep strict FIFO order.
+        assert_eq!(pop(&q), "low-1");
+        assert_eq!(pop(&q), "low-2");
+        assert_eq!(pop(&q), "low-3");
+    }
+
+    #[test]
+    fn steals_take_the_lowest_priority_newest_item() {
+        let q = StealQueues::new(2);
+        q.push_prio(0, 3, "urgent").unwrap();
+        q.push_prio(0, 0, "bulk-1").unwrap();
+        q.push_prio(0, 0, "bulk-2").unwrap();
+        // Worker 1 is idle: its steal must leave the owner's urgent work
+        // alone and take the back of the queue (lowest priority, newest).
+        match q.next(1) {
+            Next::Stolen { item, victim } => {
+                assert_eq!(item, "bulk-2");
+                assert_eq!(victim, 0);
+            }
+            other => panic!("expected a steal, got {other:?}"),
+        }
+        assert!(matches!(q.next(0), Next::Local("urgent")));
     }
 
     #[test]

@@ -90,16 +90,22 @@ fn concurrent_jobs_with_failure_injection_hold_all_invariants() {
         let injected = rng.usize_in(0..3);
         ctx.failure_injector().fail_next_tasks(injected);
 
-        // N concurrent jobs race over the same shuffle dependency.
+        // N concurrent jobs race over the same shuffle dependency, at
+        // mixed priorities so the shared service's priority queue is
+        // exercised under contention too.
         let n_jobs = rng.usize_in(3..8);
         let before = ctx.metrics_snapshot();
         let handles: Vec<_> = (0..n_jobs)
-            .map(|_| {
+            .map(|i| {
                 let r = reduced.clone();
+                let ctx = ctx.clone();
+                let priority = (i as i32 % 3) - 1;
                 std::thread::spawn(move || {
-                    let mut out = r.collect().unwrap();
-                    out.sort();
-                    out
+                    ctx.run_with_priority(priority, || {
+                        let mut out = r.collect().unwrap();
+                        out.sort();
+                        out
+                    })
                 })
             })
             .collect();
@@ -142,6 +148,18 @@ fn concurrent_jobs_with_failure_injection_hold_all_invariants() {
             "one shared map stage + one result stage per job (delta: {delta:?})"
         );
         assert_eq!(delta.stages_skipped as usize, n_jobs - 1);
+
+        // Every job recorded a successful report through the shared
+        // service, and per-job steal accounting partitions the
+        // cluster-wide counter.
+        let reports = ctx.job_reports();
+        assert_eq!(reports.len(), n_jobs, "one report per job");
+        for report in &reports {
+            assert_eq!(report.outcome, spangle_dataflow::JobOutcome::Succeeded);
+            assert!((-1..=1).contains(&report.priority));
+        }
+        let stolen: usize = reports.iter().map(|r| r.tasks_stolen()).sum();
+        assert_eq!(delta.tasks_stolen, stolen as u64);
 
         // Shuffle state is fully reclaimed once the lineage drops.
         drop((base, reduced));
