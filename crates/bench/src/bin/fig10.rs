@@ -286,11 +286,16 @@ fn main() {
             .iter()
             .map(|(_, r)| r.queue_wait_nanos / 1_000_000)
             .sum();
+        let snap = ctx.metrics_snapshot();
         println!(
-            "   cluster so far: steals per executor {:?}, busy ms [{}], task queue wait {} ms",
+            "   cluster so far: steals per executor {:?}, busy ms [{}], task queue wait {} ms, \
+             {} executors lost, {} fetch failures, {} map partitions recomputed",
             ctx.executor_steals(),
             busy_ms.join(", "),
-            queue_wait_ms
+            queue_wait_ms,
+            snap.executors_lost,
+            snap.fetch_failures,
+            snap.map_partitions_recomputed,
         );
         println!(
             "   nnz={}  memory: spangle={} KiB, coo={} KiB, csc={} KiB, dense={}",

@@ -131,8 +131,10 @@ fn main() {
             .filter_map(|r| r.busy_skew())
             .fold(0.0f64, f64::max);
         let queue_wait_ms: u64 = reports.iter().map(|r| r.queue_wait_nanos / 1_000_000).sum();
+        let fetch_failures: usize = reports.iter().map(|r| r.fetch_failures()).sum();
+        let maps_recomputed: usize = reports.iter().map(|r| r.map_partitions_recomputed()).sum();
         println!(
-            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms)",
+            "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms, {} fetch failures, {} map partitions recomputed)",
             spec.name,
             reports.len(),
             stages_run,
@@ -141,6 +143,8 @@ fn main() {
             stolen,
             worst_skew,
             queue_wait_ms,
+            fetch_failures,
+            maps_recomputed,
         );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");

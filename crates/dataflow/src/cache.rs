@@ -5,7 +5,14 @@
 //! Evicting a block (as a failure simulation, or for memory pressure)
 //! silently falls back to lineage recomputation — the Spark fault-tolerance
 //! contract the paper's iterative algorithms (PageRank, SGD) lean on.
+//!
+//! Every block is attributed to the executor incarnation
+//! ([`BlockOrigin`]) that computed it; killing an executor
+//! ([`crate::SpangleContext::kill_executor`]) discards its blocks via
+//! [`BlockManager::discard_executor`] and the next access recomputes them,
+//! exactly like a single-block eviction.
 
+use crate::executor::BlockOrigin;
 use crate::sync::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
@@ -25,14 +32,14 @@ type CachedBlock = Arc<dyn Any + Send + Sync>;
 /// In-memory store of persisted partitions.
 #[derive(Default)]
 pub struct BlockManager {
-    blocks: RwLock<HashMap<CacheKey, (CachedBlock, usize)>>,
+    blocks: RwLock<HashMap<CacheKey, (CachedBlock, usize, BlockOrigin)>>,
 }
 
 impl BlockManager {
     /// Looks up a cached partition, downcasting to its element vector.
     pub fn get<T: Send + Sync + 'static>(&self, key: CacheKey) -> Option<Arc<Vec<T>>> {
         let guard = self.blocks.read();
-        let (block, _) = guard.get(&key)?;
+        let (block, _, _) = guard.get(&key)?;
         Some(
             block
                 .clone()
@@ -41,9 +48,32 @@ impl BlockManager {
         )
     }
 
-    /// Stores a computed partition with its deep size in bytes.
-    pub fn put<T: Send + Sync + 'static>(&self, key: CacheKey, data: Arc<Vec<T>>, bytes: usize) {
-        self.blocks.write().insert(key, (data, bytes));
+    /// Stores a computed partition with its deep size in bytes, attributed
+    /// to the executor incarnation that computed it.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        key: CacheKey,
+        data: Arc<Vec<T>>,
+        bytes: usize,
+        origin: BlockOrigin,
+    ) {
+        self.blocks.write().insert(key, (data, bytes, origin));
+    }
+
+    /// Discards every cached partition the given executor produced (any
+    /// incarnation). Returns `(partitions_dropped, bytes_dropped)`.
+    pub fn discard_executor(&self, executor: usize) -> (usize, usize) {
+        let mut blocks = self.blocks.write();
+        let before = blocks.len();
+        let mut bytes_dropped = 0;
+        blocks.retain(|_, (_, bytes, origin)| {
+            let keep = !origin.lives_on(executor);
+            if !keep {
+                bytes_dropped += *bytes;
+            }
+            keep
+        });
+        (before - blocks.len(), bytes_dropped)
     }
 
     /// Removes one block (simulating executor loss of that partition).
@@ -64,7 +94,7 @@ impl BlockManager {
 
     /// Total bytes of cached data.
     pub fn resident_bytes(&self) -> usize {
-        self.blocks.read().values().map(|(_, b)| *b).sum()
+        self.blocks.read().values().map(|(_, b, _)| *b).sum()
     }
 }
 
@@ -80,7 +110,7 @@ mod tests {
             partition: 1,
         };
         assert!(bm.get::<u64>(key).is_none());
-        bm.put(key, Arc::new(vec![1u64, 2, 3]), 24);
+        bm.put(key, Arc::new(vec![1u64, 2, 3]), 24, BlockOrigin::DRIVER);
         assert_eq!(*bm.get::<u64>(key).unwrap(), vec![1, 2, 3]);
         assert_eq!(bm.resident_bytes(), 24);
         assert!(bm.evict(key));
@@ -99,6 +129,7 @@ mod tests {
                 },
                 Arc::new(vec![p as u64]),
                 8,
+                BlockOrigin::DRIVER,
             );
         }
         bm.put(
@@ -108,8 +139,39 @@ mod tests {
             },
             Arc::new(vec![0u64]),
             8,
+            BlockOrigin::DRIVER,
         );
         bm.evict_rdd(7);
         assert_eq!(bm.num_blocks(), 1);
+    }
+
+    #[test]
+    fn discard_executor_drops_only_its_partitions() {
+        let bm = BlockManager::default();
+        for p in 0..4 {
+            bm.put(
+                CacheKey {
+                    rdd_id: 2,
+                    partition: p,
+                },
+                Arc::new(vec![p as u64]),
+                8,
+                BlockOrigin::executor(p % 2, 0),
+            );
+        }
+        assert_eq!(bm.discard_executor(1), (2, 16));
+        assert_eq!(bm.num_blocks(), 2);
+        for p in 0..4 {
+            let key = CacheKey {
+                rdd_id: 2,
+                partition: p,
+            };
+            assert_eq!(bm.get::<u64>(key).is_some(), p % 2 == 0);
+        }
+        assert_eq!(
+            bm.discard_executor(5),
+            (0, 0),
+            "unknown executor is a no-op"
+        );
     }
 }

@@ -29,6 +29,9 @@ pub(crate) struct ContextInner {
     next_job_id: AtomicUsize,
     /// Maximum attempts per task before the job fails.
     pub(crate) max_task_attempts: usize,
+    /// Per-job budget of executor-loss / fetch-failure resubmissions
+    /// before the job aborts.
+    pub(crate) max_resubmissions: usize,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -47,6 +50,7 @@ pub struct SpangleContext {
 /// let ctx = SpangleContext::builder()
 ///     .executors(4)
 ///     .max_task_attempts(2)
+///     .max_resubmissions(8)
 ///     .job_report_history(16)
 ///     .build();
 /// assert_eq!(ctx.num_executors(), 4);
@@ -56,6 +60,7 @@ pub struct SpangleContext {
 pub struct SpangleContextBuilder {
     executors: usize,
     max_task_attempts: usize,
+    max_resubmissions: usize,
     job_report_history: usize,
 }
 
@@ -64,6 +69,7 @@ impl Default for SpangleContextBuilder {
         SpangleContextBuilder {
             executors: 2,
             max_task_attempts: 4,
+            max_resubmissions: 16,
             job_report_history: DEFAULT_JOB_REPORT_HISTORY,
         }
     }
@@ -80,6 +86,15 @@ impl SpangleContextBuilder {
     pub fn max_task_attempts(mut self, attempts: usize) -> Self {
         assert!(attempts > 0, "a task needs at least one attempt");
         self.max_task_attempts = attempts;
+        self
+    }
+
+    /// Per-job budget of recovery resubmissions — attempts replayed after
+    /// an executor loss or a fetch failure, which do not charge the
+    /// per-task attempt budget — before the job aborts instead of chasing
+    /// a permanently poisoned shuffle (default 16).
+    pub fn max_resubmissions(mut self, resubmissions: usize) -> Self {
+        self.max_resubmissions = resubmissions;
         self
     }
 
@@ -105,6 +120,7 @@ impl SpangleContextBuilder {
                 next_stage_id: AtomicUsize::new(0),
                 next_job_id: AtomicUsize::new(0),
                 max_task_attempts: self.max_task_attempts,
+                max_resubmissions: self.max_resubmissions,
             }),
         }
     }
@@ -177,6 +193,41 @@ impl SpangleContext {
         &self.inner.failures
     }
 
+    /// Kills an executor: its current incarnation is retired (any attempt
+    /// still running on it will report [`crate::TaskError::ExecutorLost`]
+    /// and its deposits are refused), every shuffle block and cached
+    /// partition it produced is discarded, and a replacement incarnation
+    /// is seated in the same slot — placement stays deterministic and
+    /// queued tasks simply run on the replacement. Dependent jobs discover
+    /// the lost shuffle output through
+    /// [`crate::TaskError::FetchFailed`] and rebuild exactly the missing
+    /// map partitions from lineage.
+    ///
+    /// Callable from any thread, including (via the failure injector's
+    /// `kill_executor_after`) from the dying executor itself right after a
+    /// task body finishes.
+    pub fn kill_executor(&self, executor: usize) -> ExecutorLoss {
+        assert!(
+            executor < self.num_executors(),
+            "executor {executor} out of range (cluster has {})",
+            self.num_executors()
+        );
+        let incarnation = self.inner.pool.kill(executor);
+        let (shuffle_blocks_dropped, shuffle_bytes_dropped) =
+            self.inner.shuffle.discard_executor(executor);
+        let (cached_partitions_dropped, cached_bytes_dropped) =
+            self.inner.cache.discard_executor(executor);
+        self.metrics().add(MetricField::ExecutorsLost, 1);
+        ExecutorLoss {
+            executor,
+            incarnation,
+            shuffle_blocks_dropped,
+            shuffle_bytes_dropped,
+            cached_partitions_dropped,
+            cached_bytes_dropped,
+        }
+    }
+
     /// Drops a cached partition, simulating the loss of an executor's
     /// block; the next access recomputes it from lineage.
     pub fn evict_cached_partition(&self, rdd_id: usize, partition: usize) -> bool {
@@ -233,6 +284,24 @@ impl SpangleContext {
     pub fn last_job_report(&self) -> Option<crate::metrics::JobReport> {
         self.inner.metrics.last_job_report()
     }
+}
+
+/// What [`SpangleContext::kill_executor`] destroyed: the retired slot and
+/// incarnation plus everything discarded with it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutorLoss {
+    /// Slot of the killed executor.
+    pub executor: usize,
+    /// Incarnation now seated in the slot (the replacement's epoch).
+    pub incarnation: u64,
+    /// Shuffle blocks dropped with the dead incarnation.
+    pub shuffle_blocks_dropped: usize,
+    /// Deep bytes of those shuffle blocks.
+    pub shuffle_bytes_dropped: usize,
+    /// Cached partitions dropped with the dead incarnation.
+    pub cached_partitions_dropped: usize,
+    /// Deep bytes of those cached partitions.
+    pub cached_bytes_dropped: usize,
 }
 
 /// A read-only value replicated to every executor.

@@ -25,6 +25,18 @@
 //! overtake queued lower-priority work. Steals still come from the *back*
 //! of the victim's queue — the lowest-priority, newest item — so helping a
 //! busy sibling never delays its most urgent task.
+//!
+//! Each executor is also a *failure domain*. An executor slot carries an
+//! incarnation number (*epoch*); [`ExecutorPool::kill`] retires the
+//! current incarnation and seats a replacement in the same slot, so
+//! partition placement (`p % num_executors`) is unchanged across the loss.
+//! A task observes the epoch of the incarnation that started it in
+//! [`TaskInfo::epoch`]: when the epoch has moved by the time the task
+//! finishes, the task died with its executor and its effects (shuffle
+//! blocks, cached partitions — anything stamped with a [`BlockOrigin`] of
+//! the dead incarnation) are void. Queued-but-unstarted tasks simply run
+//! on the replacement incarnation, exactly like Spark rescheduling a lost
+//! executor's pending tasks.
 
 use crate::sync::{Mutex, Next, StealQueues};
 use std::panic::AssertUnwindSafe;
@@ -42,6 +54,51 @@ pub struct TaskInfo {
     pub ran_on: usize,
     /// Whether the task was stolen (`ran_on != home`).
     pub stolen: bool,
+    /// Incarnation of `ran_on` when the task started. If
+    /// [`ExecutorPool::epoch`] differs by completion time, the executor
+    /// was killed mid-task and the attempt is lost.
+    pub epoch: u64,
+}
+
+/// Which executor incarnation produced a block (a shuffle map output or a
+/// cached partition).
+///
+/// Blocks are attributed to the executor that computed them so that
+/// killing an executor can discard exactly its blocks, and so that a
+/// straggler task of a dead incarnation cannot deposit into the stores
+/// after its executor was declared lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockOrigin {
+    /// Producing executor; `None` for driver-side deposits (tests, seeds).
+    executor: Option<usize>,
+    /// Incarnation of the producing executor when the block was made.
+    epoch: u64,
+}
+
+impl BlockOrigin {
+    /// A driver-side origin: never tied to an executor, never discarded by
+    /// an executor loss.
+    pub const DRIVER: BlockOrigin = BlockOrigin {
+        executor: None,
+        epoch: 0,
+    };
+
+    /// The origin of work running on `executor` at incarnation `epoch`.
+    pub fn executor(executor: usize, epoch: u64) -> Self {
+        BlockOrigin {
+            executor: Some(executor),
+            epoch,
+        }
+    }
+
+    /// Whether this block was produced by (any incarnation of) `executor`.
+    pub fn lives_on(&self, executor: usize) -> bool {
+        self.executor == Some(executor)
+    }
+
+    pub(crate) fn executor_epoch(&self) -> Option<(usize, u64)> {
+        self.executor.map(|e| (e, self.epoch))
+    }
 }
 
 /// A unit of executor work. The pool reports through [`TaskInfo`] where
@@ -98,6 +155,9 @@ struct ExecutorStats {
 pub struct ExecutorPool {
     queues: Arc<StealQueues<PlacedTask>>,
     stats: Arc<Vec<ExecutorStats>>,
+    /// Incarnation counter per executor slot; bumped by
+    /// [`ExecutorPool::kill`].
+    epochs: Arc<Vec<AtomicU64>>,
     num_executors: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -112,10 +172,13 @@ impl ExecutorPool {
                 .map(|_| ExecutorStats::default())
                 .collect(),
         );
+        let epochs: Arc<Vec<AtomicU64>> =
+            Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
         let mut handles = Vec::with_capacity(num_executors);
         for i in 0..num_executors {
             let queues = Arc::clone(&queues);
             let stats = Arc::clone(&stats);
+            let epochs = Arc::clone(&epochs);
             let handle = std::thread::Builder::new()
                 .name(format!("spangle-executor-{i}"))
                 .spawn(move || loop {
@@ -128,6 +191,7 @@ impl ExecutorPool {
                         home: task.home,
                         ran_on: i,
                         stolen,
+                        epoch: epochs[i].load(Ordering::SeqCst),
                     };
                     if stolen {
                         stats[i].tasks_stolen.fetch_add(1, Ordering::Relaxed);
@@ -149,6 +213,7 @@ impl ExecutorPool {
         ExecutorPool {
             queues,
             stats,
+            epochs,
             num_executors,
             handles: Mutex::new(handles),
         }
@@ -157,6 +222,33 @@ impl ExecutorPool {
     /// Number of executors in the cluster.
     pub fn num_executors(&self) -> usize {
         self.num_executors
+    }
+
+    /// Current incarnation of an executor slot (0 until its first kill).
+    pub fn epoch(&self, executor: usize) -> u64 {
+        self.epochs[executor].load(Ordering::SeqCst)
+    }
+
+    /// Kills the current incarnation of `executor` and seats a replacement
+    /// in the same slot, returning the replacement's epoch.
+    ///
+    /// Placement is untouched (`p % num_executors` still maps to the same
+    /// slot), queued-but-unstarted tasks run on the replacement, and any
+    /// task the dead incarnation had in flight observes the epoch change at
+    /// completion and is reported lost by the scheduler. Discarding the
+    /// dead incarnation's blocks is the caller's job (see
+    /// `SpangleContext::kill_executor`).
+    pub fn kill(&self, executor: usize) -> u64 {
+        self.epochs[executor].fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Whether the incarnation that produced `origin` is still alive.
+    /// Driver-side origins are always live.
+    pub fn origin_is_live(&self, origin: BlockOrigin) -> bool {
+        match origin.executor_epoch() {
+            Some((executor, epoch)) => self.epoch(executor) == epoch,
+            None => true,
+        }
     }
 
     /// Executor a partition is placed on.
@@ -495,5 +587,62 @@ mod tests {
     #[should_panic(expected = "at least one executor")]
     fn zero_executors_is_rejected() {
         let _ = ExecutorPool::new(0);
+    }
+
+    /// Killing an executor retires the running incarnation: a task started
+    /// before the kill sees a stale epoch at completion, while a task
+    /// queued behind it runs on the replacement incarnation in the same
+    /// slot (placement unchanged).
+    #[test]
+    fn kill_retires_the_incarnation_but_keeps_the_slot() {
+        let pool = Arc::new(ExecutorPool::new(2));
+        assert_eq!(pool.epoch(0), 0);
+        let (started_tx, started_rx) = unbounded::<()>();
+        let (release_tx, release_rx) = unbounded::<()>();
+        let (tx, rx) = unbounded();
+        // Wedge executor 1 so it cannot steal executor 0's backlog — the
+        // test needs both tasks to run in their home slot.
+        let (wedge_tx, wedge_rx) = unbounded::<()>();
+        pool.submit(
+            1,
+            Box::new(move |_: &TaskInfo| {
+                let _ = wedge_rx.recv();
+            }),
+        )
+        .unwrap();
+        {
+            let tx = tx.clone();
+            pool.submit(
+                0,
+                Box::new(move |info: &TaskInfo| {
+                    started_tx.send(()).unwrap();
+                    let _ = release_rx.recv();
+                    tx.send(("victim", *info)).unwrap();
+                }),
+            )
+            .unwrap();
+        }
+        pool.submit(
+            0,
+            Box::new(move |info: &TaskInfo| tx.send(("next", *info)).unwrap()),
+        )
+        .unwrap();
+        started_rx.recv().unwrap();
+        // Kill while the first task is mid-flight.
+        assert_eq!(pool.kill(0), 1);
+        assert_eq!(pool.epoch(0), 1);
+        release_tx.send(()).unwrap();
+        let (label, info) = rx.recv().unwrap();
+        assert_eq!(label, "victim");
+        assert_eq!(info.epoch, 0, "in-flight task carries the dead epoch");
+        assert!(!pool.origin_is_live(BlockOrigin::executor(info.ran_on, info.epoch)));
+        let (label, info) = rx.recv().unwrap();
+        assert_eq!(label, "next");
+        assert_eq!(info.ran_on, 0, "placement survives the kill");
+        assert_eq!(info.epoch, 1, "queued task runs on the replacement");
+        assert!(pool.origin_is_live(BlockOrigin::executor(0, 1)));
+        assert!(pool.origin_is_live(BlockOrigin::DRIVER));
+        assert_eq!(pool.epoch(1), 0, "sibling executors are untouched");
+        wedge_tx.send(()).unwrap();
     }
 }

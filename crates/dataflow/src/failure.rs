@@ -2,11 +2,14 @@
 //!
 //! Spark's headline property — and the one ArrayRDD inherits — is that lost
 //! work is recomputed from lineage. The injector lets tests kill specific
-//! task attempts; dropping cached blocks is done directly through
-//! [`crate::cache::BlockManager::evict`].
+//! task attempts or whole executors
+//! ([`FailureInjector::kill_executor_after`] arms a kill that fires after
+//! an executor finishes its Nth task, taking that task's attempt and every
+//! block of the dead incarnation with it); dropping individual cached
+//! blocks is done directly through [`crate::cache::BlockManager::evict`].
 
 use crate::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies a schedulable task: the RDD whose partition the task produces
 /// (for result stages) or the shuffle map side's parent RDD (for shuffle
@@ -27,11 +30,19 @@ pub struct FailureInjector {
     remaining: Mutex<HashMap<TaskSite, usize>>,
     /// Remaining site-independent failures.
     any: std::sync::atomic::AtomicUsize,
+    /// Per-executor queue of armed kills: each entry is a countdown of
+    /// tasks until that executor (incarnation) is killed; the next
+    /// countdown starts once the previous kill fired.
+    kill_after: Mutex<HashMap<usize, VecDeque<usize>>>,
 }
 
 impl FailureInjector {
     /// Makes the next `times` attempts of the task computing `partition` of
     /// `rdd_id` fail with [`crate::TaskError::Injected`].
+    ///
+    /// Arming the same site again *accumulates*: two `fail_task(r, p, 2)`
+    /// calls kill four attempts, not two (a second arm used to silently
+    /// overwrite the first).
     ///
     /// The site only matches tasks *scheduled* for that RDD: result-stage
     /// tasks of an action's target RDD, or map tasks of a shuffle's
@@ -39,9 +50,52 @@ impl FailureInjector {
     /// separate sites — use [`FailureInjector::fail_next_tasks`] to kill
     /// tasks without knowing the plan.
     pub fn fail_task(&self, rdd_id: usize, partition: usize, times: usize) {
-        self.remaining
+        let mut map = self.remaining.lock();
+        let slot = map.entry(TaskSite { rdd_id, partition }).or_insert(0);
+        *slot = slot.saturating_add(times);
+        if *slot == 0 {
+            map.remove(&TaskSite { rdd_id, partition });
+        }
+    }
+
+    /// Arms a kill of `executor` that fires right after it finishes its
+    /// `tasks`-th scheduled task from now (so `tasks = 1` kills it after
+    /// the very next task it runs). The kill goes through
+    /// `SpangleContext::kill_executor`: the finishing task's attempt is
+    /// lost with the executor ([`crate::TaskError::ExecutorLost`]), the
+    /// dead incarnation's shuffle blocks and cached partitions are
+    /// discarded, and a replacement is seated in the same slot. Each call
+    /// arms one more kill: countdowns queue up, so arming `(e, 1)` three
+    /// times kills three successive incarnations of slot `e`, one task
+    /// each.
+    pub fn kill_executor_after(&self, executor: usize, tasks: usize) {
+        assert!(tasks > 0, "a kill needs at least one task to fire after");
+        self.kill_after
             .lock()
-            .insert(TaskSite { rdd_id, partition }, times);
+            .entry(executor)
+            .or_default()
+            .push_back(tasks);
+    }
+
+    /// Counts one finished scheduled task on `executor`; `true` when an
+    /// armed kill just hit zero and the caller must kill the executor.
+    pub(crate) fn take_executor_kill(&self, executor: usize) -> bool {
+        let mut map = self.kill_after.lock();
+        let Some(queue) = map.get_mut(&executor) else {
+            return false;
+        };
+        let front = queue
+            .front_mut()
+            .expect("armed kill queues are never left empty");
+        *front -= 1;
+        if *front > 0 {
+            return false;
+        }
+        queue.pop_front();
+        if queue.is_empty() {
+            map.remove(&executor);
+        }
+        true
     }
 
     /// Makes the next `n` distinct tasks fail their first attempt, whatever
@@ -88,10 +142,13 @@ impl FailureInjector {
         }
     }
 
-    /// True when no injections are pending (useful to assert a test
-    /// consumed everything it armed).
+    /// True when no injections are pending — site-specific failures,
+    /// site-independent failures, and armed executor kills alike (useful
+    /// to assert a test consumed everything it armed).
     pub fn is_drained(&self) -> bool {
-        self.remaining.lock().is_empty() && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
+        self.remaining.lock().is_empty()
+            && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
+            && self.kill_after.lock().is_empty()
     }
 }
 
@@ -123,6 +180,44 @@ mod tests {
             },
             0
         ));
+    }
+
+    /// Regression: a second `fail_task` for the same site used to
+    /// overwrite the first arm's remaining count; it must accumulate.
+    #[test]
+    fn rearming_a_site_accumulates_instead_of_overwriting() {
+        let inj = FailureInjector::default();
+        inj.fail_task(3, 1, 2);
+        inj.fail_task(3, 1, 1);
+        let site = TaskSite {
+            rdd_id: 3,
+            partition: 1,
+        };
+        for attempt in 0..3 {
+            assert!(inj.should_fail(site, attempt), "attempt {attempt} armed");
+        }
+        assert!(!inj.should_fail(site, 3));
+        assert!(inj.is_drained());
+        // Arming zero times is a no-op, not a pending entry.
+        inj.fail_task(4, 0, 0);
+        assert!(inj.is_drained());
+    }
+
+    #[test]
+    fn executor_kills_fire_in_armed_order_and_drain() {
+        let inj = FailureInjector::default();
+        inj.kill_executor_after(1, 2);
+        inj.kill_executor_after(1, 1);
+        assert!(!inj.is_drained());
+        assert!(!inj.take_executor_kill(0), "unarmed executors never die");
+        assert!(!inj.take_executor_kill(1), "first countdown at 1 of 2");
+        assert!(inj.take_executor_kill(1), "first kill fires");
+        assert!(
+            inj.take_executor_kill(1),
+            "second armed kill fires one task later"
+        );
+        assert!(!inj.take_executor_kill(1));
+        assert!(inj.is_drained());
     }
 
     #[test]

@@ -23,7 +23,15 @@
 //!   paper's network-volume arguments stay measurable;
 //! * partitions may be cached ([`Rdd::persist`]) in the block manager, and
 //!   lost blocks or failed task attempts (see [`failure`]) are recovered by
-//!   lineage recomputation, exactly like Spark's fault-tolerance story.
+//!   lineage recomputation, exactly like Spark's fault-tolerance story;
+//! * the whole *executor* is a failure domain: every shuffle block and
+//!   cached partition is attributed to the executor incarnation that
+//!   produced it, [`SpangleContext::kill_executor`] discards all of it and
+//!   seats a replacement, and a reduce task that then finds a shuffle
+//!   block missing fails with [`TaskError::FetchFailed`] — the scheduler
+//!   re-runs exactly the lost map partitions from lineage (never the
+//!   survivors) under a per-job resubmission budget before replaying the
+//!   reduce, so iterative jobs survive executor deaths mid-flight.
 //!
 //! The runtime is intentionally conservative about what it models: there is
 //! no serialization format and no real network. What *is* modelled — stage
@@ -42,7 +50,8 @@ pub mod scheduler;
 pub mod shuffle;
 pub mod sync;
 
-pub use context::{Broadcast, SpangleContext, SpangleContextBuilder};
+pub use context::{Broadcast, ExecutorLoss, SpangleContext, SpangleContextBuilder};
+pub use executor::BlockOrigin;
 pub use memsize::MemSize;
 pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{

@@ -32,6 +32,9 @@ pub struct Metrics {
     pub(crate) cache_misses: AtomicU64,
     pub(crate) recomputations: AtomicU64,
     pub(crate) broadcast_bytes: AtomicU64,
+    pub(crate) executors_lost: AtomicU64,
+    pub(crate) fetch_failures: AtomicU64,
+    pub(crate) map_partitions_recomputed: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -63,6 +66,9 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             recomputations: AtomicU64::new(0),
             broadcast_bytes: AtomicU64::new(0),
+            executors_lost: AtomicU64::new(0),
+            fetch_failures: AtomicU64::new(0),
+            map_partitions_recomputed: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -87,6 +93,9 @@ impl Metrics {
             MetricField::CacheMisses => &self.cache_misses,
             MetricField::Recomputations => &self.recomputations,
             MetricField::BroadcastBytes => &self.broadcast_bytes,
+            MetricField::ExecutorsLost => &self.executors_lost,
+            MetricField::FetchFailures => &self.fetch_failures,
+            MetricField::MapPartitionsRecomputed => &self.map_partitions_recomputed,
         }
     }
 
@@ -127,6 +136,9 @@ impl Metrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             recomputations: self.recomputations.load(Ordering::Relaxed),
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            executors_lost: self.executors_lost.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            map_partitions_recomputed: self.map_partitions_recomputed.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +158,9 @@ pub(crate) enum MetricField {
     CacheMisses,
     Recomputations,
     BroadcastBytes,
+    ExecutorsLost,
+    FetchFailures,
+    MapPartitionsRecomputed,
 }
 
 /// How one stage of a job ended.
@@ -194,6 +209,14 @@ pub struct StageReport {
     /// Wall-clock time from first submission to last task completion, in
     /// nanoseconds. Zero for skipped stages.
     pub wall_nanos: u64,
+    /// `TaskError::FetchFailed` observations by this stage's tasks: each is
+    /// a reduce-side attempt that found a parent shuffle block lost with
+    /// its executor and was parked until the map output was rebuilt.
+    pub fetch_failures: usize,
+    /// Map partitions of this stage recomputed from lineage during a
+    /// recovery run (zero on the stage's first, full run: the counter
+    /// marks re-runs triggered by fetch failures downstream).
+    pub map_partitions_recomputed: usize,
 }
 
 /// Scheduler-level accounting of one finished job.
@@ -260,6 +283,21 @@ impl JobReport {
         self.stages.iter().map(|s| s.tasks_stolen).sum()
     }
 
+    /// Reduce-side attempts of this job that observed a lost shuffle block
+    /// (`TaskError::FetchFailed`) and waited out a map recovery.
+    pub fn fetch_failures(&self) -> usize {
+        self.stages.iter().map(|s| s.fetch_failures).sum()
+    }
+
+    /// Map partitions this job recomputed from lineage to replace shuffle
+    /// output lost with a dead executor.
+    pub fn map_partitions_recomputed(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.map_partitions_recomputed)
+            .sum()
+    }
+
     /// Busy-time imbalance across executors: max/mean of
     /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
     /// `None` when the job did no executor work.
@@ -303,21 +341,37 @@ impl std::fmt::Display for JobReport {
                 ""
             },
         )?;
+        if self.fetch_failures() != 0 || self.map_partitions_recomputed() != 0 {
+            write!(
+                f,
+                "\n  recovery: {} fetch failures, {} map partitions recomputed",
+                self.fetch_failures(),
+                self.map_partitions_recomputed(),
+            )?;
+        }
         for s in &self.stages {
             let kind = match s.shuffle_id {
                 Some(id) => format!("map(shuffle {id})"),
                 None => "result".to_string(),
             };
             match s.outcome {
-                StageOutcome::Ran => write!(
-                    f,
-                    "\n  stage {:>3} {kind:<16} {:>3} tasks ({:>2} stolen)  task {:>8.2} ms  wall {:>8.2} ms",
-                    s.stage_id,
-                    s.num_tasks,
-                    s.tasks_stolen,
-                    s.task_nanos as f64 / 1e6,
-                    s.wall_nanos as f64 / 1e6,
-                )?,
+                StageOutcome::Ran => {
+                    write!(
+                        f,
+                        "\n  stage {:>3} {kind:<16} {:>3} tasks ({:>2} stolen)  task {:>8.2} ms  wall {:>8.2} ms",
+                        s.stage_id,
+                        s.num_tasks,
+                        s.tasks_stolen,
+                        s.task_nanos as f64 / 1e6,
+                        s.wall_nanos as f64 / 1e6,
+                    )?;
+                    if s.map_partitions_recomputed != 0 {
+                        write!(f, "  [recovered {} maps]", s.map_partitions_recomputed)?;
+                    }
+                    if s.fetch_failures != 0 {
+                        write!(f, "  [{} fetch failures]", s.fetch_failures)?;
+                    }
+                }
                 StageOutcome::Skipped => {
                     write!(f, "\n  stage {:>3} {kind:<16} skipped", s.stage_id)?
                 }
@@ -374,6 +428,15 @@ pub struct MetricsSnapshot {
     pub recomputations: u64,
     /// Bytes replicated to executors by broadcasts.
     pub broadcast_bytes: u64,
+    /// Executors killed (each loss discards the incarnation's shuffle
+    /// blocks and cached partitions and seats a replacement).
+    pub executors_lost: u64,
+    /// Reduce-side fetches that found a shuffle block lost with its
+    /// executor (`TaskError::FetchFailed`).
+    pub fetch_failures: u64,
+    /// Map partitions recomputed from lineage to rebuild lost shuffle
+    /// output (only the missing partitions re-run, never whole stages).
+    pub map_partitions_recomputed: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -393,6 +456,10 @@ impl std::ops::Sub for MetricsSnapshot {
             cache_misses: self.cache_misses - rhs.cache_misses,
             recomputations: self.recomputations - rhs.recomputations,
             broadcast_bytes: self.broadcast_bytes - rhs.broadcast_bytes,
+            executors_lost: self.executors_lost - rhs.executors_lost,
+            fetch_failures: self.fetch_failures - rhs.fetch_failures,
+            map_partitions_recomputed: self.map_partitions_recomputed
+                - rhs.map_partitions_recomputed,
         }
     }
 }
@@ -464,6 +531,8 @@ mod tests {
             outcome,
             task_nanos: 0,
             wall_nanos: 0,
+            fetch_failures: 0,
+            map_partitions_recomputed: 0,
         };
         let report = JobReport {
             job_id: 1,
@@ -502,6 +571,8 @@ mod tests {
             outcome,
             task_nanos: 5_000_000,
             wall_nanos: 0,
+            fetch_failures: 0,
+            map_partitions_recomputed: 0,
         };
         let report = JobReport {
             job_id: 2,

@@ -162,7 +162,15 @@ impl<T: Data> Rdd<T> {
             base.ctx.metrics().add(MetricField::CacheMisses, 1);
             let data = Arc::new(self.node.compute(split, tc));
             let bytes = data.iter().map(MemSize::mem_size).sum();
-            base.ctx.inner.cache.put(key, Arc::clone(&data), bytes);
+            // Attribute the block to the computing executor incarnation —
+            // and drop it on the floor if that incarnation was killed
+            // mid-compute (a replacement attempt will re-cache it).
+            if base.ctx.inner.pool.origin_is_live(tc.origin()) {
+                base.ctx
+                    .inner
+                    .cache
+                    .put(key, Arc::clone(&data), bytes, tc.origin());
+            }
             return data;
         }
         Arc::new(self.node.compute(split, tc))

@@ -148,8 +148,15 @@ impl<K: Key, V: Data, C: Data> ShuffleDepDyn for ShuffleDependency<K, V, C> {
                 },
                 bucket,
                 bytes,
+                tc.origin(),
             );
         }
+        // Registered even when every bucket was empty: the registry is how
+        // a reduce-side fetch tells "empty bucket" from "output lost with
+        // its executor".
+        ctx.inner
+            .shuffle
+            .register_map_output(&ctx, self.shuffle_id, map_id, tc.origin());
     }
 }
 

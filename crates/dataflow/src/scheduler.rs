@@ -39,6 +39,16 @@
 //!
 //! Failure semantics: failed task attempts retry up to the context's limit
 //! with lineage recomputation, and an exhausted task aborts the whole job.
+//! Whole-executor loss is a separate, budgeted path: an attempt that died
+//! with its executor ([`TaskError::ExecutorLost`]) replays on the
+//! replacement without charging its attempt budget, and a reduce attempt
+//! that finds a parent shuffle block gone ([`TaskError::FetchFailed`]) is
+//! *parked* while the scheduler claims the shuffle's recovery
+//! ([`ShuffleService::claim_recovery`]) and re-runs exactly the missing
+//! map partitions from lineage — surviving map output is reused, never
+//! recomputed. Both paths draw on one per-job resubmission budget
+//! (`SpangleContextBuilder::max_resubmissions`) so a permanently poisoned
+//! shuffle aborts cleanly instead of looping.
 //! On abort every shuffle the job still owns is abandoned (dropping its
 //! partial map output) so concurrent or subsequent jobs can re-claim it —
 //! an abort never wedges the cluster — and the aborted job still records a
@@ -51,16 +61,17 @@
 //!
 //! [`ShuffleService::try_claim`]: crate::shuffle::ShuffleService::try_claim
 //! [`ShuffleService::subscribe`]: crate::shuffle::ShuffleService::subscribe
+//! [`ShuffleService::claim_recovery`]: crate::shuffle::ShuffleService::claim_recovery
 //! [`JobOutcome::Aborted`]: crate::metrics::JobOutcome::Aborted
 //! [`StageOutcome::Aborted`]: crate::metrics::StageOutcome::Aborted
 
 use crate::context::SpangleContext;
-use crate::executor::{TaskInfo, TaskTag};
+use crate::executor::{BlockOrigin, TaskInfo, TaskTag};
 use crate::failure::TaskSite;
 use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageReport};
 use crate::rdd::pair::ShuffleDepDyn;
 use crate::rdd::{Dependency, LineageNode, Rdd};
-use crate::shuffle::ShuffleClaim;
+use crate::shuffle::{FetchFailedError, RecoveryClaim, ShuffleClaim};
 use crate::sync::channel::{unbounded, MuxSender, Receiver, Sender, Tagged};
 use crate::sync::Mutex;
 use crate::Data;
@@ -83,6 +94,21 @@ pub struct TaskContext {
     pub partition: usize,
     /// Zero-based attempt number (>0 on retries).
     pub attempt: usize,
+    /// Executor the attempt is running on (known only once the attempt
+    /// starts, so the context is built on the executor, not at
+    /// submission).
+    pub executor: usize,
+    /// Incarnation of that executor (see [`crate::executor::BlockOrigin`]):
+    /// blocks the task deposits are attributed to this incarnation and die
+    /// with it.
+    pub epoch: u64,
+}
+
+impl TaskContext {
+    /// The block origin for everything this attempt produces.
+    pub(crate) fn origin(&self) -> BlockOrigin {
+        BlockOrigin::executor(self.executor, self.epoch)
+    }
 }
 
 /// Why one task attempt failed.
@@ -92,6 +118,23 @@ pub enum TaskError {
     Injected,
     /// User code panicked.
     Panicked(String),
+    /// The executor the attempt ran on was killed before the attempt
+    /// finished; the attempt's output was discarded with the executor and
+    /// the task is replayed without charging its attempt budget.
+    ExecutorLost {
+        /// Slot of the lost executor.
+        executor: usize,
+    },
+    /// A reduce-side fetch found a parent shuffle block that was lost with
+    /// its executor. The scheduler re-runs the missing map partitions from
+    /// lineage and then replays this attempt, again without charging its
+    /// attempt budget.
+    FetchFailed {
+        /// Shuffle whose map output is gone.
+        shuffle_id: usize,
+        /// Map partition whose output is missing.
+        map_id: usize,
+    },
     /// The executor pool shut down while the job was running.
     ExecutorShutdown,
 }
@@ -101,6 +144,13 @@ impl std::fmt::Display for TaskError {
         match self {
             TaskError::Injected => write!(f, "injected failure"),
             TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::ExecutorLost { executor } => {
+                write!(f, "executor {executor} was lost mid-attempt")
+            }
+            TaskError::FetchFailed { shuffle_id, map_id } => write!(
+                f,
+                "fetch failed: map output {map_id} of shuffle {shuffle_id} was lost"
+            ),
             TaskError::ExecutorShutdown => write!(f, "executor pool shut down"),
         }
     }
@@ -185,6 +235,15 @@ struct Stage {
     /// Attempts that ran on a non-home executor (work stealing).
     tasks_stolen: usize,
     started: Option<Instant>,
+    /// Attempts parked on a fetch failure as `(partition, attempt,
+    /// parent_shuffle_id)`: still counted in `remaining`, replayed (same
+    /// attempt number) once the parent shuffle's lost maps are rebuilt.
+    pending_retry: Vec<(usize, usize, usize)>,
+    /// Fetch failures observed by this stage's attempts in its current run.
+    fetch_failures: usize,
+    /// Map partitions this stage recomputed in its current run (non-zero
+    /// only for recovery re-runs).
+    recovered_maps: usize,
 }
 
 /// Everything that flows into the shared driver loop. Each message arrives
@@ -267,6 +326,7 @@ pub fn run_job<T: Data, R: Send + 'static>(
         max_concurrent: 0,
         executor_busy: vec![0; num_executors],
         queue_wait_nanos: 0,
+        resubmissions_left: ctx.inner.max_resubmissions,
         reports: Vec::new(),
         results: std::iter::repeat_with(|| None).take(num_results).collect(),
         done,
@@ -469,6 +529,9 @@ fn build_stages<T: Data, R: Send + 'static>(
             task_nanos: 0,
             tasks_stolen: 0,
             started: None,
+            pending_retry: Vec::new(),
+            fetch_failures: 0,
+            recovered_maps: 0,
         });
     }
 
@@ -511,6 +574,9 @@ fn build_stages<T: Data, R: Send + 'static>(
         task_nanos: 0,
         tasks_stolen: 0,
         started: None,
+        pending_retry: Vec::new(),
+        fetch_failures: 0,
+        recovered_maps: 0,
     });
     stages
 }
@@ -605,6 +671,10 @@ struct JobRun {
     /// Nanoseconds this job's task attempts spent queued on executors
     /// before starting, summed over attempts.
     queue_wait_nanos: u64,
+    /// Remaining executor-loss / fetch-failure resubmissions before the
+    /// job gives up and aborts (the per-job recovery budget; failures of
+    /// this kind do not charge the per-task attempt budget).
+    resubmissions_left: usize,
     reports: Vec<StageReport>,
     /// Result-stage outputs, filled in as task events arrive.
     results: Vec<Option<ErasedResult>>,
@@ -651,6 +721,20 @@ impl JobRun {
                         if self.stages[stage_idx].remaining == 0 {
                             self.finish_stage(stage_idx)?;
                         }
+                    }
+                    Err(TaskError::FetchFailed { shuffle_id, map_id }) => {
+                        self.recover_fetch_failure(
+                            stage_idx, partition, attempt, shuffle_id, map_id,
+                        )?;
+                    }
+                    Err(err @ TaskError::ExecutorLost { .. }) => {
+                        // The attempt died with its executor through no
+                        // fault of its own: replay it (same attempt
+                        // number) on the replacement, charging only the
+                        // job's resubmission budget.
+                        self.charge_resubmission(stage_idx, partition, attempt, err)?;
+                        self.ctx.metrics().add(MetricField::Recomputations, 1);
+                        self.submit_task(stage_idx, partition, attempt)?;
                     }
                     Err(err) => {
                         let attempts = attempt + 1;
@@ -749,6 +833,8 @@ impl JobRun {
             outcome: StageOutcome::Skipped,
             task_nanos: 0,
             wall_nanos: 0,
+            fetch_failures: 0,
+            map_partitions_recomputed: 0,
         });
     }
 
@@ -777,6 +863,13 @@ impl JobRun {
         stage.stage_id = self.ctx.new_stage_id();
         stage.state = StageState::Running;
         stage.remaining = stage.num_tasks;
+        // A stage can run more than once per job (a watched external
+        // shuffle abandoned mid-recovery forces a full re-run); reset the
+        // per-run accounting so the new run's report starts clean.
+        stage.task_nanos = 0;
+        stage.tasks_stolen = 0;
+        stage.fetch_failures = 0;
+        stage.recovered_maps = 0;
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
         self.running += 1;
@@ -801,12 +894,8 @@ impl JobRun {
         attempt: usize,
     ) -> Result<(), JobError> {
         let stage = &self.stages[stage_idx];
-        let tc = TaskContext {
-            job_id: self.job_id,
-            stage_id: stage.stage_id,
-            partition,
-            attempt,
-        };
+        let job_id = self.job_id;
+        let stage_id = stage.stage_id;
         let site = TaskSite {
             rdd_id: stage.site_rdd,
             partition,
@@ -821,13 +910,49 @@ impl JobRun {
             if info.stolen {
                 ctx.metrics().add(MetricField::TasksStolen, 1);
             }
+            // Built here, not at submission: the executor (and its
+            // incarnation) are only known once the attempt starts, and
+            // everything the attempt produces is attributed to them.
+            let tc = TaskContext {
+                job_id,
+                stage_id,
+                partition,
+                attempt,
+                executor: info.ran_on,
+                epoch: info.epoch,
+            };
             let start = Instant::now();
-            let outcome = if ctx.inner.failures.should_fail(site, attempt) {
+            let mut outcome = if ctx.inner.failures.should_fail(site, attempt) {
                 Err(TaskError::Injected)
             } else {
-                std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc)))
-                    .map_err(|payload| TaskError::Panicked(panic_message(payload.as_ref())))
+                std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc))).map_err(|payload| {
+                    match payload.downcast_ref::<FetchFailedError>() {
+                        Some(fetch) => TaskError::FetchFailed {
+                            shuffle_id: fetch.shuffle_id,
+                            map_id: fetch.map_id,
+                        },
+                        None => TaskError::Panicked(panic_message(payload.as_ref())),
+                    }
+                })
             };
+            // The injector's executor kills fire here, after the victim's
+            // Nth task body ran: the kill discards the incarnation's
+            // blocks and retires its epoch, so the check below turns this
+            // very attempt into the first casualty.
+            if ctx.inner.failures.take_executor_kill(info.ran_on) {
+                ctx.kill_executor(info.ran_on);
+            }
+            // An attempt that outlived its incarnation lost its output
+            // with the executor; report the loss instead of a stale
+            // success. A fetch failure keeps precedence — it names the
+            // shuffle the scheduler must repair either way.
+            if ctx.inner.pool.epoch(info.ran_on) != info.epoch
+                && !matches!(outcome, Err(TaskError::FetchFailed { .. }))
+            {
+                outcome = Err(TaskError::ExecutorLost {
+                    executor: info.ran_on,
+                });
+            }
             // Release the work closure (and the lineage Arcs it captures)
             // BEFORE signalling the driver: once the driver sees the final
             // event the job may return and drop its RDDs, and shuffle
@@ -873,7 +998,13 @@ impl JobRun {
             .map(|s| s.elapsed().as_nanos() as u64)
             .unwrap_or(0);
         if let Some(shuffle_id) = stage.shuffle_id {
-            self.ctx
+            // The returned missing-map list can be non-empty here: an
+            // executor killed between a map task's completion and stage
+            // close already took that output with it. The first dependent
+            // fetch surfaces it as FetchFailed and recovery re-runs
+            // exactly those maps, so no proactive action is needed.
+            let _ = self
+                .ctx
                 .inner
                 .shuffle
                 .mark_completed(shuffle_id, stage.num_tasks);
@@ -887,12 +1018,16 @@ impl JobRun {
             outcome: StageOutcome::Ran,
             task_nanos: stage.task_nanos,
             wall_nanos,
+            fetch_failures: stage.fetch_failures,
+            map_partitions_recomputed: stage.recovered_maps,
         });
         self.satisfy_children(idx)
     }
 
     /// Decrements the waiting count of every child parked on this (now
-    /// satisfied) stage and submits those that became ready.
+    /// satisfied) stage and submits those that became ready. Also replays
+    /// any running child's attempts that were parked on a fetch failure
+    /// against this stage's shuffle — its lost map output is whole again.
     fn satisfy_children(&mut self, idx: usize) -> Result<(), JobError> {
         let children = self.stages[idx].children.clone();
         for child in children {
@@ -903,6 +1038,133 @@ impl JobRun {
                 }
             }
         }
+        if let Some(shuffle_id) = self.stages[idx].shuffle_id {
+            let children = self.stages[idx].children.clone();
+            for child in children {
+                self.flush_parked(child, shuffle_id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-submits every attempt of `idx` parked on `shuffle_id`, keeping
+    /// the original attempt numbers (the failures were the parent's
+    /// fault).
+    fn flush_parked(&mut self, idx: usize, shuffle_id: usize) -> Result<(), JobError> {
+        let mut parked = Vec::new();
+        self.stages[idx].pending_retry.retain(|entry| {
+            let matches = entry.2 == shuffle_id;
+            if matches {
+                parked.push((entry.0, entry.1));
+            }
+            !matches
+        });
+        for (partition, attempt) in parked {
+            self.submit_task(idx, partition, attempt)?;
+        }
+        Ok(())
+    }
+
+    /// Handles a [`TaskError::FetchFailed`]: parks the failed attempt
+    /// (without decrementing the stage's outstanding count or charging its
+    /// attempt budget), then makes sure the parent shuffle's missing map
+    /// output is being rebuilt — by claiming the recovery and resubmitting
+    /// exactly the lost map partitions, by watching another job's
+    /// in-flight rebuild, or by finding it already whole again.
+    fn recover_fetch_failure(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+        shuffle_id: usize,
+        map_id: usize,
+    ) -> Result<(), JobError> {
+        self.ctx.metrics().add(MetricField::FetchFailures, 1);
+        self.stages[stage_idx].fetch_failures += 1;
+        self.charge_resubmission(
+            stage_idx,
+            partition,
+            attempt,
+            TaskError::FetchFailed { shuffle_id, map_id },
+        )?;
+        self.stages[stage_idx]
+            .pending_retry
+            .push((partition, attempt, shuffle_id));
+        let parent_idx = self
+            .stages
+            .iter()
+            .position(|s| s.shuffle_id == Some(shuffle_id))
+            .expect("fetch failure names a shuffle outside the job's stage graph");
+        if matches!(
+            self.stages[parent_idx].state,
+            StageState::Running | StageState::External
+        ) {
+            // Already being handled: an earlier fetch failure started a
+            // recovery run (Running) or subscribed to another job's
+            // (External). The parked attempt flushes when it resolves.
+            //
+            // Any other state proceeds to claim the recovery — including
+            // `Idle`: demand-driven activation never descends past a
+            // skipped stage, so a grandparent shuffle of an all-skipped
+            // ancestry is first reached *here*, when a recovery task
+            // trips over its holes.
+            return Ok(());
+        }
+        let num_maps = self.stages[parent_idx].num_tasks;
+        match self.ctx.inner.shuffle.claim_recovery(shuffle_id, num_maps) {
+            RecoveryClaim::Owner { missing } => self.start_map_recovery(parent_idx, missing),
+            RecoveryClaim::InFlight => {
+                self.watch(parent_idx, shuffle_id);
+                Ok(())
+            }
+            RecoveryClaim::Recovered => self.flush_parked(stage_idx, shuffle_id),
+        }
+    }
+
+    /// Re-runs the `missing` map partitions of an already-completed map
+    /// stage from lineage: the stage goes back to `Running` under a fresh
+    /// stage id with only the missing tasks outstanding — surviving
+    /// partitions' output is reused, never recomputed.
+    fn start_map_recovery(&mut self, idx: usize, missing: Vec<usize>) -> Result<(), JobError> {
+        let shuffle_id = self.stages[idx]
+            .shuffle_id
+            .expect("map recovery targets a shuffle stage");
+        self.owned.insert(shuffle_id);
+        let stage = &mut self.stages[idx];
+        stage.stage_id = self.ctx.new_stage_id();
+        stage.state = StageState::Running;
+        stage.remaining = missing.len();
+        stage.task_nanos = 0;
+        stage.tasks_stolen = 0;
+        stage.fetch_failures = 0;
+        stage.recovered_maps = missing.len();
+        stage.started = Some(Instant::now());
+        self.ctx.metrics().add(MetricField::StagesRun, 1);
+        self.ctx
+            .metrics()
+            .add(MetricField::MapPartitionsRecomputed, missing.len() as u64);
+        self.running += 1;
+        self.max_concurrent = self.max_concurrent.max(self.running);
+        for partition in missing {
+            self.submit_task(idx, partition, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Spends one unit of the job's recovery budget; when the budget is
+    /// gone the job aborts (a permanently poisoned shuffle must not loop
+    /// forever).
+    fn charge_resubmission(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+        err: TaskError,
+    ) -> Result<(), JobError> {
+        if self.resubmissions_left == 0 {
+            return Err(self.abort(stage_idx, partition, attempt + 1, err));
+        }
+        self.resubmissions_left -= 1;
         Ok(())
     }
 
@@ -965,6 +1227,8 @@ impl JobRun {
                     .started
                     .map(|s| s.elapsed().as_nanos() as u64)
                     .unwrap_or(0),
+                fetch_failures: stage.fetch_failures,
+                map_partitions_recomputed: stage.recovered_maps,
             })
             .collect();
         self.reports.extend(aborted);

@@ -21,7 +21,21 @@
 //! [`ShuffleService::mark_completed`] / [`ShuffleService::abandon`]
 //! otherwise. No thread ever parks inside the service on behalf of a
 //! scheduler: stage readiness is event-driven end to end.
+//!
+//! The service is also executor-loss aware. Every block is attributed to
+//! the executor incarnation ([`BlockOrigin`]) that produced it, and every
+//! map task registers its output — even an all-empty one — in a
+//! per-shuffle registry ([`ShuffleService::register_map_output`]). When an
+//! executor dies, [`ShuffleService::discard_executor`] drops its blocks
+//! and registrations; a reduce task that later fetches a block whose map
+//! output is no longer registered panics with a typed
+//! [`FetchFailedError`] instead of silently reading an empty bucket. The
+//! scheduler catches that panic, claims the *recovery* of the shuffle
+//! ([`ShuffleService::claim_recovery`] — the re-run analogue of
+//! [`ShuffleService::try_claim`]) and resubmits only the missing map
+//! partitions from lineage.
 
+use crate::executor::BlockOrigin;
 use crate::metrics::MetricField;
 use crate::sync::{Mutex, RwLock, Subscribers};
 use crate::SpangleContext;
@@ -53,10 +67,39 @@ enum MapStageState {
     /// when it resolves.
     InFlight { waiters: Subscribers<bool> },
     /// The map stage ran to completion with this many map partitions.
-    Completed {
-        #[allow(dead_code)]
-        num_maps: usize,
+    Completed { num_maps: usize },
+}
+
+/// Panic payload raised by [`ShuffleService::fetch_block`] when the block's
+/// map output was lost after the map stage completed (the executor that
+/// produced it died). The scheduler downcasts this out of the task panic
+/// and turns it into [`crate::TaskError::FetchFailed`], which triggers
+/// lineage-based resubmission of exactly the missing map partitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchFailedError {
+    /// Shuffle whose map output is gone.
+    pub shuffle_id: usize,
+    /// Map partition whose output is missing.
+    pub map_id: usize,
+}
+
+/// Outcome of [`ShuffleService::claim_recovery`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryClaim {
+    /// The caller owns the recovery and must re-run exactly the `missing`
+    /// map partitions, then [`ShuffleService::mark_completed`] (or
+    /// [`ShuffleService::abandon`]) the stage again. Surviving partitions'
+    /// blocks and registrations are kept.
+    Owner {
+        /// Map partitions whose output must be recomputed, ascending.
+        missing: Vec<usize>,
     },
+    /// Another scheduler is already re-running the map stage; register a
+    /// callback with [`ShuffleService::subscribe`].
+    InFlight,
+    /// Every map partition is registered again (someone else already
+    /// recovered the shuffle); the caller can re-fetch immediately.
+    Recovered,
 }
 
 /// Outcome of [`ShuffleService::try_claim`].
@@ -76,49 +119,110 @@ pub enum ShuffleClaim {
 /// Stores shuffle blocks between stages and tracks map-stage ownership.
 #[derive(Default)]
 pub struct ShuffleService {
-    blocks: RwLock<HashMap<BlockId, (BlockPayload, usize)>>,
+    blocks: RwLock<HashMap<BlockId, (BlockPayload, usize, BlockOrigin)>>,
     /// Per-shuffle map-stage state; absent means "never run, unclaimed".
     stages: Mutex<HashMap<usize, MapStageState>>,
+    /// Per-shuffle registry of which executor incarnation produced each map
+    /// partition's output. A map task registers here even when every bucket
+    /// it produced was empty, so "block absent but map registered" means an
+    /// empty bucket while "absent and unregistered" means the output was
+    /// lost with its executor.
+    outputs: Mutex<HashMap<usize, HashMap<usize, BlockOrigin>>>,
 }
 
 impl ShuffleService {
     /// Deposits the bucket for one (map, reduce) pair. `bytes` is the deep
     /// size of the records, charged as shuffle write volume.
+    ///
+    /// A deposit from a dead executor incarnation (killed while the map
+    /// task was running) is silently dropped — its blocks were already
+    /// discarded and the task's attempt is being replayed elsewhere, so
+    /// accepting the stale write would interleave two attempts' output.
     pub fn put_block<T: Send + Sync + 'static>(
         &self,
         ctx: &SpangleContext,
         id: BlockId,
         records: Vec<T>,
         bytes: usize,
+        origin: BlockOrigin,
     ) {
+        if !ctx.inner.pool.origin_is_live(origin) {
+            return;
+        }
         ctx.metrics()
             .add(MetricField::ShuffleWriteBytes, bytes as u64);
         ctx.metrics()
             .add(MetricField::ShuffleRecords, records.len() as u64);
-        self.blocks.write().insert(id, (Arc::new(records), bytes));
+        self.blocks
+            .write()
+            .insert(id, (Arc::new(records), bytes, origin));
+    }
+
+    /// Records that map partition `map_id` of `shuffle_id` deposited all
+    /// its (possibly empty) buckets. Every map task calls this once at the
+    /// end, so [`ShuffleService::fetch_block`] can tell a legitimately
+    /// empty bucket from one lost with its executor. Registrations from a
+    /// dead incarnation are dropped like stale block deposits.
+    pub fn register_map_output(
+        &self,
+        ctx: &SpangleContext,
+        shuffle_id: usize,
+        map_id: usize,
+        origin: BlockOrigin,
+    ) {
+        if !ctx.inner.pool.origin_is_live(origin) {
+            return;
+        }
+        self.outputs
+            .lock()
+            .entry(shuffle_id)
+            .or_default()
+            .insert(map_id, origin);
     }
 
     /// Fetches one bucket, charging shuffle read volume. Returns an empty
     /// vector when the map task produced nothing for this reduce partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`FetchFailedError`] payload when the block is absent
+    /// *and* its map partition is not registered for a shuffle whose map
+    /// stage ran: the output existed and was lost (executor death), so the
+    /// caller must not treat it as empty. The scheduler converts this
+    /// panic into [`crate::TaskError::FetchFailed`] and recovers.
     pub fn fetch_block<T: Clone + Send + Sync + 'static>(
         &self,
         ctx: &SpangleContext,
         id: BlockId,
     ) -> Vec<T> {
-        let guard = self.blocks.read();
-        match guard.get(&id) {
-            Some((payload, bytes)) => {
+        {
+            let guard = self.blocks.read();
+            if let Some((payload, bytes, _)) = guard.get(&id) {
                 ctx.metrics()
                     .add(MetricField::ShuffleReadBytes, *bytes as u64);
-                payload
+                return payload
                     .clone()
                     .downcast::<Vec<T>>()
                     .expect("shuffle block type mismatch: reduce side fetched a different type than the map side wrote")
                     .as_ref()
-                    .clone()
+                    .clone();
             }
-            None => Vec::new(),
         }
+        let registered = self
+            .outputs
+            .lock()
+            .get(&id.shuffle_id)
+            .is_some_and(|maps| maps.contains_key(&id.map_id));
+        if registered || !self.stages.lock().contains_key(&id.shuffle_id) {
+            // Registered-but-absent is a genuinely empty bucket; no stage
+            // state at all means a test seeded blocks by hand — keep the
+            // historical empty-fetch behavior for those.
+            return Vec::new();
+        }
+        std::panic::panic_any(FetchFailedError {
+            shuffle_id: id.shuffle_id,
+            map_id: id.map_id,
+        });
     }
 
     /// Atomically claims the map stage of `shuffle_id`. At most one caller
@@ -176,13 +280,29 @@ impl ShuffleService {
     /// Marks the map stage of `shuffle_id` complete with `num_maps` map
     /// partitions, firing any subscribed callbacks. Callable with or
     /// without a prior claim (tests seed completed shuffles directly).
-    pub fn mark_completed(&self, shuffle_id: usize, num_maps: usize) {
+    ///
+    /// Validates the deposit against the map-output registry and returns
+    /// the map partitions that never registered, ascending. Non-empty
+    /// means some output is already gone — typically because the executor
+    /// that ran those maps died after finishing them but before the stage
+    /// closed. The first reduce task to touch a missing partition raises
+    /// [`FetchFailedError`] and the scheduler recovers, so callers may
+    /// ignore the list; tests that seed completions without deposits get
+    /// the full range back.
+    pub fn mark_completed(&self, shuffle_id: usize, num_maps: usize) -> Vec<usize> {
         let mut stages = self.stages.lock();
         let previous = stages.insert(shuffle_id, MapStageState::Completed { num_maps });
+        let outputs = self.outputs.lock();
+        let missing = match outputs.get(&shuffle_id) {
+            Some(maps) => (0..num_maps).filter(|m| !maps.contains_key(m)).collect(),
+            None => (0..num_maps).collect(),
+        };
+        drop(outputs);
         drop(stages);
         if let Some(MapStageState::InFlight { waiters }) = previous {
             waiters.fire(true);
         }
+        missing
     }
 
     /// Releases an [`ShuffleClaim::Owner`] claim without completing the
@@ -201,6 +321,7 @@ impl ShuffleService {
         };
         drop(stages);
         if let Some(MapStageState::InFlight { waiters }) = abandoned {
+            self.outputs.lock().remove(&shuffle_id);
             self.blocks
                 .write()
                 .retain(|id, _| id.shuffle_id != shuffle_id);
@@ -243,14 +364,90 @@ impl ShuffleService {
         if let Some(MapStageState::InFlight { waiters }) = removed {
             waiters.fire(false);
         }
+        self.outputs.lock().remove(&shuffle_id);
         self.blocks
             .write()
             .retain(|id, _| id.shuffle_id != shuffle_id);
     }
 
+    /// Drops every block and map-output registration produced by the given
+    /// executor (any incarnation), across all shuffles. Called when an
+    /// executor is killed. Returns `(blocks_dropped, bytes_dropped)`.
+    ///
+    /// Completion state is deliberately left alone: a shuffle stays
+    /// `Completed` with holes, and the holes surface as
+    /// [`FetchFailedError`] on the next fetch so recovery is driven by the
+    /// jobs that actually need the data.
+    pub fn discard_executor(&self, executor: usize) -> (usize, usize) {
+        for maps in self.outputs.lock().values_mut() {
+            maps.retain(|_, origin| !origin.lives_on(executor));
+        }
+        let mut blocks = self.blocks.write();
+        let before = blocks.len();
+        let mut bytes_dropped = 0;
+        blocks.retain(|_, (_, bytes, origin)| {
+            let keep = !origin.lives_on(executor);
+            if !keep {
+                bytes_dropped += *bytes;
+            }
+            keep
+        });
+        (before - blocks.len(), bytes_dropped)
+    }
+
+    /// Atomically claims the *recovery* of a shuffle whose completed map
+    /// stage lost some output. Exactly one caller per recovery round is
+    /// told [`RecoveryClaim::Owner`] with the missing map partitions; the
+    /// stage transitions back to in-flight (so dependent schedulers
+    /// subscribe rather than fetch) while surviving partitions' blocks and
+    /// registrations are kept — the owner re-runs *only* the missing maps.
+    /// An unclaimed shuffle (e.g. abandoned by an aborting job) counts as
+    /// fully missing.
+    pub fn claim_recovery(&self, shuffle_id: usize, num_maps: usize) -> RecoveryClaim {
+        let mut stages = self.stages.lock();
+        match stages.get(&shuffle_id) {
+            Some(MapStageState::InFlight { .. }) => RecoveryClaim::InFlight,
+            Some(MapStageState::Completed { num_maps: recorded }) => {
+                assert_eq!(
+                    *recorded, num_maps,
+                    "shuffle {shuffle_id}: recovery claimed with a different map count \
+                     than the completed stage recorded"
+                );
+                self.claim_recovery_locked(&mut stages, shuffle_id, num_maps)
+            }
+            None => self.claim_recovery_locked(&mut stages, shuffle_id, num_maps),
+        }
+    }
+
+    /// Second half of [`ShuffleService::claim_recovery`], with the stage
+    /// lock held and the in-flight case already ruled out.
+    fn claim_recovery_locked(
+        &self,
+        stages: &mut HashMap<usize, MapStageState>,
+        shuffle_id: usize,
+        num_maps: usize,
+    ) -> RecoveryClaim {
+        let outputs = self.outputs.lock();
+        let missing: Vec<usize> = match outputs.get(&shuffle_id) {
+            Some(maps) => (0..num_maps).filter(|m| !maps.contains_key(m)).collect(),
+            None => (0..num_maps).collect(),
+        };
+        drop(outputs);
+        if missing.is_empty() {
+            return RecoveryClaim::Recovered;
+        }
+        stages.insert(
+            shuffle_id,
+            MapStageState::InFlight {
+                waiters: Subscribers::new(),
+            },
+        );
+        RecoveryClaim::Owner { missing }
+    }
+
     /// Total bytes currently resident in the service (for memory reports).
     pub fn resident_bytes(&self) -> usize {
-        self.blocks.read().values().map(|(_, b)| *b).sum()
+        self.blocks.read().values().map(|(_, b, _)| *b).sum()
     }
 
     /// Number of blocks currently stored.
@@ -273,7 +470,7 @@ mod tests {
             reduce_id: 3,
         };
         let before = ctx.metrics_snapshot();
-        svc.put_block(&ctx, id, vec![(1u64, 2.0f64); 10], 160);
+        svc.put_block(&ctx, id, vec![(1u64, 2.0f64); 10], 160, BlockOrigin::DRIVER);
         let got: Vec<(u64, f64)> = svc.fetch_block(&ctx, id);
         assert_eq!(got.len(), 10);
         let delta = ctx.metrics_snapshot() - before;
@@ -308,7 +505,7 @@ mod tests {
             map_id: 1,
             reduce_id: 1,
         };
-        svc.put_block(&ctx, id, vec![1u64], 8);
+        svc.put_block(&ctx, id, vec![1u64], 8, BlockOrigin::DRIVER);
         svc.mark_completed(5, 2);
         assert!(svc.is_completed(5));
         assert_eq!(svc.num_blocks(), 1);
@@ -351,6 +548,7 @@ mod tests {
             },
             vec![1u64, 2, 3],
             24,
+            BlockOrigin::DRIVER,
         );
         // An unrelated completed shuffle must survive the abandon.
         svc.put_block(
@@ -362,6 +560,7 @@ mod tests {
             },
             vec![9u64],
             8,
+            BlockOrigin::DRIVER,
         );
         svc.mark_completed(5, 1);
         assert_eq!(svc.resident_bytes(), 32);
@@ -467,5 +666,163 @@ mod tests {
                 .iter()
                 .all(|c| matches!(c, ShuffleClaim::Owner | ShuffleClaim::InFlight)));
         }
+    }
+
+    /// Seeds a two-map shuffle whose blocks live on executors 0 and 1.
+    fn seed_two_map_shuffle(ctx: &SpangleContext, svc: &ShuffleService, shuffle_id: usize) {
+        for map_id in 0..2 {
+            let origin = BlockOrigin::executor(map_id, 0);
+            svc.put_block(
+                ctx,
+                BlockId {
+                    shuffle_id,
+                    map_id,
+                    reduce_id: 0,
+                },
+                vec![map_id as u64],
+                8,
+                origin,
+            );
+            svc.register_map_output(ctx, shuffle_id, map_id, origin);
+        }
+        assert!(svc.mark_completed(shuffle_id, 2).is_empty());
+    }
+
+    #[test]
+    fn mark_completed_reports_unregistered_maps() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        assert_eq!(svc.mark_completed(9, 3), vec![0, 1, 2]);
+        svc.register_map_output(&ctx, 9, 1, BlockOrigin::DRIVER);
+        assert_eq!(svc.mark_completed(9, 3), vec![0, 2]);
+    }
+
+    #[test]
+    fn registered_empty_buckets_stay_empty_fetches() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        svc.register_map_output(&ctx, 2, 0, BlockOrigin::DRIVER);
+        svc.mark_completed(2, 1);
+        let got: Vec<u64> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 2,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn lost_map_output_raises_fetch_failed() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        seed_two_map_shuffle(&ctx, &svc, 6);
+        let (dropped, bytes) = svc.discard_executor(1);
+        assert_eq!((dropped, bytes), (1, 8));
+        // The surviving map's block still fetches.
+        let ok: Vec<u64> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 6,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(ok, vec![0]);
+        // The lost one raises a typed fetch failure, not an empty vec.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<u64> = svc.fetch_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: 6,
+                    map_id: 1,
+                    reduce_id: 0,
+                },
+            );
+        }))
+        .expect_err("lost output must not fetch as empty");
+        let fetch = err
+            .downcast_ref::<FetchFailedError>()
+            .expect("panic payload is a FetchFailedError");
+        assert_eq!(
+            *fetch,
+            FetchFailedError {
+                shuffle_id: 6,
+                map_id: 1
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_is_claimed_once_and_keeps_survivors() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        seed_two_map_shuffle(&ctx, &svc, 3);
+        svc.discard_executor(0);
+        let claim = svc.claim_recovery(3, 2);
+        assert_eq!(
+            claim,
+            RecoveryClaim::Owner {
+                missing: vec![0],
+                // map 1's block survived; only map 0 is re-run
+            }
+        );
+        assert_eq!(
+            svc.claim_recovery(3, 2),
+            RecoveryClaim::InFlight,
+            "one owner per recovery round"
+        );
+        assert_eq!(svc.resident_bytes(), 8, "survivor block kept");
+        // The owner re-runs the missing map and closes the stage again.
+        let origin = BlockOrigin::executor(1, 0);
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 3,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![7u64],
+            8,
+            origin,
+        );
+        svc.register_map_output(&ctx, 3, 0, origin);
+        assert!(svc.mark_completed(3, 2).is_empty());
+        assert_eq!(svc.claim_recovery(3, 2), RecoveryClaim::Recovered);
+        let got: Vec<u64> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 3,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn stale_incarnation_deposits_are_refused() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        let stale = BlockOrigin::executor(0, 0);
+        ctx.inner.pool.kill(0);
+        let before = ctx.metrics_snapshot();
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 1,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![1u64],
+            8,
+            stale,
+        );
+        svc.register_map_output(&ctx, 1, 0, stale);
+        assert_eq!(svc.num_blocks(), 0, "dead incarnations cannot deposit");
+        assert_eq!((ctx.metrics_snapshot() - before).shuffle_write_bytes, 0);
+        assert_eq!(svc.mark_completed(1, 1), vec![0], "nor register output");
     }
 }

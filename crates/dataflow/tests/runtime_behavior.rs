@@ -1,9 +1,14 @@
 //! Runtime-behaviour integration tests: shuffle garbage collection,
-//! broadcast variables inside jobs, stage reuse across actions, and
-//! metrics plumbing.
+//! broadcast variables inside jobs, stage reuse across actions, metrics
+//! plumbing, and executor-loss fault tolerance.
 
-use spangle_dataflow::{HashPartitioner, PairRdd, SpangleContext};
+use spangle_dataflow::{HashPartitioner, JobOutcome, PairRdd, SpangleContext};
 use std::sync::Arc;
+
+fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort();
+    v
+}
 
 #[test]
 fn dropping_a_shuffled_rdd_frees_its_shuffle_blocks() {
@@ -167,6 +172,167 @@ fn awaiting_an_in_flight_shuffle_spawns_no_waiter_threads() {
         seen.is_empty(),
         "no spangle-stage-waiter-* thread may ever exist, saw: {seen:?}"
     );
+}
+
+/// The headline recovery scenario: an executor is killed *between* a map
+/// stage and its reduce stage (the map output exists and the shuffle is
+/// marked completed when the kill lands). The reduce observes
+/// `FetchFailed`, the scheduler recomputes only the lost map partition
+/// from lineage, and the job's result is identical to the no-failure run.
+#[test]
+fn killing_an_executor_between_map_and_reduce_recomputes_only_its_maps() {
+    // 2 map partitions on 2 executors: task placement is partition ==
+    // executor and single-entry queues are never stolen, so map partition
+    // 1's output lives on executor 1, deterministically.
+    let ctx = SpangleContext::new(2);
+    let reduced = ctx
+        .parallelize((0u64..100).map(|i| (i % 4, i)).collect(), 2)
+        .reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+
+    let s0 = ctx.metrics_snapshot();
+    let baseline = sorted(reduced.collect().unwrap());
+    let s1 = ctx.metrics_snapshot();
+    let full_run = s1 - s0;
+    assert!(full_run.shuffle_write_bytes > 0);
+
+    // Kill between the stages: the map output is complete and resident,
+    // and the next action will skip the map stage and go straight to the
+    // reduce — which must then discover the hole.
+    let loss = ctx.kill_executor(1);
+    assert_eq!(loss.executor, 1);
+    assert_eq!(loss.incarnation, 1);
+    assert!(loss.shuffle_blocks_dropped >= 1);
+    assert!(loss.shuffle_bytes_dropped > 0);
+
+    let recovered = sorted(reduced.collect().unwrap());
+    let recovery = ctx.metrics_snapshot() - s1;
+    assert_eq!(recovered, baseline, "recovery must not change the answer");
+    assert_eq!(recovery.executors_lost, 1);
+    assert!(recovery.fetch_failures >= 1, "{recovery:?}");
+    assert_eq!(
+        recovery.map_partitions_recomputed, 1,
+        "only executor 1's map partition is recomputed: {recovery:?}"
+    );
+    // The recomputation rewrote map partition 1's blocks and nothing
+    // else: strictly more than zero, strictly less than the full map
+    // stage.
+    assert!(recovery.shuffle_write_bytes > 0, "{recovery:?}");
+    assert!(
+        recovery.shuffle_write_bytes < full_run.shuffle_write_bytes,
+        "surviving map output must be reused, not rewritten: {recovery:?}"
+    );
+
+    let report = ctx.last_job_report().expect("recovery job report");
+    assert_eq!(report.outcome, JobOutcome::Succeeded);
+    assert!(report.fetch_failures() >= 1);
+    assert_eq!(report.map_partitions_recomputed(), 1);
+}
+
+/// Mid-job executor loss: the injector kills executor 1 right after it
+/// finishes its reduce-side task of the first shuffle, while the job is
+/// still running. The attempt comes back as `ExecutorLost`, its replay
+/// trips over the first shuffle's lost map output (`FetchFailed`), the
+/// lost map partition is rebuilt from lineage, and the job completes with
+/// the correct result.
+#[test]
+fn mid_job_executor_kill_recovers_through_lineage() {
+    let ctx = SpangleContext::new(2);
+    let out = {
+        let first = ctx
+            .parallelize((0u64..100).map(|i| (i % 4, i)).collect(), 2)
+            .reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+        // A second shuffle so the first one's reduce runs mid-job: the
+        // identity re-keying defeats co-partitioning, forcing a real
+        // shuffle.
+        let second = first
+            .map(|(k, v)| (k, v * 2))
+            .reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+
+        // Executor 1 runs exactly two tasks before the kill: the first
+        // shuffle's map task, then its reduce task (which is the second
+        // shuffle's map task). The kill lands after the latter, so both
+        // its first-shuffle map output and its just-written second-shuffle
+        // output die with it, mid-job.
+        ctx.failure_injector().kill_executor_after(1, 2);
+        let before = ctx.metrics_snapshot();
+        let out = sorted(second.collect().unwrap());
+        let delta = ctx.metrics_snapshot() - before;
+        assert_eq!(delta.executors_lost, 1);
+        assert!(delta.fetch_failures >= 1, "{delta:?}");
+        assert_eq!(delta.map_partitions_recomputed, 1, "{delta:?}");
+        out
+    };
+    // Key k sums i over i ≡ k (mod 4), i < 100: 25k + 1200; doubled by
+    // the map between the shuffles.
+    let expected: Vec<(u64, u64)> = (0..4).map(|k| (k, 2 * (25 * k + 1200))).collect();
+    assert_eq!(out, expected);
+    assert!(
+        ctx.failure_injector().is_drained(),
+        "the armed executor kill must have fired"
+    );
+}
+
+/// A permanently poisoned job — every resubmission is answered by another
+/// executor kill — exhausts its resubmission budget and aborts cleanly
+/// instead of looping, leaving no shuffle bytes resident.
+#[test]
+fn exhausted_resubmission_budget_aborts_the_job_cleanly() {
+    let ctx = SpangleContext::builder()
+        .executors(1)
+        .max_resubmissions(3)
+        .build();
+    let reduced = ctx
+        .parallelize((0u64..40).map(|i| (i % 4, i)).collect(), 1)
+        .reduce_by_key(Arc::new(HashPartitioner::new(1)), |a, b| a + b);
+    // Four kills: the initial attempt plus one per budgeted resubmission,
+    // so the fourth `ExecutorLost` finds the budget empty.
+    for _ in 0..4 {
+        ctx.failure_injector().kill_executor_after(0, 1);
+    }
+    let err = reduced.collect().unwrap_err();
+    let report = ctx
+        .job_reports()
+        .into_iter()
+        .find(|r| r.job_id == err.job_id)
+        .expect("aborted job report");
+    assert_eq!(report.outcome, JobOutcome::Aborted);
+    let snap = ctx.metrics_snapshot();
+    assert_eq!(snap.executors_lost, 4);
+    assert!(
+        ctx.failure_injector().is_drained(),
+        "every armed kill must have fired"
+    );
+    assert_eq!(
+        ctx.shuffle_resident_bytes(),
+        0,
+        "the abort must leave no partial shuffle output resident"
+    );
+}
+
+/// Killing an executor also drops the cached partitions it computed; the
+/// next action silently recomputes them from lineage (and only them).
+#[test]
+fn killed_executors_cached_partitions_recompute_from_lineage() {
+    let ctx = SpangleContext::new(2);
+    let data: Vec<u64> = (0..100).collect();
+    let rdd = ctx.parallelize(data.clone(), 2).map(|x| x * 3);
+    rdd.persist();
+    assert_eq!(rdd.count().unwrap(), 100);
+    let cached_before = ctx.cached_bytes();
+    assert!(cached_before > 0);
+
+    let loss = ctx.kill_executor(0);
+    assert_eq!(loss.cached_partitions_dropped, 1);
+    assert!(loss.cached_bytes_dropped > 0);
+    assert!(ctx.cached_bytes() < cached_before);
+
+    let before = ctx.metrics_snapshot();
+    let out = sorted(rdd.collect().unwrap());
+    let delta = ctx.metrics_snapshot() - before;
+    assert_eq!(out, data.iter().map(|x| x * 3).collect::<Vec<_>>());
+    assert_eq!(delta.cache_misses, 1, "one partition recomputes: {delta:?}");
+    assert_eq!(delta.cache_hits, 1, "the survivor is reused: {delta:?}");
+    assert_eq!(ctx.cached_bytes(), cached_before, "re-cached after loss");
 }
 
 #[test]

@@ -49,6 +49,8 @@ run_doc() {
 run_stress() {
     echo "== stress: concurrent jobs with failure injection"
     cargo test -q -p spangle-dataflow --test stress_concurrent_jobs -- --ignored
+    echo "== stress: executor-kill chaos recovery"
+    cargo test -q -p spangle-dataflow --test chaos_recovery -- --ignored
 }
 
 steps=()
