@@ -82,9 +82,14 @@ impl BlockManager {
         self.blocks.write().remove(&key).is_some()
     }
 
-    /// Removes every cached partition of an RDD (`unpersist`).
-    pub fn evict_rdd(&self, rdd_id: usize) {
-        self.blocks.write().retain(|k, _| k.rdd_id != rdd_id);
+    /// Removes every cached partition of an RDD (`unpersist`), returning
+    /// how many blocks were dropped (so callers can charge the
+    /// `partitions_evicted` metric).
+    pub fn evict_rdd(&self, rdd_id: usize) -> usize {
+        let mut blocks = self.blocks.write();
+        let before = blocks.len();
+        blocks.retain(|k, _| k.rdd_id != rdd_id);
+        before - blocks.len()
     }
 
     /// Number of cached blocks.
@@ -141,8 +146,9 @@ mod tests {
             8,
             BlockOrigin::DRIVER,
         );
-        bm.evict_rdd(7);
+        assert_eq!(bm.evict_rdd(7), 4);
         assert_eq!(bm.num_blocks(), 1);
+        assert_eq!(bm.evict_rdd(7), 0, "second eviction finds nothing");
     }
 
     #[test]

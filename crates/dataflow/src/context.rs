@@ -13,6 +13,42 @@ use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Admission-control bounds evaluated by the scheduler service on every
+/// job submission; configured through [`SpangleContextBuilder`]. The
+/// defaults are all "unbounded": admission control is opt-in and a context
+/// built without the knobs behaves exactly as before.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AdmissionConfig {
+    /// Jobs allowed to run concurrently at full cluster health. Further
+    /// submissions wait in the admission queue (FIFO within priority).
+    pub(crate) max_concurrent_jobs: usize,
+    /// Upper bound on a priority level's queued task backlog: a job whose
+    /// planned tasks would push its priority's queued-task total past this
+    /// is shed outright ([`crate::JobOutcome::Rejected`]) instead of
+    /// growing the queue without bound.
+    pub(crate) max_queued_tasks_per_priority: usize,
+    /// Memory saturation threshold, compared against
+    /// `cached_bytes() + shuffle_resident_bytes()` at admission time. At
+    /// or above it the system counts as saturated: no queued job is
+    /// admitted, and sheddable submissions are rejected.
+    pub(crate) memory_high_watermark_bytes: usize,
+    /// While the system is saturated, submissions with priority strictly
+    /// below this threshold are shed ([`crate::JobOutcome::Rejected`])
+    /// instead of queued. `None` means never shed on priority.
+    pub(crate) shed_below_priority: Option<i32>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent_jobs: usize::MAX,
+            max_queued_tasks_per_priority: usize::MAX,
+            memory_high_watermark_bytes: usize::MAX,
+            shed_below_priority: None,
+        }
+    }
+}
+
 /// Shared state of one simulated cluster.
 pub(crate) struct ContextInner {
     /// Declared before `pool` so the driver loop shuts down and joins
@@ -32,6 +68,8 @@ pub(crate) struct ContextInner {
     /// Per-job budget of executor-loss / fetch-failure resubmissions
     /// before the job aborts.
     pub(crate) max_resubmissions: usize,
+    /// Admission-control bounds enforced by the scheduler service.
+    pub(crate) admission: AdmissionConfig,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -52,6 +90,10 @@ pub struct SpangleContext {
 ///     .max_task_attempts(2)
 ///     .max_resubmissions(8)
 ///     .job_report_history(16)
+///     .max_concurrent_jobs(8)
+///     .max_queued_tasks_per_priority(1024)
+///     .memory_high_watermark_bytes(64 << 20)
+///     .shed_below_priority(0)
 ///     .build();
 /// assert_eq!(ctx.num_executors(), 4);
 /// assert_eq!(ctx.max_task_attempts(), 2);
@@ -62,6 +104,7 @@ pub struct SpangleContextBuilder {
     max_task_attempts: usize,
     max_resubmissions: usize,
     job_report_history: usize,
+    admission: AdmissionConfig,
 }
 
 impl Default for SpangleContextBuilder {
@@ -71,6 +114,7 @@ impl Default for SpangleContextBuilder {
             max_task_attempts: 4,
             max_resubmissions: 16,
             job_report_history: DEFAULT_JOB_REPORT_HISTORY,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -105,6 +149,47 @@ impl SpangleContextBuilder {
         self
     }
 
+    /// Bounds how many jobs run concurrently (default unbounded).
+    /// Submissions past the bound wait in the scheduler's admission queue,
+    /// highest priority first, FIFO within a priority. The bound scales
+    /// down with cluster health: while a replacement executor seated by
+    /// [`SpangleContext::kill_executor`] has not yet completed its first
+    /// task, capacity is derated by `healthy / num_executors` (floored at
+    /// one running job, so admission never deadlocks).
+    pub fn max_concurrent_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs > 0, "at least one concurrent job is required");
+        self.admission.max_concurrent_jobs = jobs;
+        self
+    }
+
+    /// Bounds the task backlog a single priority level may queue for
+    /// admission (default unbounded). A job whose planned tasks would push
+    /// its priority's queued-task total past the bound is shed with
+    /// [`crate::JobOutcome::Rejected`] — hard backpressure instead of an
+    /// unbounded queue.
+    pub fn max_queued_tasks_per_priority(mut self, tasks: usize) -> Self {
+        self.admission.max_queued_tasks_per_priority = tasks;
+        self
+    }
+
+    /// Memory saturation threshold in bytes, compared against
+    /// `cached_bytes() + shuffle_resident_bytes()` at every admission
+    /// decision (default unbounded). At or above the watermark the system
+    /// counts as saturated: queued jobs wait for memory to drain and
+    /// sheddable submissions are rejected.
+    pub fn memory_high_watermark_bytes(mut self, bytes: usize) -> Self {
+        self.admission.memory_high_watermark_bytes = bytes;
+        self
+    }
+
+    /// While the system is saturated, shed submissions whose priority is
+    /// strictly below `threshold` with [`crate::JobOutcome::Rejected`]
+    /// instead of queueing them (default: never shed on priority).
+    pub fn shed_below_priority(mut self, threshold: i32) -> Self {
+        self.admission.shed_below_priority = Some(threshold);
+        self
+    }
+
     /// Starts the cluster.
     pub fn build(self) -> SpangleContext {
         SpangleContext {
@@ -121,6 +206,7 @@ impl SpangleContextBuilder {
                 next_job_id: AtomicUsize::new(0),
                 max_task_attempts: self.max_task_attempts,
                 max_resubmissions: self.max_resubmissions,
+                admission: self.admission,
             }),
         }
     }
@@ -153,6 +239,19 @@ impl SpangleContext {
     /// Scopes nest, and the previous priority is restored on exit.
     pub fn run_with_priority<O>(&self, priority: i32, f: impl FnOnce() -> O) -> O {
         crate::scheduler::with_job_priority(priority, f)
+    }
+
+    /// Runs `f` with every job submitted from this thread carrying a
+    /// wall-clock `budget`: a job that has not finished when the budget
+    /// elapses is aborted through the normal abort path (partial shuffle
+    /// output abandoned, a [`crate::JobOutcome::Deadlined`] report
+    /// recorded) and its action returns a
+    /// [`crate::TaskError::DeadlineExceeded`] error. A job still waiting
+    /// in the admission queue when its deadline passes never runs at all.
+    /// Scopes nest (the inner budget wins for jobs submitted inside it),
+    /// and the previous deadline is restored on exit.
+    pub fn run_with_deadline<O>(&self, budget: std::time::Duration, f: impl FnOnce() -> O) -> O {
+        crate::scheduler::with_job_deadline(budget, f)
     }
 
     /// Number of executors in the cluster.
@@ -229,11 +328,17 @@ impl SpangleContext {
     }
 
     /// Drops a cached partition, simulating the loss of an executor's
-    /// block; the next access recomputes it from lineage.
+    /// block; the next access recomputes it from lineage. Counted in the
+    /// `partitions_evicted` metric when a block was actually present.
     pub fn evict_cached_partition(&self, rdd_id: usize, partition: usize) -> bool {
-        self.inner
+        let evicted = self
+            .inner
             .cache
-            .evict(crate::cache::CacheKey { rdd_id, partition })
+            .evict(crate::cache::CacheKey { rdd_id, partition });
+        if evicted {
+            self.metrics().add(MetricField::PartitionsEvicted, 1);
+        }
+        evicted
     }
 
     /// Total bytes currently held by the block manager.

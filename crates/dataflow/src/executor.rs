@@ -158,6 +158,10 @@ pub struct ExecutorPool {
     /// Incarnation counter per executor slot; bumped by
     /// [`ExecutorPool::kill`].
     epochs: Arc<Vec<AtomicU64>>,
+    /// Last incarnation of each slot to *complete* a task. A slot whose
+    /// current epoch is ahead of this is a freshly-seated replacement that
+    /// is still warming up (see [`ExecutorPool::warming_replacements`]).
+    active_epochs: Arc<Vec<AtomicU64>>,
     num_executors: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -174,11 +178,14 @@ impl ExecutorPool {
         );
         let epochs: Arc<Vec<AtomicU64>> =
             Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
+        let active_epochs: Arc<Vec<AtomicU64>> =
+            Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
         let mut handles = Vec::with_capacity(num_executors);
         for i in 0..num_executors {
             let queues = Arc::clone(&queues);
             let stats = Arc::clone(&stats);
             let epochs = Arc::clone(&epochs);
+            let active_epochs = Arc::clone(&active_epochs);
             let handle = std::thread::Builder::new()
                 .name(format!("spangle-executor-{i}"))
                 .spawn(move || loop {
@@ -206,6 +213,11 @@ impl ExecutorPool {
                     stats[i]
                         .busy_nanos
                         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    // The incarnation that started this task has now
+                    // completed one; it is no longer a warming replacement.
+                    // Tasks run serially per worker, so the stored epoch is
+                    // monotone even without a compare-exchange.
+                    active_epochs[i].store(info.epoch, Ordering::SeqCst);
                 })
                 .expect("failed to spawn executor thread");
             handles.push(handle);
@@ -214,6 +226,7 @@ impl ExecutorPool {
             queues,
             stats,
             epochs,
+            active_epochs,
             num_executors,
             handles: Mutex::new(handles),
         }
@@ -240,6 +253,25 @@ impl ExecutorPool {
     /// `SpangleContext::kill_executor`).
     pub fn kill(&self, executor: usize) -> u64 {
         self.epochs[executor].fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Whether `executor`'s current incarnation is a warming replacement:
+    /// it was seated by [`ExecutorPool::kill`] and has not yet completed a
+    /// task. A freshly-constructed pool is never warming (epoch 0 counts
+    /// as warmed at birth).
+    pub fn is_warming(&self, executor: usize) -> bool {
+        self.epochs[executor].load(Ordering::SeqCst)
+            != self.active_epochs[executor].load(Ordering::SeqCst)
+    }
+
+    /// Number of executor slots whose replacement incarnation has not yet
+    /// completed its first task. The admission controller treats these
+    /// slots as missing capacity (`num_executors - warming_replacements()`
+    /// healthy executors) until they prove themselves.
+    pub fn warming_replacements(&self) -> usize {
+        (0..self.num_executors)
+            .filter(|&e| self.is_warming(e))
+            .count()
     }
 
     /// Whether the incarnation that produced `origin` is still alive.
@@ -587,6 +619,33 @@ mod tests {
     #[should_panic(expected = "at least one executor")]
     fn zero_executors_is_rejected() {
         let _ = ExecutorPool::new(0);
+    }
+
+    /// A kill leaves the replacement incarnation "warming" until it
+    /// completes its first task; a fresh pool starts fully warmed.
+    #[test]
+    fn replacement_warms_up_by_completing_a_task() {
+        let pool = ExecutorPool::new(2);
+        assert_eq!(pool.warming_replacements(), 0, "fresh pool is warmed");
+        pool.kill(0);
+        assert!(pool.is_warming(0));
+        assert!(!pool.is_warming(1));
+        assert_eq!(pool.warming_replacements(), 1);
+        let (tx, rx) = unbounded();
+        pool.submit(0, Box::new(move |_: &TaskInfo| tx.send(()).unwrap()))
+            .unwrap();
+        rx.recv().unwrap();
+        // The worker stores the warmed epoch just after the task body
+        // returns; poll briefly for it.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while pool.is_warming(0) {
+            assert!(
+                Instant::now() < deadline,
+                "replacement must be warmed after completing a task"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.warming_replacements(), 0);
     }
 
     /// Killing an executor retires the running incarnation: a task started

@@ -59,7 +59,7 @@ pub use partitioner::{
 };
 pub use rdd::pair::PairRdd;
 pub use rdd::Rdd;
-pub use scheduler::{JobError, TaskError};
+pub use scheduler::{submit_job, JobError, JobHandle, TaskError};
 
 /// Marker for types that can be elements of an [`Rdd`].
 ///

@@ -35,6 +35,13 @@ pub struct Metrics {
     pub(crate) executors_lost: AtomicU64,
     pub(crate) fetch_failures: AtomicU64,
     pub(crate) map_partitions_recomputed: AtomicU64,
+    pub(crate) jobs_rejected: AtomicU64,
+    pub(crate) jobs_deadlined: AtomicU64,
+    pub(crate) admission_queue_wait_nanos: AtomicU64,
+    pub(crate) admission_queue_peak: AtomicU64,
+    pub(crate) partitions_evicted: AtomicU64,
+    pub(crate) cache_highwater_bytes: AtomicU64,
+    pub(crate) memory_highwater_bytes: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -69,6 +76,13 @@ impl Metrics {
             executors_lost: AtomicU64::new(0),
             fetch_failures: AtomicU64::new(0),
             map_partitions_recomputed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_deadlined: AtomicU64::new(0),
+            admission_queue_wait_nanos: AtomicU64::new(0),
+            admission_queue_peak: AtomicU64::new(0),
+            partitions_evicted: AtomicU64::new(0),
+            cache_highwater_bytes: AtomicU64::new(0),
+            memory_highwater_bytes: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -77,6 +91,13 @@ impl Metrics {
 
     pub(crate) fn add(&self, field: MetricField, amount: u64) {
         self.counter(field).fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark field to `value` if it is higher than
+    /// everything observed so far (the field stays monotone, so snapshot
+    /// subtraction is well defined).
+    pub(crate) fn raise(&self, field: MetricField, value: u64) {
+        self.counter(field).fetch_max(value, Ordering::Relaxed);
     }
 
     fn counter(&self, field: MetricField) -> &AtomicU64 {
@@ -96,6 +117,13 @@ impl Metrics {
             MetricField::ExecutorsLost => &self.executors_lost,
             MetricField::FetchFailures => &self.fetch_failures,
             MetricField::MapPartitionsRecomputed => &self.map_partitions_recomputed,
+            MetricField::JobsRejected => &self.jobs_rejected,
+            MetricField::JobsDeadlined => &self.jobs_deadlined,
+            MetricField::AdmissionQueueWaitNanos => &self.admission_queue_wait_nanos,
+            MetricField::AdmissionQueuePeak => &self.admission_queue_peak,
+            MetricField::PartitionsEvicted => &self.partitions_evicted,
+            MetricField::CacheHighwaterBytes => &self.cache_highwater_bytes,
+            MetricField::MemoryHighwaterBytes => &self.memory_highwater_bytes,
         }
     }
 
@@ -139,6 +167,13 @@ impl Metrics {
             executors_lost: self.executors_lost.load(Ordering::Relaxed),
             fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
             map_partitions_recomputed: self.map_partitions_recomputed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_deadlined: self.jobs_deadlined.load(Ordering::Relaxed),
+            admission_queue_wait_nanos: self.admission_queue_wait_nanos.load(Ordering::Relaxed),
+            admission_queue_peak: self.admission_queue_peak.load(Ordering::Relaxed),
+            partitions_evicted: self.partitions_evicted.load(Ordering::Relaxed),
+            cache_highwater_bytes: self.cache_highwater_bytes.load(Ordering::Relaxed),
+            memory_highwater_bytes: self.memory_highwater_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,6 +196,13 @@ pub(crate) enum MetricField {
     ExecutorsLost,
     FetchFailures,
     MapPartitionsRecomputed,
+    JobsRejected,
+    JobsDeadlined,
+    AdmissionQueueWaitNanos,
+    AdmissionQueuePeak,
+    PartitionsEvicted,
+    CacheHighwaterBytes,
+    MemoryHighwaterBytes,
 }
 
 /// How one stage of a job ended.
@@ -186,6 +228,16 @@ pub enum JobOutcome {
     /// job returned a `JobError`. Stages in flight at that moment appear
     /// in the report as [`StageOutcome::Aborted`].
     Aborted,
+    /// The admission controller shed the job: the system was saturated
+    /// (concurrency bound or memory high-water mark) and the job's
+    /// priority was below the shed threshold, or its tasks did not fit the
+    /// per-priority queue bound. Nothing of the job ever ran.
+    Rejected,
+    /// The job's `run_with_deadline` budget elapsed before it finished.
+    /// If it was already running it was aborted through the normal abort
+    /// path (partial shuffle output abandoned); if it was still queued for
+    /// admission it never ran at all.
+    Deadlined,
 }
 
 /// Per-stage accounting of one job.
@@ -249,6 +301,10 @@ pub struct JobReport {
     /// wait stays bounded while lower-priority traffic absorbs the
     /// backlog.
     pub queue_wait_nanos: u64,
+    /// Nanoseconds the job waited in the scheduler's admission queue
+    /// before it was admitted (zero when capacity was free at submission,
+    /// or when the job was shed without ever being queued).
+    pub admission_wait_nanos: u64,
     /// End-to-end wall-clock time of the job, in nanoseconds.
     pub wall_nanos: u64,
 }
@@ -335,12 +391,20 @@ impl std::fmt::Display for JobReport {
             self.tasks_stolen(),
             self.queue_wait_nanos as f64 / 1e6,
             self.wall_nanos as f64 / 1e6,
-            if self.outcome == JobOutcome::Aborted {
-                " [ABORTED]"
-            } else {
-                ""
+            match self.outcome {
+                JobOutcome::Succeeded => "",
+                JobOutcome::Aborted => " [ABORTED]",
+                JobOutcome::Rejected => " [REJECTED]",
+                JobOutcome::Deadlined => " [DEADLINED]",
             },
         )?;
+        if self.admission_wait_nanos != 0 {
+            write!(
+                f,
+                "\n  admission wait {:.2} ms",
+                self.admission_wait_nanos as f64 / 1e6
+            )?;
+        }
         if self.fetch_failures() != 0 || self.map_partitions_recomputed() != 0 {
             write!(
                 f,
@@ -437,6 +501,26 @@ pub struct MetricsSnapshot {
     /// Map partitions recomputed from lineage to rebuild lost shuffle
     /// output (only the missing partitions re-run, never whole stages).
     pub map_partitions_recomputed: u64,
+    /// Jobs shed by the admission controller (outcome
+    /// [`JobOutcome::Rejected`]); nothing of a rejected job ever ran.
+    pub jobs_rejected: u64,
+    /// Jobs whose `run_with_deadline` budget elapsed (outcome
+    /// [`JobOutcome::Deadlined`]).
+    pub jobs_deadlined: u64,
+    /// Total nanoseconds jobs spent queued for admission before running.
+    pub admission_queue_wait_nanos: u64,
+    /// High-water mark of the admission queue length (jobs waiting for
+    /// capacity at once).
+    pub admission_queue_peak: u64,
+    /// Cached partitions dropped by manual eviction (`evict_cached_partition`,
+    /// `Rdd::unpersist`).
+    pub partitions_evicted: u64,
+    /// High-water mark of resident cached-partition bytes.
+    pub cache_highwater_bytes: u64,
+    /// High-water mark of total resident memory (cached partitions plus
+    /// shuffle blocks) — the figure the admission controller's
+    /// `memory_high_watermark_bytes` bound is compared against.
+    pub memory_highwater_bytes: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -460,6 +544,14 @@ impl std::ops::Sub for MetricsSnapshot {
             fetch_failures: self.fetch_failures - rhs.fetch_failures,
             map_partitions_recomputed: self.map_partitions_recomputed
                 - rhs.map_partitions_recomputed,
+            jobs_rejected: self.jobs_rejected - rhs.jobs_rejected,
+            jobs_deadlined: self.jobs_deadlined - rhs.jobs_deadlined,
+            admission_queue_wait_nanos: self.admission_queue_wait_nanos
+                - rhs.admission_queue_wait_nanos,
+            admission_queue_peak: self.admission_queue_peak - rhs.admission_queue_peak,
+            partitions_evicted: self.partitions_evicted - rhs.partitions_evicted,
+            cache_highwater_bytes: self.cache_highwater_bytes - rhs.cache_highwater_bytes,
+            memory_highwater_bytes: self.memory_highwater_bytes - rhs.memory_highwater_bytes,
         }
     }
 }
@@ -490,6 +582,7 @@ mod tests {
             max_concurrent_stages: 1,
             executor_busy_nanos: Vec::new(),
             queue_wait_nanos: 0,
+            admission_wait_nanos: 0,
             wall_nanos: 0,
         }
     }
@@ -546,6 +639,7 @@ mod tests {
             max_concurrent_stages: 2,
             executor_busy_nanos: vec![3_000_000, 1_000_000],
             queue_wait_nanos: 0,
+            admission_wait_nanos: 0,
             wall_nanos: 0,
         };
         assert_eq!(report.stages_run(), 2);
@@ -582,6 +676,7 @@ mod tests {
             max_concurrent_stages: 1,
             executor_busy_nanos: vec![10_000_000],
             queue_wait_nanos: 2_000_000,
+            admission_wait_nanos: 0,
             wall_nanos: 0,
         };
         assert_eq!(report.stages_run(), 1);
@@ -592,6 +687,40 @@ mod tests {
         assert!(rendered.contains("1 aborted"));
         assert!(rendered.contains("prio 3"));
         assert!(rendered.contains("aborted after"));
+    }
+
+    #[test]
+    fn raise_keeps_high_water_marks_monotone() {
+        let m = Metrics::default();
+        m.raise(MetricField::CacheHighwaterBytes, 100);
+        m.raise(MetricField::CacheHighwaterBytes, 40);
+        m.raise(MetricField::MemoryHighwaterBytes, 250);
+        m.raise(MetricField::AdmissionQueuePeak, 3);
+        m.raise(MetricField::AdmissionQueuePeak, 2);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.cache_highwater_bytes, 100,
+            "lower values never regress"
+        );
+        assert_eq!(snap.memory_highwater_bytes, 250);
+        assert_eq!(snap.admission_queue_peak, 3);
+    }
+
+    #[test]
+    fn rejected_and_deadlined_reports_render_their_markers() {
+        let rejected = JobReport {
+            outcome: JobOutcome::Rejected,
+            ..empty_report(4)
+        };
+        assert!(format!("{rejected}").contains("[REJECTED]"));
+        let deadlined = JobReport {
+            outcome: JobOutcome::Deadlined,
+            admission_wait_nanos: 3_000_000,
+            ..empty_report(5)
+        };
+        let rendered = format!("{deadlined}");
+        assert!(rendered.contains("[DEADLINED]"));
+        assert!(rendered.contains("admission wait 3.00 ms"));
     }
 
     #[test]

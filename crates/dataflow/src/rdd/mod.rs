@@ -138,7 +138,10 @@ impl<T: Data> Rdd<T> {
     /// Drops the cached partitions (the persistence mark stays, so the next
     /// action re-caches).
     pub fn unpersist(&self) {
-        self.context().inner.cache.evict_rdd(self.id());
+        let dropped = self.context().inner.cache.evict_rdd(self.id());
+        self.context()
+            .metrics()
+            .add(MetricField::PartitionsEvicted, dropped as u64);
     }
 
     /// Type-erased lineage view for the scheduler.
@@ -170,6 +173,10 @@ impl<T: Data> Rdd<T> {
                     .inner
                     .cache
                     .put(key, Arc::clone(&data), bytes, tc.origin());
+                base.ctx.metrics().raise(
+                    MetricField::CacheHighwaterBytes,
+                    base.ctx.inner.cache.resident_bytes() as u64,
+                );
             }
             return data;
         }

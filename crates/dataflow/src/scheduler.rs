@@ -20,6 +20,25 @@
 //! submission interleaving. Every [`JobReport`] records the job's summed
 //! task queue-wait time, which is where that fairness is observable.
 //!
+//! In front of the running-job map sits an *admission controller*
+//! (`SpangleContextBuilder::max_concurrent_jobs` and friends): a job that
+//! arrives while the scheduler is saturated — job slots full, with
+//! capacity scaled down while replacement executors warm up after a kill,
+//! or resident cache + shuffle memory at the configured high watermark —
+//! is *queued* (FIFO within its priority, released as capacity frees),
+//! or *shed* with [`JobOutcome::Rejected`] when its priority falls below
+//! the shed threshold or its tasks overflow the per-priority queue bound.
+//! Jobs submitted under `SpangleContext::run_with_deadline` carry an
+//! absolute deadline; the driver wakes on a timer and resolves an expired
+//! job as [`JobOutcome::Deadlined`] — never admitting a queued one,
+//! aborting a running one through the normal abandon path. [`submit_job`]
+//! exposes the non-blocking half of this: it returns a [`JobHandle`]
+//! immediately, so callers can poll (`try_wait`, `wait_timeout`) instead
+//! of blocking while their job waits out the queue. Every decision is
+//! observable: `jobs_rejected`, `jobs_deadlined`, admission queue wait
+//! and peak-depth counters, and memory high-water marks all land in the
+//! context metrics and each [`JobReport`].
+//!
 //! Stage activation is demand-driven and race-free: a map stage first
 //! [`ShuffleService::try_claim`]s its shuffle. Exactly one job becomes the
 //! owner and runs the stage; a job that finds the shuffle `Completed`
@@ -63,6 +82,8 @@
 //! [`ShuffleService::subscribe`]: crate::shuffle::ShuffleService::subscribe
 //! [`ShuffleService::claim_recovery`]: crate::shuffle::ShuffleService::claim_recovery
 //! [`JobOutcome::Aborted`]: crate::metrics::JobOutcome::Aborted
+//! [`JobOutcome::Rejected`]: crate::metrics::JobOutcome::Rejected
+//! [`JobOutcome::Deadlined`]: crate::metrics::JobOutcome::Deadlined
 //! [`StageOutcome::Aborted`]: crate::metrics::StageOutcome::Aborted
 
 use crate::context::SpangleContext;
@@ -72,8 +93,10 @@ use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageRepo
 use crate::rdd::pair::ShuffleDepDyn;
 use crate::rdd::{Dependency, LineageNode, Rdd};
 use crate::shuffle::{FetchFailedError, RecoveryClaim, ShuffleClaim};
-use crate::sync::channel::{unbounded, MuxSender, Receiver, Sender, Tagged};
-use crate::sync::Mutex;
+use crate::sync::channel::{
+    unbounded, MuxSender, Receiver, RecvTimeoutError, Sender, Tagged, TryRecvError,
+};
+use crate::sync::{Mutex, PriorityFifo};
 use crate::Data;
 use std::any::Any;
 use std::cell::Cell;
@@ -81,7 +104,7 @@ use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Information available to a running task.
 #[derive(Clone, Copy, Debug)]
@@ -137,6 +160,13 @@ pub enum TaskError {
     },
     /// The executor pool shut down while the job was running.
     ExecutorShutdown,
+    /// Admission control shed the job before any of its tasks ran: the
+    /// scheduler was saturated and the job's priority fell below the shed
+    /// threshold (or its tasks did not fit the per-priority queue bound).
+    Rejected,
+    /// The job's deadline (`SpangleContext::run_with_deadline`) elapsed
+    /// before it finished; it was aborted (or never admitted).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for TaskError {
@@ -152,6 +182,8 @@ impl std::fmt::Display for TaskError {
                 "fetch failed: map output {map_id} of shuffle {shuffle_id} was lost"
             ),
             TaskError::ExecutorShutdown => write!(f, "executor pool shut down"),
+            TaskError::Rejected => write!(f, "shed by admission control (scheduler saturated)"),
+            TaskError::DeadlineExceeded => write!(f, "job deadline exceeded"),
         }
     }
 }
@@ -278,6 +310,9 @@ thread_local! {
     /// Priority stamped on jobs submitted from this driver thread; scoped
     /// by [`with_job_priority`] (`SpangleContext::run_with_priority`).
     static JOB_PRIORITY: Cell<i32> = const { Cell::new(0) };
+    /// Deadline stamped on jobs submitted from this driver thread; scoped
+    /// by [`with_job_deadline`] (`SpangleContext::run_with_deadline`).
+    static JOB_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
 }
 
 /// Runs `f` with every job submitted from this thread carrying `priority`
@@ -294,30 +329,64 @@ pub(crate) fn with_job_priority<O>(priority: i32, f: impl FnOnce() -> O) -> O {
     f()
 }
 
+/// Runs `f` with every job submitted from this thread carrying a deadline
+/// of now + `budget`. A job whose deadline elapses before it completes is
+/// resolved as [`JobOutcome::Deadlined`]: if it was still queued for
+/// admission it never runs at all, and if it was running it is aborted
+/// through the normal abandon path (owned shuffles released, stragglers'
+/// deposits reclaimed by lineage GC). The previous deadline is restored on
+/// exit, panic included, so nested scopes compose (the inner, tighter
+/// budget wins while it is in scope).
+pub(crate) fn with_job_deadline<O>(budget: Duration, f: impl FnOnce() -> O) -> O {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            JOB_DEADLINE.set(self.0);
+        }
+    }
+    let _restore = Restore(JOB_DEADLINE.replace(Some(Instant::now() + budget)));
+    f()
+}
+
 /// Runs `func` over every partition of `rdd`, returning one result per
 /// partition in partition order. This is the single entry point every
 /// action lowers to: it plans the stage graph, hands the job to the
-/// context's shared `SchedulerService`, and blocks on a `JobHandle`
-/// until the service resolves it.
+/// context's shared `SchedulerService` via [`submit_job`], and blocks on
+/// the returned [`JobHandle`] until the service resolves it.
 pub fn run_job<T: Data, R: Send + 'static>(
     rdd: &Rdd<T>,
     func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
 ) -> Result<Vec<R>, JobError> {
+    submit_job(rdd, func).wait()
+}
+
+/// Submits a job without blocking: plans the stage graph, stamps the
+/// calling thread's priority and deadline scopes on it, and hands it to
+/// the shared service's admission controller. The returned [`JobHandle`]
+/// resolves when the service finishes, aborts, sheds, or deadlines the
+/// job — poll it with [`JobHandle::try_wait`] / [`JobHandle::wait_timeout`]
+/// or block on [`JobHandle::wait`].
+pub fn submit_job<T: Data, R: Send + 'static>(
+    rdd: &Rdd<T>,
+    func: impl Fn(usize, Arc<Vec<T>>) -> R + Send + Sync + 'static,
+) -> JobHandle<R> {
     let ctx = rdd.context().clone();
     let job_id = ctx.new_job_id();
     let priority = JOB_PRIORITY.get();
+    let deadline = JOB_DEADLINE.get();
 
     let stages = build_stages(rdd, func);
     let result_idx = stages.len() - 1;
     let num_results = stages[result_idx].num_tasks;
 
-    let (handle, done) = JobHandle::new();
+    let (handle, done) = JobHandle::new(job_id);
     let num_executors = ctx.num_executors();
     let tx = ctx.inner.scheduler.sender(job_id);
     let run = Box::new(JobRun {
         ctx: ctx.clone(),
         job_id,
         priority,
+        deadline,
         stages,
         result_idx,
         tx,
@@ -326,53 +395,120 @@ pub fn run_job<T: Data, R: Send + 'static>(
         max_concurrent: 0,
         executor_busy: vec![0; num_executors],
         queue_wait_nanos: 0,
+        admission_queued_at: None,
+        admission_wait_nanos: 0,
         resubmissions_left: ctx.inner.max_resubmissions,
         reports: Vec::new(),
         results: std::iter::repeat_with(|| None).take(num_results).collect(),
         done,
         started: Instant::now(),
     });
-    if ctx.inner.scheduler.submit(run).is_err() {
-        // The context is tearing down around this call; abort like a job
-        // that lost its cluster.
-        return Err(JobError {
+    if let Err(run) = ctx.inner.scheduler.submit(run) {
+        // The context is tearing down around this call; resolve the handle
+        // like a job that lost its cluster (this also records its report).
+        let err = JobError {
             job_id,
             stage_id: 0,
             partition: 0,
             attempts: 0,
             last_error: TaskError::ExecutorShutdown,
-        });
+        };
+        run.fail(err);
     }
-    let results = handle.join()?;
-    Ok(results
-        .into_iter()
-        .map(|r| {
-            *r.downcast::<R>()
-                .expect("job result stage produced a foreign result type")
-        })
-        .collect())
+    handle
 }
 
-/// The caller-side half of one submitted job: [`run_job`] blocks on it
-/// until the shared service finishes or aborts the job.
-struct JobHandle {
+/// The caller-side half of one submitted job: resolves exactly once, when
+/// the shared service finishes, aborts, sheds, or deadlines the job. The
+/// job's [`JobReport`] is recorded *before* the handle resolves, so
+/// `last_job_report()` observed after a wait always covers this job —
+/// aborted, rejected, and deadlined ones included.
+pub struct JobHandle<R> {
+    job_id: usize,
     done: Receiver<Result<Vec<ErasedResult>, JobError>>,
+    resolved: bool,
+    _result: std::marker::PhantomData<fn() -> R>,
 }
 
-impl JobHandle {
-    fn new() -> (Self, Sender<Result<Vec<ErasedResult>, JobError>>) {
+impl<R: Send + 'static> JobHandle<R> {
+    fn new(job_id: usize) -> (Self, Sender<Result<Vec<ErasedResult>, JobError>>) {
         let (tx, rx) = unbounded();
-        (JobHandle { done: rx }, tx)
+        (
+            JobHandle {
+                job_id,
+                done: rx,
+                resolved: false,
+                _result: std::marker::PhantomData,
+            },
+            tx,
+        )
     }
 
-    /// Blocks until the service resolves the job. The job's report is
-    /// recorded *before* its handle resolves, so `last_job_report()`
-    /// observed after `join` always covers this job — aborted ones
-    /// included.
-    fn join(self) -> Result<Vec<ErasedResult>, JobError> {
-        self.done
-            .recv()
-            .expect("scheduler service dropped a running job (driver loop died)")
+    /// Id of the submitted job.
+    pub fn job_id(&self) -> usize {
+        self.job_id
+    }
+
+    fn decode(&mut self, outcome: Result<Vec<ErasedResult>, JobError>) -> Result<Vec<R>, JobError> {
+        self.resolved = true;
+        outcome.map(|results| {
+            results
+                .into_iter()
+                .map(|r| {
+                    *r.downcast::<R>()
+                        .expect("job result stage produced a foreign result type")
+                })
+                .collect()
+        })
+    }
+
+    fn service_gone(&mut self) -> JobError {
+        self.resolved = true;
+        JobError {
+            job_id: self.job_id,
+            stage_id: 0,
+            partition: 0,
+            attempts: 0,
+            last_error: TaskError::ExecutorShutdown,
+        }
+    }
+
+    /// Blocks until the service resolves the job. Consumes the handle; a
+    /// handle whose result was already taken by `try_wait`/`wait_timeout`
+    /// resolves as [`TaskError::ExecutorShutdown`].
+    pub fn wait(mut self) -> Result<Vec<R>, JobError> {
+        match self.done.recv() {
+            Ok(outcome) => self.decode(outcome),
+            Err(_) => Err(self.service_gone()),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued or running
+    /// (or after the result was already taken), `Some` exactly once when
+    /// it resolves.
+    pub fn try_wait(&mut self) -> Option<Result<Vec<R>, JobError>> {
+        if self.resolved {
+            return None;
+        }
+        match self.done.try_recv() {
+            Ok(outcome) => Some(self.decode(outcome)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(self.service_gone())),
+        }
+    }
+
+    /// Blocks up to `timeout` for the job to resolve; `None` on timeout
+    /// (the job keeps running — this does *not* impose a deadline, see
+    /// `SpangleContext::run_with_deadline` for that).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Vec<R>, JobError>> {
+        if self.resolved {
+            return None;
+        }
+        match self.done.recv_timeout(timeout) {
+            Ok(outcome) => Some(self.decode(outcome)),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(self.service_gone())),
+        }
     }
 }
 
@@ -411,15 +547,19 @@ impl SchedulerService {
     }
 
     /// Hands a job to the driver loop. Fails only when the loop is gone
-    /// (context teardown racing the submission).
-    fn submit(&self, job: Box<JobRun>) -> Result<(), ()> {
+    /// (context teardown racing the submission), returning the job so the
+    /// caller can resolve its handle.
+    fn submit(&self, job: Box<JobRun>) -> Result<(), Box<JobRun>> {
         let tag = job.job_id;
         self.tx
             .send(Tagged {
                 tag,
                 msg: ServiceEvent::Submit(job),
             })
-            .map_err(|_| ())
+            .map_err(|rejected| match rejected.0.msg {
+                ServiceEvent::Submit(job) => job,
+                _ => unreachable!("submit sends only Submit events"),
+            })
     }
 
     /// Stops the driver loop and joins its thread. Idempotent.
@@ -440,24 +580,190 @@ impl Drop for SchedulerService {
     }
 }
 
+/// How often the driver polls while jobs wait in the admission queue.
+/// Two admission inputs change without generating a driver event: memory
+/// freed by out-of-loop RDD drops/evictions, and a warming replacement
+/// executor completing its first task. The poll picks those up.
+const ADMISSION_POLL: Duration = Duration::from_millis(5);
+
+/// Gatekeeper in front of the driver's running-job map: holds jobs the
+/// context's [`crate::context::AdmissionConfig`] bounds keep out, in FIFO
+/// order within each priority, and releases them as capacity frees.
+struct AdmissionController {
+    queue: PriorityFifo<Box<JobRun>>,
+}
+
+impl AdmissionController {
+    fn new() -> Self {
+        AdmissionController {
+            queue: PriorityFifo::new(),
+        }
+    }
+
+    /// The job-slot capacity right now: the configured bound scaled down
+    /// by the fraction of executors still warming up after a kill (PR 4's
+    /// replacement epochs), floored at one so a fully-degraded pool cannot
+    /// wedge admission.
+    fn effective_capacity(ctx: &SpangleContext) -> usize {
+        let total = ctx.num_executors();
+        let warming = ctx.inner.pool.warming_replacements().min(total);
+        let bound = ctx.inner.admission.max_concurrent_jobs;
+        (bound.saturating_mul(total - warming) / total).max(1)
+    }
+
+    /// Whether the scheduler is saturated for new admissions: job slots
+    /// full, or resident memory (cache + shuffle) at the high watermark.
+    /// Also raises the memory high-water-mark metric, since this is where
+    /// saturation is observed.
+    fn saturated(ctx: &SpangleContext, running: usize) -> bool {
+        if running >= Self::effective_capacity(ctx) {
+            return true;
+        }
+        let resident = (ctx.cached_bytes() + ctx.shuffle_resident_bytes()) as u64;
+        ctx.metrics()
+            .raise(MetricField::MemoryHighwaterBytes, resident);
+        resident >= ctx.inner.admission.memory_high_watermark_bytes as u64
+    }
+
+    /// Planned tasks currently queued at `priority` (the unit of the
+    /// per-priority backpressure bound).
+    fn queued_tasks_at(&self, priority: i32) -> usize {
+        self.queue
+            .iter()
+            .filter(|j| j.priority == priority)
+            .map(|j| j.planned_tasks())
+            .sum()
+    }
+
+    /// Routes a newly submitted job: admit directly when there is room,
+    /// otherwise queue it — or shed it when its priority falls below the
+    /// shed threshold or its tasks do not fit the per-priority queue bound.
+    fn submit(&mut self, mut job: Box<JobRun>, jobs: &mut HashMap<usize, Box<JobRun>>) {
+        let ctx = job.ctx.clone();
+        if self.queue.is_empty() && !Self::saturated(&ctx, jobs.len()) {
+            admit(job, jobs);
+            return;
+        }
+        // The job would have to wait. (The queue is only ever non-empty
+        // while the scheduler is saturated: drain() empties it otherwise.)
+        let cfg = &ctx.inner.admission;
+        let shed = cfg.shed_below_priority.is_some_and(|t| job.priority < t)
+            || self.queued_tasks_at(job.priority) + job.planned_tasks()
+                > cfg.max_queued_tasks_per_priority;
+        if shed {
+            ctx.metrics().add(MetricField::JobsRejected, 1);
+            job.resolve_unadmitted(JobOutcome::Rejected, TaskError::Rejected);
+            return;
+        }
+        job.admission_queued_at = Some(Instant::now());
+        self.queue.push(job.priority, job);
+        ctx.metrics()
+            .raise(MetricField::AdmissionQueuePeak, self.queue.len() as u64);
+    }
+
+    /// Releases queued jobs (highest priority first, FIFO within one)
+    /// while the scheduler has capacity for them.
+    fn drain(&mut self, jobs: &mut HashMap<usize, Box<JobRun>>) {
+        while let Some(front) = self.queue.front() {
+            let ctx = front.ctx.clone();
+            if Self::saturated(&ctx, jobs.len()) {
+                break;
+            }
+            let mut job = self.queue.pop_front().expect("front observed above");
+            let waited = job
+                .admission_queued_at
+                .take()
+                .map_or(0, |t| t.elapsed().as_nanos() as u64);
+            job.admission_wait_nanos = waited;
+            ctx.metrics()
+                .add(MetricField::AdmissionQueueWaitNanos, waited);
+            admit(job, jobs);
+        }
+    }
+
+    /// Resolves every job (queued or running) whose deadline has passed:
+    /// queued ones never run at all; running ones abort through the normal
+    /// abandon path so their owned shuffles are released.
+    fn expire_deadlines(&mut self, jobs: &mut HashMap<usize, Box<JobRun>>) {
+        let now = Instant::now();
+        for job in self.queue.extract(|j| j.deadline.is_some_and(|d| d <= now)) {
+            job.ctx.metrics().add(MetricField::JobsDeadlined, 1);
+            job.resolve_unadmitted(JobOutcome::Deadlined, TaskError::DeadlineExceeded);
+        }
+        let expired: Vec<usize> = jobs
+            .iter()
+            .filter(|(_, j)| j.deadline.is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let mut job = jobs.remove(&id).expect("expired job vanished");
+            job.ctx.metrics().add(MetricField::JobsDeadlined, 1);
+            let err = job.abort(job.result_idx, 0, 0, TaskError::DeadlineExceeded);
+            job.fail_with(JobOutcome::Deadlined, err);
+        }
+    }
+
+    /// The driver's receive timeout: the nearest deadline among queued and
+    /// running jobs, clamped to the admission poll while jobs are queued
+    /// (their admission inputs can change without an event). `None` means
+    /// block indefinitely — nothing is waiting on time.
+    fn receive_timeout(&self, jobs: &HashMap<usize, Box<JobRun>>) -> Option<Duration> {
+        let now = Instant::now();
+        let nearest = jobs
+            .values()
+            .filter_map(|j| j.deadline)
+            .chain(self.queue.iter().filter_map(|j| j.deadline))
+            .min()
+            .map(|d| d.saturating_duration_since(now));
+        if self.queue.is_empty() {
+            nearest
+        } else {
+            Some(nearest.map_or(ADMISSION_POLL, |t| t.min(ADMISSION_POLL)))
+        }
+    }
+}
+
+/// Starts an admitted job and parks it in the running map unless it
+/// resolved instantly (zero-stage result, or a failure to even start).
+fn admit(mut job: Box<JobRun>, jobs: &mut HashMap<usize, Box<JobRun>>) {
+    match job.start() {
+        Err(err) => job.fail(err),
+        Ok(()) if job.is_finished() => job.finish(),
+        Ok(()) => {
+            jobs.insert(job.job_id, job);
+        }
+    }
+}
+
 /// The service's event loop: demultiplexes messages by job tag, advances
 /// the owning job's state machine, and finalises jobs that finish or
-/// abort. Runs no user code — task bodies run on executors, actions block
-/// on their handles.
+/// abort. New jobs pass through the [`AdmissionController`] first, and the
+/// loop wakes on a timer (instead of blocking forever on the channel)
+/// whenever a deadline is pending or jobs are queued for admission. Runs
+/// no user code — task bodies run on executors, actions block on their
+/// handles.
 fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
     let mut jobs: HashMap<usize, Box<JobRun>> = HashMap::new();
-    while let Ok(Tagged { tag, msg }) = rx.recv() {
+    let mut admission = AdmissionController::new();
+    loop {
+        admission.expire_deadlines(&mut jobs);
+        admission.drain(&mut jobs);
+        let received = match admission.receive_timeout(&jobs) {
+            None => rx.recv().map_err(|_| ()),
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(msg) => Ok(msg),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => Err(()),
+            },
+        };
+        let Ok(Tagged { tag, msg }) = received else {
+            break;
+        };
         match msg {
             ServiceEvent::Shutdown => break,
-            ServiceEvent::Submit(mut job) => {
+            ServiceEvent::Submit(job) => {
                 debug_assert_eq!(tag, job.job_id, "submit tag must be the job id");
-                match job.start() {
-                    Err(err) => job.fail(err),
-                    Ok(()) if job.is_finished() => job.finish(),
-                    Ok(()) => {
-                        jobs.insert(tag, job);
-                    }
-                }
+                admission.submit(job, &mut jobs);
             }
             event => {
                 // Stale tags (events of a job that already finished or
@@ -481,8 +787,11 @@ fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
             }
         }
     }
-    // Teardown (or every sender dropped) with jobs still live: fail them
-    // so no caller blocks forever on its handle.
+    // Teardown (or every sender dropped) with jobs still live or queued:
+    // fail them so no caller blocks forever on its handle.
+    for job in admission.queue.drain() {
+        job.resolve_unadmitted(JobOutcome::Aborted, TaskError::ExecutorShutdown);
+    }
     for (_, job) in jobs.drain() {
         let err = JobError {
             job_id: job.job_id,
@@ -653,6 +962,10 @@ struct JobRun {
     job_id: usize,
     /// Priority the job was submitted with (higher is served first).
     priority: i32,
+    /// Absolute deadline from `SpangleContext::run_with_deadline`; the
+    /// driver resolves the job as [`JobOutcome::Deadlined`] once it
+    /// passes, whether the job is queued for admission or running.
+    deadline: Option<Instant>,
     stages: Vec<Stage>,
     /// Index of the result stage (always the last).
     result_idx: usize,
@@ -671,6 +984,11 @@ struct JobRun {
     /// Nanoseconds this job's task attempts spent queued on executors
     /// before starting, summed over attempts.
     queue_wait_nanos: u64,
+    /// When admission control queued the job (None once admitted or when
+    /// it was admitted directly).
+    admission_queued_at: Option<Instant>,
+    /// Time the job spent in the admission queue before starting.
+    admission_wait_nanos: u64,
     /// Remaining executor-loss / fetch-failure resubmissions before the
     /// job gives up and aborts (the per-job recovery budget; failures of
     /// this kind do not charge the per-task attempt budget).
@@ -693,6 +1011,30 @@ impl JobRun {
     /// Whether the result stage (and therefore the job) is done.
     fn is_finished(&self) -> bool {
         self.stages[self.result_idx].state == StageState::Finished
+    }
+
+    /// Tasks the job would run if every stage ran (skipped-stage reuse can
+    /// make the real count smaller): the unit admission control's
+    /// per-priority queue bound is expressed in.
+    fn planned_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.num_tasks).sum()
+    }
+
+    /// Resolves a job that was never admitted (shed, deadlined while
+    /// queued, or still queued at teardown): records a report with no
+    /// stage entries and resolves the caller's handle with `err`. Nothing
+    /// of the job ever ran, so there is nothing to abandon or reclaim.
+    fn resolve_unadmitted(mut self: Box<Self>, outcome: JobOutcome, err: TaskError) {
+        self.record(outcome);
+        let job_error = JobError {
+            job_id: self.job_id,
+            stage_id: 0,
+            partition: 0,
+            attempts: 0,
+            last_error: err,
+        };
+        self.stages.clear();
+        let _ = self.done.send(Err(job_error));
     }
 
     /// Advances the job's state machine by one event from the shared loop.
@@ -945,9 +1287,16 @@ impl JobRun {
             // An attempt that outlived its incarnation lost its output
             // with the executor; report the loss instead of a stale
             // success. A fetch failure keeps precedence — it names the
-            // shuffle the scheduler must repair either way.
+            // shuffle the scheduler must repair either way — and so does
+            // an injected failure: `fail_task` armed together with
+            // `kill_executor_after` must still charge the attempt budget
+            // deterministically, not vanish into the free replay the
+            // executor-lost path grants.
             if ctx.inner.pool.epoch(info.ran_on) != info.epoch
-                && !matches!(outcome, Err(TaskError::FetchFailed { .. }))
+                && !matches!(
+                    outcome,
+                    Err(TaskError::FetchFailed { .. }) | Err(TaskError::Injected)
+                )
             {
                 outcome = Err(TaskError::ExecutorLost {
                     executor: info.ran_on,
@@ -1211,7 +1560,15 @@ impl JobRun {
     /// [`JobOutcome::Aborted`], and only then does the caller's handle
     /// resolve with the error — `last_job_report()` after a failed action
     /// therefore describes the failed job, not the previous one.
-    fn fail(mut self, err: JobError) {
+    fn fail(self, err: JobError) {
+        self.fail_with(JobOutcome::Aborted, err);
+    }
+
+    /// [`fail`](Self::fail) with an explicit outcome: the deadline path
+    /// records [`JobOutcome::Deadlined`] instead of `Aborted` while
+    /// sharing the abort bookkeeping (in-flight stage reports, shuffle
+    /// abandon already done by the caller, handle resolution last).
+    fn fail_with(mut self, outcome: JobOutcome, err: JobError) {
         let aborted: Vec<StageReport> = self
             .stages
             .iter()
@@ -1232,7 +1589,7 @@ impl JobRun {
             })
             .collect();
         self.reports.extend(aborted);
-        self.record(JobOutcome::Aborted);
+        self.record(outcome);
         // As in `finish`: the caller must hold the last lineage references
         // once it unblocks.
         self.stages.clear();
@@ -1249,6 +1606,7 @@ impl JobRun {
             max_concurrent_stages: self.max_concurrent,
             executor_busy_nanos: std::mem::take(&mut self.executor_busy),
             queue_wait_nanos: self.queue_wait_nanos,
+            admission_wait_nanos: self.admission_wait_nanos,
             wall_nanos: self.started.elapsed().as_nanos() as u64,
         });
     }

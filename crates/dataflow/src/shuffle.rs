@@ -156,6 +156,12 @@ impl ShuffleService {
         self.blocks
             .write()
             .insert(id, (Arc::new(records), bytes, origin));
+        // Resident cache + shuffle memory is what admission control's high
+        // watermark is evaluated against; record its peak where it grows.
+        ctx.metrics().raise(
+            MetricField::MemoryHighwaterBytes,
+            (self.resident_bytes() + ctx.cached_bytes()) as u64,
+        );
     }
 
     /// Records that map partition `map_id` of `shuffle_id` deposited all

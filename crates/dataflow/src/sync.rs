@@ -11,9 +11,10 @@
 //! written against (plus [`channel::MuxSender`], the tagged sender the
 //! shared scheduler service multiplexes every job's events through),
 //! [`StealQueues`] provides the executor pool's locality-aware
-//! work-stealing priority queues, and [`Subscribers`] is the one-shot
-//! callback list behind the shuffle service's event-driven completion
-//! notifications.
+//! work-stealing priority queues, [`PriorityFifo`] is the single-consumer
+//! variant behind the scheduler's admission queue, and [`Subscribers`] is
+//! the one-shot callback list behind the shuffle service's event-driven
+//! completion notifications.
 
 use std::collections::BTreeMap;
 use std::sync::{LockResult, PoisonError};
@@ -86,7 +87,9 @@ impl Condvar {
 /// Unbounded MPSC channels under the names the runtime was written
 /// against (previously `crossbeam::channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -178,6 +181,88 @@ impl<T> std::fmt::Debug for Closed<T> {
 struct QueueKey {
     priority: std::cmp::Reverse<i32>,
     seq: u64,
+}
+
+/// A single-consumer priority queue: highest priority pops first, strict
+/// FIFO within a priority.
+///
+/// This is the ordering discipline of one [`StealQueues`] lane without the
+/// worker/steal machinery — the scheduler service uses it as its admission
+/// queue, where jobs over the concurrency bound wait for capacity. It is a
+/// plain (non-`Sync`) value because the driver loop is the only consumer;
+/// callers needing sharing wrap it in a [`Mutex`] themselves.
+#[derive(Default)]
+pub struct PriorityFifo<T> {
+    items: BTreeMap<QueueKey, T>,
+    /// Submission counter, the FIFO tie-breaker within a priority.
+    next_seq: u64,
+}
+
+impl<T> PriorityFifo<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PriorityFifo {
+            items: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues an item (higher priority pops first; FIFO within a
+    /// priority).
+    pub fn push(&mut self, priority: i32, item: T) {
+        let key = QueueKey {
+            priority: std::cmp::Reverse(priority),
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.items.insert(key, item);
+    }
+
+    /// Removes and returns the highest-priority, oldest item.
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_first().map(|(_, item)| item)
+    }
+
+    /// The item [`PriorityFifo::pop_front`] would return, without removing
+    /// it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.first_key_value().map(|(_, item)| item)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates queued items in pop order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.values()
+    }
+
+    /// Removes and returns every item matching `pred`, preserving pop
+    /// order among the extracted items (used to pull expired jobs out of
+    /// the admission queue without disturbing the rest).
+    pub fn extract(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let keys: Vec<QueueKey> = self
+            .items
+            .iter()
+            .filter(|(_, item)| pred(item))
+            .map(|(key, _)| *key)
+            .collect();
+        keys.into_iter()
+            .map(|key| self.items.remove(&key).expect("key taken from the map"))
+            .collect()
+    }
+
+    /// Removes and returns every queued item in pop order.
+    pub fn drain(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.items).into_values().collect()
+    }
 }
 
 struct QueuesState<T> {
@@ -508,6 +593,36 @@ mod tests {
             other => panic!("expected a steal, got {other:?}"),
         }
         assert!(matches!(q.next(0), Next::Local("urgent")));
+    }
+
+    #[test]
+    fn priority_fifo_orders_by_priority_then_fifo() {
+        let mut q = PriorityFifo::new();
+        q.push(0, "low-1");
+        q.push(5, "high");
+        q.push(0, "low-2");
+        q.push(-1, "bulk");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.front(), Some(&"high"));
+        assert_eq!(q.pop_front(), Some("high"));
+        assert_eq!(q.pop_front(), Some("low-1"));
+        assert_eq!(q.pop_front(), Some("low-2"));
+        assert_eq!(q.pop_front(), Some("bulk"));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn priority_fifo_extract_pulls_matching_items_only() {
+        let mut q = PriorityFifo::new();
+        for v in [1u64, 2, 3, 4] {
+            q.push(0, v);
+        }
+        let evens = q.extract(|v| v % 2 == 0);
+        assert_eq!(evens, vec![2, 4]);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(q.drain(), vec![1, 3]);
+        assert!(q.is_empty());
     }
 
     #[test]

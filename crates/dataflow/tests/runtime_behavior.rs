@@ -272,6 +272,39 @@ fn mid_job_executor_kill_recovers_through_lineage() {
     );
 }
 
+/// Injector composition: `fail_task` and `kill_executor_after` armed on
+/// the *same attempt* must both fire, and the injected failure must keep
+/// precedence over the executor loss — charged to the task's attempt
+/// budget (one retry) instead of vanishing into the free replay the
+/// `ExecutorLost` path grants. Regression test: the epoch-override check
+/// used to rewrite the `Injected` outcome into `ExecutorLost`.
+#[test]
+fn injected_failure_composes_with_executor_kill_on_same_attempt() {
+    let ctx = SpangleContext::new(2);
+    let rdd = ctx.parallelize((0u64..20).collect(), 2);
+    // Partition 1 is placed on executor 1: its first attempt is killed by
+    // the injector, and the same task body is executor 1's first task, so
+    // the armed kill fires right after the injected failure.
+    ctx.failure_injector().fail_task(rdd.id(), 1, 1);
+    ctx.failure_injector().kill_executor_after(1, 1);
+
+    let before = ctx.metrics_snapshot();
+    let out = sorted(rdd.collect().unwrap());
+    let delta = ctx.metrics_snapshot() - before;
+
+    assert_eq!(out, (0u64..20).collect::<Vec<_>>());
+    assert!(
+        ctx.failure_injector().is_drained(),
+        "both armed injections must have fired"
+    );
+    assert_eq!(delta.executors_lost, 1, "{delta:?}");
+    assert_eq!(
+        delta.task_retries, 1,
+        "the injected failure is charged as a retry, not an executor-loss \
+         replay: {delta:?}"
+    );
+}
+
 /// A permanently poisoned job — every resubmission is answered by another
 /// executor kill — exhausts its resubmission budget and aborts cleanly
 /// instead of looping, leaving no shuffle bytes resident.

@@ -36,9 +36,23 @@ run_build() {
     cargo build --release --workspace
 }
 
+# Wall-clock watchdog for the test steps: a scheduler regression that
+# wedges a job (admission never draining, a deadline never firing, a lost
+# wake-up) otherwise hangs CI until the runner's global timeout. Override
+# with WATCHDOG_SECS; 0 disables.
+WATCHDOG_SECS="${WATCHDOG_SECS:-600}"
+
+watchdog() {
+    if [ "$WATCHDOG_SECS" -gt 0 ] && command -v timeout >/dev/null; then
+        timeout --signal=KILL "$WATCHDOG_SECS" "$@"
+    else
+        "$@"
+    fi
+}
+
 run_test() {
-    echo "== cargo test"
-    cargo test -q --workspace
+    echo "== cargo test (watchdog ${WATCHDOG_SECS}s)"
+    watchdog cargo test -q --workspace
 }
 
 run_doc() {
@@ -47,10 +61,12 @@ run_doc() {
 }
 
 run_stress() {
-    echo "== stress: concurrent jobs with failure injection"
-    cargo test -q -p spangle-dataflow --test stress_concurrent_jobs -- --ignored
+    echo "== stress: concurrent jobs, admission overload (watchdog ${WATCHDOG_SECS}s)"
+    # Serial: both scenarios assert on process-wide thread counts.
+    watchdog cargo test -q -p spangle-dataflow --test stress_concurrent_jobs -- \
+        --ignored --test-threads=1
     echo "== stress: executor-kill chaos recovery"
-    cargo test -q -p spangle-dataflow --test chaos_recovery -- --ignored
+    watchdog cargo test -q -p spangle-dataflow --test chaos_recovery -- --ignored
 }
 
 steps=()
