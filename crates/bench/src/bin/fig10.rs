@@ -8,10 +8,11 @@
 //! Mawi on dense systems.
 
 use spangle_baselines::{BlockMatrix, CooBlock, CscBlock, DenseBlock, LocalArrayEngine};
-use spangle_bench::{banner, ms, time, Table};
+use spangle_bench::{banner, ms, time, write_bench_json, Json, Table};
 use spangle_core::{ArrayMeta, ChunkPolicy};
-use spangle_dataflow::SpangleContext;
+use spangle_dataflow::{JobReport, MetricsSnapshot, SpangleContext};
 use spangle_linalg::{DenseVector, DistMatrix};
+use std::time::Duration;
 
 /// Modelled per-executor memory for the dense comparator (the paper's
 /// executors had 10 GB; scale to our matrix sizes).
@@ -91,12 +92,35 @@ fn unit_vec(n: usize) -> Vec<f64> {
     (0..n).map(|i| ((i % 7) as f64) / 7.0 + 0.1).collect()
 }
 
+/// Machine-readable record of one spangle op for `BENCH_fig10.json`:
+/// wall time, the run's shuffle traffic, and the planner rewrite
+/// counters from the job's scheduler report.
+fn op_json(op: &str, wall: Duration, delta: &MetricsSnapshot, report: Option<&JobReport>) -> Json {
+    Json::obj(vec![
+        ("op", Json::Str(op.into())),
+        ("wall_ms", Json::F64(wall.as_secs_f64() * 1e3)),
+        ("shuffle_write_bytes", Json::U64(delta.shuffle_write_bytes)),
+        ("shuffle_read_bytes", Json::U64(delta.shuffle_read_bytes)),
+        ("stages_fused", Json::U64(delta.stages_fused)),
+        ("shuffles_elided", Json::U64(delta.shuffles_elided)),
+        (
+            "partitions_coalesced",
+            Json::U64(delta.partitions_coalesced),
+        ),
+        (
+            "queue_wait_ms",
+            Json::F64(report.map_or(0.0, |r| r.queue_wait_nanos as f64 / 1e6)),
+        ),
+    ])
+}
+
 fn main() {
     banner(
         "Figure 10",
         "ML core operations (MxV, VtxM, MtM) across matrix systems",
     );
     let ctx = SpangleContext::new(8);
+    let mut json_workloads: Vec<Json> = Vec::new();
 
     for w in WORKLOADS {
         println!(
@@ -175,15 +199,24 @@ fn main() {
         ]);
 
         let mut spangle_reports = Vec::new();
+        let mut ops_json: Vec<Json> = Vec::new();
 
         // M x V
         {
+            let op_before = ctx.metrics_snapshot();
             let (_, t_sp) = time(|| {
                 spangle
                     .matvec(&DenseVector::column(x_col.clone()))
                     .expect("matvec")
             });
+            let op_delta = ctx.metrics_snapshot() - op_before;
             spangle_reports.extend(ctx.last_job_report().map(|r| ("MxV", r)));
+            ops_json.push(op_json(
+                "MxV",
+                t_sp,
+                &op_delta,
+                ctx.last_job_report().as_ref(),
+            ));
             let (_, t_coo) = time(|| coo.matvec(&x_col).expect("matvec"));
             let (_, t_csc) = time(|| csc.matvec(&x_col).expect("matvec"));
             let t_dense = dense
@@ -206,11 +239,19 @@ fn main() {
 
         // Vt x M
         {
+            let op_before = ctx.metrics_snapshot();
             let (_, t_sp) = time(|| {
                 spangle
                     .vecmat(&DenseVector::row(x_row.clone()))
                     .expect("vecmat")
             });
+            let op_delta = ctx.metrics_snapshot() - op_before;
+            ops_json.push(op_json(
+                "VtxM",
+                t_sp,
+                &op_delta,
+                ctx.last_job_report().as_ref(),
+            ));
             let (_, t_coo) = time(|| coo.vecmat(&x_row).expect("vecmat"));
             let (_, t_csc) = time(|| csc.vecmat(&x_row).expect("vecmat"));
             let t_dense = dense
@@ -245,8 +286,16 @@ fn main() {
                 );
             let baselines_fit = partial_bytes <= DENSE_BUDGET_BYTES * 8;
 
+            let op_before = ctx.metrics_snapshot();
             let (_, t_sp) = time(|| spangle.gram().nnz().expect("gram"));
+            let op_delta = ctx.metrics_snapshot() - op_before;
             spangle_reports.extend(ctx.last_job_report().map(|r| ("MtM", r)));
+            ops_json.push(op_json(
+                "MtM",
+                t_sp,
+                &op_delta,
+                ctx.last_job_report().as_ref(),
+            ));
             let t_coo = baselines_fit.then(|| time(|| coo.gram().nnz().expect("gram")).1);
             let t_csc = baselines_fit.then(|| time(|| csc.gram().nnz().expect("gram")).1);
             let gram_dense_bytes = w.cols * w.cols * 8;
@@ -309,6 +358,16 @@ fn main() {
             snap.partitions_evicted,
         );
         println!(
+            "   planner so far: {} narrow chains fused, {} shuffles elided, {} partitions coalesced",
+            snap.stages_fused, snap.shuffles_elided, snap.partitions_coalesced,
+        );
+        json_workloads.push(Json::obj(vec![
+            ("name", Json::Str(w.name.into())),
+            ("rows", Json::U64(w.rows as u64)),
+            ("cols", Json::U64(w.cols as u64)),
+            ("ops", Json::Arr(ops_json)),
+        ]));
+        println!(
             "   nnz={}  memory: spangle={} KiB, coo={} KiB, csc={} KiB, dense={}",
             spangle.nnz().unwrap(),
             spangle.mem_bytes().unwrap() / 1024,
@@ -323,4 +382,16 @@ fn main() {
         );
         println!();
     }
+
+    write_bench_json(
+        "fig10",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig10".into())),
+            (
+                "description",
+                Json::Str("ML core operations (MxV, VtxM, MtM) on the spangle engine".into()),
+            ),
+            ("workloads", Json::Arr(json_workloads)),
+        ]),
+    );
 }

@@ -9,7 +9,7 @@
 //! where GraphX's growing triplet state shows up.
 
 use spangle_baselines::{pagerank_edge_list, pagerank_pregel_like};
-use spangle_bench::{banner, ms, secs, time, Table};
+use spangle_bench::{banner, ms, secs, time, write_bench_json, Json, Table};
 use spangle_dataflow::SpangleContext;
 use spangle_ml::{pagerank, Graph};
 use std::time::Duration;
@@ -73,6 +73,7 @@ fn main() {
         "PageRank end-to-end and per-iteration times across systems",
     );
     let ctx = SpangleContext::new(8);
+    let mut json_graphs: Vec<Json> = Vec::new();
     let mut table = Table::new(&[
         "graph",
         "system",
@@ -92,10 +93,12 @@ fn main() {
         // watermark so the per-job scheduler reports below cover exactly
         // this run.
         let first_job = ctx.last_job_report().map_or(0, |r| r.job_id + 1);
+        let run_before = ctx.metrics_snapshot();
         let (res, total) = time(|| {
             pagerank(&g, spec.block, spec.super_sparse, ALPHA, ITERATIONS)
                 .expect("spangle pagerank")
         });
+        let run_delta = ctx.metrics_snapshot() - run_before;
         let reports: Vec<_> = ctx
             .job_reports()
             .into_iter()
@@ -133,6 +136,9 @@ fn main() {
         let queue_wait_ms: u64 = reports.iter().map(|r| r.queue_wait_nanos / 1_000_000).sum();
         let fetch_failures: usize = reports.iter().map(|r| r.fetch_failures()).sum();
         let maps_recomputed: usize = reports.iter().map(|r| r.map_partitions_recomputed()).sum();
+        let fused: usize = reports.iter().map(|r| r.stages_fused()).sum();
+        let elided: usize = reports.iter().map(|r| r.shuffles_elided()).sum();
+        let coalesced: usize = reports.iter().map(|r| r.partitions_coalesced()).sum();
         println!(
             "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms, {} fetch failures, {} map partitions recomputed)",
             spec.name,
@@ -146,9 +152,36 @@ fn main() {
             fetch_failures,
             maps_recomputed,
         );
+        println!(
+            "   planner: {fused} narrow chains fused, {elided} shuffles elided, \
+             {coalesced} partitions coalesced"
+        );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");
         }
+        json_graphs.push(Json::obj(vec![
+            ("name", Json::Str(spec.name.into())),
+            ("vertices", Json::U64(spec.vertices as u64)),
+            ("edges", Json::U64(spec.edges as u64)),
+            ("build_ms", Json::F64(res.build_time.as_secs_f64() * 1e3)),
+            ("total_ms", Json::F64(total.as_secs_f64() * 1e3)),
+            ("avg_iter_ms", Json::F64(avg.as_secs_f64() * 1e3)),
+            ("last_iter_ms", Json::F64(last.as_secs_f64() * 1e3)),
+            ("jobs", Json::U64(reports.len() as u64)),
+            ("stages_run", Json::U64(stages_run as u64)),
+            ("stages_skipped", Json::U64(stages_skipped as u64)),
+            (
+                "shuffle_write_bytes",
+                Json::U64(run_delta.shuffle_write_bytes),
+            ),
+            (
+                "shuffle_read_bytes",
+                Json::U64(run_delta.shuffle_read_bytes),
+            ),
+            ("stages_fused", Json::U64(fused as u64)),
+            ("shuffles_elided", Json::U64(elided as u64)),
+            ("partitions_coalesced", Json::U64(coalesced as u64)),
+        ]));
         let snap = ctx.metrics_snapshot();
         let admission_wait_ms: u64 = reports
             .iter()
@@ -194,4 +227,18 @@ fn main() {
         ]);
     }
     table.print();
+
+    write_bench_json(
+        "fig11",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig11".into())),
+            (
+                "description",
+                Json::Str(
+                    "PageRank end-to-end and per-iteration times on the spangle engine".into(),
+                ),
+            ),
+            ("graphs", Json::Arr(json_graphs)),
+        ]),
+    );
 }

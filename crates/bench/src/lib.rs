@@ -96,6 +96,106 @@ pub fn banner(id: &str, description: &str) {
     println!();
 }
 
+/// A JSON value for the machine-readable `BENCH_*.json` artifacts the
+/// figure harnesses drop at the repository root. Hand-rolled because the
+/// workspace carries no external dependencies.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// An unsigned integer (counters, byte totals).
+    U64(u64),
+    /// A float (times in milliseconds, ratios).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object entries.
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:.3}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a figure harness's machine-readable results to
+/// `BENCH_<name>.json` at the repository root and prints the path.
+pub fn write_bench_json(name: &str, value: &Json) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    let mut body = value.render();
+    body.push('\n');
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +219,19 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_renders_nested_values_with_escapes() {
+        let v = Json::obj(vec![
+            ("n", Json::U64(3)),
+            ("t", Json::F64(1.5)),
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"n":3,"t":1.500,"s":"a\"b\\c\nd","xs":[1,2]}"#
+        );
     }
 }

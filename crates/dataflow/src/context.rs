@@ -5,6 +5,7 @@ use crate::executor::ExecutorPool;
 use crate::failure::FailureInjector;
 use crate::memsize::MemSize;
 use crate::metrics::{MetricField, Metrics, MetricsSnapshot, DEFAULT_JOB_REPORT_HISTORY};
+use crate::plan::PlannerConfig;
 use crate::rdd::sources::ParallelizeRdd;
 use crate::rdd::Rdd;
 use crate::scheduler::SchedulerService;
@@ -70,6 +71,8 @@ pub(crate) struct ContextInner {
     pub(crate) max_resubmissions: usize,
     /// Admission-control bounds enforced by the scheduler service.
     pub(crate) admission: AdmissionConfig,
+    /// Which plan rewrites (fusion / elision / coalescing) are active.
+    pub(crate) planner: PlannerConfig,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -94,6 +97,10 @@ pub struct SpangleContext {
 ///     .max_queued_tasks_per_priority(1024)
 ///     .memory_high_watermark_bytes(64 << 20)
 ///     .shed_below_priority(0)
+///     .fuse_narrow_chains(true)
+///     .elide_shuffles(true)
+///     .coalesce_partitions(true)
+///     .target_partition_bytes(1 << 20)
 ///     .build();
 /// assert_eq!(ctx.num_executors(), 4);
 /// assert_eq!(ctx.max_task_attempts(), 2);
@@ -105,6 +112,7 @@ pub struct SpangleContextBuilder {
     max_resubmissions: usize,
     job_report_history: usize,
     admission: AdmissionConfig,
+    planner: PlannerConfig,
 }
 
 impl Default for SpangleContextBuilder {
@@ -115,6 +123,7 @@ impl Default for SpangleContextBuilder {
             max_resubmissions: 16,
             job_report_history: DEFAULT_JOB_REPORT_HISTORY,
             admission: AdmissionConfig::default(),
+            planner: PlannerConfig::default(),
         }
     }
 }
@@ -190,6 +199,54 @@ impl SpangleContextBuilder {
         self
     }
 
+    /// Enables or disables narrow-chain fusion: chains of one-parent
+    /// narrow transforms (map / filter / flat_map / map_partitions)
+    /// execute as one fused streaming task instead of materialising an
+    /// intermediate `Vec` per lineage node. Persisted RDDs and
+    /// multi-consumer nodes are fusion barriers, so cache semantics and
+    /// lineage recovery are unchanged. Default on; the
+    /// `SPANGLE_DISABLE_PLANNER` environment variable flips the default
+    /// off (explicit calls always win).
+    pub fn fuse_narrow_chains(mut self, enabled: bool) -> Self {
+        self.planner.fuse_narrow_chains = enabled;
+        self
+    }
+
+    /// Enables or disables plan-time shuffle elision: a shuffle whose
+    /// map-side parent already carries the target
+    /// [`crate::PartitionerSig`] is rewritten into a narrow pass-through
+    /// — no shuffle id, no blocks, no map stage. Applies to every shuffle
+    /// site (`partition_by`, `reduce_by_key`, `group_by_key`,
+    /// `combine_by_key`, `cogroup`, `join`). Default on; see
+    /// [`SpangleContextBuilder::fuse_narrow_chains`] for the environment
+    /// override.
+    pub fn elide_shuffles(mut self, enabled: bool) -> Self {
+        self.planner.elide_shuffles = enabled;
+        self
+    }
+
+    /// Enables or disables runtime partition coalescing: when a reduce
+    /// stage becomes ready, adjacent buckets whose recorded shuffle bytes
+    /// fall below the [`SpangleContextBuilder::target_partition_bytes`]
+    /// target are packed into shared executor tasks. Logical partitions
+    /// (and therefore fetch-failure recovery) are unchanged — only the
+    /// scheduling granularity coarsens. Default on; see
+    /// [`SpangleContextBuilder::fuse_narrow_chains`] for the environment
+    /// override.
+    pub fn coalesce_partitions(mut self, enabled: bool) -> Self {
+        self.planner.coalesce_partitions = enabled;
+        self
+    }
+
+    /// Byte target one coalesced reduce task aims to cover (default
+    /// 1 MiB). Balanced stages never coalesce below one group per
+    /// executor regardless of the target.
+    pub fn target_partition_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "the coalescing target must be positive");
+        self.planner.target_partition_bytes = bytes;
+        self
+    }
+
     /// Starts the cluster.
     pub fn build(self) -> SpangleContext {
         SpangleContext {
@@ -207,6 +264,7 @@ impl SpangleContextBuilder {
                 max_task_attempts: self.max_task_attempts,
                 max_resubmissions: self.max_resubmissions,
                 admission: self.admission,
+                planner: self.planner,
             }),
         }
     }
@@ -280,6 +338,11 @@ impl SpangleContext {
     /// Cumulative metric counters.
     pub(crate) fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// The plan rewrites active for this cluster (fixed at build time).
+    pub(crate) fn planner(&self) -> &PlannerConfig {
+        &self.inner.planner
     }
 
     /// Snapshot of the cumulative counters; subtract two to cost a job.

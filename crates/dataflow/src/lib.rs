@@ -45,6 +45,7 @@ pub mod failure;
 pub mod memsize;
 pub mod metrics;
 pub mod partitioner;
+pub mod plan;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
@@ -57,6 +58,7 @@ pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageRep
 pub use partitioner::{
     HashPartitioner, ModPartitioner, Partitioner, PartitionerSig, RangePartitioner,
 };
+pub use plan::PlanNodeInfo;
 pub use rdd::pair::PairRdd;
 pub use rdd::Rdd;
 pub use scheduler::{submit_job, JobError, JobHandle, TaskError};

@@ -42,6 +42,9 @@ pub struct Metrics {
     pub(crate) partitions_evicted: AtomicU64,
     pub(crate) cache_highwater_bytes: AtomicU64,
     pub(crate) memory_highwater_bytes: AtomicU64,
+    pub(crate) stages_fused: AtomicU64,
+    pub(crate) shuffles_elided: AtomicU64,
+    pub(crate) partitions_coalesced: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -83,6 +86,9 @@ impl Metrics {
             partitions_evicted: AtomicU64::new(0),
             cache_highwater_bytes: AtomicU64::new(0),
             memory_highwater_bytes: AtomicU64::new(0),
+            stages_fused: AtomicU64::new(0),
+            shuffles_elided: AtomicU64::new(0),
+            partitions_coalesced: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -124,6 +130,9 @@ impl Metrics {
             MetricField::PartitionsEvicted => &self.partitions_evicted,
             MetricField::CacheHighwaterBytes => &self.cache_highwater_bytes,
             MetricField::MemoryHighwaterBytes => &self.memory_highwater_bytes,
+            MetricField::StagesFused => &self.stages_fused,
+            MetricField::ShufflesElided => &self.shuffles_elided,
+            MetricField::PartitionsCoalesced => &self.partitions_coalesced,
         }
     }
 
@@ -174,6 +183,9 @@ impl Metrics {
             partitions_evicted: self.partitions_evicted.load(Ordering::Relaxed),
             cache_highwater_bytes: self.cache_highwater_bytes.load(Ordering::Relaxed),
             memory_highwater_bytes: self.memory_highwater_bytes.load(Ordering::Relaxed),
+            stages_fused: self.stages_fused.load(Ordering::Relaxed),
+            shuffles_elided: self.shuffles_elided.load(Ordering::Relaxed),
+            partitions_coalesced: self.partitions_coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -203,6 +215,9 @@ pub(crate) enum MetricField {
     PartitionsEvicted,
     CacheHighwaterBytes,
     MemoryHighwaterBytes,
+    StagesFused,
+    ShufflesElided,
+    PartitionsCoalesced,
 }
 
 /// How one stage of a job ended.
@@ -269,6 +284,18 @@ pub struct StageReport {
     /// recovery run (zero on the stage's first, full run: the counter
     /// marks re-runs triggered by fetch failures downstream).
     pub map_partitions_recomputed: usize,
+    /// Narrow operator chains the planner collapsed into fused streaming
+    /// execution inside this stage's task bodies (each chain spans ≥ 2
+    /// operators that no longer materialise intermediate partitions).
+    pub stages_fused: usize,
+    /// Shuffle edges the planner rewrote to narrow pass-throughs that
+    /// this stage executes locally (the map-side parent already carried
+    /// the target partitioner signature).
+    pub shuffles_elided: usize,
+    /// Reduce buckets this stage merged into shared tasks at launch
+    /// because their recorded shuffle bytes fell below the coalescing
+    /// target: `num_tasks` minus the task groups actually scheduled.
+    pub partitions_coalesced: usize,
 }
 
 /// Scheduler-level accounting of one finished job.
@@ -354,6 +381,21 @@ impl JobReport {
             .sum()
     }
 
+    /// Narrow operator chains the planner fused across this job's stages.
+    pub fn stages_fused(&self) -> usize {
+        self.stages.iter().map(|s| s.stages_fused).sum()
+    }
+
+    /// Shuffle edges the planner elided across this job's stages.
+    pub fn shuffles_elided(&self) -> usize {
+        self.stages.iter().map(|s| s.shuffles_elided).sum()
+    }
+
+    /// Reduce buckets merged into shared tasks across this job's stages.
+    pub fn partitions_coalesced(&self) -> usize {
+        self.stages.iter().map(|s| s.partitions_coalesced).sum()
+    }
+
     /// Busy-time imbalance across executors: max/mean of
     /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
     /// `None` when the job did no executor work.
@@ -403,6 +445,18 @@ impl std::fmt::Display for JobReport {
                 f,
                 "\n  admission wait {:.2} ms",
                 self.admission_wait_nanos as f64 / 1e6
+            )?;
+        }
+        if self.stages_fused() != 0
+            || self.shuffles_elided() != 0
+            || self.partitions_coalesced() != 0
+        {
+            write!(
+                f,
+                "\n  planner: {} chains fused, {} shuffles elided, {} partitions coalesced",
+                self.stages_fused(),
+                self.shuffles_elided(),
+                self.partitions_coalesced(),
             )?;
         }
         if self.fetch_failures() != 0 || self.map_partitions_recomputed() != 0 {
@@ -521,6 +575,15 @@ pub struct MetricsSnapshot {
     /// shuffle blocks) — the figure the admission controller's
     /// `memory_high_watermark_bytes` bound is compared against.
     pub memory_highwater_bytes: u64,
+    /// Narrow operator chains the planner collapsed into fused streaming
+    /// execution (no intermediate partition materialisation).
+    pub stages_fused: u64,
+    /// Shuffle edges rewritten to narrow pass-throughs because the
+    /// map-side parent already carried the target partitioner signature.
+    pub shuffles_elided: u64,
+    /// Reduce buckets merged into shared executor tasks at stage launch
+    /// because their shuffle bytes fell below the coalescing target.
+    pub partitions_coalesced: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -552,6 +615,9 @@ impl std::ops::Sub for MetricsSnapshot {
             partitions_evicted: self.partitions_evicted - rhs.partitions_evicted,
             cache_highwater_bytes: self.cache_highwater_bytes - rhs.cache_highwater_bytes,
             memory_highwater_bytes: self.memory_highwater_bytes - rhs.memory_highwater_bytes,
+            stages_fused: self.stages_fused - rhs.stages_fused,
+            shuffles_elided: self.shuffles_elided - rhs.shuffles_elided,
+            partitions_coalesced: self.partitions_coalesced - rhs.partitions_coalesced,
         }
     }
 }
@@ -626,6 +692,9 @@ mod tests {
             wall_nanos: 0,
             fetch_failures: 0,
             map_partitions_recomputed: 0,
+            stages_fused: 0,
+            shuffles_elided: 0,
+            partitions_coalesced: 0,
         };
         let report = JobReport {
             job_id: 1,
@@ -667,6 +736,9 @@ mod tests {
             wall_nanos: 0,
             fetch_failures: 0,
             map_partitions_recomputed: 0,
+            stages_fused: 1,
+            shuffles_elided: 0,
+            partitions_coalesced: 0,
         };
         let report = JobReport {
             job_id: 2,
@@ -687,6 +759,8 @@ mod tests {
         assert!(rendered.contains("1 aborted"));
         assert!(rendered.contains("prio 3"));
         assert!(rendered.contains("aborted after"));
+        assert_eq!(report.stages_fused(), 2);
+        assert!(rendered.contains("planner: 2 chains fused"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::cache::CacheKey;
 use crate::context::SpangleContext;
 use crate::metrics::MetricField;
 use crate::partitioner::PartitionerSig;
+use crate::plan::PlanNodeInfo;
 use crate::scheduler::{self, JobError, TaskContext};
 use crate::{Data, MemSize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,10 +53,39 @@ pub trait RddNode<T: Data>: Send + Sync + 'static {
     fn dependencies(&self) -> Vec<Dependency>;
     /// Computes the elements of partition `split`.
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<T>;
+    /// Streams the elements of partition `split` into `sink`, one at a
+    /// time. Fusable narrow operators override this to pull from their
+    /// parent's stream, so a whole chain composes without materialising a
+    /// `Vec` per node; the default drains [`RddNode::compute`], which is
+    /// the materialising fallback every node must keep correct.
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        for t in self.compute(split, tc) {
+            sink(t);
+        }
+    }
+    /// Computes partition `split` as a shareable block. Pass-through
+    /// nodes override this to hand back their parent's block without
+    /// copying; the default materialises — streaming the fused chain when
+    /// narrow-chain fusion is on, calling plain [`RddNode::compute`] when
+    /// it is off.
+    fn compute_arc(&self, split: usize, tc: &TaskContext) -> Arc<Vec<T>> {
+        if self.base().ctx.planner().fuse_narrow_chains {
+            let mut out = Vec::new();
+            self.compute_into(split, tc, &mut |t| out.push(t));
+            Arc::new(out)
+        } else {
+            Arc::new(self.compute(split, tc))
+        }
+    }
     /// How this dataset is partitioned by key, when known. Used to detect
     /// co-partitioning and elide shuffles (the paper's local join).
     fn partitioner_sig(&self) -> Option<PartitionerSig> {
         None
+    }
+    /// Planner-visible attributes (fusability, elided shuffle edges).
+    /// Nodes that are not narrow streaming operators keep the default.
+    fn plan_info(&self) -> PlanNodeInfo {
+        PlanNodeInfo::default()
     }
 }
 
@@ -66,6 +96,12 @@ pub trait LineageNode: Send + Sync {
     fn rdd_id(&self) -> usize;
     /// The node's dependencies.
     fn dependencies(&self) -> Vec<Dependency>;
+    /// Planner-visible attributes of the node (fusability, elided shuffle
+    /// edges, persistence), consumed by the planner's stage analysis
+    /// (`plan::analyze_stages`).
+    fn plan_info(&self) -> PlanNodeInfo {
+        PlanNodeInfo::default()
+    }
 }
 
 /// One lineage edge.
@@ -86,6 +122,11 @@ impl<T: Data> LineageNode for ErasedRdd<T> {
     }
     fn dependencies(&self) -> Vec<Dependency> {
         self.0.node.dependencies()
+    }
+    fn plan_info(&self) -> PlanNodeInfo {
+        let mut info = self.0.node.plan_info();
+        info.persisted = self.0.node.base().persist.load(Ordering::Relaxed);
+        info
     }
 }
 
@@ -163,7 +204,7 @@ impl<T: Data> Rdd<T> {
                 return block;
             }
             base.ctx.metrics().add(MetricField::CacheMisses, 1);
-            let data = Arc::new(self.node.compute(split, tc));
+            let data = self.node.compute_arc(split, tc);
             let bytes = data.iter().map(MemSize::mem_size).sum();
             // Attribute the block to the computing executor incarnation —
             // and drop it on the floor if that incarnation was killed
@@ -180,7 +221,31 @@ impl<T: Data> Rdd<T> {
             }
             return data;
         }
-        Arc::new(self.node.compute(split, tc))
+        self.node.compute_arc(split, tc)
+    }
+
+    /// Streams partition `split` element-by-element into `sink`.
+    ///
+    /// Persisted datasets go through [`Rdd::iterator`] first (the cache is
+    /// a fusion barrier: the materialised block must exist) and clone out
+    /// of the shared block. Otherwise, with narrow-chain fusion on, the
+    /// node's streaming path runs — a chain of fusable operators composes
+    /// here without intermediate `Vec`s; with fusion off the node
+    /// materialises via plain `compute` and the result is drained by
+    /// value, preserving the unoptimised execution shape.
+    pub(crate) fn stream(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        let base = self.node.base();
+        if base.persist.load(Ordering::Relaxed) {
+            for t in self.iterator(split, tc).iter() {
+                sink(t.clone());
+            }
+        } else if base.ctx.planner().fuse_narrow_chains {
+            self.node.compute_into(split, tc, sink);
+        } else {
+            for t in self.node.compute(split, tc) {
+                sink(t);
+            }
+        }
     }
 
     // ---- Actions -------------------------------------------------------
@@ -309,22 +374,37 @@ impl<T: Data> Rdd<T> {
             sig.num_partitions,
             "claimed partitioner does not match the partition count"
         );
-        Rdd::from_node(Arc::new(AssertPartitionedRdd {
-            base: RddBase::new(self.context()),
-            parent: self.clone(),
+        PassThroughRdd::create(self.clone(), sig, 0)
+    }
+}
+
+/// A zero-copy identity node that re-attaches a partitioner signature to
+/// its parent: the data is untouched, only the metadata changes. Used by
+/// [`Rdd::assert_partitioned`], by `map_values` (whose transformation
+/// cannot move keys), and as the narrow stand-in for a shuffle the planner
+/// elided (`partition_by` onto the partitioner the data already follows).
+/// `iterator` hands back the parent's block by `Arc` — never a deep clone.
+pub(crate) struct PassThroughRdd<T: Data> {
+    base: RddBase,
+    parent: Rdd<T>,
+    sig: PartitionerSig,
+    /// 1 when this node stands where a shuffle was elided, 0 for plain
+    /// signature bookkeeping.
+    elided_shuffles: usize,
+}
+
+impl<T: Data> PassThroughRdd<T> {
+    pub(crate) fn create(parent: Rdd<T>, sig: PartitionerSig, elided_shuffles: usize) -> Rdd<T> {
+        Rdd::from_node(Arc::new(PassThroughRdd {
+            base: RddBase::new(parent.context()),
+            parent,
             sig,
+            elided_shuffles,
         }))
     }
 }
 
-/// See [`Rdd::assert_partitioned`].
-struct AssertPartitionedRdd<T: Data> {
-    base: RddBase,
-    parent: Rdd<T>,
-    sig: PartitionerSig,
-}
-
-impl<T: Data> RddNode<T> for AssertPartitionedRdd<T> {
+impl<T: Data> RddNode<T> for PassThroughRdd<T> {
     fn base(&self) -> &RddBase {
         &self.base
     }
@@ -337,7 +417,22 @@ impl<T: Data> RddNode<T> for AssertPartitionedRdd<T> {
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<T> {
         (*self.parent.iterator(split, tc)).clone()
     }
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        self.parent.stream(split, tc, sink);
+    }
+    fn compute_arc(&self, split: usize, tc: &TaskContext) -> Arc<Vec<T>> {
+        // Identity: share the parent's block instead of copying it. This
+        // holds with the planner off too — sharing is unobservable.
+        self.parent.iterator(split, tc)
+    }
     fn partitioner_sig(&self) -> Option<PartitionerSig> {
         Some(self.sig)
+    }
+    fn plan_info(&self) -> PlanNodeInfo {
+        PlanNodeInfo {
+            fusable: true,
+            elided_shuffles: self.elided_shuffles,
+            persisted: false,
+        }
     }
 }

@@ -7,9 +7,10 @@
 //! the shuffle is elided and the join runs inside one stage — exactly the
 //! "local join" Spangle's matrix multiplication relies on (paper §VI-A).
 
-use super::{Dependency, LineageNode, Rdd, RddBase, RddNode};
+use super::{Dependency, LineageNode, PassThroughRdd, Rdd, RddBase, RddNode};
 use crate::memsize::MemSize;
 use crate::partitioner::{HashPartitioner, Partitioner, PartitionerSig};
+use crate::plan::PlanNodeInfo;
 use crate::scheduler::TaskContext;
 use crate::shuffle::BlockId;
 use crate::{Data, Key};
@@ -46,9 +47,16 @@ pub struct ShuffleDependency<K: Key, V: Data, C: Data> {
     route: RouteFn<K, V, C>,
 }
 
-/// Map-side routing: one partition's records in, per-reduce-bucket outputs
-/// out.
-type RouteFn<K, V, C> = Arc<dyn Fn(&[(K, V)], usize) -> Vec<Vec<(K, C)>> + Send + Sync>;
+/// One map partition's records, delivered as a push stream: the route
+/// calls the feed with a per-record sink. Records arrive by value straight
+/// off the parent's (possibly fused) stream, so routing needs no input
+/// buffer and no clone.
+pub type RecordFeed<'a, K, V> = &'a mut dyn FnMut(&mut dyn FnMut((K, V)));
+
+/// Map-side routing: one partition's record stream in, per-reduce-bucket
+/// outputs out.
+type RouteFn<K, V, C> =
+    Arc<dyn for<'a> Fn(RecordFeed<'a, K, V>, usize) -> Vec<Vec<(K, C)>> + Send + Sync>;
 
 impl<K: Key, V: Data> ShuffleDependency<K, V, V> {
     /// A plain shuffle: records are routed by `partitioner`, duplicates
@@ -60,11 +68,11 @@ impl<K: Key, V: Data> ShuffleDependency<K, V, V> {
             shuffle_id,
             parent,
             num_reduce_partitions: num_reduce,
-            route: Arc::new(move |records, n| {
+            route: Arc::new(move |feed: RecordFeed<K, V>, n| {
                 let mut buckets: Vec<Vec<(K, V)>> = vec![Vec::new(); n];
-                for (k, v) in records {
-                    buckets[partitioner.partition(k)].push((k.clone(), v.clone()));
-                }
+                feed(&mut |(k, v)| {
+                    buckets[partitioner.partition(&k)].push((k, v));
+                });
                 buckets
             }),
         })
@@ -87,19 +95,19 @@ impl<K: Key, V: Data, C: Data> ShuffleDependency<K, V, C> {
             shuffle_id,
             parent,
             num_reduce_partitions: num_reduce,
-            route: Arc::new(move |records, n| {
+            route: Arc::new(move |feed: RecordFeed<K, V>, n| {
                 let mut buckets: Vec<HashMap<K, C>> = vec![HashMap::new(); n];
-                for (k, v) in records {
-                    let bucket = &mut buckets[partitioner.partition(k)];
-                    match bucket.remove(k) {
+                feed(&mut |(k, v)| {
+                    let bucket = &mut buckets[partitioner.partition(&k)];
+                    match bucket.remove(&k) {
                         Some(c) => {
-                            bucket.insert(k.clone(), merge_value(c, v.clone()));
+                            bucket.insert(k, merge_value(c, v));
                         }
                         None => {
-                            bucket.insert(k.clone(), create(v.clone()));
+                            bucket.insert(k, create(v));
                         }
                     }
-                }
+                });
                 buckets
                     .into_iter()
                     .map(|m| m.into_iter().collect())
@@ -132,8 +140,8 @@ impl<K: Key, V: Data, C: Data> ShuffleDepDyn for ShuffleDependency<K, V, C> {
 
     fn run_map_task(&self, map_id: usize, tc: &TaskContext) {
         let ctx = self.context().clone();
-        let records = self.parent.iterator(map_id, tc);
-        let buckets = (self.route)(&records, self.num_reduce_partitions);
+        let mut feed = |sink: &mut dyn FnMut((K, V))| self.parent.stream(map_id, tc, sink);
+        let buckets = (self.route)(&mut feed, self.num_reduce_partitions);
         for (reduce_id, bucket) in buckets.into_iter().enumerate() {
             if bucket.is_empty() {
                 continue;
@@ -169,13 +177,26 @@ impl<K: Key, V: Data, C: Data> Drop for ShuffleDependency<K, V, C> {
     }
 }
 
+/// Where a shuffled dataset's records come from: the shuffle service
+/// (wide), or — when the planner proved the parent already follows the
+/// target partitioner — straight from the co-partitioned parent partition
+/// (the elided-shuffle rewrite: no shuffle id, no blocks, no map stage).
+enum ShuffleInput<K: Key, V: Data, C: Data> {
+    Wide(Arc<ShuffleDependency<K, V, C>>),
+    Elided {
+        parent: Rdd<(K, V)>,
+        create: Arc<dyn Fn(V) -> C + Send + Sync>,
+        merge_value: Arc<dyn Fn(C, V) -> C + Send + Sync>,
+    },
+}
+
 /// Reduce side of a shuffle. With `merge` set, equal keys are merged
 /// (reduce/combine semantics); without it all routed pairs are concatenated
 /// (`partition_by` semantics). Element order within a partition is
 /// unspecified when merging.
 pub struct ShuffledRdd<K: Key, V: Data, C: Data> {
     base: RddBase,
-    dep: Arc<ShuffleDependency<K, V, C>>,
+    input: ShuffleInput<K, V, C>,
     merge: Option<Arc<dyn Fn(C, C) -> C + Send + Sync>>,
     sig: PartitionerSig,
 }
@@ -189,8 +210,32 @@ impl<K: Key, V: Data, C: Data> ShuffledRdd<K, V, C> {
         let base = RddBase::new(dep.parent.context());
         Rdd::from_node(Arc::new(ShuffledRdd {
             base,
-            dep,
+            input: ShuffleInput::Wide(dep),
             merge,
+            sig,
+        }))
+    }
+
+    /// The narrow form of a combining shuffle whose parent is already
+    /// partitioned by `sig`: every record of reduce partition `i` is
+    /// already in parent partition `i`, so the per-key combine runs
+    /// locally and nothing touches the shuffle service.
+    pub(crate) fn create_elided(
+        parent: Rdd<(K, V)>,
+        sig: PartitionerSig,
+        create: Arc<dyn Fn(V) -> C + Send + Sync>,
+        merge_value: Arc<dyn Fn(C, V) -> C + Send + Sync>,
+    ) -> Rdd<(K, C)> {
+        debug_assert_eq!(parent.partitioner_sig(), Some(sig));
+        let base = RddBase::new(parent.context());
+        Rdd::from_node(Arc::new(ShuffledRdd {
+            base,
+            input: ShuffleInput::Elided {
+                parent,
+                create,
+                merge_value,
+            },
+            merge: None,
             sig,
         }))
     }
@@ -206,21 +251,57 @@ impl<K: Key, V: Data, C: Data> RddNode<(K, C)> for ShuffledRdd<K, V, C> {
     }
 
     fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Shuffle(self.dep.clone())]
+        match &self.input {
+            ShuffleInput::Wide(dep) => vec![Dependency::Shuffle(dep.clone())],
+            ShuffleInput::Elided { parent, .. } => vec![Dependency::Narrow(parent.lineage())],
+        }
     }
 
     fn partitioner_sig(&self) -> Option<PartitionerSig> {
         Some(self.sig)
     }
 
-    fn compute(&self, split: usize, _tc: &TaskContext) -> Vec<(K, C)> {
-        let ctx = self.dep.context().clone();
+    fn plan_info(&self) -> PlanNodeInfo {
+        PlanNodeInfo {
+            fusable: false,
+            elided_shuffles: match self.input {
+                ShuffleInput::Wide(_) => 0,
+                ShuffleInput::Elided { .. } => 1,
+            },
+            persisted: false,
+        }
+    }
+
+    fn compute(&self, split: usize, tc: &TaskContext) -> Vec<(K, C)> {
+        let dep = match &self.input {
+            ShuffleInput::Wide(dep) => dep,
+            ShuffleInput::Elided {
+                parent,
+                create,
+                merge_value,
+            } => {
+                // Per-key combine over the already co-located partition —
+                // the map-side and reduce-side combines of the wide path
+                // collapse into one local pass.
+                let mut merged: HashMap<K, C> = HashMap::new();
+                parent.stream(split, tc, &mut |(k, v)| match merged.remove(&k) {
+                    Some(c) => {
+                        merged.insert(k, merge_value(c, v));
+                    }
+                    None => {
+                        merged.insert(k, create(v));
+                    }
+                });
+                return merged.into_iter().collect();
+            }
+        };
+        let ctx = dep.context().clone();
         let mut out: Vec<(K, C)> = Vec::new();
-        for map_id in 0..self.dep.num_map_partitions() {
+        for map_id in 0..dep.num_map_partitions() {
             let block: Vec<(K, C)> = ctx.inner.shuffle.fetch_block(
                 &ctx,
                 BlockId {
-                    shuffle_id: self.dep.shuffle_id,
+                    shuffle_id: dep.shuffle_id,
                     map_id,
                     reduce_id: split,
                 },
@@ -255,8 +336,14 @@ enum CoSide<K: Key, V: Data> {
 }
 
 impl<K: Key, V: Data> CoSide<K, V> {
+    /// Chooses this side's path. The narrow (local) rewrite fires when the
+    /// side already carries the target partitioner's signature *and* the
+    /// planner's shuffle-elision rewrite is enabled; with it disabled
+    /// every side shuffles, which is the unoptimised A/B baseline.
     fn prepare(rdd: &Rdd<(K, V)>, partitioner: &Arc<dyn Partitioner<K>>) -> Self {
-        if rdd.partitioner_sig() == Some(partitioner.sig()) {
+        if rdd.context().planner().elide_shuffles
+            && rdd.partitioner_sig() == Some(partitioner.sig())
+        {
             CoSide::Local(rdd.clone())
         } else {
             CoSide::Shuffled(ShuffleDependency::plain(rdd.clone(), partitioner.clone()))
@@ -270,12 +357,11 @@ impl<K: Key, V: Data> CoSide<K, V> {
         }
     }
 
-    fn gather(&self, split: usize, tc: &TaskContext) -> Vec<(K, V)> {
+    fn gather_each(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut((K, V))) {
         match self {
-            CoSide::Local(rdd) => (*rdd.iterator(split, tc)).clone(),
+            CoSide::Local(rdd) => rdd.stream(split, tc, sink),
             CoSide::Shuffled(dep) => {
                 let ctx = dep.context().clone();
-                let mut out = Vec::new();
                 for map_id in 0..dep.num_map_partitions() {
                     let block: Vec<(K, V)> = ctx.inner.shuffle.fetch_block(
                         &ctx,
@@ -285,9 +371,10 @@ impl<K: Key, V: Data> CoSide<K, V> {
                             reduce_id: split,
                         },
                     );
-                    out.extend(block);
+                    for pair in block {
+                        sink(pair);
+                    }
                 }
-                out
             }
         }
     }
@@ -338,14 +425,29 @@ impl<K: Key, V: Data, W: Data> RddNode<(K, (Vec<V>, Vec<W>))> for CoGroupedRdd<K
         Some(self.sig)
     }
 
+    fn plan_info(&self) -> PlanNodeInfo {
+        let local_sides = [
+            matches!(self.left, CoSide::Local(_)),
+            matches!(self.right, CoSide::Local(_)),
+        ]
+        .iter()
+        .filter(|&&local| local)
+        .count();
+        PlanNodeInfo {
+            fusable: false,
+            elided_shuffles: local_sides,
+            persisted: false,
+        }
+    }
+
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<(K, (Vec<V>, Vec<W>))> {
         let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
-        for (k, v) in self.left.gather(split, tc) {
+        self.left.gather_each(split, tc, &mut |(k, v)| {
             groups.entry(k).or_default().0.push(v);
-        }
-        for (k, w) in self.right.gather(split, tc) {
+        });
+        self.right.gather_each(split, tc, &mut |(k, w)| {
             groups.entry(k).or_default().1.push(w);
-        }
+        });
         groups.into_iter().collect()
     }
 }
@@ -405,12 +507,12 @@ pub trait PairRdd<K: Key, V: Data> {
 
 impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
     fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, V)> {
-        if self.partitioner_sig() == Some(partitioner.sig()) {
-            // Already laid out exactly this way: Spark would also elide the
-            // shuffle here.
-            return self.clone();
-        }
         let sig = partitioner.sig();
+        if self.context().planner().elide_shuffles && self.partitioner_sig() == Some(sig) {
+            // Already laid out exactly this way: the shuffle is elided to
+            // a zero-copy pass-through (marked so the planner counts it).
+            return PassThroughRdd::create(self.clone(), sig, 1);
+        }
         let dep = ShuffleDependency::plain(self.clone(), partitioner);
         ShuffledRdd::create(dep, sig, None)
     }
@@ -432,6 +534,18 @@ impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
         merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
     ) -> Rdd<(K, C)> {
         let sig = partitioner.sig();
+        if self.context().planner().elide_shuffles && self.partitioner_sig() == Some(sig) {
+            // Every record of each target partition is already local:
+            // rewrite the wide edge to a narrow per-partition combine.
+            // `merge_combiners` is unreachable on this path — at most one
+            // combiner per key ever exists.
+            return ShuffledRdd::create_elided(
+                self.clone(),
+                sig,
+                Arc::new(create),
+                Arc::new(merge_value),
+            );
+        }
         let dep = ShuffleDependency::combining(self.clone(), partitioner, create, merge_value);
         ShuffledRdd::create(dep, sig, Some(Arc::new(merge_combiners)))
     }
@@ -485,7 +599,7 @@ impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
                 .collect()
         });
         match sig {
-            Some(sig) => KeepSigRdd::create(mapped, sig),
+            Some(sig) => PassThroughRdd::create(mapped, sig, 0),
             None => mapped,
         }
     }
@@ -500,41 +614,5 @@ impl<K: Key, V: Data> PairRdd<K, V> for Rdd<(K, V)> {
 
     fn collect_as_map(&self) -> Result<HashMap<K, V>, crate::JobError> {
         Ok(self.collect()?.into_iter().collect())
-    }
-}
-
-/// Wrapper that re-attaches a partitioner signature to a dataset whose
-/// transformation is known not to move keys (e.g. `map_values`).
-struct KeepSigRdd<T: Data> {
-    base: RddBase,
-    parent: Rdd<T>,
-    sig: PartitionerSig,
-}
-
-impl<T: Data> KeepSigRdd<T> {
-    fn create(parent: Rdd<T>, sig: PartitionerSig) -> Rdd<T> {
-        Rdd::from_node(Arc::new(KeepSigRdd {
-            base: RddBase::new(parent.context()),
-            parent,
-            sig,
-        }))
-    }
-}
-
-impl<T: Data> RddNode<T> for KeepSigRdd<T> {
-    fn base(&self) -> &RddBase {
-        &self.base
-    }
-    fn num_partitions(&self) -> usize {
-        self.parent.num_partitions()
-    }
-    fn dependencies(&self) -> Vec<Dependency> {
-        vec![Dependency::Narrow(self.parent.lineage())]
-    }
-    fn compute(&self, split: usize, tc: &TaskContext) -> Vec<T> {
-        (*self.parent.iterator(split, tc)).clone()
-    }
-    fn partitioner_sig(&self) -> Option<PartitionerSig> {
-        Some(self.sig)
     }
 }

@@ -2,9 +2,19 @@
 
 use super::{Dependency, Rdd, RddBase, RddNode};
 use crate::partitioner::PartitionerSig;
+use crate::plan::PlanNodeInfo;
 use crate::scheduler::TaskContext;
 use crate::Data;
 use std::sync::Arc;
+
+/// Marker shared by the one-parent streaming operators below: the planner
+/// may fuse chains of them into one task without intermediate
+/// materialisation.
+const FUSABLE: PlanNodeInfo = PlanNodeInfo {
+    fusable: true,
+    elided_shuffles: 0,
+    persisted: false,
+};
 
 /// Element-wise `map`.
 pub struct MapRdd<T: Data, U: Data> {
@@ -40,6 +50,12 @@ impl<T: Data, U: Data> RddNode<U> for MapRdd<T, U> {
             .cloned()
             .map(|t| (self.f)(t))
             .collect()
+    }
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(U)) {
+        self.parent.stream(split, tc, &mut |t| sink((self.f)(t)));
+    }
+    fn plan_info(&self) -> PlanNodeInfo {
+        FUSABLE
     }
 }
 
@@ -82,10 +98,20 @@ impl<T: Data> RddNode<T> for FilterRdd<T> {
             .cloned()
             .collect()
     }
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        self.parent.stream(split, tc, &mut |t| {
+            if (self.pred)(&t) {
+                sink(t);
+            }
+        });
+    }
     fn partitioner_sig(&self) -> Option<PartitionerSig> {
         // Filtering keys out of a keyed dataset cannot move keys between
         // partitions, so the parent's partitioning survives.
         self.parent.partitioner_sig()
+    }
+    fn plan_info(&self) -> PlanNodeInfo {
+        FUSABLE
     }
 }
 
@@ -127,6 +153,16 @@ impl<T: Data, U: Data> RddNode<U> for FlatMapRdd<T, U> {
             .flat_map(|t| (self.f)(t))
             .collect()
     }
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(U)) {
+        self.parent.stream(split, tc, &mut |t| {
+            for u in (self.f)(t) {
+                sink(u);
+            }
+        });
+    }
+    fn plan_info(&self) -> PlanNodeInfo {
+        FUSABLE
+    }
 }
 
 /// Whole-partition transformation with the partition index.
@@ -163,6 +199,13 @@ impl<T: Data, U: Data> RddNode<U> for MapPartitionsRdd<T, U> {
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<U> {
         let data = self.parent.iterator(split, tc);
         (self.f)(split, &data)
+    }
+    // compute_into keeps the default (drain `compute`): the operator's
+    // `&[T]` contract forces its *input* to materialise, but the upstream
+    // chain still fuses to a single buffer inside `parent.iterator`, and
+    // downstream operators stream from this node's output.
+    fn plan_info(&self) -> PlanNodeInfo {
+        FUSABLE
     }
 }
 
@@ -203,6 +246,23 @@ impl<T: Data> RddNode<T> for UnionRdd<T> {
             (*self.left.iterator(split, tc)).clone()
         } else {
             (*self.right.iterator(split - n, tc)).clone()
+        }
+    }
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        let n = self.left.num_partitions();
+        if split < n {
+            self.left.stream(split, tc, sink);
+        } else {
+            self.right.stream(split - n, tc, sink);
+        }
+    }
+    fn compute_arc(&self, split: usize, tc: &TaskContext) -> Arc<Vec<T>> {
+        // Identity per partition: share the parent's block.
+        let n = self.left.num_partitions();
+        if split < n {
+            self.left.iterator(split, tc)
+        } else {
+            self.right.iterator(split - n, tc)
         }
     }
 }

@@ -90,6 +90,7 @@ use crate::context::SpangleContext;
 use crate::executor::{BlockOrigin, TaskInfo, TaskTag};
 use crate::failure::TaskSite;
 use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageReport};
+use crate::plan;
 use crate::rdd::pair::ShuffleDepDyn;
 use crate::rdd::{Dependency, LineageNode, Rdd};
 use crate::shuffle::{FetchFailedError, RecoveryClaim, ShuffleClaim};
@@ -276,6 +277,15 @@ struct Stage {
     /// Map partitions this stage recomputed in its current run (non-zero
     /// only for recovery re-runs).
     recovered_maps: usize,
+    /// Narrow operator chains the planner collapsed into this stage's
+    /// fused task bodies (see [`plan::analyze_stages`]).
+    fused_chains: usize,
+    /// Shuffle edges rewritten to narrow pass-throughs that this stage
+    /// executes locally instead of through the shuffle service.
+    elided_shuffles: usize,
+    /// Reduce partitions merged into shared task groups in this stage's
+    /// current run (`num_tasks` minus scheduled task groups).
+    partitions_coalesced: usize,
 }
 
 /// Everything that flows into the shared driver loop. Each message arrives
@@ -815,7 +825,17 @@ fn build_stages<T: Data, R: Send + 'static>(
     let mut by_shuffle: HashMap<usize, usize> = HashMap::new();
     let mut stages: Vec<Stage> = Vec::with_capacity(deps.len() + 1);
 
-    for dep in &deps {
+    // One plan territory per stage, in stage order: each shuffle's map-side
+    // parent lineage, then the result lineage. The planner attributes fused
+    // chains and elided shuffle edges to the stage that executes them.
+    let territories: Vec<Arc<dyn LineageNode>> = deps
+        .iter()
+        .map(|dep| dep.parent_lineage())
+        .chain(std::iter::once(rdd.lineage()))
+        .collect();
+    let plans = plan::analyze_stages(&territories, rdd.context().planner());
+
+    for (idx, dep) in deps.iter().enumerate() {
         by_shuffle.insert(dep.shuffle_id(), stages.len());
         let work: StageWork = {
             let dep = Arc::clone(dep);
@@ -841,6 +861,9 @@ fn build_stages<T: Data, R: Send + 'static>(
             pending_retry: Vec::new(),
             fetch_failures: 0,
             recovered_maps: 0,
+            fused_chains: plans[idx].fused_chains,
+            elided_shuffles: plans[idx].elided_shuffles,
+            partitions_coalesced: 0,
         });
     }
 
@@ -886,6 +909,9 @@ fn build_stages<T: Data, R: Send + 'static>(
         pending_retry: Vec::new(),
         fetch_failures: 0,
         recovered_maps: 0,
+        fused_chains: plans[result_idx].fused_chains,
+        elided_shuffles: plans[result_idx].elided_shuffles,
+        partitions_coalesced: 0,
     });
     stages
 }
@@ -1177,6 +1203,11 @@ impl JobRun {
             wall_nanos: 0,
             fetch_failures: 0,
             map_partitions_recomputed: 0,
+            // A skipped stage executed nothing, so none of its planned
+            // rewrites ran.
+            stages_fused: 0,
+            shuffles_elided: 0,
+            partitions_coalesced: 0,
         });
     }
 
@@ -1199,7 +1230,8 @@ impl JobRun {
         );
     }
 
-    /// Submits every task of a stage to the executor pool.
+    /// Submits every task of a stage to the executor pool, grouped by the
+    /// runtime coalescing plan when the stage reads shuffle output.
     fn submit_stage(&mut self, idx: usize) -> Result<(), JobError> {
         let stage = &mut self.stages[idx];
         stage.stage_id = self.ctx.new_stage_id();
@@ -1212,126 +1244,204 @@ impl JobRun {
         stage.tasks_stolen = 0;
         stage.fetch_failures = 0;
         stage.recovered_maps = 0;
+        stage.partitions_coalesced = 0;
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
+        if stage.fused_chains > 0 {
+            self.ctx
+                .metrics()
+                .add(MetricField::StagesFused, stage.fused_chains as u64);
+        }
+        if stage.elided_shuffles > 0 {
+            self.ctx
+                .metrics()
+                .add(MetricField::ShufflesElided, stage.elided_shuffles as u64);
+        }
         self.running += 1;
         self.max_concurrent = self.max_concurrent.max(self.running);
-        let num_tasks = stage.num_tasks;
+        let num_tasks = self.stages[idx].num_tasks;
         if num_tasks == 0 {
             return self.finish_stage(idx);
         }
-        for partition in 0..num_tasks {
-            self.submit_task(idx, partition, 0)?;
+        let groups = self.plan_task_groups(idx);
+        if groups.len() < num_tasks {
+            let merged = num_tasks - groups.len();
+            self.stages[idx].partitions_coalesced = merged;
+            self.ctx
+                .metrics()
+                .add(MetricField::PartitionsCoalesced, merged as u64);
+        }
+        for group in groups {
+            self.submit_attempts(idx, group, 0)?;
         }
         Ok(())
     }
 
+    /// Partition grouping for one stage run. When runtime coalescing is on
+    /// and the stage reads shuffle output, the per-bucket byte counts the
+    /// map stages deposited are packed into contiguous task groups
+    /// ([`plan::coalesce_task_groups`]), floored at one group per executor
+    /// so coalescing never costs parallelism. Every other stage (and every
+    /// retry or recovery resubmission) runs one task per partition.
+    fn plan_task_groups(&self, idx: usize) -> Vec<Vec<usize>> {
+        let stage = &self.stages[idx];
+        let planner = self.ctx.planner();
+        if !planner.coalesce_partitions || stage.num_tasks <= 1 || stage.parents.is_empty() {
+            return (0..stage.num_tasks).map(|p| vec![p]).collect();
+        }
+        let mut bytes = vec![0usize; stage.num_tasks];
+        for &p in &stage.parents {
+            if let Some(shuffle_id) = self.stages[p].shuffle_id {
+                let per = self
+                    .ctx
+                    .inner
+                    .shuffle
+                    .reduce_bucket_bytes(shuffle_id, stage.num_tasks);
+                for (acc, add) in bytes.iter_mut().zip(per) {
+                    *acc = acc.saturating_add(add);
+                }
+            }
+        }
+        plan::coalesce_task_groups(
+            &bytes,
+            planner.target_partition_bytes,
+            self.ctx.num_executors(),
+        )
+    }
+
     /// Submits one task attempt, placed on the executor owning its
-    /// partition and tagged with the job's priority. A shut-down pool
-    /// aborts the job cleanly.
+    /// partition and tagged with the job's priority. Retries and recovery
+    /// resubmissions always come through here as singletons, so their
+    /// attempt bookkeeping is untouched by coalescing.
     fn submit_task(
         &mut self,
         stage_idx: usize,
         partition: usize,
         attempt: usize,
     ) -> Result<(), JobError> {
+        self.submit_attempts(stage_idx, vec![partition], attempt)
+    }
+
+    /// Submits one executor task covering `partitions` (a coalesced group,
+    /// or a singleton), placed on the executor owning the first partition
+    /// and tagged with the job's priority. The task runs each partition's
+    /// body in order and posts one [`ServiceEvent::Task`] per partition,
+    /// so `remaining`, retry, and fetch-failure recovery bookkeeping are
+    /// identical to ungrouped execution — a partition that fails inside a
+    /// group is replayed as a singleton while its group-mates' outcomes
+    /// stand. A shut-down pool aborts the job cleanly.
+    fn submit_attempts(
+        &mut self,
+        stage_idx: usize,
+        partitions: Vec<usize>,
+        attempt: usize,
+    ) -> Result<(), JobError> {
         let stage = &self.stages[stage_idx];
         let job_id = self.job_id;
         let stage_id = stage.stage_id;
-        let site = TaskSite {
-            rdd_id: stage.site_rdd,
-            partition,
-        };
+        let site_rdd = stage.site_rdd;
+        let home = partitions[0];
         let work = Arc::clone(&stage.work);
         let tx = self.tx.clone();
         let ctx = self.ctx.clone();
         let queued = Instant::now();
         let task = Box::new(move |info: &TaskInfo| {
             let wait_nanos = queued.elapsed().as_nanos() as u64;
-            ctx.metrics().add(MetricField::TasksRun, 1);
-            if info.stolen {
-                ctx.metrics().add(MetricField::TasksStolen, 1);
-            }
-            // Built here, not at submission: the executor (and its
-            // incarnation) are only known once the attempt starts, and
-            // everything the attempt produces is attributed to them.
-            let tc = TaskContext {
-                job_id,
-                stage_id,
-                partition,
-                attempt,
-                executor: info.ran_on,
-                epoch: info.epoch,
-            };
-            let start = Instant::now();
-            let mut outcome = if ctx.inner.failures.should_fail(site, attempt) {
-                Err(TaskError::Injected)
-            } else {
-                std::panic::catch_unwind(AssertUnwindSafe(|| work(&tc))).map_err(|payload| {
-                    match payload.downcast_ref::<FetchFailedError>() {
-                        Some(fetch) => TaskError::FetchFailed {
-                            shuffle_id: fetch.shuffle_id,
-                            map_id: fetch.map_id,
-                        },
-                        None => TaskError::Panicked(panic_message(payload.as_ref())),
-                    }
-                })
-            };
-            // The injector's executor kills fire here, after the victim's
-            // Nth task body ran: the kill discards the incarnation's
-            // blocks and retires its epoch, so the check below turns this
-            // very attempt into the first casualty.
-            if ctx.inner.failures.take_executor_kill(info.ran_on) {
-                ctx.kill_executor(info.ran_on);
-            }
-            // An attempt that outlived its incarnation lost its output
-            // with the executor; report the loss instead of a stale
-            // success. A fetch failure keeps precedence — it names the
-            // shuffle the scheduler must repair either way — and so does
-            // an injected failure: `fail_task` armed together with
-            // `kill_executor_after` must still charge the attempt budget
-            // deterministically, not vanish into the free replay the
-            // executor-lost path grants.
-            if ctx.inner.pool.epoch(info.ran_on) != info.epoch
-                && !matches!(
-                    outcome,
-                    Err(TaskError::FetchFailed { .. }) | Err(TaskError::Injected)
-                )
-            {
-                outcome = Err(TaskError::ExecutorLost {
+            // Wrapped in an Option so the last partition can release it
+            // before its completion event (see below).
+            let mut work = Some(work);
+            let last = partitions.len() - 1;
+            for (i, &partition) in partitions.iter().enumerate() {
+                ctx.metrics().add(MetricField::TasksRun, 1);
+                if info.stolen {
+                    ctx.metrics().add(MetricField::TasksStolen, 1);
+                }
+                let site = TaskSite {
+                    rdd_id: site_rdd,
+                    partition,
+                };
+                // Built here, not at submission: the executor (and its
+                // incarnation) are only known once the attempt starts, and
+                // everything the attempt produces is attributed to them.
+                let tc = TaskContext {
+                    job_id,
+                    stage_id,
+                    partition,
+                    attempt,
                     executor: info.ran_on,
+                    epoch: info.epoch,
+                };
+                let start = Instant::now();
+                let body = work.as_ref().expect("task group released work early");
+                let mut outcome = if ctx.inner.failures.should_fail(site, attempt) {
+                    Err(TaskError::Injected)
+                } else {
+                    std::panic::catch_unwind(AssertUnwindSafe(|| body(&tc))).map_err(|payload| {
+                        match payload.downcast_ref::<FetchFailedError>() {
+                            Some(fetch) => TaskError::FetchFailed {
+                                shuffle_id: fetch.shuffle_id,
+                                map_id: fetch.map_id,
+                            },
+                            None => TaskError::Panicked(panic_message(payload.as_ref())),
+                        }
+                    })
+                };
+                // The injector's executor kills fire here, after the victim's
+                // Nth task body ran: the kill discards the incarnation's
+                // blocks and retires its epoch, so the check below turns this
+                // very attempt into the first casualty.
+                if ctx.inner.failures.take_executor_kill(info.ran_on) {
+                    ctx.kill_executor(info.ran_on);
+                }
+                // An attempt that outlived its incarnation lost its output
+                // with the executor; report the loss instead of a stale
+                // success. A fetch failure keeps precedence — it names the
+                // shuffle the scheduler must repair either way — and so does
+                // an injected failure: `fail_task` armed together with
+                // `kill_executor_after` must still charge the attempt budget
+                // deterministically, not vanish into the free replay the
+                // executor-lost path grants. Later partitions of a killed
+                // group run under the stale epoch and take the same
+                // executor-lost replay, one event each.
+                if ctx.inner.pool.epoch(info.ran_on) != info.epoch
+                    && !matches!(
+                        outcome,
+                        Err(TaskError::FetchFailed { .. }) | Err(TaskError::Injected)
+                    )
+                {
+                    outcome = Err(TaskError::ExecutorLost {
+                        executor: info.ran_on,
+                    });
+                }
+                // Release the work closure (and the lineage Arcs it captures)
+                // BEFORE signalling the driver: once the driver sees the
+                // group's final event the job may return and drop its RDDs,
+                // and shuffle garbage collection relies on those being the
+                // last references.
+                if i == last {
+                    drop(work.take());
+                }
+                // The driver may have aborted the job already; its tag is
+                // simply stale by the time this lands. Queue wait is
+                // charged once per executor task, on its first partition.
+                let _ = tx.send(ServiceEvent::Task {
+                    stage_idx,
+                    partition,
+                    attempt,
+                    nanos: start.elapsed().as_nanos() as u64,
+                    wait_nanos: if i == 0 { wait_nanos } else { 0 },
+                    ran_on: info.ran_on,
+                    stolen: info.stolen,
+                    outcome,
                 });
             }
-            // Release the work closure (and the lineage Arcs it captures)
-            // BEFORE signalling the driver: once the driver sees the final
-            // event the job may return and drop its RDDs, and shuffle
-            // garbage collection relies on those being the last references.
-            drop(work);
-            // The driver may have aborted the job already; its tag is
-            // simply stale by the time this lands.
-            let _ = tx.send(ServiceEvent::Task {
-                stage_idx,
-                partition,
-                attempt,
-                nanos: start.elapsed().as_nanos() as u64,
-                wait_nanos,
-                ran_on: info.ran_on,
-                stolen: info.stolen,
-                outcome,
-            });
         });
         let tag = TaskTag {
             job_id: self.job_id,
             priority: self.priority,
         };
-        if self
-            .ctx
-            .inner
-            .pool
-            .submit_tagged(partition, tag, task)
-            .is_err()
-        {
-            return Err(self.abort(stage_idx, partition, attempt, TaskError::ExecutorShutdown));
+        if self.ctx.inner.pool.submit_tagged(home, tag, task).is_err() {
+            return Err(self.abort(stage_idx, home, attempt, TaskError::ExecutorShutdown));
         }
         Ok(())
     }
@@ -1369,6 +1479,9 @@ impl JobRun {
             wall_nanos,
             fetch_failures: stage.fetch_failures,
             map_partitions_recomputed: stage.recovered_maps,
+            stages_fused: stage.fused_chains,
+            shuffles_elided: stage.elided_shuffles,
+            partitions_coalesced: stage.partitions_coalesced,
         });
         self.satisfy_children(idx)
     }
@@ -1586,6 +1699,9 @@ impl JobRun {
                     .unwrap_or(0),
                 fetch_failures: stage.fetch_failures,
                 map_partitions_recomputed: stage.recovered_maps,
+                stages_fused: stage.fused_chains,
+                shuffles_elided: stage.elided_shuffles,
+                partitions_coalesced: stage.partitions_coalesced,
             })
             .collect();
         self.reports.extend(aborted);
@@ -1704,7 +1820,12 @@ mod tests {
 
     #[test]
     fn cogroup_of_copartitioned_sides_is_shuffle_free() {
-        let ctx = SpangleContext::new(2);
+        // Asserts the shuffle-elision rewrite itself, so pin it on
+        // regardless of SPANGLE_DISABLE_PLANNER.
+        let ctx = SpangleContext::builder()
+            .executors(2)
+            .elide_shuffles(true)
+            .build();
         let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(4));
         let left = ctx
             .parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4)
@@ -1973,7 +2094,12 @@ mod tests {
     /// genuinely local.
     #[test]
     fn balanced_copartitioned_join_never_steals() {
-        let ctx = SpangleContext::new(4);
+        // Asserts the shuffle-elision rewrite itself, so pin it on
+        // regardless of SPANGLE_DISABLE_PLANNER.
+        let ctx = SpangleContext::builder()
+            .executors(4)
+            .elide_shuffles(true)
+            .build();
         let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(4));
         let left = ctx
             .parallelize((0u64..40).map(|i| (i % 8, i)).collect(), 4)

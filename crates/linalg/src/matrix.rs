@@ -385,8 +385,49 @@ impl DistMatrix {
 
     /// Gram matrix `MᵀM` — the transpose-and-multiply benchmark of
     /// Fig. 10.
+    ///
+    /// Because both operands are views of the *same* matrix, the §VI-A
+    /// layout can be built once: a single shuffle lays the blocks out by
+    /// their row-block index (the contraction index of `MᵀM`), the right
+    /// operand reads that layout directly, and the left operand is
+    /// derived narrowly from it by transposing each block in place
+    /// (`map_values` keeps the partitioner signature). The planner then
+    /// proves both legs of the join co-partitioned and elides their
+    /// shuffles, so each input block crosses the network once instead of
+    /// three times (transpose + two join sides).
     pub fn gram(&self) -> DistMatrix {
-        self.transpose().multiply(self)
+        let n = self.array.rdd().num_partitions();
+        let (grid_rows, _) = self.grid();
+        let gr64 = grid_rows as u64;
+        let keyed = self
+            .array
+            .rdd()
+            .map(move |(id, chunk)| (id % gr64, (id, chunk)));
+        let shared = keyed.partition_by(Arc::new(ModPartitioner::new(n)));
+        shared.persist();
+        // Right operand: `M` keyed by its row block — exactly the layout
+        // `partition_right_by_inner` would build.
+        let right = InnerPartitioned {
+            matrix: self.clone(),
+            rdd: shared.map_values(move |(id, chunk)| (id / gr64, chunk)),
+            num_partitions: n,
+        };
+        // Left operand: `Mᵀ` keyed by its column block — the same key —
+        // with every block transposed where it already sits.
+        let meta = self.array.meta_arc();
+        let policy = self.array.policy();
+        let left = InnerPartitioned {
+            // Lazy: `multiply_local` only reads the transpose's metadata.
+            matrix: self.transpose(),
+            rdd: shared.map_values(move |(id, chunk)| {
+                let extent = meta.mapper().chunk_extent(id);
+                let t = block_transpose(&chunk, extent[0], extent[1], &policy)
+                    .expect("transposing a non-empty block yields a non-empty block");
+                (id / gr64, t)
+            }),
+            num_partitions: n,
+        };
+        DistMatrix::multiply_local(&left, &right)
     }
 
     /// `y = M·x` with a broadcast column vector: every block contributes a
@@ -608,7 +649,12 @@ mod tests {
 
     #[test]
     fn local_multiply_joins_without_shuffling_inputs() {
-        let ctx = ctx();
+        // Asserts the shuffle-elision rewrite itself, so pin it on
+        // regardless of SPANGLE_DISABLE_PLANNER.
+        let ctx = SpangleContext::builder()
+            .executors(4)
+            .elide_shuffles(true)
+            .build();
         let a = dense_mat(&ctx, 24, 24, (8, 8));
         let b = dense_mat(&ctx, 24, 24, (8, 8));
         let left = a.partition_left_by_inner(4);

@@ -17,11 +17,39 @@
 use crate::graph::Graph;
 use spangle_bitmask::{Bitmask, HierarchicalBitmask};
 use spangle_dataflow::{
-    HashPartitioner, JobError, MemSize, PairRdd, Partitioner, Rdd, SpangleContext,
+    JobError, MemSize, ModPartitioner, PairRdd, Partitioner, PartitionerSig, Rdd, SpangleContext,
 };
 use spangle_linalg::DenseVector;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Routes a block id to the partition that owns its block *row*
+/// (`(id % grid) % n`). Laying the adjacency out this way at build time
+/// co-locates every block that contributes to one output row segment, so
+/// the per-iteration reduce in [`AdjacencyMatrix::matvec`] — keyed by
+/// block row — is provably local and the planner elides its shuffle.
+struct RowBlockPartitioner {
+    grid: u64,
+    num_partitions: usize,
+}
+
+impl Partitioner<u64> for RowBlockPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    fn partition(&self, key: &u64) -> usize {
+        ((key % self.grid) % self.num_partitions as u64) as usize
+    }
+
+    fn sig(&self) -> PartitionerSig {
+        PartitionerSig {
+            kind: "row-block",
+            num_partitions: self.num_partitions,
+            param: self.grid,
+        }
+    }
+}
 
 /// One adjacency block: pure structure, no payload.
 #[derive(Clone, Debug)]
@@ -109,7 +137,14 @@ impl AdjacencyMatrix {
             let local = (dst % bs) + (src % bs) * bs;
             (block_id, local as u32)
         });
-        let grouped = keyed.group_by_key(Arc::new(HashPartitioner::new(num_partitions)));
+        // Place every block on the partition of its block row, so each
+        // iteration's partial-segment reduce (`matvec`) is shuffle-free.
+        let partitioner = Arc::new(RowBlockPartitioner {
+            grid: grid64,
+            num_partitions,
+        });
+        let sig = partitioner.sig();
+        let grouped = keyed.group_by_key(partitioner);
         let n_copy = n;
         let rdd = grouped.map(move |(block_id, locals)| {
             let gr = (block_id % grid64) as usize;
@@ -126,7 +161,6 @@ impl AdjacencyMatrix {
             }
             (block_id, AdjBlock::from_mask(mask, super_sparse))
         });
-        let sig = Partitioner::<u64>::sig(&HashPartitioner::new(num_partitions));
         let rdd = rdd.assert_partitioned(sig);
         rdd.persist();
         Ok(AdjacencyMatrix {
@@ -179,13 +213,19 @@ impl AdjacencyMatrix {
             (block_id % grid, acc)
         });
         let n_parts = self.rdd.num_partitions();
-        let reduced =
-            partials.reduce_by_key(Arc::new(HashPartitioner::new(n_parts)), |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            });
+        // The build-time layout put every block of block row `gr` on
+        // partition `gr % n_parts`, so the re-keyed partials already sit
+        // exactly where a modulo reduce wants them; assert that invariant
+        // and the planner turns the per-iteration shuffle into a narrow
+        // pass-through.
+        let partials =
+            partials.assert_partitioned(Partitioner::<u64>::sig(&ModPartitioner::new(n_parts)));
+        let reduced = partials.reduce_by_key(Arc::new(ModPartitioner::new(n_parts)), |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
         let mut out = vec![0.0; self.num_vertices];
         for (gr, seg) in reduced.collect()? {
             let base = gr as usize * self.block_size;

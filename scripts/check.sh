@@ -11,7 +11,7 @@
 #   scripts/check.sh --quick          full gate minus the release build
 #   scripts/check.sh <step> [...]     run only the named steps, in order
 #
-# Steps: fmt clippy build test doc stress
+# Steps: fmt clippy build test planoff doc stress
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +55,16 @@ run_test() {
     watchdog cargo test -q --workspace
 }
 
+# The adaptive plan layer (narrow-chain fusion, shuffle elision, runtime
+# partition coalescing) defaults on; this step proves the unoptimised
+# execution paths still work by running the whole suite with every
+# planner rewrite disabled. Tests that assert a rewrite's own behaviour
+# pin their flags through the builder, which wins over the env default.
+run_planoff() {
+    echo "== cargo test with SPANGLE_DISABLE_PLANNER=1 (watchdog ${WATCHDOG_SECS}s)"
+    SPANGLE_DISABLE_PLANNER=1 watchdog cargo test -q --workspace
+}
+
 run_doc() {
     echo "== cargo doc -D warnings"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -72,13 +82,13 @@ run_stress() {
 steps=()
 for arg in "$@"; do
     case "$arg" in
-    --quick) steps+=(fmt clippy test doc) ;;
-    fmt | clippy | build | test | doc | stress) steps+=("$arg") ;;
+    --quick) steps+=(fmt clippy test planoff doc) ;;
+    fmt | clippy | build | test | planoff | doc | stress) steps+=("$arg") ;;
     -h | --help | *) usage ;;
     esac
 done
 if [ ${#steps[@]} -eq 0 ]; then
-    steps=(fmt clippy build test doc)
+    steps=(fmt clippy build test planoff doc)
 fi
 
 for step in "${steps[@]}"; do
