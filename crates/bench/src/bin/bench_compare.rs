@@ -1,0 +1,325 @@
+//! Perf-trajectory gate: compares a freshly regenerated `BENCH_*.json`
+//! against the committed baseline and fails (exit 1) when the summed
+//! wall-clock regresses beyond the allowed percentage.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json>
+//! ```
+//!
+//! Only end-to-end timing keys (`wall_ms`, `total_ms`) count toward the
+//! comparison — per-iteration and build times are diagnostics, and the
+//! counters (bytes, planner rewrites, speculation) are asserted by the
+//! test suites, not by this gate. The threshold defaults to 25% and can
+//! be widened/tightened with `BENCH_REGRESSION_PCT` for noisy runners.
+//! Hand-rolled parsing because the workspace carries no external
+//! dependencies.
+
+use std::process::ExitCode;
+
+/// The keys whose values are summed into each file's wall-clock score.
+const TIMING_KEYS: &[&str] = &["wall_ms", "total_ms"];
+
+/// A minimal JSON value — just enough structure to walk the bench
+/// artifacts. Numbers are kept as f64; `null` (an aborted timing) parses
+/// as 0 so a baseline with a hole never divides the gate by nothing.
+#[derive(Debug, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // The artifacts never emit surrogate pairs.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| !matches!(b, b'"' | b'\\'))
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Sums every numeric value stored under one of [`TIMING_KEYS`], at any
+/// nesting depth.
+fn wall_clock_ms(value: &Value) -> f64 {
+    match value {
+        Value::Arr(items) => items.iter().map(wall_clock_ms).sum(),
+        Value::Obj(entries) => entries
+            .iter()
+            .map(|(key, v)| match v {
+                Value::Num(n) if TIMING_KEYS.contains(&key.as_str()) => *n,
+                nested => wall_clock_ms(nested),
+            })
+            .sum(),
+        _ => 0.0,
+    }
+}
+
+fn load(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let value = parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    let total = wall_clock_ms(&value);
+    if total <= 0.0 {
+        return Err(format!(
+            "{path}: no {TIMING_KEYS:?} keys found — wrong file?"
+        ));
+    }
+    Ok(total)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let pct: f64 = match std::env::var("BENCH_REGRESSION_PCT") {
+        Ok(raw) => match raw.parse() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("BENCH_REGRESSION_PCT={raw} is not a number");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => 25.0,
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let limit = baseline * (1.0 + pct / 100.0);
+    let change = (fresh / baseline - 1.0) * 100.0;
+    println!(
+        "bench_compare: baseline {baseline:.1} ms, fresh {fresh:.1} ms ({change:+.1}%), \
+         limit {limit:.1} ms (+{pct:.0}%)"
+    );
+    if fresh > limit {
+        eprintln!("perf regression: fresh wall-clock exceeds the +{pct:.0}% envelope");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sums_nested_timing_keys() {
+        let v = parse(
+            r#"{"figure":"f","workloads":[
+                {"ops":[{"op":"MxV","wall_ms":10.5},{"op":"MtM","wall_ms":2.0}]},
+                {"total_ms":7.5,"build_ms":99.0,"note":"build time is not gated"}
+            ]}"#,
+        )
+        .unwrap();
+        assert!((wall_clock_ms(&v) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_timings_and_escapes_parse() {
+        let v = parse(r#"{"total_ms":null,"s":"a\"bA\n","xs":[1,-2.5e1,true]}"#).unwrap();
+        assert_eq!(wall_clock_ms(&v), 0.0);
+        match v {
+            Value::Obj(entries) => {
+                assert_eq!(entries[1].1, Value::Str("a\"bA\n".into()));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} junk").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse("[1,").is_err());
+    }
+}

@@ -111,6 +111,9 @@ fn op_json(op: &str, wall: Duration, delta: &MetricsSnapshot, report: Option<&Jo
             "queue_wait_ms",
             Json::F64(report.map_or(0.0, |r| r.queue_wait_nanos as f64 / 1e6)),
         ),
+        ("tasks_speculated", Json::U64(delta.tasks_speculated)),
+        ("speculation_wins", Json::U64(delta.speculation_wins)),
+        ("tasks_cancelled", Json::U64(delta.tasks_cancelled)),
     ])
 }
 
@@ -360,6 +363,10 @@ fn main() {
         println!(
             "   planner so far: {} narrow chains fused, {} shuffles elided, {} partitions coalesced",
             snap.stages_fused, snap.shuffles_elided, snap.partitions_coalesced,
+        );
+        println!(
+            "   speculation so far: {} launched, {} won, {} tasks cancelled",
+            snap.tasks_speculated, snap.speculation_wins, snap.tasks_cancelled,
         );
         json_workloads.push(Json::obj(vec![
             ("name", Json::Str(w.name.into())),

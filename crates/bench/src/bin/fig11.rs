@@ -139,6 +139,9 @@ fn main() {
         let fused: usize = reports.iter().map(|r| r.stages_fused()).sum();
         let elided: usize = reports.iter().map(|r| r.shuffles_elided()).sum();
         let coalesced: usize = reports.iter().map(|r| r.partitions_coalesced()).sum();
+        let speculated: usize = reports.iter().map(|r| r.tasks_speculated()).sum();
+        let spec_wins: usize = reports.iter().map(|r| r.speculation_wins()).sum();
+        let cancelled: usize = reports.iter().map(|r| r.tasks_cancelled()).sum();
         println!(
             "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms, {} fetch failures, {} map partitions recomputed)",
             spec.name,
@@ -155,6 +158,10 @@ fn main() {
         println!(
             "   planner: {fused} narrow chains fused, {elided} shuffles elided, \
              {coalesced} partitions coalesced"
+        );
+        println!(
+            "   speculation: {speculated} launched, {spec_wins} won, \
+             {cancelled} tasks cancelled"
         );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");
@@ -181,6 +188,9 @@ fn main() {
             ("stages_fused", Json::U64(fused as u64)),
             ("shuffles_elided", Json::U64(elided as u64)),
             ("partitions_coalesced", Json::U64(coalesced as u64)),
+            ("tasks_speculated", Json::U64(speculated as u64)),
+            ("speculation_wins", Json::U64(spec_wins as u64)),
+            ("tasks_cancelled", Json::U64(cancelled as u64)),
         ]));
         let snap = ctx.metrics_snapshot();
         let admission_wait_ms: u64 = reports

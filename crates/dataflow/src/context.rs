@@ -8,7 +8,7 @@ use crate::metrics::{MetricField, Metrics, MetricsSnapshot, DEFAULT_JOB_REPORT_H
 use crate::plan::PlannerConfig;
 use crate::rdd::sources::ParallelizeRdd;
 use crate::rdd::Rdd;
-use crate::scheduler::SchedulerService;
+use crate::scheduler::{SchedulerService, SpeculationConfig};
 use crate::shuffle::ShuffleService;
 use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,6 +73,8 @@ pub(crate) struct ContextInner {
     pub(crate) admission: AdmissionConfig,
     /// Which plan rewrites (fusion / elision / coalescing) are active.
     pub(crate) planner: PlannerConfig,
+    /// When the driver duplicates straggling task attempts.
+    pub(crate) speculation: SpeculationConfig,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -86,7 +88,8 @@ pub struct SpangleContext {
 /// [`SpangleContext::builder`].
 ///
 /// ```
-/// use spangle_dataflow::SpangleContext;
+/// use spangle_dataflow::{SpangleContext, SpeculationConfig};
+/// use std::time::Duration;
 ///
 /// let ctx = SpangleContext::builder()
 ///     .executors(4)
@@ -101,6 +104,11 @@ pub struct SpangleContext {
 ///     .elide_shuffles(true)
 ///     .coalesce_partitions(true)
 ///     .target_partition_bytes(1 << 20)
+///     .speculation(SpeculationConfig {
+///         enabled: true,
+///         multiplier: 3.0,
+///         min_runtime: Duration::from_millis(5),
+///     })
 ///     .build();
 /// assert_eq!(ctx.num_executors(), 4);
 /// assert_eq!(ctx.max_task_attempts(), 2);
@@ -113,6 +121,7 @@ pub struct SpangleContextBuilder {
     job_report_history: usize,
     admission: AdmissionConfig,
     planner: PlannerConfig,
+    speculation: SpeculationConfig,
 }
 
 impl Default for SpangleContextBuilder {
@@ -124,6 +133,7 @@ impl Default for SpangleContextBuilder {
             job_report_history: DEFAULT_JOB_REPORT_HISTORY,
             admission: AdmissionConfig::default(),
             planner: PlannerConfig::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -247,6 +257,23 @@ impl SpangleContextBuilder {
         self
     }
 
+    /// Configures speculative execution for straggling task attempts (see
+    /// [`SpeculationConfig`]): a running original whose elapsed time
+    /// exceeds the configured multiple of its stage's median completed
+    /// duration is duplicated on an idle executor; the first completion
+    /// wins and the loser is cancelled through its token. Default on at
+    /// 4× the median with a 10 ms floor; the `SPANGLE_DISABLE_SPECULATION`
+    /// environment variable flips the default off (an explicit call here
+    /// always wins).
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        assert!(
+            config.multiplier >= 1.0,
+            "a speculation multiplier below 1 would duplicate faster-than-median tasks"
+        );
+        self.speculation = config;
+        self
+    }
+
     /// Starts the cluster.
     pub fn build(self) -> SpangleContext {
         SpangleContext {
@@ -265,6 +292,7 @@ impl SpangleContextBuilder {
                 max_resubmissions: self.max_resubmissions,
                 admission: self.admission,
                 planner: self.planner,
+                speculation: self.speculation,
             }),
         }
     }

@@ -39,11 +39,127 @@
 //! executor's pending tasks.
 
 use crate::sync::{Mutex, Next, StealQueues};
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Cooperative cancellation handle shared between a task attempt and the
+/// scheduler that may want to interrupt it.
+///
+/// The pool installs the token of the task it is about to run in a
+/// thread-local slot; operator loops poll it at chunk boundaries via
+/// [`cancellation_point`]. Cancelling is a one-way latch: once set, every
+/// later check observes it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Latches the token cancelled. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has run.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Whether two handles share one underlying token — i.e. name the
+    /// same task attempt.
+    pub(crate) fn same(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Panic payload raised by [`cancellation_point`] when the running task's
+/// token was cancelled. The scheduler downcasts this out of the task panic
+/// and treats the attempt as interrupted (it charges no retry budget: the
+/// driver itself asked for the interruption).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CancelledError;
+
+thread_local! {
+    /// Token of the task currently executing on this worker thread, if any.
+    static CURRENT_TOKEN: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Whether the task running on the current thread has been cancelled.
+/// Always `false` outside an executor task (driver-side compute).
+pub fn is_task_cancelled() -> bool {
+    CURRENT_TOKEN.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    })
+}
+
+/// A cooperative cancellation point: panics with a [`CancelledError`]
+/// payload when the current task's token was cancelled, and is a cheap
+/// no-op otherwise. Operator loops call this at chunk boundaries so a
+/// kill, job abort, expired deadline, or lost speculation race interrupts
+/// a *running* task body instead of waiting it out.
+pub fn cancellation_point() {
+    if is_task_cancelled() {
+        std::panic::panic_any(CancelledError);
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that swallows the default
+/// "thread panicked" report for [`CancelledError`] unwinds. Cancellation
+/// is normal control flow — a speculation loser or an aborted job's task
+/// stopping early — and the worker catches the unwind anyway, so printing
+/// a backtrace per cancelled task would just flood stderr. Every other
+/// panic still goes to the previously installed hook.
+fn silence_cancellation_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelledError>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Amortised [`cancellation_point`] for per-element loops: polls the token
+/// once every [`CancelGauge::INTERVAL`] ticks so tight streaming loops pay
+/// one increment-and-mask per element, not an atomic load.
+#[derive(Debug, Default)]
+pub struct CancelGauge(u32);
+
+impl CancelGauge {
+    /// Elements between two cancellation polls.
+    pub const INTERVAL: u32 = 1024;
+
+    /// Creates a gauge with a fresh counter.
+    pub fn new() -> Self {
+        CancelGauge(0)
+    }
+
+    /// Counts one element; every [`CancelGauge::INTERVAL`]-th call checks
+    /// the current task's token (and panics with [`CancelledError`] when
+    /// cancelled).
+    #[inline]
+    pub fn tick(&mut self) {
+        self.0 = self.0.wrapping_add(1);
+        if self.0.is_multiple_of(Self::INTERVAL) {
+            cancellation_point();
+        }
+    }
+}
+
+/// One worker thread's "currently running" slot: the cancel token of the
+/// in-flight task body plus the instant it started running.
+type RunningSlot = Mutex<Option<(CancelToken, Instant)>>;
 
 /// Where a task was placed and where it actually ran.
 #[derive(Clone, Copy, Debug)]
@@ -136,10 +252,14 @@ impl std::fmt::Display for PoolShutdown {
 
 impl std::error::Error for PoolShutdown {}
 
-/// A queued task together with its placement.
+/// A queued task together with its placement and cancellation handle.
 struct PlacedTask {
     home: usize,
     run: Task,
+    /// Token the worker installs for the duration of the task body, so
+    /// `cancellation_point()` inside the closure observes driver-side
+    /// cancellations (kill, abort, deadline, lost speculation race).
+    token: Option<CancelToken>,
 }
 
 /// Per-executor counters, updated by the owning worker thread.
@@ -162,6 +282,13 @@ pub struct ExecutorPool {
     /// current epoch is ahead of this is a freshly-seated replacement that
     /// is still warming up (see [`ExecutorPool::warming_replacements`]).
     active_epochs: Arc<Vec<AtomicU64>>,
+    /// Token of the task each worker thread is currently running, if any,
+    /// with the instant the body started: [`ExecutorPool::kill`] cancels
+    /// the victim slot's entry so the dead incarnation's in-flight body
+    /// stops at its next cancellation point, and the speculation planner
+    /// measures a straggler's *running* time from the stamp (queue time
+    /// must not count toward the median-multiple threshold).
+    running: Arc<Vec<RunningSlot>>,
     num_executors: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -170,6 +297,7 @@ impl ExecutorPool {
     /// Spawns `num_executors` worker threads.
     pub fn new(num_executors: usize) -> Self {
         assert!(num_executors > 0, "a cluster needs at least one executor");
+        silence_cancellation_panics();
         let queues = Arc::new(StealQueues::<PlacedTask>::new(num_executors));
         let stats: Arc<Vec<ExecutorStats>> = Arc::new(
             (0..num_executors)
@@ -180,12 +308,15 @@ impl ExecutorPool {
             Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
         let active_epochs: Arc<Vec<AtomicU64>> =
             Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
+        let running: Arc<Vec<RunningSlot>> =
+            Arc::new((0..num_executors).map(|_| Mutex::new(None)).collect());
         let mut handles = Vec::with_capacity(num_executors);
         for i in 0..num_executors {
             let queues = Arc::clone(&queues);
             let stats = Arc::clone(&stats);
             let epochs = Arc::clone(&epochs);
             let active_epochs = Arc::clone(&active_epochs);
+            let running = Arc::clone(&running);
             let handle = std::thread::Builder::new()
                 .name(format!("spangle-executor-{i}"))
                 .spawn(move || loop {
@@ -203,13 +334,20 @@ impl ExecutorPool {
                     if stolen {
                         stats[i].tasks_stolen.fetch_add(1, Ordering::Relaxed);
                     }
+                    // Publish the task's token so kill/shutdown can reach
+                    // the running body, and install it thread-locally so
+                    // cancellation_point() inside the closure sees it.
                     let started = Instant::now();
+                    *running[i].lock() = task.token.clone().map(|t| (t, started));
+                    CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = task.token);
                     // A panicking task must not take the worker down with
                     // it: orphaning the executor's queue would strand
                     // later local tasks. The scheduler catches panics
                     // inside its own task bodies anyway; this is the
                     // backstop for raw pool users.
                     let _ = std::panic::catch_unwind(AssertUnwindSafe(|| (task.run)(&info)));
+                    CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = None);
+                    *running[i].lock() = None;
                     stats[i]
                         .busy_nanos
                         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -227,6 +365,7 @@ impl ExecutorPool {
             stats,
             epochs,
             active_epochs,
+            running,
             num_executors,
             handles: Mutex::new(handles),
         }
@@ -251,8 +390,17 @@ impl ExecutorPool {
     /// completion and is reported lost by the scheduler. Discarding the
     /// dead incarnation's blocks is the caller's job (see
     /// `SpangleContext::kill_executor`).
+    ///
+    /// The task the dead incarnation had in flight is also cancelled
+    /// through its [`CancelToken`] (when it carries one): the body stops at
+    /// its next cancellation point instead of running its remainder to
+    /// completion just to be declared lost.
     pub fn kill(&self, executor: usize) -> u64 {
-        self.epochs[executor].fetch_add(1, Ordering::SeqCst) + 1
+        let epoch = self.epochs[executor].fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some((token, _)) = self.running[executor].lock().as_ref() {
+            token.cancel();
+        }
+        epoch
     }
 
     /// Whether `executor`'s current incarnation is a warming replacement:
@@ -308,9 +456,74 @@ impl ExecutorPool {
         task: Task,
     ) -> Result<(), PoolShutdown> {
         let home = self.executor_for(partition);
+        self.submit_on(home, tag, None, task)
+    }
+
+    /// Queues a task on the executor owning `partition` with a
+    /// cancellation token: the worker installs the token around the task
+    /// body so `cancellation_point()` inside the closure observes
+    /// driver-side cancellations. Fails when the pool has been shut down.
+    pub fn submit_cancellable(
+        &self,
+        partition: usize,
+        tag: TaskTag,
+        token: CancelToken,
+        task: Task,
+    ) -> Result<(), PoolShutdown> {
+        let home = self.executor_for(partition);
+        self.submit_on(home, tag, Some(token), task)
+    }
+
+    /// Queues a task on an *explicit* executor, bypassing partition
+    /// placement — the speculative-execution path, which deliberately runs
+    /// a duplicate attempt away from the straggler's home slot. An idle
+    /// sibling may still steal it during a drain.
+    pub fn submit_on(
+        &self,
+        executor: usize,
+        tag: TaskTag,
+        token: Option<CancelToken>,
+        task: Task,
+    ) -> Result<(), PoolShutdown> {
         self.queues
-            .push_prio(home, tag.priority, PlacedTask { home, run: task })
+            .push_prio(
+                executor,
+                tag.priority,
+                PlacedTask {
+                    home: executor,
+                    run: task,
+                    token,
+                },
+            )
             .map_err(|_| PoolShutdown)
+    }
+
+    /// Queued (not yet started) tasks per executor, indexed by executor id.
+    /// Racy; used by the speculation planner to pick an idle slot for a
+    /// duplicate attempt.
+    pub fn queue_lens(&self) -> Vec<usize> {
+        (0..self.num_executors)
+            .map(|e| self.queues.len(e))
+            .collect()
+    }
+
+    /// The executor currently executing the task that holds `token` and
+    /// the instant its body started, if it is running at all. Racy like
+    /// [`ExecutorPool::queue_lens`] — a completion can slip in after the
+    /// scan — but a straggler past the speculation threshold stays put,
+    /// which is what the speculation planner needs this for: the run
+    /// stamp keeps queue time out of the straggler threshold (a task
+    /// parked behind a straggler is not itself slow), and the slot index
+    /// keeps the duplicate from queuing *behind* the very task it is
+    /// meant to outrun (a one-task backlog behind a wedged body is never
+    /// stolen).
+    pub fn executor_running(&self, token: &CancelToken) -> Option<(usize, Instant)> {
+        self.running.iter().enumerate().find_map(|(i, slot)| {
+            slot.lock()
+                .as_ref()
+                .filter(|(t, _)| t.same(token))
+                .map(|(_, started)| (i, *started))
+        })
     }
 
     /// Whether [`ExecutorPool::shutdown`] has run.
@@ -343,10 +556,17 @@ impl ExecutorPool {
 
     /// Stops accepting tasks, lets the workers drain every already-queued
     /// task (stealing freely during the drain, so even a task whose home
-    /// executor is wedged runs exactly once), and joins them. Idempotent:
-    /// later calls (including the one from `Drop`) are no-ops.
+    /// executor is wedged runs exactly once), and joins them. Tokens of
+    /// tasks running at shutdown are cancelled so a cooperative straggler
+    /// cannot hang the teardown forever. Idempotent: later calls
+    /// (including the one from `Drop`) are no-ops.
     pub fn shutdown(&self) {
         self.queues.close();
+        for slot in self.running.iter() {
+            if let Some((token, _)) = slot.lock().as_ref() {
+                token.cancel();
+            }
+        }
         let handles = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
             let _ = handle.join();
@@ -703,5 +923,82 @@ mod tests {
         assert!(pool.origin_is_live(BlockOrigin::DRIVER));
         assert_eq!(pool.epoch(1), 0, "sibling executors are untouched");
         wedge_tx.send(()).unwrap();
+    }
+
+    /// A cooperative busy-loop body stops at its next cancellation point
+    /// once its token is cancelled, instead of running forever.
+    #[test]
+    fn cancelled_token_interrupts_a_running_body() {
+        let pool = ExecutorPool::new(1);
+        let token = CancelToken::new();
+        let (started_tx, started_rx) = unbounded::<()>();
+        let (done_tx, done_rx) = unbounded::<&'static str>();
+        pool.submit_on(
+            0,
+            TaskTag::default(),
+            Some(token.clone()),
+            Box::new(move |_: &TaskInfo| {
+                started_tx.send(()).unwrap();
+                let outcome = std::panic::catch_unwind(|| loop {
+                    cancellation_point();
+                    std::thread::sleep(Duration::from_millis(1));
+                });
+                let label = match outcome {
+                    Err(payload) if payload.downcast_ref::<CancelledError>().is_some() => {
+                        "cancelled"
+                    }
+                    _ => "other",
+                };
+                done_tx.send(label).unwrap();
+            }),
+        )
+        .unwrap();
+        started_rx.recv().unwrap();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert_eq!(
+            done_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("body must stop after cancellation"),
+            "cancelled"
+        );
+    }
+
+    /// Killing an executor cancels the token of the task it was running,
+    /// and a later task on the replacement starts with a clean slate.
+    #[test]
+    fn kill_cancels_the_running_tasks_token() {
+        let pool = ExecutorPool::new(1);
+        let token = CancelToken::new();
+        let (started_tx, started_rx) = unbounded::<()>();
+        let (done_tx, done_rx) = unbounded::<bool>();
+        pool.submit_on(
+            0,
+            TaskTag::default(),
+            Some(token.clone()),
+            Box::new(move |_: &TaskInfo| {
+                started_tx.send(()).unwrap();
+                while !is_task_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                done_tx.send(true).unwrap();
+            }),
+        )
+        .unwrap();
+        started_rx.recv().unwrap();
+        pool.kill(0);
+        assert!(done_rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        assert!(token.is_cancelled());
+        // The replacement incarnation runs later tasks uncancelled.
+        let (tx, rx) = unbounded();
+        pool.submit(
+            0,
+            Box::new(move |_: &TaskInfo| tx.send(is_task_cancelled()).unwrap()),
+        )
+        .unwrap();
+        assert!(
+            !rx.recv().unwrap(),
+            "a fresh task must not inherit the dead attempt's token"
+        );
     }
 }

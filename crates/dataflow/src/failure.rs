@@ -34,6 +34,9 @@ pub struct FailureInjector {
     /// tasks until that executor (incarnation) is killed; the next
     /// countdown starts once the previous kill fired.
     kill_after: Mutex<HashMap<usize, VecDeque<usize>>>,
+    /// Remaining number of wedges to inject per site (see
+    /// [`FailureInjector::wedge_task`]).
+    wedged: Mutex<HashMap<TaskSite, usize>>,
 }
 
 impl FailureInjector {
@@ -98,6 +101,37 @@ impl FailureInjector {
         true
     }
 
+    /// Wedges the next `times` attempts of the task computing `partition`
+    /// of `rdd_id`: instead of running its body, a wedged attempt spins at
+    /// a cancellation point until cooperative cancellation interrupts it —
+    /// the deterministic straggler for speculation and deadline-preemption
+    /// tests. Each matching attempt consumes one wedge, so with `times =
+    /// 1` the speculative duplicate (or a retry) of the same task runs
+    /// clean while the original hangs.
+    pub fn wedge_task(&self, rdd_id: usize, partition: usize, times: usize) {
+        if times == 0 {
+            return;
+        }
+        let mut map = self.wedged.lock();
+        let slot = map.entry(TaskSite { rdd_id, partition }).or_insert(0);
+        *slot = slot.saturating_add(times);
+    }
+
+    /// Consumes one armed wedge for the site, if any remain.
+    pub(crate) fn take_wedge(&self, site: TaskSite) -> bool {
+        let mut map = self.wedged.lock();
+        match map.get_mut(&site) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&site);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Makes the next `n` distinct tasks fail their first attempt, whatever
     /// they compute.
     ///
@@ -149,6 +183,7 @@ impl FailureInjector {
         self.remaining.lock().is_empty()
             && self.any.load(std::sync::atomic::Ordering::SeqCst) == 0
             && self.kill_after.lock().is_empty()
+            && self.wedged.lock().is_empty()
     }
 }
 
@@ -218,6 +253,25 @@ mod tests {
         );
         assert!(!inj.take_executor_kill(1));
         assert!(inj.is_drained());
+    }
+
+    #[test]
+    fn wedges_are_consumed_one_shot_per_site() {
+        let inj = FailureInjector::default();
+        inj.wedge_task(5, 0, 1);
+        let site = TaskSite {
+            rdd_id: 5,
+            partition: 0,
+        };
+        assert!(!inj.is_drained());
+        assert!(inj.take_wedge(site), "first attempt wedges");
+        assert!(
+            !inj.take_wedge(site),
+            "the speculative duplicate runs clean"
+        );
+        assert!(inj.is_drained());
+        inj.wedge_task(5, 0, 0);
+        assert!(inj.is_drained(), "arming zero wedges is a no-op");
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod shuffle;
 pub mod sync;
 
 pub use context::{Broadcast, ExecutorLoss, SpangleContext, SpangleContextBuilder};
-pub use executor::BlockOrigin;
+pub use executor::{
+    cancellation_point, is_task_cancelled, BlockOrigin, CancelGauge, CancelToken, CancelledError,
+};
 pub use memsize::MemSize;
 pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{
@@ -61,7 +63,7 @@ pub use partitioner::{
 pub use plan::PlanNodeInfo;
 pub use rdd::pair::PairRdd;
 pub use rdd::Rdd;
-pub use scheduler::{submit_job, JobError, JobHandle, TaskError};
+pub use scheduler::{submit_job, JobError, JobHandle, SpeculationConfig, TaskError};
 
 /// Marker for types that can be elements of an [`Rdd`].
 ///

@@ -45,6 +45,9 @@ pub struct Metrics {
     pub(crate) stages_fused: AtomicU64,
     pub(crate) shuffles_elided: AtomicU64,
     pub(crate) partitions_coalesced: AtomicU64,
+    pub(crate) tasks_speculated: AtomicU64,
+    pub(crate) speculation_wins: AtomicU64,
+    pub(crate) tasks_cancelled: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -89,6 +92,9 @@ impl Metrics {
             stages_fused: AtomicU64::new(0),
             shuffles_elided: AtomicU64::new(0),
             partitions_coalesced: AtomicU64::new(0),
+            tasks_speculated: AtomicU64::new(0),
+            speculation_wins: AtomicU64::new(0),
+            tasks_cancelled: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -133,6 +139,9 @@ impl Metrics {
             MetricField::StagesFused => &self.stages_fused,
             MetricField::ShufflesElided => &self.shuffles_elided,
             MetricField::PartitionsCoalesced => &self.partitions_coalesced,
+            MetricField::TasksSpeculated => &self.tasks_speculated,
+            MetricField::SpeculationWins => &self.speculation_wins,
+            MetricField::TasksCancelled => &self.tasks_cancelled,
         }
     }
 
@@ -186,6 +195,9 @@ impl Metrics {
             stages_fused: self.stages_fused.load(Ordering::Relaxed),
             shuffles_elided: self.shuffles_elided.load(Ordering::Relaxed),
             partitions_coalesced: self.partitions_coalesced.load(Ordering::Relaxed),
+            tasks_speculated: self.tasks_speculated.load(Ordering::Relaxed),
+            speculation_wins: self.speculation_wins.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -218,6 +230,9 @@ pub(crate) enum MetricField {
     StagesFused,
     ShufflesElided,
     PartitionsCoalesced,
+    TasksSpeculated,
+    SpeculationWins,
+    TasksCancelled,
 }
 
 /// How one stage of a job ended.
@@ -296,6 +311,16 @@ pub struct StageReport {
     /// because their recorded shuffle bytes fell below the coalescing
     /// target: `num_tasks` minus the task groups actually scheduled.
     pub partitions_coalesced: usize,
+    /// Speculative duplicate attempts launched for this stage's tail
+    /// tasks (originals that ran past the stage's duration-median
+    /// multiple).
+    pub tasks_speculated: usize,
+    /// Speculative attempts of this stage that completed before the
+    /// original they duplicated.
+    pub speculation_wins: usize,
+    /// Task attempts of this stage asked to stop early through their
+    /// `CancelToken` (speculation losers, aborts, expired deadlines).
+    pub tasks_cancelled: usize,
 }
 
 /// Scheduler-level accounting of one finished job.
@@ -396,6 +421,22 @@ impl JobReport {
         self.stages.iter().map(|s| s.partitions_coalesced).sum()
     }
 
+    /// Speculative duplicate attempts launched across this job's stages.
+    pub fn tasks_speculated(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks_speculated).sum()
+    }
+
+    /// Speculative attempts that beat the original across this job's
+    /// stages.
+    pub fn speculation_wins(&self) -> usize {
+        self.stages.iter().map(|s| s.speculation_wins).sum()
+    }
+
+    /// Task attempts of this job cancelled through their token.
+    pub fn tasks_cancelled(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks_cancelled).sum()
+    }
+
     /// Busy-time imbalance across executors: max/mean of
     /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
     /// `None` when the job did no executor work.
@@ -457,6 +498,15 @@ impl std::fmt::Display for JobReport {
                 self.stages_fused(),
                 self.shuffles_elided(),
                 self.partitions_coalesced(),
+            )?;
+        }
+        if self.tasks_speculated() != 0 || self.tasks_cancelled() != 0 {
+            write!(
+                f,
+                "\n  speculation: {} launched, {} won, {} tasks cancelled",
+                self.tasks_speculated(),
+                self.speculation_wins(),
+                self.tasks_cancelled(),
             )?;
         }
         if self.fetch_failures() != 0 || self.map_partitions_recomputed() != 0 {
@@ -584,6 +634,15 @@ pub struct MetricsSnapshot {
     /// Reduce buckets merged into shared executor tasks at stage launch
     /// because their shuffle bytes fell below the coalescing target.
     pub partitions_coalesced: u64,
+    /// Speculative duplicate attempts the driver launched for tail tasks
+    /// that ran past the stage's duration-median multiple.
+    pub tasks_speculated: u64,
+    /// Speculative attempts that finished before the original they
+    /// duplicated (the duplicate's result won first-write-wins).
+    pub speculation_wins: u64,
+    /// Running task bodies asked to stop early through their
+    /// `CancelToken` (speculation losers, job aborts, expired deadlines).
+    pub tasks_cancelled: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -618,6 +677,9 @@ impl std::ops::Sub for MetricsSnapshot {
             stages_fused: self.stages_fused - rhs.stages_fused,
             shuffles_elided: self.shuffles_elided - rhs.shuffles_elided,
             partitions_coalesced: self.partitions_coalesced - rhs.partitions_coalesced,
+            tasks_speculated: self.tasks_speculated - rhs.tasks_speculated,
+            speculation_wins: self.speculation_wins - rhs.speculation_wins,
+            tasks_cancelled: self.tasks_cancelled - rhs.tasks_cancelled,
         }
     }
 }
@@ -695,6 +757,9 @@ mod tests {
             stages_fused: 0,
             shuffles_elided: 0,
             partitions_coalesced: 0,
+            tasks_speculated: 0,
+            speculation_wins: 0,
+            tasks_cancelled: 0,
         };
         let report = JobReport {
             job_id: 1,
@@ -739,6 +804,9 @@ mod tests {
             stages_fused: 1,
             shuffles_elided: 0,
             partitions_coalesced: 0,
+            tasks_speculated: 1,
+            speculation_wins: 1,
+            tasks_cancelled: 1,
         };
         let report = JobReport {
             job_id: 2,
@@ -761,6 +829,10 @@ mod tests {
         assert!(rendered.contains("aborted after"));
         assert_eq!(report.stages_fused(), 2);
         assert!(rendered.contains("planner: 2 chains fused"));
+        assert_eq!(report.tasks_speculated(), 2);
+        assert_eq!(report.speculation_wins(), 2);
+        assert_eq!(report.tasks_cancelled(), 2);
+        assert!(rendered.contains("speculation: 2 launched, 2 won, 2 tasks cancelled"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! "local join" Spangle's matrix multiplication relies on (paper §VI-A).
 
 use super::{Dependency, LineageNode, PassThroughRdd, Rdd, RddBase, RddNode};
+use crate::executor::{cancellation_point, CancelGauge};
 use crate::memsize::MemSize;
 use crate::partitioner::{HashPartitioner, Partitioner, PartitionerSig};
 use crate::plan::PlanNodeInfo;
@@ -140,31 +141,33 @@ impl<K: Key, V: Data, C: Data> ShuffleDepDyn for ShuffleDependency<K, V, C> {
 
     fn run_map_task(&self, map_id: usize, tc: &TaskContext) {
         let ctx = self.context().clone();
-        let mut feed = |sink: &mut dyn FnMut((K, V))| self.parent.stream(map_id, tc, sink);
+        let mut gauge = CancelGauge::new();
+        let mut feed = |sink: &mut dyn FnMut((K, V))| {
+            self.parent.stream(map_id, tc, &mut |record| {
+                gauge.tick();
+                sink(record);
+            })
+        };
         let buckets = (self.route)(&mut feed, self.num_reduce_partitions);
-        for (reduce_id, bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let bytes = bucket.iter().map(MemSize::mem_size).sum();
-            ctx.inner.shuffle.put_block(
-                &ctx,
-                BlockId {
-                    shuffle_id: self.shuffle_id,
-                    map_id,
-                    reduce_id,
-                },
-                bucket,
-                bytes,
-                tc.origin(),
-            );
-        }
-        // Registered even when every bucket was empty: the registry is how
-        // a reduce-side fetch tells "empty bucket" from "output lost with
+        cancellation_point();
+        // All buckets land in one atomic commit (first-write-wins), so two
+        // racing attempts of the same map task — original vs speculative
+        // duplicate — can never interleave their output. An all-empty
+        // commit still registers the map: the registry is how a
+        // reduce-side fetch tells "empty bucket" from "output lost with
         // its executor".
+        let deposits: Vec<_> = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(reduce_id, bucket)| {
+                let bytes = bucket.iter().map(MemSize::mem_size).sum();
+                (reduce_id, bucket, bytes)
+            })
+            .collect();
         ctx.inner
             .shuffle
-            .register_map_output(&ctx, self.shuffle_id, map_id, tc.origin());
+            .commit_map_output(&ctx, self.shuffle_id, map_id, deposits, tc.origin());
     }
 }
 
@@ -298,6 +301,7 @@ impl<K: Key, V: Data, C: Data> RddNode<(K, C)> for ShuffledRdd<K, V, C> {
         let ctx = dep.context().clone();
         let mut out: Vec<(K, C)> = Vec::new();
         for map_id in 0..dep.num_map_partitions() {
+            cancellation_point();
             let block: Vec<(K, C)> = ctx.inner.shuffle.fetch_block(
                 &ctx,
                 BlockId {
@@ -363,6 +367,7 @@ impl<K: Key, V: Data> CoSide<K, V> {
             CoSide::Shuffled(dep) => {
                 let ctx = dep.context().clone();
                 for map_id in 0..dep.num_map_partitions() {
+                    cancellation_point();
                     let block: Vec<(K, V)> = ctx.inner.shuffle.fetch_block(
                         &ctx,
                         BlockId {

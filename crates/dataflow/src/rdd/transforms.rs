@@ -1,6 +1,7 @@
 //! Narrow transformations: computed in the same stage as their parent.
 
 use super::{Dependency, Rdd, RddBase, RddNode};
+use crate::executor::{cancellation_point, CancelGauge};
 use crate::partitioner::PartitionerSig;
 use crate::plan::PlanNodeInfo;
 use crate::scheduler::TaskContext;
@@ -52,7 +53,11 @@ impl<T: Data, U: Data> RddNode<U> for MapRdd<T, U> {
             .collect()
     }
     fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(U)) {
-        self.parent.stream(split, tc, &mut |t| sink((self.f)(t)));
+        let mut gauge = CancelGauge::new();
+        self.parent.stream(split, tc, &mut |t| {
+            gauge.tick();
+            sink((self.f)(t));
+        });
     }
     fn plan_info(&self) -> PlanNodeInfo {
         FUSABLE
@@ -99,7 +104,9 @@ impl<T: Data> RddNode<T> for FilterRdd<T> {
             .collect()
     }
     fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(T)) {
+        let mut gauge = CancelGauge::new();
         self.parent.stream(split, tc, &mut |t| {
+            gauge.tick();
             if (self.pred)(&t) {
                 sink(t);
             }
@@ -154,7 +161,9 @@ impl<T: Data, U: Data> RddNode<U> for FlatMapRdd<T, U> {
             .collect()
     }
     fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut(U)) {
+        let mut gauge = CancelGauge::new();
         self.parent.stream(split, tc, &mut |t| {
+            gauge.tick();
             for u in (self.f)(t) {
                 sink(u);
             }
@@ -198,6 +207,7 @@ impl<T: Data, U: Data> RddNode<U> for MapPartitionsRdd<T, U> {
     }
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<U> {
         let data = self.parent.iterator(split, tc);
+        cancellation_point();
         (self.f)(split, &data)
     }
     // compute_into keeps the default (drain `compute`): the operator's
@@ -314,6 +324,7 @@ impl<T: Data, U: Data, O: Data> RddNode<O> for ZipPartitionsRdd<T, U, O> {
     fn compute(&self, split: usize, tc: &TaskContext) -> Vec<O> {
         let l = self.left.iterator(split, tc);
         let r = self.right.iterator(split, tc);
+        cancellation_point();
         (self.f)(&l, &r)
     }
 }

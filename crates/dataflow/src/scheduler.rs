@@ -87,7 +87,9 @@
 //! [`StageOutcome::Aborted`]: crate::metrics::StageOutcome::Aborted
 
 use crate::context::SpangleContext;
-use crate::executor::{BlockOrigin, TaskInfo, TaskTag};
+use crate::executor::{
+    cancellation_point, BlockOrigin, CancelToken, CancelledError, TaskInfo, TaskTag,
+};
 use crate::failure::TaskSite;
 use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageReport};
 use crate::plan;
@@ -135,6 +137,47 @@ impl TaskContext {
     }
 }
 
+/// When the driver launches speculative duplicates for tail tasks; built
+/// by `SpangleContext::builder().speculation(..)` and immutable for the
+/// context's lifetime.
+///
+/// While a stage runs, the driver keeps the durations of its completed
+/// task attempts. A still-running original attempt whose elapsed time
+/// exceeds `multiplier` × the stage's median completed duration (and the
+/// `min_runtime` floor) gets a duplicate attempt on the least-loaded
+/// *other* executor. The first completion wins the partition — its output
+/// lands atomically in the shuffle registry — and the slower twin is
+/// cancelled through its [`CancelToken`]; neither side charges the
+/// per-task attempt budget.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationConfig {
+    /// Whether speculative duplicates are launched at all.
+    pub enabled: bool,
+    /// A running attempt becomes a candidate once its elapsed time exceeds
+    /// this multiple of the stage's median completed-task duration.
+    pub multiplier: f64,
+    /// Elapsed-time floor below which no attempt is duplicated, whatever
+    /// the median says — very short stages must not breed duplicates over
+    /// scheduling noise.
+    pub min_runtime: Duration,
+}
+
+impl Default for SpeculationConfig {
+    /// Speculation on, at 4× the stage median with a 10 ms floor. Setting
+    /// the `SPANGLE_DISABLE_SPECULATION` environment variable (to anything
+    /// but `0`) flips `enabled` off — the lever the CI matrix uses to keep
+    /// the non-speculative path tested. Explicit builder calls always win
+    /// over the environment.
+    fn default() -> Self {
+        let disabled = std::env::var_os("SPANGLE_DISABLE_SPECULATION").is_some_and(|v| v != "0");
+        SpeculationConfig {
+            enabled: !disabled,
+            multiplier: 4.0,
+            min_runtime: Duration::from_millis(10),
+        }
+    }
+}
+
 /// Why one task attempt failed.
 #[derive(Clone, Debug)]
 pub enum TaskError {
@@ -159,6 +202,12 @@ pub enum TaskError {
         /// Map partition whose output is missing.
         map_id: usize,
     },
+    /// The attempt was interrupted at a cancellation point: the driver
+    /// cancelled its [`CancelToken`] (a lost speculation race, a job
+    /// abort, or an expired deadline) or its executor was killed while the
+    /// body ran. Never charges the per-task attempt budget — the
+    /// interruption was the scheduler's own doing.
+    Cancelled,
     /// The executor pool shut down while the job was running.
     ExecutorShutdown,
     /// Admission control shed the job before any of its tasks ran: the
@@ -182,6 +231,7 @@ impl std::fmt::Display for TaskError {
                 f,
                 "fetch failed: map output {map_id} of shuffle {shuffle_id} was lost"
             ),
+            TaskError::Cancelled => write!(f, "attempt cancelled at a cancellation point"),
             TaskError::ExecutorShutdown => write!(f, "executor pool shut down"),
             TaskError::Rejected => write!(f, "shed by admission control (scheduler saturated)"),
             TaskError::DeadlineExceeded => write!(f, "job deadline exceeded"),
@@ -244,6 +294,27 @@ type ErasedResult = Box<dyn Any + Send>;
 /// the result stage yields `Some` type-erased partition result.
 type StageWork = Arc<dyn Fn(&TaskContext) -> Option<ErasedResult> + Send + Sync>;
 
+/// One live task attempt of a running stage, tracked for speculation and
+/// cancellation. A partition has at most two: the original and one
+/// speculative duplicate racing it.
+struct Attempt {
+    /// Attempt number shared by both sides of a speculation race.
+    attempt: usize,
+    /// Whether this is the duplicate side of the race.
+    speculative: bool,
+    /// Whether the attempt was submitted as a singleton executor task.
+    /// Coalesced groups share one body (and one token) across partitions,
+    /// so duplicating a single partition out of one is not possible —
+    /// only singletons are speculation candidates.
+    singleton: bool,
+    /// Cancels the attempt's body at its next cancellation point.
+    /// Doubles as the attempt's identity against the pool's running
+    /// slots: the speculation scan locates where (and since when) the
+    /// attempt's body has actually been executing by this token, so
+    /// queue time never counts toward the straggler threshold.
+    token: CancelToken,
+}
+
 /// One node of the job's stage graph.
 struct Stage {
     /// The shuffle this map stage feeds; `None` for the result stage.
@@ -286,6 +357,21 @@ struct Stage {
     /// Reduce partitions merged into shared task groups in this stage's
     /// current run (`num_tasks` minus scheduled task groups).
     partitions_coalesced: usize,
+    /// Live attempts of this stage's current run, keyed by partition.
+    inflight: HashMap<usize, Vec<Attempt>>,
+    /// Completed-attempt durations (nanoseconds) of the current run; the
+    /// speculation scan compares stragglers against their median.
+    durations: Vec<u64>,
+    /// Partitions already settled by their first completion. Later sibling
+    /// events (the cancelled half of a speculation race) are losers: their
+    /// time is accounted, nothing else.
+    finished: HashSet<usize>,
+    /// Speculative duplicates launched in this stage's current run.
+    tasks_speculated: usize,
+    /// Duplicates that completed before the original they raced.
+    speculation_wins: usize,
+    /// Attempts of this stage cancelled through their token.
+    tasks_cancelled: usize,
 }
 
 /// Everything that flows into the shared driver loop. Each message arrives
@@ -307,6 +393,8 @@ enum ServiceEvent {
         ran_on: usize,
         /// Whether the attempt was stolen from its placed executor.
         stolen: bool,
+        /// Whether this was the duplicate side of a speculation race.
+        speculative: bool,
         outcome: Result<Option<ErasedResult>, TaskError>,
     },
     /// An external (other-job) map stage finished: `completed` says
@@ -715,8 +803,10 @@ impl AdmissionController {
 
     /// The driver's receive timeout: the nearest deadline among queued and
     /// running jobs, clamped to the admission poll while jobs are queued
-    /// (their admission inputs can change without an event). `None` means
-    /// block indefinitely — nothing is waiting on time.
+    /// (their admission inputs can change without an event) or a running
+    /// job could grow a speculation candidate (stragglers ripen without
+    /// generating events). `None` means block indefinitely — nothing is
+    /// waiting on time.
     fn receive_timeout(&self, jobs: &HashMap<usize, Box<JobRun>>) -> Option<Duration> {
         let now = Instant::now();
         let nearest = jobs
@@ -725,10 +815,27 @@ impl AdmissionController {
             .chain(self.queue.iter().filter_map(|j| j.deadline))
             .min()
             .map(|d| d.saturating_duration_since(now));
-        if self.queue.is_empty() {
+        let speculating = jobs.values().any(|j| j.wants_speculation_poll());
+        if self.queue.is_empty() && !speculating {
             nearest
         } else {
             Some(nearest.map_or(ADMISSION_POLL, |t| t.min(ADMISSION_POLL)))
+        }
+    }
+}
+
+/// Runs the speculation scan over every running job, launching duplicate
+/// attempts for ripe stragglers. A job whose duplicate cannot be submitted
+/// (the pool shut down underneath it) fails through the normal abort path.
+fn run_speculation(jobs: &mut HashMap<usize, Box<JobRun>>) {
+    let ids: Vec<usize> = jobs.keys().copied().collect();
+    for id in ids {
+        let Some(job) = jobs.get_mut(&id) else {
+            continue;
+        };
+        if let Err(err) = job.check_speculation() {
+            let job = jobs.remove(&id).expect("job vanished mid-speculation");
+            job.fail(err);
         }
     }
 }
@@ -757,6 +864,7 @@ fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
     let mut admission = AdmissionController::new();
     loop {
         admission.expire_deadlines(&mut jobs);
+        run_speculation(&mut jobs);
         admission.drain(&mut jobs);
         let received = match admission.receive_timeout(&jobs) {
             None => rx.recv().map_err(|_| ()),
@@ -864,6 +972,12 @@ fn build_stages<T: Data, R: Send + 'static>(
             fused_chains: plans[idx].fused_chains,
             elided_shuffles: plans[idx].elided_shuffles,
             partitions_coalesced: 0,
+            inflight: HashMap::new(),
+            durations: Vec::new(),
+            finished: HashSet::new(),
+            tasks_speculated: 0,
+            speculation_wins: 0,
+            tasks_cancelled: 0,
         });
     }
 
@@ -912,6 +1026,12 @@ fn build_stages<T: Data, R: Send + 'static>(
         fused_chains: plans[result_idx].fused_chains,
         elided_shuffles: plans[result_idx].elided_shuffles,
         partitions_coalesced: 0,
+        inflight: HashMap::new(),
+        durations: Vec::new(),
+        finished: HashSet::new(),
+        tasks_speculated: 0,
+        speculation_wins: 0,
+        tasks_cancelled: 0,
     });
     stages
 }
@@ -1074,14 +1194,35 @@ impl JobRun {
                 wait_nanos,
                 ran_on,
                 stolen,
+                speculative,
                 outcome,
             } => {
                 self.stages[stage_idx].task_nanos += nanos;
                 self.stages[stage_idx].tasks_stolen += stolen as usize;
                 self.executor_busy[ran_on] += nanos;
                 self.queue_wait_nanos += wait_nanos;
+                // Retire this event's inflight record. No record, or a
+                // partition already settled by its first completion, marks
+                // a *loser* event — the slower half of a speculation race,
+                // or a straggler of a superseded stage run. Its time is
+                // accounted above, but it must not touch `remaining`,
+                // retries, or any budget: the partition is spoken for.
+                let retired = self.retire_attempt(stage_idx, partition, attempt, speculative);
+                if !retired || self.stages[stage_idx].finished.contains(&partition) {
+                    return Ok(());
+                }
                 match outcome {
                     Ok(result) => {
+                        self.stages[stage_idx].finished.insert(partition);
+                        self.stages[stage_idx].durations.push(nanos);
+                        if speculative {
+                            self.stages[stage_idx].speculation_wins += 1;
+                            self.ctx.metrics().add(MetricField::SpeculationWins, 1);
+                        }
+                        // First completion wins the partition; the slower
+                        // twin (if racing) is cancelled and its eventual
+                        // event drops into the loser path above.
+                        self.cancel_partition(stage_idx, partition);
                         if let Some(r) = result {
                             self.results[partition] = Some(r);
                         }
@@ -1090,16 +1231,23 @@ impl JobRun {
                             self.finish_stage(stage_idx)?;
                         }
                     }
+                    Err(_) if self.has_inflight(stage_idx, partition) => {
+                        // The twin of the speculation race is still running
+                        // and may yet deliver the partition: this side just
+                        // drops out, no retry and no budget charge.
+                    }
                     Err(TaskError::FetchFailed { shuffle_id, map_id }) => {
                         self.recover_fetch_failure(
                             stage_idx, partition, attempt, shuffle_id, map_id,
                         )?;
                     }
-                    Err(err @ TaskError::ExecutorLost { .. }) => {
-                        // The attempt died with its executor through no
-                        // fault of its own: replay it (same attempt
-                        // number) on the replacement, charging only the
-                        // job's resubmission budget.
+                    Err(err @ (TaskError::ExecutorLost { .. } | TaskError::Cancelled)) => {
+                        // The attempt died with its executor (or was
+                        // interrupted by a cancellation whose initiator —
+                        // a kill racing the epoch check — has no surviving
+                        // twin) through no fault of its own: replay it
+                        // (same attempt number) on the replacement,
+                        // charging only the job's resubmission budget.
                         self.charge_resubmission(stage_idx, partition, attempt, err)?;
                         self.ctx.metrics().add(MetricField::Recomputations, 1);
                         self.submit_task(stage_idx, partition, attempt)?;
@@ -1208,6 +1356,9 @@ impl JobRun {
             stages_fused: 0,
             shuffles_elided: 0,
             partitions_coalesced: 0,
+            tasks_speculated: 0,
+            speculation_wins: 0,
+            tasks_cancelled: 0,
         });
     }
 
@@ -1245,6 +1396,12 @@ impl JobRun {
         stage.fetch_failures = 0;
         stage.recovered_maps = 0;
         stage.partitions_coalesced = 0;
+        stage.inflight.clear();
+        stage.durations.clear();
+        stage.finished.clear();
+        stage.tasks_speculated = 0;
+        stage.speculation_wins = 0;
+        stage.tasks_cancelled = 0;
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
         if stage.fused_chains > 0 {
@@ -1322,6 +1479,38 @@ impl JobRun {
         self.submit_attempts(stage_idx, vec![partition], attempt)
     }
 
+    /// Launches the duplicate side of a speculation race: the same attempt
+    /// number as the running original, flagged speculative, placed on the
+    /// least-loaded executor *other than* the one the straggler occupies,
+    /// so the duplicate cannot queue behind the very task it is meant to
+    /// overtake (a one-task backlog behind a wedged body is never stolen).
+    /// The original's token locates where it actually runs — a stolen
+    /// straggler executes away from its home slot, and a straggler still
+    /// *queued* (stuck behind another straggler) runs nowhere yet, in
+    /// which case its home queue is the one to avoid.
+    fn submit_speculative(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+    ) -> Result<(), JobError> {
+        let original_token = self.stages[stage_idx]
+            .inflight
+            .get(&partition)
+            .and_then(|attempts| attempts.first())
+            .map(|a| a.token.clone());
+        let avoid = original_token
+            .and_then(|token| self.ctx.inner.pool.executor_running(&token))
+            .map(|(executor, _)| executor)
+            .unwrap_or_else(|| self.ctx.inner.pool.executor_for(partition));
+        let lens = self.ctx.inner.pool.queue_lens();
+        let target = (0..lens.len())
+            .filter(|&e| e != avoid)
+            .min_by_key(|&e| lens[e])
+            .expect("speculation requires at least two executors");
+        self.submit_group(stage_idx, vec![partition], attempt, true, Some(target))
+    }
+
     /// Submits one executor task covering `partitions` (a coalesced group,
     /// or a singleton), placed on the executor owning the first partition
     /// and tagged with the job's priority. The task runs each partition's
@@ -1336,6 +1525,22 @@ impl JobRun {
         partitions: Vec<usize>,
         attempt: usize,
     ) -> Result<(), JobError> {
+        self.submit_group(stage_idx, partitions, attempt, false, None)
+    }
+
+    /// The common submission body behind [`Self::submit_attempts`] and
+    /// [`Self::submit_speculative`]: registers the group's attempts as
+    /// inflight under a shared [`CancelToken`], then queues one executor
+    /// task — placed by partition ownership, or on `place_on` for a
+    /// speculative duplicate.
+    fn submit_group(
+        &mut self,
+        stage_idx: usize,
+        partitions: Vec<usize>,
+        attempt: usize,
+        speculative: bool,
+        place_on: Option<usize>,
+    ) -> Result<(), JobError> {
         let stage = &self.stages[stage_idx];
         let job_id = self.job_id;
         let stage_id = stage.stage_id;
@@ -1345,6 +1550,20 @@ impl JobRun {
         let tx = self.tx.clone();
         let ctx = self.ctx.clone();
         let queued = Instant::now();
+        let token = CancelToken::new();
+        let singleton = partitions.len() == 1;
+        for &partition in &partitions {
+            self.stages[stage_idx]
+                .inflight
+                .entry(partition)
+                .or_default()
+                .push(Attempt {
+                    attempt,
+                    speculative,
+                    singleton,
+                    token: token.clone(),
+                });
+        }
         let task = Box::new(move |info: &TaskInfo| {
             let wait_nanos = queued.elapsed().as_nanos() as u64;
             // Wrapped in an Option so the last partition can release it
@@ -1373,16 +1592,35 @@ impl JobRun {
                 };
                 let start = Instant::now();
                 let body = work.as_ref().expect("task group released work early");
+                // An armed wedge turns this attempt into a deterministic
+                // straggler: it spins at a cancellation point in place of
+                // its body until the driver's speculation (or an abort)
+                // cancels it. The wedge is consumed here, so the
+                // speculative duplicate of the same site runs clean.
+                let wedged = ctx.inner.failures.take_wedge(site);
                 let mut outcome = if ctx.inner.failures.should_fail(site, attempt) {
                     Err(TaskError::Injected)
                 } else {
-                    std::panic::catch_unwind(AssertUnwindSafe(|| body(&tc))).map_err(|payload| {
-                        match payload.downcast_ref::<FetchFailedError>() {
-                            Some(fetch) => TaskError::FetchFailed {
-                                shuffle_id: fetch.shuffle_id,
-                                map_id: fetch.map_id,
-                            },
-                            None => TaskError::Panicked(panic_message(payload.as_ref())),
+                    std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if wedged {
+                            loop {
+                                cancellation_point();
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        body(&tc)
+                    }))
+                    .map_err(|payload| {
+                        if payload.downcast_ref::<CancelledError>().is_some() {
+                            TaskError::Cancelled
+                        } else {
+                            match payload.downcast_ref::<FetchFailedError>() {
+                                Some(fetch) => TaskError::FetchFailed {
+                                    shuffle_id: fetch.shuffle_id,
+                                    map_id: fetch.map_id,
+                                },
+                                None => TaskError::Panicked(panic_message(payload.as_ref())),
+                            }
                         }
                     })
                 };
@@ -1432,6 +1670,7 @@ impl JobRun {
                     wait_nanos: if i == 0 { wait_nanos } else { 0 },
                     ran_on: info.ran_on,
                     stolen: info.stolen,
+                    speculative,
                     outcome,
                 });
             }
@@ -1440,8 +1679,155 @@ impl JobRun {
             job_id: self.job_id,
             priority: self.priority,
         };
-        if self.ctx.inner.pool.submit_tagged(home, tag, task).is_err() {
+        let submitted = match place_on {
+            Some(executor) => self
+                .ctx
+                .inner
+                .pool
+                .submit_on(executor, tag, Some(token), task),
+            None => self
+                .ctx
+                .inner
+                .pool
+                .submit_cancellable(home, tag, token, task),
+        };
+        if submitted.is_err() {
             return Err(self.abort(stage_idx, home, attempt, TaskError::ExecutorShutdown));
+        }
+        Ok(())
+    }
+
+    /// Drops the inflight record of one completed (or failed) attempt.
+    /// Returns `false` when no such record exists: the event is a loser —
+    /// its partition was settled and cancelled, or its stage run was
+    /// superseded by a recovery re-run.
+    fn retire_attempt(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+        speculative: bool,
+    ) -> bool {
+        let stage = &mut self.stages[stage_idx];
+        let Some(attempts) = stage.inflight.get_mut(&partition) else {
+            return false;
+        };
+        let Some(pos) = attempts
+            .iter()
+            .position(|a| a.attempt == attempt && a.speculative == speculative)
+        else {
+            return false;
+        };
+        attempts.remove(pos);
+        if attempts.is_empty() {
+            stage.inflight.remove(&partition);
+        }
+        true
+    }
+
+    /// Whether any attempt of `partition` is still running (the other side
+    /// of a speculation race, from the perspective of a failed event).
+    fn has_inflight(&self, stage_idx: usize, partition: usize) -> bool {
+        self.stages[stage_idx]
+            .inflight
+            .get(&partition)
+            .is_some_and(|a| !a.is_empty())
+    }
+
+    /// Cancels every still-running attempt of `partition` — the losers of
+    /// its settled race — counting each cancellation.
+    fn cancel_partition(&mut self, stage_idx: usize, partition: usize) {
+        let Some(attempts) = self.stages[stage_idx].inflight.remove(&partition) else {
+            return;
+        };
+        for a in &attempts {
+            a.token.cancel();
+        }
+        self.stages[stage_idx].tasks_cancelled += attempts.len();
+        self.ctx
+            .metrics()
+            .add(MetricField::TasksCancelled, attempts.len() as u64);
+    }
+
+    /// Cancels every running attempt of every stage: job aborts and
+    /// expired deadlines must not leave wedged task bodies holding
+    /// executors hostage until they finish on their own.
+    fn cancel_all_inflight(&mut self) {
+        let mut cancelled = 0u64;
+        for stage in &mut self.stages {
+            for attempts in stage.inflight.values() {
+                for a in attempts {
+                    a.token.cancel();
+                }
+            }
+            let n: usize = stage.inflight.values().map(Vec::len).sum();
+            stage.tasks_cancelled += n;
+            cancelled += n as u64;
+            stage.inflight.clear();
+        }
+        if cancelled > 0 {
+            self.ctx
+                .metrics()
+                .add(MetricField::TasksCancelled, cancelled);
+        }
+    }
+
+    /// Whether the driver should keep a poll timer alive for this job:
+    /// some running stage has at least one completed-duration sample and a
+    /// lone original attempt that could ripen into a speculation
+    /// candidate without generating any event on its own.
+    fn wants_speculation_poll(&self) -> bool {
+        self.ctx.inner.speculation.enabled
+            && self.ctx.num_executors() >= 2
+            && self.stages.iter().any(|s| {
+                s.state == StageState::Running
+                    && !s.durations.is_empty()
+                    && s.inflight
+                        .values()
+                        .any(|a| matches!(&a[..], [x] if !x.speculative && x.singleton))
+            })
+    }
+
+    /// The speculation scan: for every running stage with completed
+    /// samples, any lone, original, singleton attempt whose *running*
+    /// time exceeds the configured multiple of the stage's median
+    /// completed duration (and the floor) gets a duplicate on another
+    /// executor. Running time is measured from the pool's run stamp, not
+    /// from submission: a task still parked in a queue (behind a
+    /// straggler, say) is not itself slow and is never duplicated — the
+    /// straggler in front of it is.
+    fn check_speculation(&mut self) -> Result<(), JobError> {
+        let cfg = self.ctx.inner.speculation;
+        if !cfg.enabled || self.ctx.num_executors() < 2 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut launch: Vec<(usize, usize, usize)> = Vec::new();
+        for (idx, stage) in self.stages.iter().enumerate() {
+            if stage.state != StageState::Running || stage.durations.is_empty() {
+                continue;
+            }
+            let median = median_nanos(&stage.durations);
+            let threshold =
+                Duration::from_nanos((median as f64 * cfg.multiplier) as u64).max(cfg.min_runtime);
+            for (&partition, attempts) in &stage.inflight {
+                let [a] = &attempts[..] else { continue };
+                if a.speculative || !a.singleton {
+                    continue;
+                }
+                let Some((_, running_since)) = self.ctx.inner.pool.executor_running(&a.token)
+                else {
+                    continue;
+                };
+                if now.duration_since(running_since) > threshold {
+                    launch.push((idx, partition, a.attempt));
+                }
+            }
+        }
+        for (idx, partition, attempt) in launch {
+            self.stages[idx].tasks_speculated += 1;
+            self.ctx.metrics().add(MetricField::TasksSpeculated, 1);
+            self.submit_speculative(idx, partition, attempt)?;
         }
         Ok(())
     }
@@ -1482,6 +1868,9 @@ impl JobRun {
             stages_fused: stage.fused_chains,
             shuffles_elided: stage.elided_shuffles,
             partitions_coalesced: stage.partitions_coalesced,
+            tasks_speculated: stage.tasks_speculated,
+            speculation_wins: stage.speculation_wins,
+            tasks_cancelled: stage.tasks_cancelled,
         });
         self.satisfy_children(idx)
     }
@@ -1600,6 +1989,12 @@ impl JobRun {
         stage.tasks_stolen = 0;
         stage.fetch_failures = 0;
         stage.recovered_maps = missing.len();
+        stage.inflight.clear();
+        stage.durations.clear();
+        stage.finished.clear();
+        stage.tasks_speculated = 0;
+        stage.speculation_wins = 0;
+        stage.tasks_cancelled = 0;
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
         self.ctx
@@ -1640,6 +2035,10 @@ impl JobRun {
         attempts: usize,
         last_error: TaskError,
     ) -> JobError {
+        // Interrupt every still-running attempt at its next cancellation
+        // point: an abort (or expired deadline) must free the executors,
+        // not wait out wedged bodies.
+        self.cancel_all_inflight();
         for shuffle_id in self.owned.drain() {
             self.ctx.inner.shuffle.abandon(shuffle_id);
         }
@@ -1702,6 +2101,9 @@ impl JobRun {
                 stages_fused: stage.fused_chains,
                 shuffles_elided: stage.elided_shuffles,
                 partitions_coalesced: stage.partitions_coalesced,
+                tasks_speculated: stage.tasks_speculated,
+                speculation_wins: stage.speculation_wins,
+                tasks_cancelled: stage.tasks_cancelled,
             })
             .collect();
         self.reports.extend(aborted);
@@ -1735,6 +2137,14 @@ impl Stage {
     }
 }
 
+/// Median of the completed-attempt durations, in nanoseconds (upper
+/// median for even counts — speculation prefers the conservative side).
+fn median_nanos(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -1747,6 +2157,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::SpeculationConfig;
     use crate::metrics::{JobOutcome, StageOutcome};
     use crate::rdd::pair::PairRdd;
     use crate::{HashPartitioner, SpangleContext};
@@ -2062,7 +2473,16 @@ mod tests {
     /// the steals are charged as remote in the job report.
     #[test]
     fn skewed_partitions_are_stolen_and_charged_remote() {
-        let ctx = SpangleContext::new(2);
+        // Speculation would hand the idle executor duplicate attempts
+        // instead of letting it steal, so pin it off: this test is about
+        // the steal path.
+        let ctx = SpangleContext::builder()
+            .executors(2)
+            .speculation(SpeculationConfig {
+                enabled: false,
+                ..SpeculationConfig::default()
+            })
+            .build();
         // 6 partitions of 10 elements on 2 executors: partitions 0/2/4
         // (all placed on executor 0) sleep once, partitions 1/3/5 are
         // instant — executor 1 drains its own queue and must steal.

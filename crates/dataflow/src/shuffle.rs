@@ -186,6 +186,65 @@ impl ShuffleService {
             .insert(map_id, origin);
     }
 
+    /// Atomically deposits *all* buckets of one map task and registers its
+    /// output, first-write-wins. Under speculative execution two attempts
+    /// of the same map partition race; whichever commits first installs
+    /// its complete bucket set, and the loser's deposit is refused as a
+    /// unit so two attempts' output can never interleave. Returns whether
+    /// this attempt won.
+    ///
+    /// A commit loses when the (shuffle, map) pair is already registered
+    /// by a live incarnation, or when the depositing incarnation itself is
+    /// dead (killed mid-task — same rule as [`ShuffleService::put_block`]).
+    /// Losing commits charge no shuffle-write volume.
+    pub fn commit_map_output<T: Send + Sync + 'static>(
+        &self,
+        ctx: &SpangleContext,
+        shuffle_id: usize,
+        map_id: usize,
+        buckets: Vec<(usize, Vec<T>, usize)>,
+        origin: BlockOrigin,
+    ) -> bool {
+        if !ctx.inner.pool.origin_is_live(origin) {
+            return false;
+        }
+        let mut outputs = self.outputs.lock();
+        let maps = outputs.entry(shuffle_id).or_default();
+        if let Some(existing) = maps.get(&map_id) {
+            if ctx.inner.pool.origin_is_live(*existing) {
+                return false;
+            }
+        }
+        maps.insert(map_id, origin);
+        let mut total_bytes = 0u64;
+        let mut total_records = 0u64;
+        {
+            let mut blocks = self.blocks.write();
+            for (reduce_id, records, bytes) in buckets {
+                total_bytes += bytes as u64;
+                total_records += records.len() as u64;
+                blocks.insert(
+                    BlockId {
+                        shuffle_id,
+                        map_id,
+                        reduce_id,
+                    },
+                    (Arc::new(records) as BlockPayload, bytes, origin),
+                );
+            }
+        }
+        drop(outputs);
+        ctx.metrics()
+            .add(MetricField::ShuffleWriteBytes, total_bytes);
+        ctx.metrics()
+            .add(MetricField::ShuffleRecords, total_records);
+        ctx.metrics().raise(
+            MetricField::MemoryHighwaterBytes,
+            (self.resident_bytes() + ctx.cached_bytes()) as u64,
+        );
+        true
+    }
+
     /// Fetches one bucket, charging shuffle read volume. Returns an empty
     /// vector when the map task produced nothing for this reduce partition.
     ///

@@ -10,7 +10,8 @@
 //! tasks sleep, to hold the slot while later submissions are routed.
 
 use spangle_dataflow::{
-    submit_job, HashPartitioner, JobHandle, JobOutcome, PairRdd, SpangleContext, TaskError,
+    submit_job, HashPartitioner, JobHandle, JobOutcome, PairRdd, SpangleContext, SpeculationConfig,
+    TaskError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -228,6 +229,65 @@ fn deadline_aborts_a_running_job_and_reclaims_its_shuffle() {
         "a deadlined job may leave no shuffle bytes once its lineage drops"
     );
     assert_eq!(ctx.cached_bytes(), 0);
+}
+
+/// A deadline must preempt a *running* task body, not just refuse to wait
+/// for it: the wedged task below never reaches a completion event, so
+/// before cooperative cancellation the job could only resolve after the
+/// body gave up on its own (here: never). The deadline abort cancels the
+/// attempt's token and the wedge is interrupted at its next cancellation
+/// point — within one chunk boundary.
+#[test]
+fn deadline_preempts_a_wedged_running_task_body() {
+    // Speculation off: a clean duplicate of the wedged task would finish
+    // the job before its deadline, which is exactly not what this test
+    // is about.
+    let ctx = SpangleContext::builder()
+        .executors(2)
+        .speculation(SpeculationConfig {
+            enabled: false,
+            ..SpeculationConfig::default()
+        })
+        .build();
+    let base = ctx.parallelize((0u64..40).map(|i| (i % 4, i)).collect(), 2);
+    let reduced = base.reduce_by_key(Arc::new(HashPartitioner::new(2)), |a, b| a + b);
+    // Wedge one map task: it spins at a cancellation point in place of
+    // its body and can only stop by being cancelled.
+    ctx.failure_injector().wedge_task(base.id(), 0, 1);
+
+    let started = Instant::now();
+    let err = ctx
+        .run_with_deadline(Duration::from_millis(40), || reduced.collect())
+        .unwrap_err();
+    assert!(
+        matches!(err.last_error, TaskError::DeadlineExceeded),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "the deadline must not wait out the wedged body"
+    );
+    let report = ctx.last_job_report().expect("deadlined job report");
+    assert_eq!(report.outcome, JobOutcome::Deadlined);
+    assert!(
+        ctx.failure_injector().is_drained(),
+        "the wedge was consumed by the preempted attempt"
+    );
+
+    // Barrier over both executors: it can only complete this quickly if
+    // the wedged body actually stopped spinning and freed its worker.
+    let barrier_started = Instant::now();
+    ctx.parallelize(vec![0u64, 1], 2).count().unwrap();
+    assert!(
+        barrier_started.elapsed() < Duration::from_millis(500),
+        "cancelled wedge must have released its executor"
+    );
+    drop((reduced, base));
+    assert_eq!(
+        ctx.shuffle_resident_bytes(),
+        0,
+        "a preempted job may leave no resident shuffle bytes"
+    );
 }
 
 #[test]

@@ -15,9 +15,10 @@
 //! Deliberately `#[ignore]`d: `scripts/check.sh stress` (a separate CI
 //! job) runs it so its runtime does not slow the default gate.
 
-use spangle_dataflow::{HashPartitioner, PairRdd, Rdd, SpangleContext};
+use spangle_dataflow::{HashPartitioner, PairRdd, Rdd, SpangleContext, SpeculationConfig};
 use spangle_testkit::{run_cases, Rng};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Live threads of this process (Linux); used to prove nothing leaks.
 fn thread_count() -> usize {
@@ -153,6 +154,112 @@ fn pagerank_survives_one_executor_kill_per_iteration() {
             ctx.failure_injector().is_drained(),
             "every armed executor kill must have fired"
         );
+        drop(ctx);
+        assert_threads_drain_to(baseline_threads);
+    });
+}
+
+/// A context whose speculation fires regardless of the
+/// `SPANGLE_DISABLE_SPECULATION` matrix flag, with a threshold low enough
+/// for the stress gate but high enough that only a genuinely wedged task
+/// (never one briefly parked in a queue) is duplicated.
+fn speculating_ctx(executors: usize) -> SpangleContext {
+    SpangleContext::builder()
+        .executors(executors)
+        .speculation(SpeculationConfig {
+            enabled: true,
+            multiplier: 3.0,
+            min_runtime: Duration::from_millis(40),
+        })
+        // Coalesced task groups share one token and are never speculated;
+        // keep every task a singleton so an armed wedge is always
+        // eligible for a duplicate.
+        .coalesce_partitions(false)
+        // One kill can poison the whole shuffle (round 2), and every
+        // parked fetch failure charges the resubmission budget.
+        .max_resubmissions(10_000)
+        .build()
+}
+
+/// Seeded straggler chaos: one wedged task per stage of a two-stage
+/// shuffle job. The wedged original spins at a cancellation point until
+/// the driver's speculative duplicate (which consumes no wedge) wins the
+/// partition and the loser is cancelled. The result must be bit-identical
+/// to a clean run and the speculation counters exact: one launch, one
+/// win, one cancellation per wedge. A second round arms a concurrent
+/// executor kill on top, where only bit-identicality is asserted — the
+/// kill races the duplicate, so the counters legitimately vary.
+#[test]
+#[ignore = "stress gate: run explicitly via scripts/check.sh stress (separate CI job)"]
+fn speculative_winners_are_bit_identical_with_exact_counters() {
+    let baseline_threads = thread_count();
+    run_cases(0x57A6_61E5, 6, |rng: &mut Rng| {
+        let executors = rng.usize_in(2..4);
+        let num_parts = executors * rng.usize_in(2..4);
+        let num_keys = rng.u64_in(3..9);
+        let records: Vec<(u64, u64)> = (0..rng.u64_in(30..80))
+            .map(|_| (rng.u64_in(0..num_keys), rng.u64_in(0..1_000_000)))
+            .collect();
+        let partitioner: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(num_parts));
+        let wedge_map = rng.usize_in(0..num_parts);
+        let wedge_reduce = rng.usize_in(0..num_parts);
+
+        let run = |ctx: &SpangleContext, wedge_stages: usize, kill: Option<usize>| {
+            let pairs = ctx.parallelize(records.clone(), num_parts);
+            let reduced = pairs.reduce_by_key(partitioner.clone(), |a, b| a + b);
+            if wedge_stages >= 1 {
+                ctx.failure_injector().wedge_task(pairs.id(), wedge_map, 1);
+            }
+            if wedge_stages >= 2 {
+                ctx.failure_injector()
+                    .wedge_task(reduced.id(), wedge_reduce, 1);
+            }
+            if let Some(victim) = kill {
+                ctx.failure_injector().kill_executor_after(victim, 1);
+            }
+            let mut out = reduced.collect().unwrap();
+            out.sort();
+            out
+        };
+
+        let expected = run(&SpangleContext::new(executors), 0, None);
+
+        // Round 1: one wedge per stage, no kills — exact counters.
+        let ctx = speculating_ctx(executors);
+        let before = ctx.metrics_snapshot();
+        let got = run(&ctx, 2, None);
+        assert_eq!(got, expected, "speculative winners must be bit-identical");
+        let delta = ctx.metrics_snapshot() - before;
+        let report = ctx.last_job_report().expect("job report");
+        assert_eq!(
+            (
+                report.tasks_speculated(),
+                report.speculation_wins(),
+                report.tasks_cancelled()
+            ),
+            (2, 2, 2),
+            "one launch, one win, one cancelled loser per wedged stage: {report}"
+        );
+        assert_eq!(delta.tasks_speculated, 2);
+        assert_eq!(delta.speculation_wins, 2);
+        assert_eq!(delta.tasks_cancelled, 2);
+        assert!(ctx.failure_injector().is_drained());
+        drop(ctx);
+
+        // Round 2: a wedged map task racing a concurrent executor kill.
+        // The kill may take the original, the duplicate, or a bystander —
+        // any interleaving must still produce the clean answer. Only the
+        // map stage is wedged: the kill can fetch-fail every non-wedged
+        // reduce task, and a stage with no completed samples (rightly)
+        // never speculates, so a reduce wedge could hang unresolved.
+        let ctx = speculating_ctx(executors);
+        let victim = rng.usize_in(0..executors);
+        let got = run(&ctx, 1, Some(victim));
+        assert_eq!(
+            got, expected,
+            "speculation under an executor kill must stay bit-identical"
+        );
+        assert!(ctx.failure_injector().is_drained());
         drop(ctx);
         assert_threads_drain_to(baseline_threads);
     });

@@ -14,10 +14,13 @@
 //! Deliberately `#[ignore]`d: `scripts/check.sh stress` (a separate CI
 //! job) runs it so its runtime does not slow the default gate.
 
-use spangle_dataflow::{HashPartitioner, PairRdd, SpangleContext};
+use spangle_dataflow::{
+    cancellation_point, HashPartitioner, PairRdd, SpangleContext, SpeculationConfig,
+};
 use spangle_testkit::{run_cases, Rng};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Live threads of this process (Linux); used to prove nothing leaks.
 fn thread_count() -> usize {
@@ -281,6 +284,102 @@ fn saturated_scheduler_sheds_only_low_priority_and_leaks_nothing() {
         assert_eq!(ctx.cached_bytes(), 0, "no job persisted anything");
         drop((rejected_lineages, wedge_rdd));
         assert!(waiter_threads().is_empty());
+        drop(ctx);
+        assert_threads_drain_to(baseline_threads);
+    });
+}
+
+/// How long an uninterrupted straggler task holds its executor. The p99
+/// bound below is half of this, so the assertion can only pass if
+/// speculation duplicated the straggler and cancellation interrupted it.
+const STRAGGLER_HOLD: Duration = Duration::from_millis(1_000);
+
+/// Seeded straggler-mitigation gate: one executor is artificially slowed
+/// — every task body that lands on its thread spins (cancellably) for
+/// [`STRAGGLER_HOLD`] — while a stream of single-stage jobs runs. With
+/// speculation on, the driver must duplicate each straggling task onto a
+/// healthy executor and cancel the loser, so the p99 job latency stays
+/// within half the hold time of the no-straggler run instead of eating
+/// the full hold per job.
+#[test]
+#[ignore = "stress gate: run explicitly via scripts/check.sh stress (separate CI job)"]
+fn speculation_bounds_tail_latency_under_a_slowed_executor() {
+    let baseline_threads = thread_count();
+    run_cases(0x510_3EC5, 4, |rng: &mut Rng| {
+        let executors = rng.usize_in(3..6);
+        let num_parts = executors * 2;
+        let n_jobs = 12;
+        let slow_thread = format!("spangle-executor-{}", rng.usize_in(0..executors));
+
+        // Speculation pinned on (the suite also runs under
+        // SPANGLE_DISABLE_SPECULATION=1) with a threshold low enough to
+        // fire quickly but far above a healthy task's runtime; coalescing
+        // off because coalesced groups are never speculated.
+        let ctx_for = || {
+            SpangleContext::builder()
+                .executors(executors)
+                .speculation(SpeculationConfig {
+                    enabled: true,
+                    multiplier: 3.0,
+                    min_runtime: Duration::from_millis(40),
+                })
+                .coalesce_partitions(false)
+                .build()
+        };
+
+        // One job: a single-stage count over `num_parts` one-element
+        // partitions whose map body spins on the slowed executor's thread
+        // until cancelled (or the hold expires). Returns its wall time.
+        let run_job = |ctx: &SpangleContext, slow: Option<String>| -> Duration {
+            let rdd = ctx
+                .parallelize((0..num_parts as u64).collect(), num_parts)
+                .map(move |x| {
+                    if let Some(name) = &slow {
+                        if std::thread::current().name() == Some(name.as_str()) {
+                            let start = Instant::now();
+                            while start.elapsed() < STRAGGLER_HOLD {
+                                cancellation_point();
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    }
+                    x + 1
+                });
+            let start = Instant::now();
+            assert_eq!(rdd.count().unwrap(), num_parts);
+            start.elapsed()
+        };
+
+        let p99 = |mut times: Vec<Duration>| -> Duration {
+            times.sort();
+            times[(times.len() * 99).div_ceil(100) - 1]
+        };
+
+        // Reference: same cluster and config, nobody slowed.
+        let ctx = ctx_for();
+        let clean: Vec<Duration> = (0..n_jobs).map(|_| run_job(&ctx, None)).collect();
+        let p99_clean = p99(clean);
+        drop(ctx);
+
+        // Slowed run: every job's partitions include some owned by the
+        // slowed executor, so every job has at least one straggler.
+        let ctx = ctx_for();
+        let before = ctx.metrics_snapshot();
+        let slowed: Vec<Duration> = (0..n_jobs)
+            .map(|_| run_job(&ctx, Some(slow_thread.clone())))
+            .collect();
+        let p99_slow = p99(slowed);
+        let delta = ctx.metrics_snapshot() - before;
+
+        assert!(
+            delta.speculation_wins > 0,
+            "the slowed executor's tasks must be rescued by duplicates: {delta:?}"
+        );
+        assert!(
+            p99_slow <= p99_clean + STRAGGLER_HOLD / 2,
+            "speculation must bound the tail: p99 {p99_slow:?} vs clean {p99_clean:?} \
+             (an unmitigated straggler holds its executor {STRAGGLER_HOLD:?})"
+        );
         drop(ctx);
         assert_threads_drain_to(baseline_threads);
     });

@@ -45,7 +45,9 @@ fn merge_sparse_partials(a: Vec<(u32, f64)>, b: Vec<(u32, f64)>) -> Vec<(u32, f6
 }
 use crate::vector::{DenseVector, Orientation};
 use spangle_core::{ArrayBuilder, ArrayMeta, ArrayRdd, Chunk, ChunkPolicy};
-use spangle_dataflow::{HashPartitioner, JobError, ModPartitioner, PairRdd, Rdd, SpangleContext};
+use spangle_dataflow::{
+    cancellation_point, HashPartitioner, JobError, ModPartitioner, PairRdd, Rdd, SpangleContext,
+};
 use std::sync::Arc;
 
 /// A distributed block matrix over bitmask chunks.
@@ -264,6 +266,10 @@ impl DistMatrix {
                         let a_id = gr + kb * a_grid_rows;
                         let a_extent = a_mapper.chunk_extent(a_id);
                         for (gc, b_chunk) in &b_blocks {
+                            // One poll per block pair: a straggling or
+                            // deadlined contraction yields between GEMM
+                            // kernels rather than finishing the tile walk.
+                            cancellation_point();
                             let b_id = kb + gc * b_grid_rows;
                             let b_extent = b_mapper.chunk_extent(b_id);
                             debug_assert_eq!(a_extent[1], b_extent[0]);

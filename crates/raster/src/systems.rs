@@ -13,7 +13,7 @@
 
 use spangle_core::aggregate::builtin::{Avg, Count};
 use spangle_core::{ArrayBuilder, ArrayMeta, ArrayRdd, ChunkPolicy, Mapper};
-use spangle_dataflow::{MemSize, Rdd, SpangleContext};
+use spangle_dataflow::{cancellation_point, MemSize, Rdd, SpangleContext};
 
 /// An axis-aligned query box `[lo, hi)` over all array dimensions.
 #[derive(Clone, Debug)]
@@ -187,6 +187,9 @@ impl DenseRaster {
                 let mut acc = zero_task.clone();
                 let mut coords = vec![0usize; lo.len()];
                 for (id, chunk) in chunks {
+                    // One poll per chunk: a cancelled scan stops at the
+                    // next chunk boundary instead of finishing the sweep.
+                    cancellation_point();
                     let origin = mapper.chunk_origin(*id);
                     let extent = mapper.chunk_extent(*id);
                     for (local, v) in chunk.iter_valid() {
@@ -394,6 +397,7 @@ impl TileRaster {
             .run_partitions(move |_, tiles| {
                 let mut acc = zero_task.clone();
                 for (_, t) in tiles {
+                    cancellation_point();
                     // Bounding-box pruning.
                     let z = t.origin[2];
                     if z < lo[2]

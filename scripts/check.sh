@@ -11,13 +11,18 @@
 #   scripts/check.sh --quick          full gate minus the release build
 #   scripts/check.sh <step> [...]     run only the named steps, in order
 #
-# Steps: fmt clippy build test planoff doc stress
+# Steps: fmt clippy build test planoff specoff doc stress bench
+# (stress and bench are CI-job-only: they are not part of the default
+# full gate because of their runtime.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 usage() {
-    sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+    # Print the leading comment block (however long it grows), shebang
+    # excluded — a hard-coded line range here silently truncates the
+    # help text every time a step is added above.
+    awk 'NR > 1 && !/^#/ { exit } NR > 1 { sub(/^# ?/, ""); print }' "$0"
     exit 2
 }
 
@@ -65,6 +70,16 @@ run_planoff() {
     SPANGLE_DISABLE_PLANNER=1 watchdog cargo test -q --workspace
 }
 
+# Speculative execution defaults on; this step proves the scheduler is
+# correct without its straggler mitigation by running the whole suite
+# with speculation disabled. Tests that assert speculation's own
+# behaviour pin it on through the builder, which wins over the env
+# default.
+run_specoff() {
+    echo "== cargo test with SPANGLE_DISABLE_SPECULATION=1 (watchdog ${WATCHDOG_SECS}s)"
+    SPANGLE_DISABLE_SPECULATION=1 watchdog cargo test -q --workspace
+}
+
 run_doc() {
     echo "== cargo doc -D warnings"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -79,16 +94,39 @@ run_stress() {
     watchdog cargo test -q -p spangle-dataflow --test chaos_recovery -- --ignored
 }
 
+# Perf-trajectory gate: regenerate the fig10/fig11 wall-clock artifacts
+# in release mode and fail if they regressed more than
+# BENCH_REGRESSION_PCT (default 25%) against the committed baselines.
+# The fresh BENCH_*.json files are left in the working tree so CI can
+# upload them and a genuine improvement can be committed as the new
+# baseline.
+run_bench() {
+    echo "== bench: fig10/fig11 perf-trajectory gate (watchdog ${WATCHDOG_SECS}s)"
+    local baseline_dir
+    baseline_dir="$(mktemp -d)"
+    cp BENCH_fig10.json BENCH_fig11.json "$baseline_dir"/
+    cargo build --release -p spangle-bench
+    watchdog cargo run --release -q -p spangle-bench --bin fig10
+    watchdog cargo run --release -q -p spangle-bench --bin fig11
+    local status=0
+    for fig in fig10 fig11; do
+        cargo run --release -q -p spangle-bench --bin bench_compare -- \
+            "$baseline_dir/BENCH_$fig.json" "BENCH_$fig.json" || status=1
+    done
+    rm -rf "$baseline_dir"
+    return "$status"
+}
+
 steps=()
 for arg in "$@"; do
     case "$arg" in
-    --quick) steps+=(fmt clippy test planoff doc) ;;
-    fmt | clippy | build | test | planoff | doc | stress) steps+=("$arg") ;;
+    --quick) steps+=(fmt clippy test planoff specoff doc) ;;
+    fmt | clippy | build | test | planoff | specoff | doc | stress | bench) steps+=("$arg") ;;
     -h | --help | *) usage ;;
     esac
 done
 if [ ${#steps[@]} -eq 0 ]; then
-    steps=(fmt clippy build test planoff doc)
+    steps=(fmt clippy build test planoff specoff doc)
 fi
 
 for step in "${steps[@]}"; do
