@@ -15,7 +15,7 @@
 use spangle_core::{ArrayMeta, ChunkId};
 use spangle_dataflow::rdd::sources::GeneratedRdd;
 use spangle_dataflow::{
-    HashPartitioner, JobError, MemSize, PairRdd, Partitioner, Rdd, SpangleContext,
+    HashPartitioner, JobError, MemSize, PairRdd, Partitioner, Rdd, SpangleContext, SpillCursor,
 };
 use std::sync::Arc;
 
@@ -65,6 +65,28 @@ pub struct CooBlock {
 impl MemSize for CooBlock {
     fn mem_size(&self) -> usize {
         self.mem_bytes()
+    }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.rows.spill_encode(out);
+        self.cols.spill_encode(out);
+        self.r.spill_encode(out);
+        self.c.spill_encode(out);
+        self.v.spill_encode(out);
+    }
+
+    fn spill_decode(input: &mut SpillCursor<'_>) -> Option<Self> {
+        Some(CooBlock {
+            rows: usize::spill_decode(input)?,
+            cols: usize::spill_decode(input)?,
+            r: Vec::spill_decode(input)?,
+            c: Vec::spill_decode(input)?,
+            v: Vec::spill_decode(input)?,
+        })
     }
 }
 
@@ -148,6 +170,28 @@ pub struct CscBlock {
 impl MemSize for CscBlock {
     fn mem_size(&self) -> usize {
         self.mem_bytes()
+    }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.rows.spill_encode(out);
+        self.cols.spill_encode(out);
+        self.col_ptr.spill_encode(out);
+        self.row_idx.spill_encode(out);
+        self.vals.spill_encode(out);
+    }
+
+    fn spill_decode(input: &mut SpillCursor<'_>) -> Option<Self> {
+        Some(CscBlock {
+            rows: usize::spill_decode(input)?,
+            cols: usize::spill_decode(input)?,
+            col_ptr: Vec::spill_decode(input)?,
+            row_idx: Vec::spill_decode(input)?,
+            vals: Vec::spill_decode(input)?,
+        })
     }
 }
 
@@ -250,6 +294,24 @@ pub struct DenseBlock {
 impl MemSize for DenseBlock {
     fn mem_size(&self) -> usize {
         self.mem_bytes()
+    }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.rows.spill_encode(out);
+        self.cols.spill_encode(out);
+        self.data.spill_encode(out);
+    }
+
+    fn spill_decode(input: &mut SpillCursor<'_>) -> Option<Self> {
+        Some(DenseBlock {
+            rows: usize::spill_decode(input)?,
+            cols: usize::spill_decode(input)?,
+            data: Vec::spill_decode(input)?,
+        })
     }
 }
 

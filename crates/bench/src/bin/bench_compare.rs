@@ -7,10 +7,16 @@
 //! ```
 //!
 //! Only end-to-end timing keys (`wall_ms`, `total_ms`) count toward the
-//! comparison — per-iteration and build times are diagnostics, and the
-//! counters (bytes, planner rewrites, speculation) are asserted by the
-//! test suites, not by this gate. The threshold defaults to 25% and can
-//! be widened/tightened with `BENCH_REGRESSION_PCT` for noisy runners.
+//! wall-clock comparison — per-iteration and build times are diagnostics,
+//! and the counters (bytes, planner rewrites, speculation) are asserted
+//! by the test suites, not by this gate. The threshold defaults to 25%
+//! and can be widened/tightened with `BENCH_REGRESSION_PCT` for noisy
+//! runners.
+//!
+//! The gate also tracks the memory trajectory: `memory_peak_bytes` keys
+//! (the run's post-spill resident peak) are summed and compared under
+//! `BENCH_MEMORY_REGRESSION_PCT` (default 25%). A baseline that predates
+//! the memory export skips this half of the gate rather than failing it.
 //! Hand-rolled parsing because the workspace carries no external
 //! dependencies.
 
@@ -18,6 +24,9 @@ use std::process::ExitCode;
 
 /// The keys whose values are summed into each file's wall-clock score.
 const TIMING_KEYS: &[&str] = &["wall_ms", "total_ms"];
+
+/// The keys whose values are summed into each file's memory-peak score.
+const MEMORY_KEYS: &[&str] = &["memory_peak_bytes"];
 
 /// A minimal JSON value — just enough structure to walk the bench
 /// artifacts. Numbers are kept as f64; `null` (an aborted timing) parses
@@ -222,32 +231,43 @@ fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
-/// Sums every numeric value stored under one of [`TIMING_KEYS`], at any
-/// nesting depth.
-fn wall_clock_ms(value: &Value) -> f64 {
+/// Sums every numeric value stored under one of `keys`, at any nesting
+/// depth.
+fn sum_keys(value: &Value, keys: &[&str]) -> f64 {
     match value {
-        Value::Arr(items) => items.iter().map(wall_clock_ms).sum(),
+        Value::Arr(items) => items.iter().map(|v| sum_keys(v, keys)).sum(),
         Value::Obj(entries) => entries
             .iter()
             .map(|(key, v)| match v {
-                Value::Num(n) if TIMING_KEYS.contains(&key.as_str()) => *n,
-                nested => wall_clock_ms(nested),
+                Value::Num(n) if keys.contains(&key.as_str()) => *n,
+                nested => sum_keys(nested, keys),
             })
             .sum(),
         _ => 0.0,
     }
 }
 
-fn load(path: &str) -> Result<f64, String> {
+/// One artifact's gated scores: summed wall-clock and summed memory peak
+/// (0 when the file predates the memory export).
+fn load(path: &str) -> Result<(f64, f64), String> {
     let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
     let value = parse(&text).map_err(|err| format!("{path}: {err}"))?;
-    let total = wall_clock_ms(&value);
+    let total = sum_keys(&value, TIMING_KEYS);
     if total <= 0.0 {
         return Err(format!(
             "{path}: no {TIMING_KEYS:?} keys found — wrong file?"
         ));
     }
-    Ok(total)
+    Ok((total, sum_keys(&value, MEMORY_KEYS)))
+}
+
+fn pct_from_env(var: &str, default: f64) -> Result<f64, String> {
+    match std::env::var(var) {
+        Ok(raw) => raw
+            .parse()
+            .map_err(|_| format!("{var}={raw} is not a number")),
+        Err(_) => Ok(default),
+    }
 }
 
 fn main() -> ExitCode {
@@ -256,33 +276,57 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
         return ExitCode::from(2);
     };
-    let pct: f64 = match std::env::var("BENCH_REGRESSION_PCT") {
-        Ok(raw) => match raw.parse() {
-            Ok(p) => p,
-            Err(_) => {
-                eprintln!("BENCH_REGRESSION_PCT={raw} is not a number");
-                return ExitCode::from(2);
-            }
-        },
-        Err(_) => 25.0,
-    };
-    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
-        (Ok(b), Ok(f)) => (b, f),
-        (b, f) => {
-            for err in [b.err(), f.err()].into_iter().flatten() {
+    let (pct, mem_pct) = match (
+        pct_from_env("BENCH_REGRESSION_PCT", 25.0),
+        pct_from_env("BENCH_MEMORY_REGRESSION_PCT", 25.0),
+    ) {
+        (Ok(p), Ok(m)) => (p, m),
+        (p, m) => {
+            for err in [p.err(), m.err()].into_iter().flatten() {
                 eprintln!("{err}");
             }
             return ExitCode::from(2);
         }
     };
+    let ((baseline, baseline_mem), (fresh, fresh_mem)) =
+        match (load(baseline_path), load(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("{err}");
+                }
+                return ExitCode::from(2);
+            }
+        };
     let limit = baseline * (1.0 + pct / 100.0);
     let change = (fresh / baseline - 1.0) * 100.0;
     println!(
         "bench_compare: baseline {baseline:.1} ms, fresh {fresh:.1} ms ({change:+.1}%), \
          limit {limit:.1} ms (+{pct:.0}%)"
     );
+    let mut failed = false;
     if fresh > limit {
         eprintln!("perf regression: fresh wall-clock exceeds the +{pct:.0}% envelope");
+        failed = true;
+    }
+    if baseline_mem > 0.0 {
+        let mem_limit = baseline_mem * (1.0 + mem_pct / 100.0);
+        let mem_change = (fresh_mem / baseline_mem - 1.0) * 100.0;
+        println!(
+            "bench_compare: memory baseline {:.0} KiB, fresh {:.0} KiB ({mem_change:+.1}%), \
+             limit {:.0} KiB (+{mem_pct:.0}%)",
+            baseline_mem / 1024.0,
+            fresh_mem / 1024.0,
+            mem_limit / 1024.0,
+        );
+        if fresh_mem > mem_limit {
+            eprintln!("memory regression: fresh resident peak exceeds the +{mem_pct:.0}% envelope");
+            failed = true;
+        }
+    } else {
+        println!("bench_compare: baseline has no memory_peak_bytes — memory gate skipped");
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -295,19 +339,28 @@ mod tests {
     #[test]
     fn parses_and_sums_nested_timing_keys() {
         let v = parse(
-            r#"{"figure":"f","workloads":[
+            r#"{"figure":"f","memory_peak_bytes":4096,"workloads":[
                 {"ops":[{"op":"MxV","wall_ms":10.5},{"op":"MtM","wall_ms":2.0}]},
                 {"total_ms":7.5,"build_ms":99.0,"note":"build time is not gated"}
             ]}"#,
         )
         .unwrap();
-        assert!((wall_clock_ms(&v) - 20.0).abs() < 1e-9);
+        assert!((sum_keys(&v, TIMING_KEYS) - 20.0).abs() < 1e-9);
+        assert!((sum_keys(&v, MEMORY_KEYS) - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_memory_baselines_sum_to_zero() {
+        // A baseline generated before the memory export simply has no
+        // such keys; the gate must read that as "skip", not fail.
+        let v = parse(r#"{"workloads":[{"wall_ms":5.0}]}"#).unwrap();
+        assert_eq!(sum_keys(&v, MEMORY_KEYS), 0.0);
     }
 
     #[test]
     fn null_timings_and_escapes_parse() {
         let v = parse(r#"{"total_ms":null,"s":"a\"bA\n","xs":[1,-2.5e1,true]}"#).unwrap();
-        assert_eq!(wall_clock_ms(&v), 0.0);
+        assert_eq!(sum_keys(&v, TIMING_KEYS), 0.0);
         match v {
             Value::Obj(entries) => {
                 assert_eq!(entries[1].1, Value::Str("a\"bA\n".into()));

@@ -361,6 +361,13 @@ fn main() {
             snap.partitions_evicted,
         );
         println!(
+            "   spill so far: {} blocks out, {} back, {} KiB written, disk peak {} KiB",
+            snap.blocks_spilled,
+            snap.blocks_rehydrated,
+            snap.spill_bytes / 1024,
+            snap.disk_resident_bytes / 1024,
+        );
+        println!(
             "   planner so far: {} narrow chains fused, {} shuffles elided, {} partitions coalesced",
             snap.stages_fused, snap.shuffles_elided, snap.partitions_coalesced,
         );
@@ -390,6 +397,10 @@ fn main() {
         println!();
     }
 
+    // Figure-level memory trajectory: the run's peak resident bytes
+    // (post-spill) and the spill tier's activity, gated alongside wall
+    // clock by `bench_compare`.
+    let final_snap = ctx.metrics_snapshot();
     write_bench_json(
         "fig10",
         &Json::obj(vec![
@@ -398,6 +409,13 @@ fn main() {
                 "description",
                 Json::Str("ML core operations (MxV, VtxM, MtM) on the spangle engine".into()),
             ),
+            (
+                "memory_peak_bytes",
+                Json::U64(final_snap.memory_highwater_bytes),
+            ),
+            ("blocks_spilled", Json::U64(final_snap.blocks_spilled)),
+            ("blocks_rehydrated", Json::U64(final_snap.blocks_rehydrated)),
+            ("spill_bytes", Json::U64(final_snap.spill_bytes)),
             ("workloads", Json::Arr(json_workloads)),
         ]),
     );

@@ -191,6 +191,9 @@ fn main() {
             ("tasks_speculated", Json::U64(speculated as u64)),
             ("speculation_wins", Json::U64(spec_wins as u64)),
             ("tasks_cancelled", Json::U64(cancelled as u64)),
+            ("blocks_spilled", Json::U64(run_delta.blocks_spilled)),
+            ("blocks_rehydrated", Json::U64(run_delta.blocks_rehydrated)),
+            ("spill_bytes", Json::U64(run_delta.spill_bytes)),
         ]));
         let snap = ctx.metrics_snapshot();
         let admission_wait_ms: u64 = reports
@@ -206,6 +209,13 @@ fn main() {
             snap.admission_queue_peak,
             snap.memory_highwater_bytes / 1024,
             snap.cache_highwater_bytes / 1024,
+        );
+        println!(
+            "   spill: {} blocks out, {} back this run ({} KiB written so far, disk peak {} KiB)",
+            run_delta.blocks_spilled,
+            run_delta.blocks_rehydrated,
+            snap.spill_bytes / 1024,
+            snap.disk_resident_bytes / 1024,
         );
 
         // Spark edge-list.
@@ -238,6 +248,8 @@ fn main() {
     }
     table.print();
 
+    // Figure-level memory trajectory for the bench_compare memory gate.
+    let final_snap = ctx.metrics_snapshot();
     write_bench_json(
         "fig11",
         &Json::obj(vec![
@@ -248,6 +260,13 @@ fn main() {
                     "PageRank end-to-end and per-iteration times on the spangle engine".into(),
                 ),
             ),
+            (
+                "memory_peak_bytes",
+                Json::U64(final_snap.memory_highwater_bytes),
+            ),
+            ("blocks_spilled", Json::U64(final_snap.blocks_spilled)),
+            ("blocks_rehydrated", Json::U64(final_snap.blocks_rehydrated)),
+            ("spill_bytes", Json::U64(final_snap.spill_bytes)),
             ("graphs", Json::Arr(json_graphs)),
         ]),
     );

@@ -61,6 +61,44 @@ impl Bitmask {
         m
     }
 
+    /// Reassembles a mask from its raw backing words — the inverse of
+    /// [`Bitmask::words`], used by the spill codec to rehydrate masks
+    /// without re-setting bits one at a time. `words` must hold exactly
+    /// `len.div_ceil(64)` words; bits past `len` are cleared.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count mismatch for a {len}-bit mask"
+        );
+        let mut m = Bitmask { words, len };
+        m.clear_tail();
+        m
+    }
+
+    /// Serialises the mask as `len:u64 | words:u64…`, all little-endian —
+    /// the wire form used by the dataflow spill codec.
+    pub fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decodes a mask written by [`Bitmask::write_le`] from the front of
+    /// `buf`, returning it and the number of bytes consumed. `None` on
+    /// truncated input.
+    pub fn read_le(buf: &[u8]) -> Option<(Bitmask, usize)> {
+        let len = usize::try_from(u64::from_le_bytes(buf.get(..8)?.try_into().unwrap())).ok()?;
+        let words_bytes = len.div_ceil(WORD_BITS).checked_mul(8)?;
+        let raw = buf.get(8..8 + words_bytes)?;
+        let words = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some((Bitmask::from_words(len, words), 8 + words_bytes))
+    }
+
     /// Number of bits (cells) in the mask.
     #[inline]
     pub fn len(&self) -> usize {

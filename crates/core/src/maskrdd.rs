@@ -26,6 +26,20 @@ impl MemSize for AttrMask {
     fn mem_size(&self) -> usize {
         self.0.mem_size()
     }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.0.write_le(out);
+    }
+
+    fn spill_decode(input: &mut spangle_dataflow::SpillCursor<'_>) -> Option<Self> {
+        let (mask, used) = Bitmask::read_le(input.rest())?;
+        input.skip(used)?;
+        Some(AttrMask(mask))
+    }
 }
 
 /// The hidden validity attribute: per-chunk global masks.

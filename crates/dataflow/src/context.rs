@@ -75,6 +75,9 @@ pub(crate) struct ContextInner {
     pub(crate) planner: PlannerConfig,
     /// When the driver duplicates straggling task attempts.
     pub(crate) speculation: SpeculationConfig,
+    /// Whether crossing the memory watermark demotes cold blocks to the
+    /// on-disk spill tier (instead of only shedding/queueing work).
+    pub(crate) spill_enabled: bool,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -99,6 +102,7 @@ pub struct SpangleContext {
 ///     .max_concurrent_jobs(8)
 ///     .max_queued_tasks_per_priority(1024)
 ///     .memory_high_watermark_bytes(64 << 20)
+///     .spill_to_disk(true)
 ///     .shed_below_priority(0)
 ///     .fuse_narrow_chains(true)
 ///     .elide_shuffles(true)
@@ -122,18 +126,31 @@ pub struct SpangleContextBuilder {
     admission: AdmissionConfig,
     planner: PlannerConfig,
     speculation: SpeculationConfig,
+    spill_to_disk: bool,
 }
 
 impl Default for SpangleContextBuilder {
     fn default() -> Self {
+        let mut admission = AdmissionConfig::default();
+        // `SPANGLE_MEMORY_WATERMARK_BYTES` seeds the watermark default so a
+        // whole test/bench run can be forced under memory pressure without
+        // touching code; an explicit builder call still wins (it is applied
+        // after this default).
+        if let Some(bytes) = std::env::var_os("SPANGLE_MEMORY_WATERMARK_BYTES")
+            .and_then(|v| v.into_string().ok())
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            admission.memory_high_watermark_bytes = bytes;
+        }
         SpangleContextBuilder {
             executors: 2,
             max_task_attempts: 4,
             max_resubmissions: 16,
             job_report_history: DEFAULT_JOB_REPORT_HISTORY,
-            admission: AdmissionConfig::default(),
+            admission,
             planner: PlannerConfig::default(),
             speculation: SpeculationConfig::default(),
+            spill_to_disk: std::env::var_os("SPANGLE_DISABLE_SPILL").is_none_or(|v| v == "0"),
         }
     }
 }
@@ -193,9 +210,14 @@ impl SpangleContextBuilder {
 
     /// Memory saturation threshold in bytes, compared against
     /// `cached_bytes() + shuffle_resident_bytes()` at every admission
-    /// decision (default unbounded). At or above the watermark the system
-    /// counts as saturated: queued jobs wait for memory to drain and
-    /// sheddable submissions are rejected.
+    /// decision and every block deposit (default unbounded; the
+    /// `SPANGLE_MEMORY_WATERMARK_BYTES` environment variable overrides the
+    /// default, an explicit call here wins). Crossing the watermark first
+    /// spills cold blocks to disk (see
+    /// [`SpangleContextBuilder::spill_to_disk`]); only if spilling cannot
+    /// bring residency back down does the system count as saturated —
+    /// queued jobs then wait for memory to drain and sheddable submissions
+    /// are rejected.
     pub fn memory_high_watermark_bytes(mut self, bytes: usize) -> Self {
         self.admission.memory_high_watermark_bytes = bytes;
         self
@@ -206,6 +228,18 @@ impl SpangleContextBuilder {
     /// instead of queueing them (default: never shed on priority).
     pub fn shed_below_priority(mut self, threshold: i32) -> Self {
         self.admission.shed_below_priority = Some(threshold);
+        self
+    }
+
+    /// Enables or disables the on-disk spill tier (default on; the
+    /// `SPANGLE_DISABLE_SPILL` environment variable flips the default off,
+    /// an explicit call here wins). With spilling on, crossing the memory
+    /// watermark demotes the least-recently-fetched shuffle blocks and
+    /// cached partitions to accounted spill files and rehydrates them on
+    /// demand; with it off the watermark falls back to shedding and
+    /// queueing work, the pre-spill behavior.
+    pub fn spill_to_disk(mut self, enabled: bool) -> Self {
+        self.spill_to_disk = enabled;
         self
     }
 
@@ -293,6 +327,7 @@ impl SpangleContextBuilder {
                 admission: self.admission,
                 planner: self.planner,
                 speculation: self.speculation,
+                spill_enabled: self.spill_to_disk,
             }),
         }
     }
@@ -440,6 +475,43 @@ impl SpangleContext {
     /// Total bytes currently held by the shuffle service.
     pub fn shuffle_resident_bytes(&self) -> usize {
         self.inner.shuffle.resident_bytes()
+    }
+
+    /// Bytes currently held by the on-disk spill tiers of the shuffle
+    /// service and the block manager together (framed file sizes). This is
+    /// the live gauge; the monotone high-water mark is
+    /// [`crate::MetricsSnapshot::disk_resident_bytes`].
+    pub fn disk_resident_bytes(&self) -> usize {
+        self.inner.shuffle.disk_bytes() + self.inner.cache.disk_bytes()
+    }
+
+    /// Brings resident cache + shuffle memory back under the admission
+    /// watermark by demoting cold blocks to the spill tier: shuffle blocks
+    /// first (their reads already pay a fetch), then cached partitions.
+    /// Spills down to a quarter below the watermark so one deposit does
+    /// not thrash the tier boundary. Returns whether residency is below
+    /// the watermark afterwards — `false` means the remaining blocks are
+    /// unspillable (or spilling is disabled) and admission control should
+    /// treat memory as saturated.
+    pub(crate) fn enforce_memory_watermark(&self) -> bool {
+        let watermark = self.inner.admission.memory_high_watermark_bytes;
+        if watermark == usize::MAX {
+            return true;
+        }
+        let resident = self.cached_bytes() + self.shuffle_resident_bytes();
+        if resident < watermark {
+            return true;
+        }
+        if !self.inner.spill_enabled {
+            return false;
+        }
+        let target = watermark - watermark / 4;
+        let need = resident - target;
+        let freed = self.inner.shuffle.spill_up_to(self, need);
+        if freed < need {
+            self.inner.cache.spill_up_to(self, need - freed);
+        }
+        self.cached_bytes() + self.shuffle_resident_bytes() < watermark
     }
 
     /// Cumulative nanoseconds each executor has spent running task bodies

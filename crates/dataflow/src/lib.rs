@@ -49,13 +49,14 @@ pub mod plan;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
+pub(crate) mod spill;
 pub mod sync;
 
 pub use context::{Broadcast, ExecutorLoss, SpangleContext, SpangleContextBuilder};
 pub use executor::{
     cancellation_point, is_task_cancelled, BlockOrigin, CancelGauge, CancelToken, CancelledError,
 };
-pub use memsize::MemSize;
+pub use memsize::{put_len, MemSize, SpillCursor};
 pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{
     HashPartitioner, ModPartitioner, Partitioner, PartitionerSig, RangePartitioner,

@@ -48,6 +48,10 @@ pub struct Metrics {
     pub(crate) tasks_speculated: AtomicU64,
     pub(crate) speculation_wins: AtomicU64,
     pub(crate) tasks_cancelled: AtomicU64,
+    pub(crate) blocks_spilled: AtomicU64,
+    pub(crate) blocks_rehydrated: AtomicU64,
+    pub(crate) spill_bytes: AtomicU64,
+    pub(crate) disk_resident_bytes: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -95,6 +99,10 @@ impl Metrics {
             tasks_speculated: AtomicU64::new(0),
             speculation_wins: AtomicU64::new(0),
             tasks_cancelled: AtomicU64::new(0),
+            blocks_spilled: AtomicU64::new(0),
+            blocks_rehydrated: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            disk_resident_bytes: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -142,6 +150,10 @@ impl Metrics {
             MetricField::TasksSpeculated => &self.tasks_speculated,
             MetricField::SpeculationWins => &self.speculation_wins,
             MetricField::TasksCancelled => &self.tasks_cancelled,
+            MetricField::BlocksSpilled => &self.blocks_spilled,
+            MetricField::BlocksRehydrated => &self.blocks_rehydrated,
+            MetricField::SpillBytes => &self.spill_bytes,
+            MetricField::DiskResidentBytes => &self.disk_resident_bytes,
         }
     }
 
@@ -198,6 +210,10 @@ impl Metrics {
             tasks_speculated: self.tasks_speculated.load(Ordering::Relaxed),
             speculation_wins: self.speculation_wins.load(Ordering::Relaxed),
             tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
+            blocks_spilled: self.blocks_spilled.load(Ordering::Relaxed),
+            blocks_rehydrated: self.blocks_rehydrated.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            disk_resident_bytes: self.disk_resident_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -233,6 +249,10 @@ pub(crate) enum MetricField {
     TasksSpeculated,
     SpeculationWins,
     TasksCancelled,
+    BlocksSpilled,
+    BlocksRehydrated,
+    SpillBytes,
+    DiskResidentBytes,
 }
 
 /// How one stage of a job ended.
@@ -321,6 +341,16 @@ pub struct StageReport {
     /// Task attempts of this stage asked to stop early through their
     /// `CancelToken` (speculation losers, aborts, expired deadlines).
     pub tasks_cancelled: usize,
+    /// Blocks the tiered store demoted to the on-disk spill tier while
+    /// this stage ran. Spilling is context-wide, so concurrent stages may
+    /// both observe the same pressure; the attribution is "activity during
+    /// the stage", not strict causality.
+    pub blocks_spilled: usize,
+    /// Spilled blocks promoted back to memory while this stage ran
+    /// (reduce fetches or cache reads touching cold data).
+    pub blocks_rehydrated: usize,
+    /// Encoded bytes written to the spill tier while this stage ran.
+    pub spill_bytes: u64,
 }
 
 /// Scheduler-level accounting of one finished job.
@@ -437,6 +467,22 @@ impl JobReport {
         self.stages.iter().map(|s| s.tasks_cancelled).sum()
     }
 
+    /// Blocks demoted to the on-disk spill tier while this job's stages
+    /// ran (see [`StageReport::blocks_spilled`] for attribution caveats).
+    pub fn blocks_spilled(&self) -> usize {
+        self.stages.iter().map(|s| s.blocks_spilled).sum()
+    }
+
+    /// Spilled blocks promoted back to memory while this job's stages ran.
+    pub fn blocks_rehydrated(&self) -> usize {
+        self.stages.iter().map(|s| s.blocks_rehydrated).sum()
+    }
+
+    /// Encoded bytes written to the spill tier while this job's stages ran.
+    pub fn spill_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.spill_bytes).sum()
+    }
+
     /// Busy-time imbalance across executors: max/mean of
     /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
     /// `None` when the job did no executor work.
@@ -507,6 +553,15 @@ impl std::fmt::Display for JobReport {
                 self.tasks_speculated(),
                 self.speculation_wins(),
                 self.tasks_cancelled(),
+            )?;
+        }
+        if self.blocks_spilled() != 0 || self.blocks_rehydrated() != 0 {
+            write!(
+                f,
+                "\n  spill: {} blocks out, {} back, {:.1} KiB written",
+                self.blocks_spilled(),
+                self.blocks_rehydrated(),
+                self.spill_bytes() as f64 / 1024.0,
             )?;
         }
         if self.fetch_failures() != 0 || self.map_partitions_recomputed() != 0 {
@@ -643,6 +698,21 @@ pub struct MetricsSnapshot {
     /// Running task bodies asked to stop early through their
     /// `CancelToken` (speculation losers, job aborts, expired deadlines).
     pub tasks_cancelled: u64,
+    /// Blocks demoted from memory to the on-disk spill tier under memory
+    /// pressure (resident cache+shuffle bytes crossed the admission
+    /// watermark).
+    pub blocks_spilled: u64,
+    /// Spilled blocks read back from disk and reinstated in memory on
+    /// demand (a reduce fetch or cache read touched cold data).
+    pub blocks_rehydrated: u64,
+    /// Cumulative encoded bytes written to the spill tier (framing
+    /// included).
+    pub spill_bytes: u64,
+    /// High-water mark of bytes resident in the on-disk spill tier (kept
+    /// monotone like the other high-water fields so snapshot subtraction
+    /// stays well defined; the live gauge is
+    /// `SpangleContext::disk_resident_bytes`).
+    pub disk_resident_bytes: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -680,6 +750,10 @@ impl std::ops::Sub for MetricsSnapshot {
             tasks_speculated: self.tasks_speculated - rhs.tasks_speculated,
             speculation_wins: self.speculation_wins - rhs.speculation_wins,
             tasks_cancelled: self.tasks_cancelled - rhs.tasks_cancelled,
+            blocks_spilled: self.blocks_spilled - rhs.blocks_spilled,
+            blocks_rehydrated: self.blocks_rehydrated - rhs.blocks_rehydrated,
+            spill_bytes: self.spill_bytes - rhs.spill_bytes,
+            disk_resident_bytes: self.disk_resident_bytes - rhs.disk_resident_bytes,
         }
     }
 }
@@ -760,6 +834,9 @@ mod tests {
             tasks_speculated: 0,
             speculation_wins: 0,
             tasks_cancelled: 0,
+            blocks_spilled: 0,
+            blocks_rehydrated: 0,
+            spill_bytes: 0,
         };
         let report = JobReport {
             job_id: 1,
@@ -807,6 +884,9 @@ mod tests {
             tasks_speculated: 1,
             speculation_wins: 1,
             tasks_cancelled: 1,
+            blocks_spilled: 2,
+            blocks_rehydrated: 1,
+            spill_bytes: 4096,
         };
         let report = JobReport {
             job_id: 2,

@@ -199,7 +199,7 @@ impl<T: Data> Rdd<T> {
                 rdd_id: base.id,
                 partition: split,
             };
-            if let Some(block) = base.ctx.inner.cache.get::<T>(key) {
+            if let Some(block) = base.ctx.inner.cache.get::<T>(&base.ctx, key) {
                 base.ctx.metrics().add(MetricField::CacheHits, 1);
                 return block;
             }
@@ -214,9 +214,17 @@ impl<T: Data> Rdd<T> {
                     .inner
                     .cache
                     .put(key, Arc::clone(&data), bytes, tc.origin());
+                // Cache deposits count against the memory watermark like
+                // shuffle deposits do: spill cold blocks first, then record
+                // the post-spill peaks.
+                base.ctx.enforce_memory_watermark();
                 base.ctx.metrics().raise(
                     MetricField::CacheHighwaterBytes,
                     base.ctx.inner.cache.resident_bytes() as u64,
+                );
+                base.ctx.metrics().raise(
+                    MetricField::MemoryHighwaterBytes,
+                    (base.ctx.cached_bytes() + base.ctx.shuffle_resident_bytes()) as u64,
                 );
             }
             return data;

@@ -299,35 +299,80 @@ impl<K: Key, V: Data, C: Data> RddNode<(K, C)> for ShuffledRdd<K, V, C> {
             }
         };
         let ctx = dep.context().clone();
-        let mut out: Vec<(K, C)> = Vec::new();
-        for map_id in 0..dep.num_map_partitions() {
-            cancellation_point();
-            let block: Vec<(K, C)> = ctx.inner.shuffle.fetch_block(
-                &ctx,
-                BlockId {
-                    shuffle_id: dep.shuffle_id,
-                    map_id,
-                    reduce_id: split,
-                },
-            );
-            out.extend(block);
-        }
+        // Zero-copy reads: `fetch_block` hands back the map side's block by
+        // `Arc`; records are cloned one at a time into the output (or the
+        // merge table) — the whole-vector deep copy per fetched block is
+        // gone.
         match &self.merge {
-            None => out,
+            None => {
+                let mut out: Vec<(K, C)> = Vec::new();
+                for map_id in 0..dep.num_map_partitions() {
+                    cancellation_point();
+                    let block = ctx.inner.shuffle.fetch_block::<(K, C)>(
+                        &ctx,
+                        BlockId {
+                            shuffle_id: dep.shuffle_id,
+                            map_id,
+                            reduce_id: split,
+                        },
+                    );
+                    out.extend(block.iter().cloned());
+                }
+                out
+            }
             Some(merge) => {
-                let mut merged: HashMap<K, C> = HashMap::with_capacity(out.len());
-                for (k, c) in out {
-                    match merged.remove(&k) {
-                        Some(existing) => {
-                            merged.insert(k, merge(existing, c));
-                        }
-                        None => {
-                            merged.insert(k, c);
+                let mut merged: HashMap<K, C> = HashMap::new();
+                for map_id in 0..dep.num_map_partitions() {
+                    cancellation_point();
+                    let block = ctx.inner.shuffle.fetch_block::<(K, C)>(
+                        &ctx,
+                        BlockId {
+                            shuffle_id: dep.shuffle_id,
+                            map_id,
+                            reduce_id: split,
+                        },
+                    );
+                    for (k, c) in block.iter() {
+                        match merged.remove(k) {
+                            Some(existing) => {
+                                merged.insert(k.clone(), merge(existing, c.clone()));
+                            }
+                            None => {
+                                merged.insert(k.clone(), c.clone());
+                            }
                         }
                     }
                 }
                 merged.into_iter().collect()
             }
+        }
+    }
+
+    fn compute_into(&self, split: usize, tc: &TaskContext, sink: &mut dyn FnMut((K, C))) {
+        // The concatenating wide path streams each fetched block straight
+        // into the sink — no per-partition output vector at all when this
+        // node heads a fused chain. Merging and elided paths need their
+        // hash table anyway; they drain the materialising path.
+        if let (ShuffleInput::Wide(dep), None) = (&self.input, &self.merge) {
+            let ctx = dep.context().clone();
+            for map_id in 0..dep.num_map_partitions() {
+                cancellation_point();
+                let block = ctx.inner.shuffle.fetch_block::<(K, C)>(
+                    &ctx,
+                    BlockId {
+                        shuffle_id: dep.shuffle_id,
+                        map_id,
+                        reduce_id: split,
+                    },
+                );
+                for pair in block.iter() {
+                    sink(pair.clone());
+                }
+            }
+            return;
+        }
+        for t in self.compute(split, tc) {
+            sink(t);
         }
     }
 }
@@ -368,7 +413,7 @@ impl<K: Key, V: Data> CoSide<K, V> {
                 let ctx = dep.context().clone();
                 for map_id in 0..dep.num_map_partitions() {
                     cancellation_point();
-                    let block: Vec<(K, V)> = ctx.inner.shuffle.fetch_block(
+                    let block = ctx.inner.shuffle.fetch_block::<(K, V)>(
                         &ctx,
                         BlockId {
                             shuffle_id: dep.shuffle_id,
@@ -376,8 +421,10 @@ impl<K: Key, V: Data> CoSide<K, V> {
                             reduce_id: split,
                         },
                     );
-                    for pair in block {
-                        sink(pair);
+                    // Clone out of the shared block per record; the block
+                    // itself is never copied.
+                    for pair in block.iter() {
+                        sink(pair.clone());
                     }
                 }
             }

@@ -372,6 +372,10 @@ struct Stage {
     speculation_wins: usize,
     /// Attempts of this stage cancelled through their token.
     tasks_cancelled: usize,
+    /// Context-wide (blocks_spilled, blocks_rehydrated, spill_bytes)
+    /// counters captured when this stage's current run was submitted; the
+    /// stage report carries the delta observed while it ran.
+    spill_baseline: (u64, u64, u64),
 }
 
 /// Everything that flows into the shared driver loop. Each message arrives
@@ -710,17 +714,22 @@ impl AdmissionController {
     }
 
     /// Whether the scheduler is saturated for new admissions: job slots
-    /// full, or resident memory (cache + shuffle) at the high watermark.
-    /// Also raises the memory high-water-mark metric, since this is where
+    /// full, or resident memory (cache + shuffle) still at the high
+    /// watermark *after* the spill tier has had a chance to demote cold
+    /// blocks to disk. Spilling comes before shedding: memory saturation
+    /// only queues or sheds work when the disk tier could not (or was not
+    /// allowed to) bring resident bytes back under the watermark. Also
+    /// raises the memory high-water-mark metric, since this is where
     /// saturation is observed.
     fn saturated(ctx: &SpangleContext, running: usize) -> bool {
         if running >= Self::effective_capacity(ctx) {
             return true;
         }
+        let under_watermark = ctx.enforce_memory_watermark();
         let resident = (ctx.cached_bytes() + ctx.shuffle_resident_bytes()) as u64;
         ctx.metrics()
             .raise(MetricField::MemoryHighwaterBytes, resident);
-        resident >= ctx.inner.admission.memory_high_watermark_bytes as u64
+        !under_watermark
     }
 
     /// Planned tasks currently queued at `priority` (the unit of the
@@ -978,6 +987,7 @@ fn build_stages<T: Data, R: Send + 'static>(
             tasks_speculated: 0,
             speculation_wins: 0,
             tasks_cancelled: 0,
+            spill_baseline: (0, 0, 0),
         });
     }
 
@@ -1032,6 +1042,7 @@ fn build_stages<T: Data, R: Send + 'static>(
         tasks_speculated: 0,
         speculation_wins: 0,
         tasks_cancelled: 0,
+        spill_baseline: (0, 0, 0),
     });
     stages
 }
@@ -1359,6 +1370,9 @@ impl JobRun {
             tasks_speculated: 0,
             speculation_wins: 0,
             tasks_cancelled: 0,
+            blocks_spilled: 0,
+            blocks_rehydrated: 0,
+            spill_bytes: 0,
         });
     }
 
@@ -1384,6 +1398,7 @@ impl JobRun {
     /// Submits every task of a stage to the executor pool, grouped by the
     /// runtime coalescing plan when the stage reads shuffle output.
     fn submit_stage(&mut self, idx: usize) -> Result<(), JobError> {
+        let snap = self.ctx.metrics_snapshot();
         let stage = &mut self.stages[idx];
         stage.stage_id = self.ctx.new_stage_id();
         stage.state = StageState::Running;
@@ -1402,6 +1417,11 @@ impl JobRun {
         stage.tasks_speculated = 0;
         stage.speculation_wins = 0;
         stage.tasks_cancelled = 0;
+        stage.spill_baseline = (
+            snap.blocks_spilled,
+            snap.blocks_rehydrated,
+            snap.spill_bytes,
+        );
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
         if stage.fused_chains > 0 {
@@ -1835,6 +1855,7 @@ impl JobRun {
     /// All tasks of a stage completed: publish its shuffle, account it,
     /// and wake children that were waiting on it.
     fn finish_stage(&mut self, idx: usize) -> Result<(), JobError> {
+        let snap = self.ctx.metrics_snapshot();
         let stage = &mut self.stages[idx];
         stage.state = StageState::Finished;
         self.running -= 1;
@@ -1871,6 +1892,9 @@ impl JobRun {
             tasks_speculated: stage.tasks_speculated,
             speculation_wins: stage.speculation_wins,
             tasks_cancelled: stage.tasks_cancelled,
+            blocks_spilled: (snap.blocks_spilled - stage.spill_baseline.0) as usize,
+            blocks_rehydrated: (snap.blocks_rehydrated - stage.spill_baseline.1) as usize,
+            spill_bytes: snap.spill_bytes - stage.spill_baseline.2,
         });
         self.satisfy_children(idx)
     }
@@ -1981,6 +2005,7 @@ impl JobRun {
             .shuffle_id
             .expect("map recovery targets a shuffle stage");
         self.owned.insert(shuffle_id);
+        let snap = self.ctx.metrics_snapshot();
         let stage = &mut self.stages[idx];
         stage.stage_id = self.ctx.new_stage_id();
         stage.state = StageState::Running;
@@ -1995,6 +2020,11 @@ impl JobRun {
         stage.tasks_speculated = 0;
         stage.speculation_wins = 0;
         stage.tasks_cancelled = 0;
+        stage.spill_baseline = (
+            snap.blocks_spilled,
+            snap.blocks_rehydrated,
+            snap.spill_bytes,
+        );
         stage.started = Some(Instant::now());
         self.ctx.metrics().add(MetricField::StagesRun, 1);
         self.ctx
@@ -2081,6 +2111,7 @@ impl JobRun {
     /// sharing the abort bookkeeping (in-flight stage reports, shuffle
     /// abandon already done by the caller, handle resolution last).
     fn fail_with(mut self, outcome: JobOutcome, err: JobError) {
+        let snap = self.ctx.metrics_snapshot();
         let aborted: Vec<StageReport> = self
             .stages
             .iter()
@@ -2104,6 +2135,9 @@ impl JobRun {
                 tasks_speculated: stage.tasks_speculated,
                 speculation_wins: stage.speculation_wins,
                 tasks_cancelled: stage.tasks_cancelled,
+                blocks_spilled: (snap.blocks_spilled - stage.spill_baseline.0) as usize,
+                blocks_rehydrated: (snap.blocks_rehydrated - stage.spill_baseline.1) as usize,
+                spill_bytes: snap.spill_bytes - stage.spill_baseline.2,
             })
             .collect();
         self.reports.extend(aborted);

@@ -34,13 +34,30 @@
 //! ([`ShuffleService::claim_recovery`] — the re-run analogue of
 //! [`ShuffleService::try_claim`]) and resubmits only the missing map
 //! partitions from lineage.
+//!
+//! # Memory tiers
+//!
+//! Blocks live in one of two tiers. They are deposited *resident* (the
+//! records stay on the heap behind an `Arc`, fetched zero-copy) and may be
+//! demoted to *spilled* (encoded with the [`crate::MemSize`] spill codec
+//! and written to a framed, checksummed spill file, heap bytes freed)
+//! when resident cache + shuffle memory crosses the admission watermark —
+//! see [`crate::SpangleContext`]'s `enforce_memory_watermark`. A fetch that
+//! touches a spilled block *rehydrates* it: the file is read back,
+//! verified, decoded, reinstated as resident, and the file deleted. Spill
+//! victims are picked coldest-first by a touch clock that every fetch
+//! bumps. Blocks whose element type opted out of the spill codec simply
+//! stay resident — spilling is an optimization, never a correctness
+//! requirement.
 
 use crate::executor::BlockOrigin;
 use crate::metrics::MetricField;
+use crate::spill::{SpillCodec, SpillStore};
 use crate::sync::{Mutex, RwLock, Subscribers};
-use crate::SpangleContext;
+use crate::{Data, SpangleContext};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Key of one shuffle block: output of map partition `map_id` destined for
@@ -56,6 +73,31 @@ pub struct BlockId {
 }
 
 type BlockPayload = Arc<dyn Any + Send + Sync>;
+
+/// Where one block's records currently live.
+enum StoredBlock {
+    /// On the heap; fetches clone the `Arc`, not the records.
+    Resident(BlockPayload),
+    /// Encoded on disk in the service's spill store; `disk_len` is the
+    /// framed file size (kept so removal can release the accounted bytes).
+    Spilled { file: u64, disk_len: usize },
+}
+
+/// One deposited block with its tier, accounting, and spill identity.
+struct ShuffleEntry {
+    data: StoredBlock,
+    /// Deep size of the records (the logical, in-memory size — charged as
+    /// shuffle volume and counted in `resident_bytes` while resident).
+    bytes: usize,
+    origin: BlockOrigin,
+    /// Captured at deposit, where the element type is still concrete.
+    /// `None` means the type opted out of spilling; the block is pinned
+    /// resident.
+    codec: Option<SpillCodec>,
+    /// Last-fetch tick from the service clock; spilling evicts the block
+    /// with the smallest value first.
+    touch: AtomicU64,
+}
 
 /// A one-shot completion callback: `true` means the map stage completed,
 /// `false` that its owner abandoned it (or the shuffle was removed).
@@ -119,7 +161,7 @@ pub enum ShuffleClaim {
 /// Stores shuffle blocks between stages and tracks map-stage ownership.
 #[derive(Default)]
 pub struct ShuffleService {
-    blocks: RwLock<HashMap<BlockId, (BlockPayload, usize, BlockOrigin)>>,
+    blocks: RwLock<HashMap<BlockId, ShuffleEntry>>,
     /// Per-shuffle map-stage state; absent means "never run, unclaimed".
     stages: Mutex<HashMap<usize, MapStageState>>,
     /// Per-shuffle registry of which executor incarnation produced each map
@@ -128,9 +170,68 @@ pub struct ShuffleService {
     /// empty bucket while "absent and unregistered" means the output was
     /// lost with its executor.
     outputs: Mutex<HashMap<usize, HashMap<usize, BlockOrigin>>>,
+    /// Shuffles torn down by [`ShuffleService::remove_shuffle`] (lineage
+    /// GC). A fetch against a tombstoned shuffle fails typed instead of
+    /// reading an empty bucket: "never had stage state" (test-seeded) and
+    /// "had state, then removed" are different answers. Ids are
+    /// context-monotone and never reused, so the set only grows — one
+    /// `usize` per GC'd shuffle over the context's life.
+    removed: Mutex<HashSet<usize>>,
+    /// Bytes of the `Resident` tier, maintained under the `blocks` write
+    /// lock on every insert/remove/tier-flip so `resident_bytes` is an
+    /// O(1) load instead of a full map walk per deposit.
+    resident: AtomicUsize,
+    /// Monotone fetch clock feeding each entry's `touch`.
+    clock: AtomicU64,
+    /// On-disk tier for spilled blocks.
+    spill: SpillStore,
 }
 
 impl ShuffleService {
+    /// Asserts the O(1) resident counter against the ground-truth walk.
+    /// Called in debug builds by every mutating operation, *while still
+    /// holding the blocks write lock* — the counter is only ever updated
+    /// under that lock, so the comparison is exact, never racy.
+    fn debug_check_resident(&self, blocks: &HashMap<BlockId, ShuffleEntry>) {
+        debug_assert_eq!(
+            self.resident.load(Ordering::Relaxed),
+            blocks
+                .values()
+                .filter(|e| matches!(e.data, StoredBlock::Resident(_)))
+                .map(|e| e.bytes)
+                .sum::<usize>(),
+            "shuffle resident-bytes counter drifted from the block map"
+        );
+    }
+
+    /// Inserts a resident entry, keeping the resident counter and the spill
+    /// store consistent when an existing entry (either tier) is replaced.
+    fn install(
+        &self,
+        blocks: &mut HashMap<BlockId, ShuffleEntry>,
+        id: BlockId,
+        entry: ShuffleEntry,
+    ) {
+        if matches!(entry.data, StoredBlock::Resident(_)) {
+            self.resident.fetch_add(entry.bytes, Ordering::Relaxed);
+        }
+        if let Some(old) = blocks.insert(id, entry) {
+            self.release(&old);
+        }
+    }
+
+    /// Releases one entry's accounting: resident bytes for the in-memory
+    /// tier, the spill file for the disk tier. Caller holds the blocks
+    /// write lock (or exclusive ownership of a just-removed entry).
+    fn release(&self, entry: &ShuffleEntry) {
+        match entry.data {
+            StoredBlock::Resident(_) => {
+                self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+            }
+            StoredBlock::Spilled { file, disk_len } => self.spill.remove(file, disk_len),
+        }
+    }
+
     /// Deposits the bucket for one (map, reduce) pair. `bytes` is the deep
     /// size of the records, charged as shuffle write volume.
     ///
@@ -138,7 +239,15 @@ impl ShuffleService {
     /// task was running) is silently dropped — its blocks were already
     /// discarded and the task's attempt is being replayed elsewhere, so
     /// accepting the stale write would interleave two attempts' output.
-    pub fn put_block<T: Send + Sync + 'static>(
+    ///
+    /// A deposit for a (shuffle, map) pair already registered by a
+    /// *different live* incarnation is also refused: that map partition has
+    /// a committed winner (see [`ShuffleService::commit_map_output`]'s
+    /// first-write-wins rule), and a late speculative loser writing through
+    /// this legacy path must not overwrite the winner's blocks. Deposits
+    /// from the registered origin itself remain allowed (recovery re-seeds
+    /// and put-then-register callers).
+    pub fn put_block<T: Data>(
         &self,
         ctx: &SpangleContext,
         id: BlockId,
@@ -149,15 +258,39 @@ impl ShuffleService {
         if !ctx.inner.pool.origin_is_live(origin) {
             return;
         }
+        if let Some(winner) = self
+            .outputs
+            .lock()
+            .get(&id.shuffle_id)
+            .and_then(|maps| maps.get(&id.map_id))
+        {
+            if *winner != origin && ctx.inner.pool.origin_is_live(*winner) {
+                return;
+            }
+        }
         ctx.metrics()
             .add(MetricField::ShuffleWriteBytes, bytes as u64);
         ctx.metrics()
             .add(MetricField::ShuffleRecords, records.len() as u64);
-        self.blocks
-            .write()
-            .insert(id, (Arc::new(records), bytes, origin));
+        {
+            let mut blocks = self.blocks.write();
+            self.install(
+                &mut blocks,
+                id,
+                ShuffleEntry {
+                    data: StoredBlock::Resident(Arc::new(records)),
+                    bytes,
+                    origin,
+                    codec: SpillCodec::of::<T>(),
+                    touch: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+                },
+            );
+            self.debug_check_resident(&blocks);
+        }
         // Resident cache + shuffle memory is what admission control's high
-        // watermark is evaluated against; record its peak where it grows.
+        // watermark is evaluated against; give the spill tier a chance to
+        // shed cold blocks first, then record the (post-spill) peak.
+        ctx.enforce_memory_watermark();
         ctx.metrics().raise(
             MetricField::MemoryHighwaterBytes,
             (self.resident_bytes() + ctx.cached_bytes()) as u64,
@@ -197,7 +330,7 @@ impl ShuffleService {
     /// by a live incarnation, or when the depositing incarnation itself is
     /// dead (killed mid-task — same rule as [`ShuffleService::put_block`]).
     /// Losing commits charge no shuffle-write volume.
-    pub fn commit_map_output<T: Send + Sync + 'static>(
+    pub fn commit_map_output<T: Data>(
         &self,
         ctx: &SpangleContext,
         shuffle_id: usize,
@@ -223,21 +356,30 @@ impl ShuffleService {
             for (reduce_id, records, bytes) in buckets {
                 total_bytes += bytes as u64;
                 total_records += records.len() as u64;
-                blocks.insert(
+                self.install(
+                    &mut blocks,
                     BlockId {
                         shuffle_id,
                         map_id,
                         reduce_id,
                     },
-                    (Arc::new(records) as BlockPayload, bytes, origin),
+                    ShuffleEntry {
+                        data: StoredBlock::Resident(Arc::new(records)),
+                        bytes,
+                        origin,
+                        codec: SpillCodec::of::<T>(),
+                        touch: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+                    },
                 );
             }
+            self.debug_check_resident(&blocks);
         }
         drop(outputs);
         ctx.metrics()
             .add(MetricField::ShuffleWriteBytes, total_bytes);
         ctx.metrics()
             .add(MetricField::ShuffleRecords, total_records);
+        ctx.enforce_memory_watermark();
         ctx.metrics().raise(
             MetricField::MemoryHighwaterBytes,
             (self.resident_bytes() + ctx.cached_bytes()) as u64,
@@ -245,49 +387,180 @@ impl ShuffleService {
         true
     }
 
-    /// Fetches one bucket, charging shuffle read volume. Returns an empty
-    /// vector when the map task produced nothing for this reduce partition.
+    /// Fetches one bucket, charging shuffle read volume. Returns a shared
+    /// handle to the bucket's records — reduce tasks iterate the `Arc`
+    /// without cloning the underlying vector. Returns an empty block when
+    /// the map task produced nothing for this reduce partition. A spilled
+    /// block is rehydrated (read back, verified, reinstated resident)
+    /// transparently.
     ///
     /// # Panics
     ///
     /// Panics with a [`FetchFailedError`] payload when the block is absent
     /// *and* its map partition is not registered for a shuffle whose map
-    /// stage ran: the output existed and was lost (executor death), so the
+    /// stage ran — or whose state was torn down by
+    /// [`ShuffleService::remove_shuffle`]: the output existed and was lost
+    /// (executor death, lineage GC, or a corrupt spill file), so the
     /// caller must not treat it as empty. The scheduler converts this
     /// panic into [`crate::TaskError::FetchFailed`] and recovers.
-    pub fn fetch_block<T: Clone + Send + Sync + 'static>(
-        &self,
-        ctx: &SpangleContext,
-        id: BlockId,
-    ) -> Vec<T> {
-        {
-            let guard = self.blocks.read();
-            if let Some((payload, bytes, _)) = guard.get(&id) {
-                ctx.metrics()
-                    .add(MetricField::ShuffleReadBytes, *bytes as u64);
-                return payload
-                    .clone()
-                    .downcast::<Vec<T>>()
-                    .expect("shuffle block type mismatch: reduce side fetched a different type than the map side wrote")
-                    .as_ref()
-                    .clone();
+    pub fn fetch_block<T: Data>(&self, ctx: &SpangleContext, id: BlockId) -> Arc<Vec<T>> {
+        loop {
+            // Fast path: resident block under the read lock. A spilled hit
+            // captures the file identity and rehydrates outside all locks.
+            let (file, disk_len, codec) = {
+                let guard = self.blocks.read();
+                let Some(entry) = guard.get(&id) else { break };
+                match &entry.data {
+                    StoredBlock::Resident(payload) => {
+                        entry.touch.store(
+                            self.clock.fetch_add(1, Ordering::Relaxed),
+                            Ordering::Relaxed,
+                        );
+                        ctx.metrics()
+                            .add(MetricField::ShuffleReadBytes, entry.bytes as u64);
+                        return payload.clone().downcast::<Vec<T>>().expect(
+                            "shuffle block type mismatch: reduce side fetched a different \
+                             type than the map side wrote",
+                        );
+                    }
+                    StoredBlock::Spilled { file, disk_len } => (
+                        *file,
+                        *disk_len,
+                        entry.codec.expect("spilled block without a codec"),
+                    ),
+                }
+            };
+            let decoded = self
+                .spill
+                .read(file)
+                .and_then(|payload| codec.decode(&payload));
+            let mut blocks = self.blocks.write();
+            let Some(entry) = blocks.get_mut(&id) else {
+                break;
+            };
+            match entry.data {
+                // Raced with another rehydrator (or a re-deposit): take the
+                // read path again.
+                StoredBlock::Resident(_) => continue,
+                StoredBlock::Spilled { file: f, .. } if f != file => continue,
+                StoredBlock::Spilled { .. } => {}
             }
+            let Some(payload) = decoded else {
+                // The spill file is torn or unreadable: the block is gone
+                // for real. Drop the entry and its registration so this
+                // surfaces exactly like executor loss — typed, recoverable
+                // from lineage — instead of decoding garbage.
+                let entry = blocks.remove(&id).expect("entry checked above");
+                self.release(&entry);
+                self.debug_check_resident(&blocks);
+                drop(blocks);
+                if let Some(maps) = self.outputs.lock().get_mut(&id.shuffle_id) {
+                    maps.remove(&id.map_id);
+                }
+                std::panic::panic_any(FetchFailedError {
+                    shuffle_id: id.shuffle_id,
+                    map_id: id.map_id,
+                });
+            };
+            entry.data = StoredBlock::Resident(payload.clone());
+            entry.touch.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            let bytes = entry.bytes;
+            self.resident.fetch_add(bytes, Ordering::Relaxed);
+            self.spill.remove(file, disk_len);
+            self.debug_check_resident(&blocks);
+            drop(blocks);
+            ctx.metrics().add(MetricField::BlocksRehydrated, 1);
+            ctx.metrics()
+                .add(MetricField::ShuffleReadBytes, bytes as u64);
+            // Rehydrating grew the resident tier; let the watermark demote
+            // a colder block in exchange if memory is tight.
+            ctx.enforce_memory_watermark();
+            ctx.metrics().raise(
+                MetricField::MemoryHighwaterBytes,
+                (self.resident_bytes() + ctx.cached_bytes()) as u64,
+            );
+            return payload
+                .downcast::<Vec<T>>()
+                .expect("shuffle block type mismatch after rehydrate");
         }
+        // Absent. Registered-but-absent is a genuinely empty bucket.
         let registered = self
             .outputs
             .lock()
             .get(&id.shuffle_id)
             .is_some_and(|maps| maps.contains_key(&id.map_id));
-        if registered || !self.stages.lock().contains_key(&id.shuffle_id) {
-            // Registered-but-absent is a genuinely empty bucket; no stage
-            // state at all means a test seeded blocks by hand — keep the
-            // historical empty-fetch behavior for those.
-            return Vec::new();
+        if registered {
+            return Arc::new(Vec::new());
         }
-        std::panic::panic_any(FetchFailedError {
-            shuffle_id: id.shuffle_id,
-            map_id: id.map_id,
-        });
+        // Unregistered: a tombstoned shuffle (lineage GC beat this fetch)
+        // or one whose map stage ran fails typed; a shuffle that never had
+        // stage state at all is a test-seeded block map — keep the
+        // historical empty-fetch behavior for those.
+        let removed = self.removed.lock().contains(&id.shuffle_id);
+        if removed || self.stages.lock().contains_key(&id.shuffle_id) {
+            std::panic::panic_any(FetchFailedError {
+                shuffle_id: id.shuffle_id,
+                map_id: id.map_id,
+            });
+        }
+        Arc::new(Vec::new())
+    }
+
+    /// Demotes cold resident blocks to the disk tier until roughly `need`
+    /// resident bytes are freed (or no spillable candidates remain).
+    /// Victims are picked least-recently-fetched first. Returns the bytes
+    /// actually freed. Blocks without a codec are skipped; an IO error
+    /// stops the sweep (memory pressure is better than cascading disk
+    /// failures).
+    pub(crate) fn spill_up_to(&self, ctx: &SpangleContext, need: usize) -> usize {
+        let mut freed = 0usize;
+        let mut spilled_blocks = 0u64;
+        let mut spilled_disk = 0u64;
+        {
+            let mut blocks = self.blocks.write();
+            let mut candidates: Vec<(BlockId, u64)> = blocks
+                .iter()
+                .filter(|(_, e)| e.codec.is_some() && matches!(e.data, StoredBlock::Resident(_)))
+                .map(|(id, e)| (*id, e.touch.load(Ordering::Relaxed)))
+                .collect();
+            candidates.sort_unstable_by_key(|&(_, touch)| touch);
+            for (id, _) in candidates {
+                if freed >= need {
+                    break;
+                }
+                let entry = blocks
+                    .get(&id)
+                    .expect("candidate vanished under write lock");
+                let StoredBlock::Resident(payload) = &entry.data else {
+                    continue;
+                };
+                let codec = entry.codec.expect("candidates are filtered on codec");
+                let encoded = codec.encode(payload.as_ref());
+                let Ok((file, disk_len)) = self.spill.write(&encoded) else {
+                    break;
+                };
+                let entry = blocks.get_mut(&id).expect("still under the write lock");
+                entry.data = StoredBlock::Spilled { file, disk_len };
+                self.resident.fetch_sub(entry.bytes, Ordering::Relaxed);
+                freed += entry.bytes;
+                spilled_blocks += 1;
+                spilled_disk += disk_len as u64;
+            }
+            self.debug_check_resident(&blocks);
+        }
+        if spilled_blocks > 0 {
+            ctx.metrics()
+                .add(MetricField::BlocksSpilled, spilled_blocks);
+            ctx.metrics().add(MetricField::SpillBytes, spilled_disk);
+            ctx.metrics().raise(
+                MetricField::DiskResidentBytes,
+                ctx.disk_resident_bytes() as u64,
+            );
+        }
+        freed
     }
 
     /// Atomically claims the map stage of `shuffle_id`. At most one caller
@@ -375,9 +648,12 @@ impl ShuffleService {
     /// `false` and their schedulers race to re-claim.
     ///
     /// Any partial map output the aborted attempt already deposited is
-    /// dropped with the claim: leaving it resident would leak
-    /// `resident_bytes` until shuffle GC, and a re-claiming owner would
-    /// interleave its fresh blocks with the aborted attempt's stale ones.
+    /// dropped with the claim — both tiers: leaving it resident would leak
+    /// `resident_bytes` (and spill files) until shuffle GC, and a
+    /// re-claiming owner would interleave its fresh blocks with the
+    /// aborted attempt's stale ones. The shuffle is *not* tombstoned: a
+    /// re-claim runs the stage again from scratch, so later fetches are
+    /// legitimate.
     pub fn abandon(&self, shuffle_id: usize) {
         let mut stages = self.stages.lock();
         let abandoned = match stages.get(&shuffle_id) {
@@ -387,11 +663,23 @@ impl ShuffleService {
         drop(stages);
         if let Some(MapStageState::InFlight { waiters }) = abandoned {
             self.outputs.lock().remove(&shuffle_id);
-            self.blocks
-                .write()
-                .retain(|id, _| id.shuffle_id != shuffle_id);
+            self.drop_blocks_of(shuffle_id);
             waiters.fire(false);
         }
+    }
+
+    /// Drops every block (either tier) of one shuffle, releasing resident
+    /// bytes and spill files.
+    fn drop_blocks_of(&self, shuffle_id: usize) {
+        let mut blocks = self.blocks.write();
+        blocks.retain(|id, entry| {
+            let keep = id.shuffle_id != shuffle_id;
+            if !keep {
+                self.release(entry);
+            }
+            keep
+        });
+        self.debug_check_resident(&blocks);
     }
 
     /// Blocks until the map stage of `shuffle_id` is no longer in flight.
@@ -424,20 +712,30 @@ impl ShuffleService {
     /// the owning dependency is garbage-collected so iterative jobs do not
     /// accumulate dead shuffle outputs. Any callbacks still subscribed
     /// (there should be none by GC time) fire with `false`.
+    ///
+    /// The shuffle id is tombstoned: a straggling reduce fetch arriving
+    /// after GC raises [`FetchFailedError`] instead of silently reading an
+    /// empty bucket (its data *existed* — it is gone, not empty).
     pub fn remove_shuffle(&self, shuffle_id: usize) {
         let removed = self.stages.lock().remove(&shuffle_id);
+        let had_state = removed.is_some();
         if let Some(MapStageState::InFlight { waiters }) = removed {
             waiters.fire(false);
         }
+        if had_state {
+            self.removed.lock().insert(shuffle_id);
+        }
         self.outputs.lock().remove(&shuffle_id);
-        self.blocks
-            .write()
-            .retain(|id, _| id.shuffle_id != shuffle_id);
+        self.drop_blocks_of(shuffle_id);
     }
 
     /// Drops every block and map-output registration produced by the given
     /// executor (any incarnation), across all shuffles. Called when an
-    /// executor is killed. Returns `(blocks_dropped, bytes_dropped)`.
+    /// executor is killed. Returns `(blocks_dropped, bytes_dropped)`,
+    /// counting logical record bytes for blocks of both tiers — a spilled
+    /// block of a dead incarnation is deleted from disk, never rehydrated:
+    /// its producer's epoch is retired, so its data is as stale as a
+    /// resident block's would be.
     ///
     /// Completion state is deliberately left alone: a shuffle stays
     /// `Completed` with holes, and the holes surface as
@@ -450,13 +748,15 @@ impl ShuffleService {
         let mut blocks = self.blocks.write();
         let before = blocks.len();
         let mut bytes_dropped = 0;
-        blocks.retain(|_, (_, bytes, origin)| {
-            let keep = !origin.lives_on(executor);
+        blocks.retain(|_, entry| {
+            let keep = !entry.origin.lives_on(executor);
             if !keep {
-                bytes_dropped += *bytes;
+                bytes_dropped += entry.bytes;
+                self.release(entry);
             }
             keep
         });
+        self.debug_check_resident(&blocks);
         (before - blocks.len(), bytes_dropped)
     }
 
@@ -510,26 +810,39 @@ impl ShuffleService {
         RecoveryClaim::Owner { missing }
     }
 
-    /// Total bytes currently resident in the service (for memory reports).
+    /// Total bytes currently resident in memory in the service (for memory
+    /// reports and watermark checks). Spilled blocks do not count — their
+    /// heap bytes were the point of spilling. O(1): the counter is
+    /// maintained on every insert/remove/tier-flip under the block-map
+    /// write lock (and checked against a full walk in debug builds), not
+    /// recomputed per call — deposits used to pay a full map walk here,
+    /// turning an n-block shuffle write phase into O(n²).
     pub fn resident_bytes(&self) -> usize {
-        self.blocks.read().values().map(|(_, b, _)| *b).sum()
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently held by this service's on-disk spill tier (framed
+    /// file sizes).
+    pub fn disk_bytes(&self) -> usize {
+        self.spill.disk_bytes()
     }
 
     /// Bytes deposited for each reduce partition of one shuffle, summed
-    /// over its map-side blocks. The planner reads this after a map stage
-    /// completes to decide which reduce buckets are small enough to merge
-    /// into one task ([`crate::SpangleContextBuilder::coalesce_partitions`]).
+    /// over its map-side blocks (logical record bytes, both tiers). The
+    /// planner reads this after a map stage completes to decide which
+    /// reduce buckets are small enough to merge into one task
+    /// ([`crate::SpangleContextBuilder::coalesce_partitions`]).
     pub fn reduce_bucket_bytes(&self, shuffle_id: usize, num_reduce: usize) -> Vec<usize> {
         let mut out = vec![0usize; num_reduce];
-        for (id, (_, bytes, _)) in self.blocks.read().iter() {
+        for (id, entry) in self.blocks.read().iter() {
             if id.shuffle_id == shuffle_id && id.reduce_id < num_reduce {
-                out[id.reduce_id] += *bytes;
+                out[id.reduce_id] += entry.bytes;
             }
         }
         out
     }
 
-    /// Number of blocks currently stored.
+    /// Number of blocks currently stored (both tiers).
     pub fn num_blocks(&self) -> usize {
         self.blocks.read().len()
     }
@@ -550,7 +863,7 @@ mod tests {
         };
         let before = ctx.metrics_snapshot();
         svc.put_block(&ctx, id, vec![(1u64, 2.0f64); 10], 160, BlockOrigin::DRIVER);
-        let got: Vec<(u64, f64)> = svc.fetch_block(&ctx, id);
+        let got: Arc<Vec<(u64, f64)>> = svc.fetch_block(&ctx, id);
         assert_eq!(got.len(), 10);
         let delta = ctx.metrics_snapshot() - before;
         assert_eq!(delta.shuffle_write_bytes, 160);
@@ -559,11 +872,29 @@ mod tests {
     }
 
     #[test]
+    fn fetches_share_the_block_instead_of_cloning_it() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        let id = BlockId {
+            shuffle_id: 1,
+            map_id: 0,
+            reduce_id: 0,
+        };
+        svc.put_block(&ctx, id, vec![1u64, 2, 3], 24, BlockOrigin::DRIVER);
+        let a: Arc<Vec<u64>> = svc.fetch_block(&ctx, id);
+        let b: Arc<Vec<u64>> = svc.fetch_block(&ctx, id);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "two fetches of one resident block must alias, not deep-copy"
+        );
+    }
+
+    #[test]
     fn missing_block_is_empty_and_free() {
         let ctx = SpangleContext::new(1);
         let svc = ShuffleService::default();
         let before = ctx.metrics_snapshot();
-        let got: Vec<u64> = svc.fetch_block(
+        let got: Arc<Vec<u64>> = svc.fetch_block(
             &ctx,
             BlockId {
                 shuffle_id: 9,
@@ -592,6 +923,284 @@ mod tests {
         assert!(!svc.is_completed(5));
         assert_eq!(svc.num_blocks(), 0);
         assert_eq!(svc.resident_bytes(), 0);
+    }
+
+    /// Bugfix regression: a reduce fetch straggling in after lineage GC
+    /// removed its shuffle used to read an empty bucket silently (the
+    /// `!stages.contains_key` branch). The data existed and is *gone*, not
+    /// empty — the fetch must fail typed.
+    #[test]
+    fn fetch_after_remove_shuffle_fails_typed() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        let id = BlockId {
+            shuffle_id: 5,
+            map_id: 0,
+            reduce_id: 0,
+        };
+        svc.put_block(&ctx, id, vec![1u64], 8, BlockOrigin::DRIVER);
+        svc.register_map_output(&ctx, 5, 0, BlockOrigin::DRIVER);
+        svc.mark_completed(5, 1);
+        svc.remove_shuffle(5);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Arc<Vec<u64>> = svc.fetch_block(&ctx, id);
+        }))
+        .expect_err("a fetch against a GC'd shuffle must not read as empty");
+        assert_eq!(
+            *err.downcast_ref::<FetchFailedError>()
+                .expect("typed payload"),
+            FetchFailedError {
+                shuffle_id: 5,
+                map_id: 0
+            }
+        );
+        // A shuffle that never had stage state keeps the historical
+        // empty-fetch behavior (test-seeded block maps).
+        let got: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 99,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert!(got.is_empty());
+    }
+
+    /// Bugfix regression: the O(1) resident counter must track every
+    /// insert, replace, discard, and removal exactly (debug builds also
+    /// assert it against the full walk inside each mutating op).
+    #[test]
+    fn resident_counter_tracks_every_mutation() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        let id0 = BlockId {
+            shuffle_id: 1,
+            map_id: 0,
+            reduce_id: 0,
+        };
+        let id1 = BlockId {
+            shuffle_id: 1,
+            map_id: 1,
+            reduce_id: 0,
+        };
+        svc.put_block(&ctx, id0, vec![1u64, 2], 16, BlockOrigin::DRIVER);
+        svc.put_block(&ctx, id1, vec![3u64], 8, BlockOrigin::executor(1, 0));
+        assert_eq!(svc.resident_bytes(), 24);
+        // Replacing a block swaps its accounted size, not leaks it.
+        svc.put_block(&ctx, id0, vec![9u64], 8, BlockOrigin::DRIVER);
+        assert_eq!(svc.resident_bytes(), 16);
+        svc.discard_executor(1);
+        assert_eq!(svc.resident_bytes(), 8);
+        svc.remove_shuffle(1);
+        assert_eq!(svc.resident_bytes(), 0);
+    }
+
+    /// Bugfix regression: `put_block` used to install unconditionally,
+    /// letting a late speculative loser (live, but beaten to the commit)
+    /// overwrite the winner's block through the legacy path.
+    #[test]
+    fn put_block_cannot_overwrite_a_live_winner() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        let winner = BlockOrigin::executor(0, 0);
+        let loser = BlockOrigin::executor(1, 0);
+        assert!(svc.commit_map_output(&ctx, 7, 0, vec![(0, vec![111u64], 8)], winner));
+        // The loser is alive — only *beaten*. Its late put must be refused.
+        let before = ctx.metrics_snapshot();
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 7,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![222u64],
+            8,
+            loser,
+        );
+        assert_eq!(
+            (ctx.metrics_snapshot() - before).shuffle_write_bytes,
+            0,
+            "refused deposits charge nothing"
+        );
+        let got: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 7,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(*got, vec![111], "the committed winner's block survives");
+        // The winner itself may still re-deposit (recovery re-seeds).
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 7,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec![333u64],
+            8,
+            winner,
+        );
+        let got: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 7,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(*got, vec![333]);
+    }
+
+    #[test]
+    fn spill_and_rehydrate_roundtrip_with_accounting() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        let records: Vec<(u64, f64)> = (0..100).map(|i| (i, i as f64 * 1.5)).collect();
+        for map_id in 0..4 {
+            svc.put_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: 1,
+                    map_id,
+                    reduce_id: 0,
+                },
+                records.clone(),
+                1600,
+                BlockOrigin::DRIVER,
+            );
+        }
+        assert_eq!(svc.resident_bytes(), 6400);
+        let before = ctx.metrics_snapshot();
+        let freed = svc.spill_up_to(&ctx, 3000);
+        assert_eq!(freed, 3200, "two coldest blocks demoted");
+        assert_eq!(svc.resident_bytes(), 3200);
+        assert!(svc.disk_bytes() > 0);
+        assert_eq!(svc.num_blocks(), 4, "spilled blocks stay fetchable");
+        let mid = ctx.metrics_snapshot();
+        assert_eq!((mid - before).blocks_spilled, 2);
+        assert!((mid - before).spill_bytes >= (mid - before).disk_resident_bytes);
+        // Every block — spilled or resident — fetches bit-identically.
+        for map_id in 0..4 {
+            let got: Arc<Vec<(u64, f64)>> = svc.fetch_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: 1,
+                    map_id,
+                    reduce_id: 0,
+                },
+            );
+            assert_eq!(*got, records);
+        }
+        let after = ctx.metrics_snapshot();
+        assert_eq!((after - mid).blocks_rehydrated, 2);
+        assert_eq!(svc.resident_bytes(), 6400, "rehydration restores the tier");
+        assert_eq!(svc.disk_bytes(), 0, "rehydrated files are deleted");
+    }
+
+    #[test]
+    fn spilling_prefers_the_least_recently_fetched_block() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        for map_id in 0..3 {
+            svc.put_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: 1,
+                    map_id,
+                    reduce_id: 0,
+                },
+                vec![map_id as u64; 4],
+                32,
+                BlockOrigin::DRIVER,
+            );
+        }
+        // Touch block 0 so block 1 becomes the coldest.
+        let _: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 1,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        svc.spill_up_to(&ctx, 1);
+        assert_eq!(svc.resident_bytes(), 64);
+        // Block 1 must be the spilled one: fetching it rehydrates.
+        let before = ctx.metrics_snapshot();
+        let got: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 1,
+                map_id: 1,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(*got, vec![1, 1, 1, 1]);
+        assert_eq!((ctx.metrics_snapshot() - before).blocks_rehydrated, 1);
+    }
+
+    #[test]
+    fn spilled_blocks_of_a_dead_executor_are_discarded_not_rehydrated() {
+        let ctx = SpangleContext::new(2);
+        let svc = ShuffleService::default();
+        seed_two_map_shuffle(&ctx, &svc, 6);
+        svc.spill_up_to(&ctx, usize::MAX);
+        assert_eq!(svc.resident_bytes(), 0);
+        assert!(svc.disk_bytes() > 0);
+        let (dropped, bytes) = svc.discard_executor(1);
+        assert_eq!(
+            (dropped, bytes),
+            (1, 8),
+            "spilled blocks count toward the discard with their logical bytes"
+        );
+        // Map 0's spilled block survives and rehydrates; map 1's is gone
+        // from disk too and raises a typed fetch failure.
+        let ok: Arc<Vec<u64>> = svc.fetch_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 6,
+                map_id: 0,
+                reduce_id: 0,
+            },
+        );
+        assert_eq!(*ok, vec![0]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Arc<Vec<u64>> = svc.fetch_block(
+                &ctx,
+                BlockId {
+                    shuffle_id: 6,
+                    map_id: 1,
+                    reduce_id: 0,
+                },
+            );
+        }))
+        .expect_err("a dead incarnation's spilled block must not rehydrate");
+        assert!(err.downcast_ref::<FetchFailedError>().is_some());
+    }
+
+    #[test]
+    fn unspillable_blocks_are_skipped_by_the_sweep() {
+        let ctx = SpangleContext::new(1);
+        let svc = ShuffleService::default();
+        svc.put_block(
+            &ctx,
+            BlockId {
+                shuffle_id: 1,
+                map_id: 0,
+                reduce_id: 0,
+            },
+            vec!["static strings have no stable byte form"],
+            64,
+            BlockOrigin::DRIVER,
+        );
+        assert_eq!(svc.spill_up_to(&ctx, usize::MAX), 0);
+        assert_eq!(svc.resident_bytes(), 64, "pinned resident");
+        assert_eq!(svc.disk_bytes(), 0);
     }
 
     #[test]
@@ -782,7 +1391,7 @@ mod tests {
         let svc = ShuffleService::default();
         svc.register_map_output(&ctx, 2, 0, BlockOrigin::DRIVER);
         svc.mark_completed(2, 1);
-        let got: Vec<u64> = svc.fetch_block(
+        let got: Arc<Vec<u64>> = svc.fetch_block(
             &ctx,
             BlockId {
                 shuffle_id: 2,
@@ -801,7 +1410,7 @@ mod tests {
         let (dropped, bytes) = svc.discard_executor(1);
         assert_eq!((dropped, bytes), (1, 8));
         // The surviving map's block still fetches.
-        let ok: Vec<u64> = svc.fetch_block(
+        let ok: Arc<Vec<u64>> = svc.fetch_block(
             &ctx,
             BlockId {
                 shuffle_id: 6,
@@ -809,10 +1418,10 @@ mod tests {
                 reduce_id: 0,
             },
         );
-        assert_eq!(ok, vec![0]);
+        assert_eq!(*ok, vec![0]);
         // The lost one raises a typed fetch failure, not an empty vec.
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _: Vec<u64> = svc.fetch_block(
+            let _: Arc<Vec<u64>> = svc.fetch_block(
                 &ctx,
                 BlockId {
                     shuffle_id: 6,
@@ -870,7 +1479,7 @@ mod tests {
         svc.register_map_output(&ctx, 3, 0, origin);
         assert!(svc.mark_completed(3, 2).is_empty());
         assert_eq!(svc.claim_recovery(3, 2), RecoveryClaim::Recovered);
-        let got: Vec<u64> = svc.fetch_block(
+        let got: Arc<Vec<u64>> = svc.fetch_block(
             &ctx,
             BlockId {
                 shuffle_id: 3,
@@ -878,7 +1487,7 @@ mod tests {
                 reduce_id: 0,
             },
         );
-        assert_eq!(got, vec![7]);
+        assert_eq!(*got, vec![7]);
     }
 
     #[test]

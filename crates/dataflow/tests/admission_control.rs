@@ -114,6 +114,9 @@ fn memory_watermark_gates_admission_until_memory_frees() {
     let ctx = SpangleContext::builder()
         .executors(2)
         .memory_high_watermark_bytes(1)
+        // Spilling would demote the cache to disk and defeat the gate this
+        // test exercises: the queue-until-memory-frees fallback.
+        .spill_to_disk(false)
         .build();
     // Materialise some cached bytes; the caching job itself is admitted
     // (memory was below the watermark when it was submitted).

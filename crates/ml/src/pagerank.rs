@@ -101,6 +101,36 @@ impl MemSize for AdjBlock {
             AdjBlock::Hier(m) => m.mem_size(),
         }
     }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        // Both variants travel in flat form; `compress` is deterministic,
+        // so the hierarchical layout is rebuilt identically on decode.
+        match self {
+            AdjBlock::Flat(m) => {
+                out.push(0);
+                m.write_le(out);
+            }
+            AdjBlock::Hier(m) => {
+                out.push(1);
+                m.decompress().write_le(out);
+            }
+        }
+    }
+
+    fn spill_decode(input: &mut spangle_dataflow::SpillCursor<'_>) -> Option<Self> {
+        let tag = input.u8()?;
+        let (mask, used) = Bitmask::read_le(input.rest())?;
+        input.skip(used)?;
+        match tag {
+            0 => Some(AdjBlock::Flat(mask)),
+            1 => Some(AdjBlock::Hier(HierarchicalBitmask::compress(&mask))),
+            _ => None,
+        }
+    }
 }
 
 /// The structure matrix `A'` as bitmask-only blocks: entry `(i, j)` = 1

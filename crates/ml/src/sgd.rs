@@ -43,6 +43,22 @@ impl MemSize for SampleBlock {
     fn mem_size(&self) -> usize {
         std::mem::size_of::<Self>() + self.rows.mem_size() + self.labels.mem_size()
     }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.rows.spill_encode(out);
+        self.labels.spill_encode(out);
+    }
+
+    fn spill_decode(input: &mut spangle_dataflow::SpillCursor<'_>) -> Option<Self> {
+        Some(SampleBlock {
+            rows: Vec::spill_decode(input)?,
+            labels: Vec::spill_decode(input)?,
+        })
+    }
 }
 
 /// A distributed training set in Eq. 2 layout.

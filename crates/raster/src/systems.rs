@@ -321,6 +321,24 @@ impl MemSize for Tile {
             + self.data.len() * 8
             + (self.origin.len() + self.extent.len()) * std::mem::size_of::<usize>()
     }
+
+    fn spillable() -> bool {
+        true
+    }
+
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        self.origin.spill_encode(out);
+        self.extent.spill_encode(out);
+        self.data.spill_encode(out);
+    }
+
+    fn spill_decode(input: &mut spangle_dataflow::SpillCursor<'_>) -> Option<Self> {
+        Some(Tile {
+            origin: Vec::spill_decode(input)?,
+            extent: Vec::spill_decode(input)?,
+            data: Vec::spill_decode(input)?,
+        })
+    }
 }
 
 /// RasterFrames-like comparator: dense tiles with nodata sentinels, built

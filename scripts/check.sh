@@ -11,7 +11,7 @@
 #   scripts/check.sh --quick          full gate minus the release build
 #   scripts/check.sh <step> [...]     run only the named steps, in order
 #
-# Steps: fmt clippy build test planoff specoff doc stress bench
+# Steps: fmt clippy build test planoff specoff spill doc stress bench
 # (stress and bench are CI-job-only: they are not part of the default
 # full gate because of their runtime.)
 set -euo pipefail
@@ -80,6 +80,17 @@ run_specoff() {
     SPANGLE_DISABLE_SPECULATION=1 watchdog cargo test -q --workspace
 }
 
+# The tiered block store defaults to a disabled watermark (usize::MAX);
+# this step proves the spill/rehydrate machinery is load-bearing by
+# running the whole suite with an artificially low watermark, so cold
+# shuffle blocks and cached partitions constantly demote to disk and
+# rehydrate mid-job. Tests that pin their own watermark (or disable
+# spilling) through the builder win over the env default.
+run_spill() {
+    echo "== cargo test with SPANGLE_MEMORY_WATERMARK_BYTES=262144 (watchdog ${WATCHDOG_SECS}s)"
+    SPANGLE_MEMORY_WATERMARK_BYTES=262144 watchdog cargo test -q --workspace
+}
+
 run_doc() {
     echo "== cargo doc -D warnings"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -120,13 +131,13 @@ run_bench() {
 steps=()
 for arg in "$@"; do
     case "$arg" in
-    --quick) steps+=(fmt clippy test planoff specoff doc) ;;
-    fmt | clippy | build | test | planoff | specoff | doc | stress | bench) steps+=("$arg") ;;
+    --quick) steps+=(fmt clippy test planoff specoff spill doc) ;;
+    fmt | clippy | build | test | planoff | specoff | spill | doc | stress | bench) steps+=("$arg") ;;
     -h | --help | *) usage ;;
     esac
 done
 if [ ${#steps[@]} -eq 0 ]; then
-    steps=(fmt clippy build test planoff specoff doc)
+    steps=(fmt clippy build test planoff specoff spill doc)
 fi
 
 for step in "${steps[@]}"; do
