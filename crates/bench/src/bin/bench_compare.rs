@@ -270,6 +270,16 @@ fn pct_from_env(var: &str, default: f64) -> Result<f64, String> {
     }
 }
 
+/// The figure tag of an artifact path: `out/BENCH_fig10.json` → `fig10`.
+/// Falls back to the file stem so hand-named files still get a label.
+fn figure_label(path: &str) -> &str {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path);
+    stem.strip_prefix("BENCH_").unwrap_or(stem)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, fresh_path] = &args[..] else {
@@ -298,33 +308,45 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+    let figure = figure_label(fresh_path);
     let limit = baseline * (1.0 + pct / 100.0);
     let change = (fresh / baseline - 1.0) * 100.0;
+    let memory = if baseline_mem > 0.0 {
+        let mem_change = (fresh_mem / baseline_mem - 1.0) * 100.0;
+        format!(
+            "memory {:.0} KiB vs {:.0} KiB ({mem_change:+.1}%, limit +{mem_pct:.0}%)",
+            fresh_mem / 1024.0,
+            baseline_mem / 1024.0,
+        )
+    } else {
+        "memory gate skipped (baseline has no memory_peak_bytes)".to_string()
+    };
+    // Green runs get exactly one line per figure so CI logs still show
+    // the perf trajectory; the detail lines below are failure-only.
     println!(
-        "bench_compare: baseline {baseline:.1} ms, fresh {fresh:.1} ms ({change:+.1}%), \
-         limit {limit:.1} ms (+{pct:.0}%)"
+        "bench_compare {figure}: wall {fresh:.1} ms vs {baseline:.1} ms \
+         ({change:+.1}%, limit +{pct:.0}%), {memory}"
     );
     let mut failed = false;
     if fresh > limit {
-        eprintln!("perf regression: fresh wall-clock exceeds the +{pct:.0}% envelope");
+        eprintln!(
+            "perf regression in {figure}: fresh wall-clock {fresh:.1} ms exceeds \
+             {limit:.1} ms (+{pct:.0}% over baseline {baseline:.1} ms)"
+        );
         failed = true;
     }
     if baseline_mem > 0.0 {
         let mem_limit = baseline_mem * (1.0 + mem_pct / 100.0);
-        let mem_change = (fresh_mem / baseline_mem - 1.0) * 100.0;
-        println!(
-            "bench_compare: memory baseline {:.0} KiB, fresh {:.0} KiB ({mem_change:+.1}%), \
-             limit {:.0} KiB (+{mem_pct:.0}%)",
-            baseline_mem / 1024.0,
-            fresh_mem / 1024.0,
-            mem_limit / 1024.0,
-        );
         if fresh_mem > mem_limit {
-            eprintln!("memory regression: fresh resident peak exceeds the +{mem_pct:.0}% envelope");
+            eprintln!(
+                "memory regression in {figure}: fresh resident peak {:.0} KiB exceeds \
+                 {:.0} KiB (+{mem_pct:.0}% over baseline {:.0} KiB)",
+                fresh_mem / 1024.0,
+                mem_limit / 1024.0,
+                baseline_mem / 1024.0,
+            );
             failed = true;
         }
-    } else {
-        println!("bench_compare: baseline has no memory_peak_bytes — memory gate skipped");
     }
     if failed {
         return ExitCode::FAILURE;
@@ -367,6 +389,13 @@ mod tests {
             }
             _ => panic!("expected object"),
         }
+    }
+
+    #[test]
+    fn figure_labels_strip_the_artifact_prefix() {
+        assert_eq!(figure_label("BENCH_fig10.json"), "fig10");
+        assert_eq!(figure_label("/tmp/x/BENCH_fig11.json"), "fig11");
+        assert_eq!(figure_label("custom.json"), "custom");
     }
 
     #[test]

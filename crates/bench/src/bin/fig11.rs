@@ -142,6 +142,8 @@ fn main() {
         let speculated: usize = reports.iter().map(|r| r.tasks_speculated()).sum();
         let spec_wins: usize = reports.iter().map(|r| r.speculation_wins()).sum();
         let cancelled: usize = reports.iter().map(|r| r.tasks_cancelled()).sum();
+        let watchdogs: usize = reports.iter().map(|r| r.watchdog_trips()).sum();
+        let backoff_nanos: u64 = reports.iter().map(|r| r.backoff_nanos()).sum();
         println!(
             "-- {}: spangle scheduler ran {} jobs ({} stages run, {} skipped, peak {} concurrent stages, {} tasks stolen, worst busy skew {:.2}, total queue wait {} ms, {} fetch failures, {} map partitions recomputed)",
             spec.name,
@@ -162,6 +164,10 @@ fn main() {
         println!(
             "   speculation: {speculated} launched, {spec_wins} won, \
              {cancelled} tasks cancelled"
+        );
+        println!(
+            "   health: {watchdogs} watchdog trips, {:.1} ms retry backoff",
+            backoff_nanos as f64 / 1e6,
         );
         if let Some(longest) = reports.iter().max_by_key(|r| r.wall_nanos) {
             println!("   slowest job: {longest}");
@@ -191,6 +197,8 @@ fn main() {
             ("tasks_speculated", Json::U64(speculated as u64)),
             ("speculation_wins", Json::U64(spec_wins as u64)),
             ("tasks_cancelled", Json::U64(cancelled as u64)),
+            ("watchdog_trips", Json::U64(watchdogs as u64)),
+            ("backoff_nanos", Json::U64(backoff_nanos)),
             ("blocks_spilled", Json::U64(run_delta.blocks_spilled)),
             ("blocks_rehydrated", Json::U64(run_delta.blocks_rehydrated)),
             ("spill_bytes", Json::U64(run_delta.spill_bytes)),
@@ -267,6 +275,13 @@ fn main() {
             ("blocks_spilled", Json::U64(final_snap.blocks_spilled)),
             ("blocks_rehydrated", Json::U64(final_snap.blocks_rehydrated)),
             ("spill_bytes", Json::U64(final_snap.spill_bytes)),
+            ("heartbeats_missed", Json::U64(final_snap.heartbeats_missed)),
+            ("watchdog_trips", Json::U64(final_snap.watchdog_trips)),
+            (
+                "executors_quarantined",
+                Json::U64(final_snap.executors_quarantined),
+            ),
+            ("backoff_nanos", Json::U64(final_snap.backoff_nanos)),
             ("graphs", Json::Arr(json_graphs)),
         ]),
     );

@@ -3,6 +3,7 @@
 use crate::cache::BlockManager;
 use crate::executor::ExecutorPool;
 use crate::failure::FailureInjector;
+use crate::health::{HealthConfig, RetryBackoffConfig};
 use crate::memsize::MemSize;
 use crate::metrics::{MetricField, Metrics, MetricsSnapshot, DEFAULT_JOB_REPORT_HISTORY};
 use crate::plan::PlannerConfig;
@@ -78,6 +79,11 @@ pub(crate) struct ContextInner {
     /// Whether crossing the memory watermark demotes cold blocks to the
     /// on-disk spill tier (instead of only shedding/queueing work).
     pub(crate) spill_enabled: bool,
+    /// Heartbeat/watchdog/quarantine thresholds for the driver's health
+    /// monitor.
+    pub(crate) health: HealthConfig,
+    /// Seeded exponential backoff applied to every retry path.
+    pub(crate) backoff: RetryBackoffConfig,
 }
 
 /// A handle on the simulated cluster; the analogue of Spark's
@@ -113,6 +119,11 @@ pub struct SpangleContext {
 ///         multiplier: 3.0,
 ///         min_runtime: Duration::from_millis(5),
 ///     })
+///     .heartbeat_interval(Duration::from_millis(50))
+///     .missed_heartbeat_limit(8)
+///     .watchdog_interval(Duration::from_secs(5))
+///     .quarantine_threshold(0.4)
+///     .quarantine_probation(Duration::from_millis(200))
 ///     .build();
 /// assert_eq!(ctx.num_executors(), 4);
 /// assert_eq!(ctx.max_task_attempts(), 2);
@@ -127,6 +138,8 @@ pub struct SpangleContextBuilder {
     planner: PlannerConfig,
     speculation: SpeculationConfig,
     spill_to_disk: bool,
+    health: HealthConfig,
+    backoff: RetryBackoffConfig,
 }
 
 impl Default for SpangleContextBuilder {
@@ -151,6 +164,8 @@ impl Default for SpangleContextBuilder {
             planner: PlannerConfig::default(),
             speculation: SpeculationConfig::default(),
             spill_to_disk: std::env::var_os("SPANGLE_DISABLE_SPILL").is_none_or(|v| v == "0"),
+            health: HealthConfig::default(),
+            backoff: RetryBackoffConfig::default(),
         }
     }
 }
@@ -308,16 +323,104 @@ impl SpangleContextBuilder {
         self
     }
 
+    /// Expected spacing of executor heartbeats (default 100 ms; the
+    /// `SPANGLE_HEARTBEAT_MS` environment variable overrides the default,
+    /// an explicit call here wins). Heartbeats come from the pool's
+    /// dedicated heartbeater thread — not from task bodies, so a body
+    /// deep in a long compute kernel never looks dead. Together with
+    /// [`SpangleContextBuilder::missed_heartbeat_limit`] this sets the
+    /// loss threshold: a *busy* executor silent for
+    /// `heartbeat_interval * missed_heartbeat_limit` is declared lost by
+    /// the driver's monitor and killed through the normal
+    /// [`SpangleContext::kill_executor`] recovery path. Idle executors
+    /// (blocked on their queues) are exempt.
+    pub fn heartbeat_interval(mut self, interval: std::time::Duration) -> Self {
+        assert!(
+            !interval.is_zero(),
+            "a zero heartbeat interval would declare everything lost"
+        );
+        self.health.heartbeat_interval = interval;
+        self
+    }
+
+    /// Consecutive missed heartbeats before a busy executor is declared
+    /// lost (default 10). The defaults keep the loss threshold well above
+    /// any transient stall of the heartbeater itself.
+    pub fn missed_heartbeat_limit(mut self, limit: u32) -> Self {
+        assert!(limit > 0, "at least one heartbeat must be missable");
+        self.health.missed_heartbeat_limit = limit;
+        self
+    }
+
+    /// No-progress watchdog: a running task whose executor still
+    /// heartbeats but whose chunk-boundary progress counter has not moved
+    /// for this long is duplicated through the speculation path (default
+    /// 10 s; the `SPANGLE_WATCHDOG_MS` environment variable overrides the
+    /// default, an explicit call here wins).
+    pub fn watchdog_interval(mut self, interval: std::time::Duration) -> Self {
+        assert!(
+            !interval.is_zero(),
+            "a zero watchdog would duplicate every task"
+        );
+        self.health.watchdog_interval = interval;
+        self
+    }
+
+    /// Recent task-failure rate at or above which an executor is
+    /// quarantined: drained, excluded from placement/steals/speculation,
+    /// re-admitted after probation with one canary task (default 0.5).
+    pub fn quarantine_threshold(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "a failure rate is in [0, 1]");
+        self.health.quarantine_threshold = rate;
+        self
+    }
+
+    /// How long a quarantined executor is drained before probation offers
+    /// it a canary task (default 250 ms; doubled with seeded jitter each
+    /// time a canary fails).
+    pub fn quarantine_probation(mut self, probation: std::time::Duration) -> Self {
+        self.health.probation = probation;
+        self
+    }
+
+    /// Enables or disables the whole health-monitoring layer — heartbeat
+    /// loss detection, the no-progress watchdog, and quarantine (default
+    /// on; the `SPANGLE_DISABLE_HEALTH` environment variable flips the
+    /// default off, an explicit call here wins). Off restores the
+    /// announced-failures-only behavior: only `kill_executor` and
+    /// injected failures trigger recovery.
+    pub fn health_monitoring(mut self, enabled: bool) -> Self {
+        self.health.enabled = enabled;
+        self
+    }
+
+    /// Seeded deterministic exponential backoff with jitter applied
+    /// before every re-submitted task attempt — failure retries and
+    /// executor-loss/fetch-failure resubmissions (see
+    /// [`RetryBackoffConfig`]). Default on at 1 ms base, 64 ms cap;
+    /// `SPANGLE_DISABLE_HEALTH=1` flips the default off so the kill
+    /// switch restores immediate-retry behavior exactly.
+    pub fn retry_backoff(mut self, config: RetryBackoffConfig) -> Self {
+        self.backoff = config;
+        self
+    }
+
     /// Starts the cluster.
     pub fn build(self) -> SpangleContext {
+        let pool = ExecutorPool::new(self.executors);
+        if self.health.enabled {
+            pool.start_heartbeater(self.health.heartbeat_interval);
+        }
+        let failures = FailureInjector::default();
+        failures.attach_health(pool.health_board());
         SpangleContext {
             inner: Arc::new(ContextInner {
                 scheduler: SchedulerService::new(),
-                pool: ExecutorPool::new(self.executors),
+                pool,
                 shuffle: ShuffleService::default(),
                 cache: BlockManager::default(),
                 metrics: Metrics::with_history(self.job_report_history),
-                failures: FailureInjector::default(),
+                failures,
                 next_rdd_id: AtomicUsize::new(0),
                 next_shuffle_id: AtomicUsize::new(0),
                 next_stage_id: AtomicUsize::new(0),
@@ -328,6 +431,8 @@ impl SpangleContextBuilder {
                 planner: self.planner,
                 speculation: self.speculation,
                 spill_enabled: self.spill_to_disk,
+                health: self.health,
+                backoff: self.backoff,
             }),
         }
     }
@@ -525,6 +630,13 @@ impl SpangleContext {
     /// cluster started, indexed by the thief.
     pub fn executor_steals(&self) -> Vec<u64> {
         self.inner.pool.steals_per_executor()
+    }
+
+    /// Executors currently excluded from placement by the failure-rate
+    /// quarantine: drained, on probation, or mid-canary. Empty on a
+    /// healthy cluster (and always empty with health monitoring off).
+    pub fn quarantined_executors(&self) -> Vec<usize> {
+        self.inner.pool.health_board().quarantined_executors()
     }
 
     pub(crate) fn new_rdd_id(&self) -> usize {

@@ -38,13 +38,14 @@
 //! on the replacement incarnation, exactly like Spark rescheduling a lost
 //! executor's pending tasks.
 
+use crate::health::HealthBoard;
 use crate::sync::{Mutex, Next, StealQueues};
 use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cooperative cancellation handle shared between a task attempt and the
 /// scheduler that may want to interrupt it.
@@ -89,6 +90,32 @@ pub struct CancelledError;
 thread_local! {
     /// Token of the task currently executing on this worker thread, if any.
     static CURRENT_TOKEN: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+    /// Health slot of the executor this worker thread serves, installed
+    /// once at thread start so chunk-boundary instrumentation can stamp
+    /// progress without reaching for the pool.
+    static CURRENT_HEALTH: RefCell<Option<(Arc<HealthBoard>, usize)>> =
+        const { RefCell::new(None) };
+}
+
+/// Stamps a chunk-boundary progress tick (which is also a heartbeat) for
+/// the executor running this thread. No-op on driver threads.
+fn stamp_progress_tick() {
+    CURRENT_HEALTH.with(|slot| {
+        if let Some((board, executor)) = slot.borrow().as_ref() {
+            board.stamp_progress(*executor);
+        }
+    });
+}
+
+/// Stamps a heartbeat *without* a progress tick for the executor running
+/// this thread — the injected stall spin uses this to look alive but
+/// stuck. No-op on driver threads.
+pub(crate) fn stamp_heartbeat_only() {
+    CURRENT_HEALTH.with(|slot| {
+        if let Some((board, executor)) = slot.borrow().as_ref() {
+            board.stamp_heartbeat(*executor);
+        }
+    });
 }
 
 /// Whether the task running on the current thread has been cancelled.
@@ -105,8 +132,11 @@ pub fn is_task_cancelled() -> bool {
 /// payload when the current task's token was cancelled, and is a cheap
 /// no-op otherwise. Operator loops call this at chunk boundaries so a
 /// kill, job abort, expired deadline, or lost speculation race interrupts
-/// a *running* task body instead of waiting it out.
+/// a *running* task body instead of waiting it out. Each call also stamps
+/// a progress tick on the executor's health slot, which is what the
+/// driver's no-progress watchdog watches.
 pub fn cancellation_point() {
+    stamp_progress_tick();
     if is_task_cancelled() {
         std::panic::panic_any(CancelledError);
     }
@@ -289,8 +319,15 @@ pub struct ExecutorPool {
     /// measures a straggler's *running* time from the stamp (queue time
     /// must not count toward the median-multiple threshold).
     running: Arc<Vec<RunningSlot>>,
+    /// Heartbeat/progress/quarantine state per executor slot, stamped by
+    /// the worker threads and read by the driver's health monitor.
+    health: Arc<HealthBoard>,
     num_executors: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Stop flag for the heartbeater thread (see
+    /// [`ExecutorPool::start_heartbeater`]); the thread's handle joins the
+    /// workers' in `handles`.
+    heartbeater_stop: Arc<AtomicBool>,
 }
 
 impl ExecutorPool {
@@ -310,6 +347,7 @@ impl ExecutorPool {
             Arc::new((0..num_executors).map(|_| AtomicU64::new(0)).collect());
         let running: Arc<Vec<RunningSlot>> =
             Arc::new((0..num_executors).map(|_| Mutex::new(None)).collect());
+        let health = Arc::new(HealthBoard::new(num_executors));
         let mut handles = Vec::with_capacity(num_executors);
         for i in 0..num_executors {
             let queues = Arc::clone(&queues);
@@ -317,45 +355,54 @@ impl ExecutorPool {
             let epochs = Arc::clone(&epochs);
             let active_epochs = Arc::clone(&active_epochs);
             let running = Arc::clone(&running);
+            let health = Arc::clone(&health);
             let handle = std::thread::Builder::new()
                 .name(format!("spangle-executor-{i}"))
-                .spawn(move || loop {
-                    let (task, stolen) = match queues.next(i) {
-                        Next::Local(task) => (task, false),
-                        Next::Stolen { item, .. } => (item, true),
-                        Next::Closed => break,
-                    };
-                    let info = TaskInfo {
-                        home: task.home,
-                        ran_on: i,
-                        stolen,
-                        epoch: epochs[i].load(Ordering::SeqCst),
-                    };
-                    if stolen {
-                        stats[i].tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                .spawn(move || {
+                    // Install this worker's health slot so chunk-boundary
+                    // instrumentation (cancellation_point) can stamp
+                    // progress from inside task bodies.
+                    CURRENT_HEALTH.with(|slot| *slot.borrow_mut() = Some((Arc::clone(&health), i)));
+                    loop {
+                        let (task, stolen) = match queues.next(i) {
+                            Next::Local(task) => (task, false),
+                            Next::Stolen { item, .. } => (item, true),
+                            Next::Closed => break,
+                        };
+                        health.stamp_heartbeat(i);
+                        let info = TaskInfo {
+                            home: task.home,
+                            ran_on: i,
+                            stolen,
+                            epoch: epochs[i].load(Ordering::SeqCst),
+                        };
+                        if stolen {
+                            stats[i].tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Publish the task's token so kill/shutdown can reach
+                        // the running body, and install it thread-locally so
+                        // cancellation_point() inside the closure sees it.
+                        let started = Instant::now();
+                        *running[i].lock() = task.token.clone().map(|t| (t, started));
+                        CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = task.token);
+                        // A panicking task must not take the worker down with
+                        // it: orphaning the executor's queue would strand
+                        // later local tasks. The scheduler catches panics
+                        // inside its own task bodies anyway; this is the
+                        // backstop for raw pool users.
+                        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| (task.run)(&info)));
+                        CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = None);
+                        *running[i].lock() = None;
+                        health.stamp_heartbeat(i);
+                        stats[i]
+                            .busy_nanos
+                            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        // The incarnation that started this task has now
+                        // completed one; it is no longer a warming replacement.
+                        // Tasks run serially per worker, so the stored epoch is
+                        // monotone even without a compare-exchange.
+                        active_epochs[i].store(info.epoch, Ordering::SeqCst);
                     }
-                    // Publish the task's token so kill/shutdown can reach
-                    // the running body, and install it thread-locally so
-                    // cancellation_point() inside the closure sees it.
-                    let started = Instant::now();
-                    *running[i].lock() = task.token.clone().map(|t| (t, started));
-                    CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = task.token);
-                    // A panicking task must not take the worker down with
-                    // it: orphaning the executor's queue would strand
-                    // later local tasks. The scheduler catches panics
-                    // inside its own task bodies anyway; this is the
-                    // backstop for raw pool users.
-                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| (task.run)(&info)));
-                    CURRENT_TOKEN.with(|slot| *slot.borrow_mut() = None);
-                    *running[i].lock() = None;
-                    stats[i]
-                        .busy_nanos
-                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    // The incarnation that started this task has now
-                    // completed one; it is no longer a warming replacement.
-                    // Tasks run serially per worker, so the stored epoch is
-                    // monotone even without a compare-exchange.
-                    active_epochs[i].store(info.epoch, Ordering::SeqCst);
                 })
                 .expect("failed to spawn executor thread");
             handles.push(handle);
@@ -366,9 +413,52 @@ impl ExecutorPool {
             epochs,
             active_epochs,
             running,
+            health,
             num_executors,
             handles: Mutex::new(handles),
+            heartbeater_stop: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Spawns the pool's dedicated heartbeater: one thread stamping every
+    /// executor slot's heartbeat each half-`interval` (paused slots are
+    /// suppressed by the board, which is how tests inject silence).
+    ///
+    /// Heartbeats deliberately do NOT ride the task bodies alone: a body
+    /// deep in a long compute kernel may not reach a chunk boundary for
+    /// seconds, and a busy executor is not a dead one — killing it would
+    /// discard committed map output and melt down into recompute storms.
+    /// This thread models the dedicated heartbeater a remote executor
+    /// *process* would run (as in Spark's driver-side HeartbeatReceiver):
+    /// heartbeat silence means the executor is gone, not slow. Task-level
+    /// hangs stay the no-progress watchdog's job, whose response (a
+    /// first-completion-wins duplicate) is safe against false positives.
+    /// Idempotent; the thread exits on [`ExecutorPool::shutdown`].
+    pub(crate) fn start_heartbeater(&self, interval: Duration) {
+        let mut handles = self.handles.lock();
+        if self.heartbeater_stop.load(Ordering::SeqCst)
+            || handles
+                .iter()
+                .any(|h| h.thread().name() == Some("spangle-heartbeat"))
+        {
+            return;
+        }
+        let health = Arc::clone(&self.health);
+        let stop = Arc::clone(&self.heartbeater_stop);
+        let n = self.num_executors;
+        let step = (interval / 2).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let handle = std::thread::Builder::new()
+            .name("spangle-heartbeat".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    for e in 0..n {
+                        health.stamp_heartbeat(e);
+                    }
+                    std::thread::sleep(step);
+                }
+            })
+            .expect("failed to spawn heartbeater thread");
+        handles.push(handle);
     }
 
     /// Number of executors in the cluster.
@@ -400,6 +490,10 @@ impl ExecutorPool {
         if let Some((token, _)) = self.running[executor].lock().as_ref() {
             token.cancel();
         }
+        // The replacement incarnation starts with a fresh, un-paused
+        // heartbeat — a lost executor must not look lost again the moment
+        // it is reseated.
+        self.health.reset_after_kill(executor);
         epoch
     }
 
@@ -455,7 +549,7 @@ impl ExecutorPool {
         tag: TaskTag,
         task: Task,
     ) -> Result<(), PoolShutdown> {
-        let home = self.executor_for(partition);
+        let home = self.health.place(self.executor_for(partition));
         self.submit_on(home, tag, None, task)
     }
 
@@ -470,7 +564,7 @@ impl ExecutorPool {
         token: CancelToken,
         task: Task,
     ) -> Result<(), PoolShutdown> {
-        let home = self.executor_for(partition);
+        let home = self.health.place(self.executor_for(partition));
         self.submit_on(home, tag, Some(token), task)
     }
 
@@ -496,6 +590,21 @@ impl ExecutorPool {
                 },
             )
             .map_err(|_| PoolShutdown)
+    }
+
+    /// Shared heartbeat/progress/quarantine board for this pool's
+    /// executors. Workers stamp it; the driver's health monitor reads it
+    /// and flips quarantine states on it.
+    pub(crate) fn health_board(&self) -> Arc<HealthBoard> {
+        Arc::clone(&self.health)
+    }
+
+    /// Bans or re-admits `executor` as a *thief*: a banned worker drains
+    /// its own queue but never steals from siblings (siblings may still
+    /// steal from it). Used while an executor is quarantined so it cannot
+    /// pull healthy work onto itself.
+    pub(crate) fn set_steal_ban(&self, executor: usize, banned: bool) {
+        self.queues.set_steal_ban(executor, banned);
     }
 
     /// Queued (not yet started) tasks per executor, indexed by executor id.
@@ -562,6 +671,7 @@ impl ExecutorPool {
     /// (including the one from `Drop`) are no-ops.
     pub fn shutdown(&self) {
         self.queues.close();
+        self.heartbeater_stop.store(true, Ordering::SeqCst);
         for slot in self.running.iter() {
             if let Some((token, _)) = slot.lock().as_ref() {
                 token.cancel();

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod context;
 pub mod executor;
 pub mod failure;
+pub mod health;
 pub mod memsize;
 pub mod metrics;
 pub mod partitioner;
@@ -56,6 +57,7 @@ pub use context::{Broadcast, ExecutorLoss, SpangleContext, SpangleContextBuilder
 pub use executor::{
     cancellation_point, is_task_cancelled, BlockOrigin, CancelGauge, CancelToken, CancelledError,
 };
+pub use health::{HealthConfig, RetryBackoffConfig};
 pub use memsize::{put_len, MemSize, SpillCursor};
 pub use metrics::{JobOutcome, JobReport, MetricsSnapshot, StageOutcome, StageReport};
 pub use partitioner::{

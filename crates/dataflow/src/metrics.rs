@@ -52,6 +52,10 @@ pub struct Metrics {
     pub(crate) blocks_rehydrated: AtomicU64,
     pub(crate) spill_bytes: AtomicU64,
     pub(crate) disk_resident_bytes: AtomicU64,
+    pub(crate) heartbeats_missed: AtomicU64,
+    pub(crate) watchdog_trips: AtomicU64,
+    pub(crate) executors_quarantined: AtomicU64,
+    pub(crate) backoff_nanos: AtomicU64,
     /// Highest number of stages ever running concurrently in one job.
     max_concurrent_stages: AtomicU64,
     /// Per-job reports, newest last.
@@ -103,6 +107,10 @@ impl Metrics {
             blocks_rehydrated: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             disk_resident_bytes: AtomicU64::new(0),
+            heartbeats_missed: AtomicU64::new(0),
+            watchdog_trips: AtomicU64::new(0),
+            executors_quarantined: AtomicU64::new(0),
+            backoff_nanos: AtomicU64::new(0),
             max_concurrent_stages: AtomicU64::new(0),
             job_reports: Mutex::new(VecDeque::new()),
             job_report_history: job_report_history.max(1),
@@ -154,6 +162,10 @@ impl Metrics {
             MetricField::BlocksRehydrated => &self.blocks_rehydrated,
             MetricField::SpillBytes => &self.spill_bytes,
             MetricField::DiskResidentBytes => &self.disk_resident_bytes,
+            MetricField::HeartbeatsMissed => &self.heartbeats_missed,
+            MetricField::WatchdogTrips => &self.watchdog_trips,
+            MetricField::ExecutorsQuarantined => &self.executors_quarantined,
+            MetricField::BackoffNanos => &self.backoff_nanos,
         }
     }
 
@@ -214,6 +226,10 @@ impl Metrics {
             blocks_rehydrated: self.blocks_rehydrated.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             disk_resident_bytes: self.disk_resident_bytes.load(Ordering::Relaxed),
+            heartbeats_missed: self.heartbeats_missed.load(Ordering::Relaxed),
+            watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
+            executors_quarantined: self.executors_quarantined.load(Ordering::Relaxed),
+            backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -253,6 +269,10 @@ pub(crate) enum MetricField {
     BlocksRehydrated,
     SpillBytes,
     DiskResidentBytes,
+    HeartbeatsMissed,
+    WatchdogTrips,
+    ExecutorsQuarantined,
+    BackoffNanos,
 }
 
 /// How one stage of a job ended.
@@ -351,6 +371,13 @@ pub struct StageReport {
     pub blocks_rehydrated: usize,
     /// Encoded bytes written to the spill tier while this stage ran.
     pub spill_bytes: u64,
+    /// No-progress watchdog trips against this stage's running attempts:
+    /// each launched a speculation-style duplicate of a task whose
+    /// executor still heartbeated but whose progress counter was frozen.
+    pub watchdog_trips: usize,
+    /// Nanoseconds of seeded retry backoff scheduled before this stage's
+    /// re-submitted attempts (retries and recovery resubmissions).
+    pub backoff_nanos: u64,
 }
 
 /// Scheduler-level accounting of one finished job.
@@ -483,6 +510,18 @@ impl JobReport {
         self.stages.iter().map(|s| s.spill_bytes).sum()
     }
 
+    /// No-progress watchdog trips across this job's stages (each
+    /// duplicated a wedged-looking task through the speculation path).
+    pub fn watchdog_trips(&self) -> usize {
+        self.stages.iter().map(|s| s.watchdog_trips).sum()
+    }
+
+    /// Nanoseconds of seeded retry backoff scheduled across this job's
+    /// re-submitted attempts.
+    pub fn backoff_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.backoff_nanos).sum()
+    }
+
     /// Busy-time imbalance across executors: max/mean of
     /// `executor_busy_nanos` (1.0 = perfectly even, higher = more skew).
     /// `None` when the job did no executor work.
@@ -570,6 +609,14 @@ impl std::fmt::Display for JobReport {
                 "\n  recovery: {} fetch failures, {} map partitions recomputed",
                 self.fetch_failures(),
                 self.map_partitions_recomputed(),
+            )?;
+        }
+        if self.watchdog_trips() != 0 || self.backoff_nanos() != 0 {
+            write!(
+                f,
+                "\n  health: {} watchdog trips, {:.2} ms backoff",
+                self.watchdog_trips(),
+                self.backoff_nanos() as f64 / 1e6,
             )?;
         }
         for s in &self.stages {
@@ -713,6 +760,19 @@ pub struct MetricsSnapshot {
     /// stays well defined; the live gauge is
     /// `SpangleContext::disk_resident_bytes`).
     pub disk_resident_bytes: u64,
+    /// Heartbeat intervals found missed when the monitor declared a busy
+    /// executor lost (each detection adds the full interval count that
+    /// crossed the loss threshold).
+    pub heartbeats_missed: u64,
+    /// Running tasks the no-progress watchdog declared wedged and
+    /// duplicated through the speculation path.
+    pub watchdog_trips: u64,
+    /// Executors drained by the failure-rate quarantine (re-quarantines
+    /// after a failed canary count again).
+    pub executors_quarantined: u64,
+    /// Cumulative nanoseconds of seeded retry backoff scheduled before
+    /// re-submitted task attempts.
+    pub backoff_nanos: u64,
 }
 
 impl std::ops::Sub for MetricsSnapshot {
@@ -754,6 +814,10 @@ impl std::ops::Sub for MetricsSnapshot {
             blocks_rehydrated: self.blocks_rehydrated - rhs.blocks_rehydrated,
             spill_bytes: self.spill_bytes - rhs.spill_bytes,
             disk_resident_bytes: self.disk_resident_bytes - rhs.disk_resident_bytes,
+            heartbeats_missed: self.heartbeats_missed - rhs.heartbeats_missed,
+            watchdog_trips: self.watchdog_trips - rhs.watchdog_trips,
+            executors_quarantined: self.executors_quarantined - rhs.executors_quarantined,
+            backoff_nanos: self.backoff_nanos - rhs.backoff_nanos,
         }
     }
 }
@@ -837,6 +901,8 @@ mod tests {
             blocks_spilled: 0,
             blocks_rehydrated: 0,
             spill_bytes: 0,
+            watchdog_trips: 0,
+            backoff_nanos: 0,
         };
         let report = JobReport {
             job_id: 1,
@@ -887,6 +953,8 @@ mod tests {
             blocks_spilled: 2,
             blocks_rehydrated: 1,
             spill_bytes: 4096,
+            watchdog_trips: 1,
+            backoff_nanos: 2_000_000,
         };
         let report = JobReport {
             job_id: 2,
@@ -913,6 +981,9 @@ mod tests {
         assert_eq!(report.speculation_wins(), 2);
         assert_eq!(report.tasks_cancelled(), 2);
         assert!(rendered.contains("speculation: 2 launched, 2 won, 2 tasks cancelled"));
+        assert_eq!(report.watchdog_trips(), 2);
+        assert_eq!(report.backoff_nanos(), 4_000_000);
+        assert!(rendered.contains("health: 2 watchdog trips, 4.00 ms backoff"));
     }
 
     #[test]

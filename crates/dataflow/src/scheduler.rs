@@ -88,9 +88,11 @@
 
 use crate::context::SpangleContext;
 use crate::executor::{
-    cancellation_point, BlockOrigin, CancelToken, CancelledError, TaskInfo, TaskTag,
+    cancellation_point, is_task_cancelled, stamp_heartbeat_only, BlockOrigin, CancelToken,
+    CancelledError, TaskInfo, TaskTag,
 };
 use crate::failure::TaskSite;
+use crate::health::{jittered_backoff, splitmix64, HealthBoard, STATE_HEALTHY};
 use crate::metrics::{JobOutcome, JobReport, MetricField, StageOutcome, StageReport};
 use crate::plan;
 use crate::rdd::pair::ShuffleDepDyn;
@@ -103,7 +105,7 @@ use crate::sync::{Mutex, PriorityFifo};
 use crate::Data;
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -372,6 +374,14 @@ struct Stage {
     speculation_wins: usize,
     /// Attempts of this stage cancelled through their token.
     tasks_cancelled: usize,
+    /// No-progress watchdog trips in this stage's current run: attempts
+    /// whose executor kept heartbeating while their progress counter froze,
+    /// duplicated through the speculation path.
+    watchdog_trips: usize,
+    /// Nanoseconds of scheduled retry backoff charged to this stage's
+    /// current run (delays are scheduled on the driver's timer, so this is
+    /// planned delay, not thread sleep).
+    backoff_nanos: u64,
     /// Context-wide (blocks_spilled, blocks_rehydrated, spill_bytes)
     /// counters captured when this stage's current run was submitted; the
     /// stage report carries the delta observed while it ran.
@@ -500,6 +510,8 @@ pub fn submit_job<T: Data, R: Send + 'static>(
         admission_queued_at: None,
         admission_wait_nanos: 0,
         resubmissions_left: ctx.inner.max_resubmissions,
+        delayed: Vec::new(),
+        backoff_strikes: HashMap::new(),
         reports: Vec::new(),
         results: std::iter::repeat_with(|| None).take(num_results).collect(),
         done,
@@ -665,13 +677,23 @@ impl SchedulerService {
     }
 
     /// Stops the driver loop and joins its thread. Idempotent.
+    ///
+    /// The driver itself can end up here: a finished [`JobRun`] holds a
+    /// context clone, and if the caller drops its context the instant its
+    /// handle resolves, the driver's clone is the last one — dropping it
+    /// (inside the loop) tears the service down from the driver thread.
+    /// Joining yourself deadlocks, so that path detaches instead: the
+    /// loop is already draining toward the `Shutdown` event just sent and
+    /// exits on its own.
     pub(crate) fn shutdown(&self) {
         let _ = self.tx.send(Tagged {
             tag: usize::MAX,
             msg: ServiceEvent::Shutdown,
         });
         if let Some(handle) = self.driver.lock().take() {
-            let _ = handle.join();
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -810,22 +832,27 @@ impl AdmissionController {
         }
     }
 
-    /// The driver's receive timeout: the nearest deadline among queued and
-    /// running jobs, clamped to the admission poll while jobs are queued
-    /// (their admission inputs can change without an event) or a running
+    /// The driver's receive timeout: the nearest timed obligation among
+    /// queued and running jobs — a deadline, or a backoff-delayed retry
+    /// coming due — clamped to the admission poll while jobs are queued
+    /// (their admission inputs can change without an event), a running
     /// job could grow a speculation candidate (stragglers ripen without
-    /// generating events). `None` means block indefinitely — nothing is
-    /// waiting on time.
+    /// generating events), or the health monitor is watching in-flight
+    /// attempts (heartbeats go silent without generating events). `None`
+    /// means block indefinitely — nothing is waiting on time.
     fn receive_timeout(&self, jobs: &HashMap<usize, Box<JobRun>>) -> Option<Duration> {
         let now = Instant::now();
         let nearest = jobs
             .values()
             .filter_map(|j| j.deadline)
             .chain(self.queue.iter().filter_map(|j| j.deadline))
+            .chain(jobs.values().filter_map(|j| j.nearest_backoff_due()))
             .min()
             .map(|d| d.saturating_duration_since(now));
-        let speculating = jobs.values().any(|j| j.wants_speculation_poll());
-        if self.queue.is_empty() && !speculating {
+        let polling = jobs
+            .values()
+            .any(|j| j.wants_speculation_poll() || j.wants_health_poll());
+        if self.queue.is_empty() && !polling {
             nearest
         } else {
             Some(nearest.map_or(ADMISSION_POLL, |t| t.min(ADMISSION_POLL)))
@@ -847,6 +874,147 @@ fn run_speculation(jobs: &mut HashMap<usize, Box<JobRun>>) {
             job.fail(err);
         }
     }
+}
+
+/// One watched attempt of the no-progress watchdog: the executor progress
+/// count last observed for it, when that observation was made, and whether
+/// the watchdog already tripped for it (one duplicate per frozen attempt).
+struct ProgressObs {
+    progress: u64,
+    since: Instant,
+    tripped: bool,
+}
+
+/// Driver-local state of the health monitor: per-attempt progress
+/// observations for the watchdog, and per-executor recent-outcome windows
+/// plus quarantine strike counts. The shared [`HealthBoard`] carries only
+/// what workers must see (heartbeats, the placement mask); everything that
+/// only the driver reasons about lives here, unsynchronized.
+struct HealthMonitor {
+    /// Keyed by `(job_id, stage_idx, partition)`.
+    observed: HashMap<(usize, usize, usize), ProgressObs>,
+    /// Recent task outcomes per executor (`true` = success), bounded by
+    /// the configured quarantine window.
+    outcomes: Vec<VecDeque<bool>>,
+    /// Times each executor has been quarantined; doubles (with jitter) its
+    /// probation on every failed canary.
+    strikes: Vec<usize>,
+}
+
+impl HealthMonitor {
+    fn new() -> Self {
+        HealthMonitor {
+            observed: HashMap::new(),
+            outcomes: Vec::new(),
+            strikes: Vec::new(),
+        }
+    }
+
+    fn ensure_executors(&mut self, n: usize) {
+        while self.outcomes.len() < n {
+            self.outcomes.push(VecDeque::new());
+            self.strikes.push(0);
+        }
+    }
+
+    /// Probation duration for `executor`'s next quarantine: the configured
+    /// base doubled per prior strike, jittered deterministically from the
+    /// backoff seed.
+    fn probation_for(&self, ctx: &SpangleContext, executor: usize) -> Duration {
+        let cfg = &ctx.inner.health;
+        jittered_backoff(
+            cfg.probation,
+            cfg.probation.saturating_mul(64),
+            self.strikes[executor],
+            ctx.inner.backoff.seed ^ splitmix64(executor as u64),
+        )
+    }
+
+    /// Benches `executor`: drains placement to it, bans it from stealing,
+    /// and counts the quarantine.
+    fn quarantine(&mut self, ctx: &SpangleContext, board: &HealthBoard, executor: usize) {
+        let probation = self.probation_for(ctx, executor);
+        board.quarantine(executor, probation);
+        ctx.inner.pool.set_steal_ban(executor, true);
+        self.strikes[executor] += 1;
+        self.outcomes[executor].clear();
+        ctx.metrics().add(MetricField::ExecutorsQuarantined, 1);
+    }
+
+    /// Feeds one task outcome into the quarantine state machine: resolves
+    /// an in-flight canary, or updates the executor's failure window and
+    /// benches it when the recent rate crosses the threshold. Only genuine
+    /// task faults (injected failures, panics) count against an executor —
+    /// cancellations, kills, and fetch failures are the scheduler's (or a
+    /// parent's) doing, and counting them would quarantine executors the
+    /// driver itself disrupted.
+    fn observe_task(
+        &mut self,
+        ctx: &SpangleContext,
+        executor: usize,
+        outcome: &Result<Option<ErasedResult>, TaskError>,
+    ) {
+        let cfg = &ctx.inner.health;
+        if !cfg.enabled {
+            return;
+        }
+        self.ensure_executors(ctx.num_executors());
+        let board = ctx.inner.pool.health_board();
+        let fault = matches!(
+            outcome,
+            Err(TaskError::Injected) | Err(TaskError::Panicked(_))
+        );
+        if board.is_canary(executor) {
+            match outcome {
+                Ok(_) => {
+                    // The canary came back clean: full re-admission.
+                    board.mark_healthy(executor);
+                    ctx.inner.pool.set_steal_ban(executor, false);
+                    self.outcomes[executor].clear();
+                }
+                Err(_) if fault => self.quarantine(ctx, &board, executor),
+                Err(_) => board.reopen_probation(executor),
+            }
+            return;
+        }
+        if !fault && outcome.is_err() {
+            return;
+        }
+        let window = &mut self.outcomes[executor];
+        window.push_back(outcome.is_ok());
+        while window.len() > cfg.quarantine_window {
+            window.pop_front();
+        }
+        if !fault || board.state(executor) != STATE_HEALTHY {
+            return;
+        }
+        let samples = window.len();
+        if samples < cfg.quarantine_min_samples {
+            return;
+        }
+        let failures = window.iter().filter(|&&ok| !ok).count();
+        if failures as f64 / samples as f64 >= cfg.quarantine_threshold {
+            self.quarantine(ctx, &board, executor);
+        }
+    }
+}
+
+/// The driver's per-iteration health pass: drains due backoff retries for
+/// every job, then (with health monitoring enabled) runs missed-heartbeat
+/// loss detection and the no-progress watchdog. A job whose resubmission
+/// fails underneath it aborts through the normal path.
+fn run_health(jobs: &mut HashMap<usize, Box<JobRun>>, monitor: &mut HealthMonitor) {
+    let ids: Vec<usize> = jobs.keys().copied().collect();
+    for id in ids {
+        let Some(job) = jobs.get_mut(&id) else {
+            continue;
+        };
+        if let Err(err) = job.health_tick(monitor) {
+            let job = jobs.remove(&id).expect("job vanished mid-health-check");
+            job.fail(err);
+        }
+    }
+    monitor.observed.retain(|key, _| jobs.contains_key(&key.0));
 }
 
 /// Starts an admitted job and parks it in the running map unless it
@@ -871,8 +1039,10 @@ fn admit(mut job: Box<JobRun>, jobs: &mut HashMap<usize, Box<JobRun>>) {
 fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
     let mut jobs: HashMap<usize, Box<JobRun>> = HashMap::new();
     let mut admission = AdmissionController::new();
+    let mut monitor = HealthMonitor::new();
     loop {
         admission.expire_deadlines(&mut jobs);
+        run_health(&mut jobs, &mut monitor);
         run_speculation(&mut jobs);
         admission.drain(&mut jobs);
         let received = match admission.receive_timeout(&jobs) {
@@ -893,6 +1063,21 @@ fn drive_loop(rx: Receiver<Tagged<ServiceEvent>>) {
                 admission.submit(job, &mut jobs);
             }
             event => {
+                // Task outcomes feed the quarantine monitor before the
+                // owning job consumes them (stale-tag events included —
+                // a straggler of an aborted job still ran on a real
+                // executor, but without its job there is no config to
+                // judge it by, so only live jobs' events are counted).
+                if let ServiceEvent::Task {
+                    ran_on,
+                    ref outcome,
+                    ..
+                } = event
+                {
+                    if let Some(job) = jobs.get(&tag) {
+                        monitor.observe_task(&job.ctx, ran_on, outcome);
+                    }
+                }
                 // Stale tags (events of a job that already finished or
                 // aborted) are dropped here.
                 let step = match jobs.get_mut(&tag) {
@@ -987,6 +1172,8 @@ fn build_stages<T: Data, R: Send + 'static>(
             tasks_speculated: 0,
             speculation_wins: 0,
             tasks_cancelled: 0,
+            watchdog_trips: 0,
+            backoff_nanos: 0,
             spill_baseline: (0, 0, 0),
         });
     }
@@ -1042,6 +1229,8 @@ fn build_stages<T: Data, R: Send + 'static>(
         tasks_speculated: 0,
         speculation_wins: 0,
         tasks_cancelled: 0,
+        watchdog_trips: 0,
+        backoff_nanos: 0,
         spill_baseline: (0, 0, 0),
     });
     stages
@@ -1150,6 +1339,14 @@ struct JobRun {
     /// job gives up and aborts (the per-job recovery budget; failures of
     /// this kind do not charge the per-task attempt budget).
     resubmissions_left: usize,
+    /// Retries held back by seeded exponential backoff, as `(due, stage,
+    /// partition, attempt)`: drained by the driver's timer once due. The
+    /// partitions stay counted in their stage's `remaining`, so a stage
+    /// cannot finish around a delayed retry.
+    delayed: Vec<(Instant, usize, usize, usize)>,
+    /// Backoff strike count per `(stage_idx, partition)`: each delayed
+    /// retry of the same task doubles its delay (up to the cap).
+    backoff_strikes: HashMap<(usize, usize), usize>,
     reports: Vec<StageReport>,
     /// Result-stage outputs, filled in as task events arrive.
     results: Vec<Option<ErasedResult>>,
@@ -1261,7 +1458,7 @@ impl JobRun {
                         // charging only the job's resubmission budget.
                         self.charge_resubmission(stage_idx, partition, attempt, err)?;
                         self.ctx.metrics().add(MetricField::Recomputations, 1);
-                        self.submit_task(stage_idx, partition, attempt)?;
+                        self.resubmit_after_backoff(stage_idx, partition, attempt)?;
                     }
                     Err(err) => {
                         let attempts = attempt + 1;
@@ -1270,7 +1467,7 @@ impl JobRun {
                         }
                         self.ctx.metrics().add(MetricField::TaskRetries, 1);
                         self.ctx.metrics().add(MetricField::Recomputations, 1);
-                        self.submit_task(stage_idx, partition, attempt + 1)?;
+                        self.resubmit_after_backoff(stage_idx, partition, attempt + 1)?;
                     }
                 }
             }
@@ -1370,6 +1567,8 @@ impl JobRun {
             tasks_speculated: 0,
             speculation_wins: 0,
             tasks_cancelled: 0,
+            watchdog_trips: 0,
+            backoff_nanos: 0,
             blocks_spilled: 0,
             blocks_rehydrated: 0,
             spill_bytes: 0,
@@ -1417,6 +1616,8 @@ impl JobRun {
         stage.tasks_speculated = 0;
         stage.speculation_wins = 0;
         stage.tasks_cancelled = 0;
+        stage.watchdog_trips = 0;
+        stage.backoff_nanos = 0;
         stage.spill_baseline = (
             snap.blocks_spilled,
             snap.blocks_rehydrated,
@@ -1524,10 +1725,22 @@ impl JobRun {
             .map(|(executor, _)| executor)
             .unwrap_or_else(|| self.ctx.inner.pool.executor_for(partition));
         let lens = self.ctx.inner.pool.queue_lens();
+        // Quarantined slots are drained: never hand a duplicate to the
+        // very kind of executor speculation exists to escape. With no
+        // healthy alternative, any other slot will do, and a one-executor
+        // cluster simply skips the duplicate (the original still runs).
+        let board = self.ctx.inner.pool.health_board();
         let target = (0..lens.len())
-            .filter(|&e| e != avoid)
+            .filter(|&e| e != avoid && board.state(e) == STATE_HEALTHY)
             .min_by_key(|&e| lens[e])
-            .expect("speculation requires at least two executors");
+            .or_else(|| {
+                (0..lens.len())
+                    .filter(|&e| e != avoid)
+                    .min_by_key(|&e| lens[e])
+            });
+        let Some(target) = target else {
+            return Ok(());
+        };
         self.submit_group(stage_idx, vec![partition], attempt, true, Some(target))
     }
 
@@ -1616,15 +1829,33 @@ impl JobRun {
                 // straggler: it spins at a cancellation point in place of
                 // its body until the driver's speculation (or an abort)
                 // cancels it. The wedge is consumed here, so the
-                // speculative duplicate of the same site runs clean.
+                // speculative duplicate of the same site runs clean. A
+                // stall is the sneakier cousin: the spin keeps stamping
+                // heartbeats (the executor looks alive) but never ticks
+                // progress, so only the no-progress watchdog can see it.
                 let wedged = ctx.inner.failures.take_wedge(site);
-                let mut outcome = if ctx.inner.failures.should_fail(site, attempt) {
+                let stalled = ctx.inner.failures.take_stall(site);
+                let mut outcome = if ctx.inner.failures.should_fail(site, attempt)
+                    || ctx.inner.failures.should_fail_on(info.ran_on)
+                {
                     Err(TaskError::Injected)
                 } else {
                     std::panic::catch_unwind(AssertUnwindSafe(|| {
                         if wedged {
                             loop {
                                 cancellation_point();
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        if stalled {
+                            loop {
+                                // Deliberately NOT cancellation_point():
+                                // that would tick progress and hide the
+                                // stall from the watchdog.
+                                if is_task_cancelled() {
+                                    std::panic::panic_any(CancelledError);
+                                }
+                                stamp_heartbeat_only();
                                 std::thread::sleep(Duration::from_micros(200));
                             }
                         }
@@ -1808,6 +2039,192 @@ impl JobRun {
             })
     }
 
+    /// Whether the driver should keep a poll timer alive for the health
+    /// monitor: heartbeats go silent and progress counters freeze without
+    /// generating any event, so while this job has attempts in flight (and
+    /// monitoring is on) the loop must wake on time to notice.
+    fn wants_health_poll(&self) -> bool {
+        self.ctx.inner.health.enabled
+            && self
+                .stages
+                .iter()
+                .any(|s| s.state == StageState::Running && !s.inflight.is_empty())
+    }
+
+    /// When the soonest backoff-delayed retry comes due, if any.
+    fn nearest_backoff_due(&self) -> Option<Instant> {
+        self.delayed.iter().map(|&(due, ..)| due).min()
+    }
+
+    /// Re-submits a retry through seeded exponential backoff: the first
+    /// strike of a task waits ~`base`, doubling (with deterministic jitter)
+    /// per subsequent strike up to the cap. With backoff disabled (the
+    /// `SPANGLE_DISABLE_HEALTH=1` kill switch) the retry is immediate —
+    /// exactly the pre-health behavior.
+    fn resubmit_after_backoff(
+        &mut self,
+        stage_idx: usize,
+        partition: usize,
+        attempt: usize,
+    ) -> Result<(), JobError> {
+        let strike = {
+            let s = self
+                .backoff_strikes
+                .entry((stage_idx, partition))
+                .or_insert(0);
+            let current = *s;
+            *s += 1;
+            current
+        };
+        let delay = self
+            .ctx
+            .inner
+            .backoff
+            .delay(self.job_id, stage_idx, partition, strike);
+        if delay.is_zero() {
+            return self.submit_task(stage_idx, partition, attempt);
+        }
+        self.stages[stage_idx].backoff_nanos += delay.as_nanos() as u64;
+        self.ctx
+            .metrics()
+            .add(MetricField::BackoffNanos, delay.as_nanos() as u64);
+        self.delayed
+            .push((Instant::now() + delay, stage_idx, partition, attempt));
+        Ok(())
+    }
+
+    /// Submits every delayed retry whose backoff has elapsed.
+    fn drain_due_backoff(&mut self) -> Result<(), JobError> {
+        if self.delayed.is_empty() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.delayed.retain(|&(at, stage_idx, partition, attempt)| {
+            let ready = at <= now;
+            if ready {
+                due.push((stage_idx, partition, attempt));
+            }
+            !ready
+        });
+        for (stage_idx, partition, attempt) in due {
+            self.submit_task(stage_idx, partition, attempt)?;
+        }
+        Ok(())
+    }
+
+    /// The driver's health pass over this job: releases due backoff
+    /// retries, then — with monitoring on — runs the two autonomous
+    /// detectors over every in-flight attempt that is actually occupying
+    /// an executor right now.
+    ///
+    /// *Loss*: an executor with a running attempt that has stamped nothing
+    /// for `missed_heartbeat_limit` heartbeat intervals (and whose attempt
+    /// has been running at least that long, so an idle executor's silence
+    /// before the task started is never charged) is declared lost and
+    /// killed — [`crate::context::SpangleContext::kill_executor`] discards
+    /// its blocks and seats a replacement, and the attempt's failure event
+    /// routes through the existing executor-loss recovery. *Watchdog*: an
+    /// attempt whose executor keeps heartbeating while its progress
+    /// counter stays frozen past the watchdog interval gets a speculative
+    /// duplicate on another executor; first completion wins, exactly like
+    /// a straggler race. Detection is new here — recovery semantics are
+    /// the PR 4 / PR 7 paths unchanged.
+    fn health_tick(&mut self, monitor: &mut HealthMonitor) -> Result<(), JobError> {
+        self.drain_due_backoff()?;
+        let cfg = self.ctx.inner.health;
+        if !cfg.enabled {
+            return Ok(());
+        }
+        monitor.ensure_executors(self.ctx.num_executors());
+        let board = self.ctx.inner.pool.health_board();
+        let now = Instant::now();
+
+        // Everything of this job actually running right now: per-executor
+        // earliest run stamp (for loss), plus the lone original singleton
+        // attempts (the only watchdog/speculation candidates).
+        let mut busy: HashMap<usize, Instant> = HashMap::new();
+        let mut watch: Vec<(usize, usize, usize, usize, Instant)> = Vec::new();
+        for (idx, stage) in self.stages.iter().enumerate() {
+            if stage.state != StageState::Running {
+                continue;
+            }
+            for (&partition, attempts) in &stage.inflight {
+                let lone_original = matches!(&attempts[..], [a] if !a.speculative && a.singleton);
+                for a in attempts {
+                    let Some((executor, since)) = self.ctx.inner.pool.executor_running(&a.token)
+                    else {
+                        continue;
+                    };
+                    let earliest = busy.entry(executor).or_insert(since);
+                    if since < *earliest {
+                        *earliest = since;
+                    }
+                    if lone_original {
+                        watch.push((executor, idx, partition, a.attempt, since));
+                    }
+                }
+            }
+        }
+
+        let loss = cfg.loss_threshold();
+        let lost: Vec<usize> = busy
+            .iter()
+            .filter(|&(&e, &since)| {
+                now.duration_since(since) > loss && board.heartbeat_age(e) > loss
+            })
+            .map(|(&e, _)| e)
+            .collect();
+        for executor in lost {
+            let interval = cfg.heartbeat_interval.as_nanos().max(1);
+            let missed = (board.heartbeat_age(executor).as_nanos() / interval) as u64;
+            self.ctx
+                .metrics()
+                .add(MetricField::HeartbeatsMissed, missed);
+            // The kill cancels the running attempt and resets the slot's
+            // heartbeat; the attempt's executor-lost event replays it on
+            // the replacement through the standard recovery path.
+            self.ctx.kill_executor(executor);
+        }
+
+        if self.ctx.num_executors() >= 2 {
+            let mut seen: HashSet<(usize, usize, usize)> = HashSet::new();
+            let mut trips: Vec<(usize, usize, usize)> = Vec::new();
+            for (executor, idx, partition, attempt, since) in watch {
+                let key = (self.job_id, idx, partition);
+                seen.insert(key);
+                let progress = board.progress_value(executor);
+                let obs = monitor.observed.entry(key).or_insert(ProgressObs {
+                    progress,
+                    since: now,
+                    tripped: false,
+                });
+                if progress != obs.progress {
+                    // The executor ticked since we last looked: rebaseline.
+                    obs.progress = progress;
+                    obs.since = now;
+                    obs.tripped = false;
+                } else if !obs.tripped
+                    && now.duration_since(obs.since.max(since)) > cfg.watchdog_interval
+                {
+                    obs.tripped = true;
+                    trips.push((idx, partition, attempt));
+                }
+            }
+            monitor
+                .observed
+                .retain(|key, _| key.0 != self.job_id || seen.contains(key));
+            for (idx, partition, attempt) in trips {
+                self.stages[idx].watchdog_trips += 1;
+                self.stages[idx].tasks_speculated += 1;
+                self.ctx.metrics().add(MetricField::WatchdogTrips, 1);
+                self.ctx.metrics().add(MetricField::TasksSpeculated, 1);
+                self.submit_speculative(idx, partition, attempt)?;
+            }
+        }
+        Ok(())
+    }
+
     /// The speculation scan: for every running stage with completed
     /// samples, any lone, original, singleton attempt whose *running*
     /// time exceeds the configured multiple of the stage's median
@@ -1892,6 +2309,8 @@ impl JobRun {
             tasks_speculated: stage.tasks_speculated,
             speculation_wins: stage.speculation_wins,
             tasks_cancelled: stage.tasks_cancelled,
+            watchdog_trips: stage.watchdog_trips,
+            backoff_nanos: stage.backoff_nanos,
             blocks_spilled: (snap.blocks_spilled - stage.spill_baseline.0) as usize,
             blocks_rehydrated: (snap.blocks_rehydrated - stage.spill_baseline.1) as usize,
             spill_bytes: snap.spill_bytes - stage.spill_baseline.2,
@@ -1935,7 +2354,7 @@ impl JobRun {
             !matches
         });
         for (partition, attempt) in parked {
-            self.submit_task(idx, partition, attempt)?;
+            self.resubmit_after_backoff(idx, partition, attempt)?;
         }
         Ok(())
     }
@@ -2020,6 +2439,8 @@ impl JobRun {
         stage.tasks_speculated = 0;
         stage.speculation_wins = 0;
         stage.tasks_cancelled = 0;
+        stage.watchdog_trips = 0;
+        stage.backoff_nanos = 0;
         stage.spill_baseline = (
             snap.blocks_spilled,
             snap.blocks_rehydrated,
@@ -2135,6 +2556,8 @@ impl JobRun {
                 tasks_speculated: stage.tasks_speculated,
                 speculation_wins: stage.speculation_wins,
                 tasks_cancelled: stage.tasks_cancelled,
+                watchdog_trips: stage.watchdog_trips,
+                backoff_nanos: stage.backoff_nanos,
                 blocks_spilled: (snap.blocks_spilled - stage.spill_baseline.0) as usize,
                 blocks_rehydrated: (snap.blocks_rehydrated - stage.spill_baseline.1) as usize,
                 spill_bytes: snap.spill_bytes - stage.spill_baseline.2,

@@ -55,6 +55,7 @@ pub(crate) struct SpillStore {
 
 impl Default for SpillStore {
     fn default() -> Self {
+        sweep_stale_spill_dirs();
         let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
         let root =
             std::env::temp_dir().join(format!("spangle-spill-{}-{}", std::process::id(), seq));
@@ -63,6 +64,39 @@ impl Default for SpillStore {
             next_file: AtomicU64::new(0),
             disk_bytes: AtomicUsize::new(0),
         }
+    }
+}
+
+/// Best-effort removal of `spangle-spill-<pid>-<seq>` sibling directories
+/// left behind by crashed processes (their `Drop` never ran). A dir is
+/// stale when its embedded pid no longer exists; liveness is checked via
+/// `/proc`, so on platforms without it nothing is removed. Own-process
+/// dirs are always kept — a sibling store in this process may still be
+/// live.
+fn sweep_stale_spill_dirs() {
+    let Ok(entries) = fs::read_dir(std::env::temp_dir()) else {
+        return;
+    };
+    if !std::path::Path::new("/proc/self").exists() {
+        return;
+    }
+    let own = std::process::id();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("spangle-spill-") else {
+            continue;
+        };
+        let Some((pid, _seq)) = rest.split_once('-') else {
+            continue;
+        };
+        let Ok(pid) = pid.parse::<u32>() else {
+            continue;
+        };
+        if pid == own || std::path::Path::new(&format!("/proc/{pid}")).exists() {
+            continue;
+        }
+        let _ = fs::remove_dir_all(entry.path());
     }
 }
 
@@ -236,6 +270,25 @@ mod tests {
     fn unspillable_types_have_no_codec() {
         assert!(SpillCodec::of::<&'static str>().is_none());
         assert!(SpillCodec::of::<(u64, &'static str)>().is_none());
+    }
+
+    #[test]
+    fn stale_spill_dirs_of_dead_processes_are_swept() {
+        if !std::path::Path::new("/proc/self").exists() {
+            return; // liveness check needs procfs
+        }
+        let tmp = std::env::temp_dir();
+        // Linux pids cap at 2^22, so this pid can never be alive.
+        let stale = tmp.join("spangle-spill-999999999-0");
+        let own = tmp.join(format!("spangle-spill-{}-999999", std::process::id()));
+        fs::create_dir_all(&stale).unwrap();
+        fs::write(stale.join("0"), b"leaked").unwrap();
+        fs::create_dir_all(&own).unwrap();
+
+        let _store = SpillStore::default();
+        assert!(!stale.exists(), "dead process's spill dir must be removed");
+        assert!(own.exists(), "own-process dirs are never swept");
+        let _ = fs::remove_dir_all(&own);
     }
 
     #[test]

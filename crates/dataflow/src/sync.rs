@@ -270,6 +270,10 @@ struct QueuesState<T> {
     /// Global submission counter, the FIFO tie-breaker within a priority.
     next_seq: u64,
     closed: bool,
+    /// Workers banned from stealing (quarantined executors). A banned
+    /// worker still drains its own queue, and siblings may still steal
+    /// *from* it — the ban only stops it taking new work from others.
+    steal_banned: Vec<bool>,
 }
 
 /// A fixed set of priority work queues with locality-aware stealing.
@@ -311,6 +315,7 @@ impl<T> StealQueues<T> {
                 queues: (0..n).map(|_| BTreeMap::new()).collect(),
                 next_seq: 0,
                 closed: false,
+                steal_banned: vec![false; n],
             }),
             available: Condvar::new(),
         }
@@ -357,13 +362,20 @@ impl<T> StealQueues<T> {
                 return Next::Local(item);
             }
             let min_len = if st.closed { 1 } else { Self::MIN_STEAL_LEN };
-            let victim = st
-                .queues
-                .iter()
-                .enumerate()
-                .filter(|(i, q)| *i != worker && q.len() >= min_len)
-                .max_by_key(|(_, q)| q.len())
-                .map(|(i, _)| i);
+            // A steal-banned worker only serves its own queue while the
+            // queues are open; on close it may steal again so the drain
+            // guarantee (every queued item runs exactly once) holds even
+            // if every unbanned sibling has already exited.
+            let victim = if st.steal_banned[worker] && !st.closed {
+                None
+            } else {
+                st.queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, q)| *i != worker && q.len() >= min_len)
+                    .max_by_key(|(_, q)| q.len())
+                    .map(|(i, _)| i)
+            };
             if let Some(victim) = victim {
                 let (_, item) = st.queues[victim]
                     .pop_last()
@@ -387,6 +399,16 @@ impl<T> StealQueues<T> {
     /// Whether [`StealQueues::close`] has run.
     pub fn is_closed(&self) -> bool {
         self.state.lock().closed
+    }
+
+    /// Bans or re-admits `worker` as a thief (quarantine drain). Banning
+    /// never strands work: the worker keeps draining its own queue, and
+    /// lifting the ban wakes it in case siblings have stealable backlog.
+    pub fn set_steal_ban(&self, worker: usize, banned: bool) {
+        self.state.lock().steal_banned[worker] = banned;
+        if !banned {
+            self.available.notify_all();
+        }
     }
 
     /// Current length of queue `i` (racy; for reporting only).
@@ -538,6 +560,42 @@ mod tests {
         seen.sort();
         assert_eq!(seen, vec![1, 2]);
         assert!(matches!(q.next(0), Next::Closed));
+    }
+
+    #[test]
+    fn steal_ban_stops_thieving_but_not_draining() {
+        let q = Arc::new(StealQueues::new(2));
+        q.push(0, 1u64).unwrap();
+        q.push(0, 2).unwrap();
+        q.push(0, 3).unwrap();
+        q.push(1, 9).unwrap();
+        // Banned worker 1 still serves its own queue but must not steal
+        // from queue 0's stealable backlog; it blocks instead.
+        q.set_steal_ban(1, true);
+        assert!(matches!(q.next(1), Next::Local(9)));
+        let t = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.next(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "banned worker must not steal");
+        // Siblings may still steal *from* the banned worker's queue.
+        q.push(1, 10).unwrap();
+        q.push(1, 11).unwrap();
+        assert!(matches!(t.join().unwrap(), Next::Local(10)));
+        match q.next(0) {
+            Next::Local(1) => {}
+            other => panic!("owner keeps its queue, got {other:?}"),
+        }
+        // Lifting the ban re-admits the thief.
+        q.set_steal_ban(1, false);
+        assert!(matches!(q.next(1), Next::Local(11)));
+        assert!(matches!(q.next(1), Next::Stolen { item: 3, victim: 0 }));
+        // On close the ban is overridden so the drain guarantee holds.
+        q.set_steal_ban(1, true);
+        q.close();
+        assert!(matches!(q.next(1), Next::Stolen { item: 2, victim: 0 }));
+        assert!(matches!(q.next(1), Next::Closed));
     }
 
     #[test]

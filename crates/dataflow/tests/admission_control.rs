@@ -195,6 +195,74 @@ fn deadline_expires_while_queued() {
     assert_eq!(delta.tasks_run, 1, "only A's task ran");
 }
 
+/// The poll-boundary race: a queued job's deadline expires in the same
+/// 5 ms admission-poll window as the capacity it was waiting for frees
+/// up. The driver resolves both on the same iteration, and its order —
+/// deadlines expire *before* the queue drains — must make the job
+/// `Deadlined` without ever starting; an admit-then-expire interleaving
+/// would run (and charge) a job whose caller was already told it missed.
+/// The deadline sweep brackets the slot-free instant from well before to
+/// well after, so some cases land inside the race window whichever way
+/// the scheduler's timing drifts; whatever the outcome, a deadlined job
+/// must have run zero stages and zero tasks.
+#[test]
+fn queued_deadline_racing_a_freed_slot_never_runs() {
+    let hold_ms = 60;
+    let mut deadlined = 0;
+    let mut succeeded = 0;
+    for deadline_ms in [10u64, 30, 50, 55, 58, 60, 62, 65, 70, 90, 150] {
+        let ctx = SpangleContext::builder()
+            .executors(1)
+            .max_concurrent_jobs(1)
+            .build();
+        let before = ctx.metrics_snapshot();
+        let a = submit_sleepy(&ctx, 1, hold_ms); // holds the only slot
+        let b = ctx.run_with_deadline(Duration::from_millis(deadline_ms), || {
+            submit_sleepy(&ctx, 1, 0)
+        });
+        let b_id = b.job_id();
+
+        let b_result = b.wait();
+        assert_eq!(a.wait().unwrap(), vec![0]);
+        let rb = report_for(&ctx, b_id);
+        let delta = ctx.metrics_snapshot() - before;
+        match b_result {
+            Err(err) => {
+                assert!(
+                    matches!(err.last_error, TaskError::DeadlineExceeded),
+                    "{err}"
+                );
+                assert_eq!(rb.outcome, JobOutcome::Deadlined);
+                assert!(
+                    rb.stages.is_empty(),
+                    "a queued-deadlined job must never have started: {rb:?}"
+                );
+                assert_eq!(
+                    delta.tasks_run, 1,
+                    "only A's task may have run (deadline {deadline_ms} ms): {delta:?}"
+                );
+                assert_eq!(delta.jobs_deadlined, 1);
+                deadlined += 1;
+            }
+            Ok(results) => {
+                assert_eq!(results, vec![0]);
+                assert_eq!(rb.outcome, JobOutcome::Succeeded);
+                assert_eq!(delta.tasks_run, 2);
+                assert_eq!(delta.jobs_deadlined, 0);
+                succeeded += 1;
+            }
+        }
+    }
+    // The sweep's extremes are unambiguous whatever the poll alignment:
+    // a 10 ms deadline expires long before the 60 ms hold frees the
+    // slot, and a 150 ms one leaves ample room to run.
+    assert!(
+        deadlined >= 1,
+        "the short deadlines must expire while queued"
+    );
+    assert!(succeeded >= 1, "the long deadlines must admit and run");
+}
+
 #[test]
 fn deadline_aborts_a_running_job_and_reclaims_its_shuffle() {
     let ctx = SpangleContext::new(2);

@@ -11,7 +11,8 @@
 #   scripts/check.sh --quick          full gate minus the release build
 #   scripts/check.sh <step> [...]     run only the named steps, in order
 #
-# Steps: fmt clippy build test planoff specoff spill doc stress bench
+# Steps: fmt clippy build test planoff specoff spill health healthoff
+# doc stress bench
 # (stress and bench are CI-job-only: they are not part of the default
 # full gate because of their runtime.)
 set -euo pipefail
@@ -91,6 +92,28 @@ run_spill() {
     SPANGLE_MEMORY_WATERMARK_BYTES=262144 watchdog cargo test -q --workspace
 }
 
+# Health monitoring defaults to forgiving intervals (1 s loss threshold,
+# 10 s watchdog); this step tightens both (400 ms loss, 1 s watchdog) and
+# runs the whole suite under the aggressive monitor, proving loss
+# detection (fed by the pool's dedicated heartbeater) and the
+# body-driven no-progress watchdog stay false-positive-free near their
+# margins. Tests that assert the monitor's own behaviour pin their
+# intervals through the builder, which wins over the env default.
+run_health() {
+    echo "== cargo test with SPANGLE_HEARTBEAT_MS=40 SPANGLE_WATCHDOG_MS=1000 (watchdog ${WATCHDOG_SECS}s)"
+    SPANGLE_HEARTBEAT_MS=40 SPANGLE_WATCHDOG_MS=1000 watchdog cargo test -q --workspace
+}
+
+# Health monitoring (and its retry backoff) defaults on; this step proves
+# the announced-failures-only paths still work by running the whole suite
+# with the layer's kill switch thrown — exactly the pre-health scheduler.
+# Tests that assert the monitor's own behaviour pin it on through the
+# builder, which wins over the env default.
+run_healthoff() {
+    echo "== cargo test with SPANGLE_DISABLE_HEALTH=1 (watchdog ${WATCHDOG_SECS}s)"
+    SPANGLE_DISABLE_HEALTH=1 watchdog cargo test -q --workspace
+}
+
 run_doc() {
     echo "== cargo doc -D warnings"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -131,13 +154,13 @@ run_bench() {
 steps=()
 for arg in "$@"; do
     case "$arg" in
-    --quick) steps+=(fmt clippy test planoff specoff spill doc) ;;
-    fmt | clippy | build | test | planoff | specoff | spill | doc | stress | bench) steps+=("$arg") ;;
+    --quick) steps+=(fmt clippy test planoff specoff spill health healthoff doc) ;;
+    fmt | clippy | build | test | planoff | specoff | spill | health | healthoff | doc | stress | bench) steps+=("$arg") ;;
     -h | --help | *) usage ;;
     esac
 done
 if [ ${#steps[@]} -eq 0 ]; then
-    steps=(fmt clippy build test planoff specoff spill doc)
+    steps=(fmt clippy build test planoff specoff spill health healthoff doc)
 fi
 
 for step in "${steps[@]}"; do
