@@ -247,9 +247,25 @@ fn sum_keys(value: &Value, keys: &[&str]) -> f64 {
     }
 }
 
-/// One artifact's gated scores: summed wall-clock and summed memory peak
-/// (0 when the file predates the memory export).
-fn load(path: &str) -> Result<(f64, f64), String> {
+/// The executor backend that produced an artifact: its top-level
+/// `"backend"` key, or `"inproc"` for baselines that predate the stamp.
+fn backend_of(value: &Value) -> String {
+    if let Value::Obj(entries) = value {
+        for (key, v) in entries {
+            if key == "backend" {
+                if let Value::Str(s) = v {
+                    return s.clone();
+                }
+            }
+        }
+    }
+    "inproc".to_string()
+}
+
+/// One artifact's gated scores: summed wall-clock, summed memory peak
+/// (0 when the file predates the memory export), and the backend that
+/// produced it.
+fn load(path: &str) -> Result<(f64, f64, String), String> {
     let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
     let value = parse(&text).map_err(|err| format!("{path}: {err}"))?;
     let total = sum_keys(&value, TIMING_KEYS);
@@ -258,7 +274,7 @@ fn load(path: &str) -> Result<(f64, f64), String> {
             "{path}: no {TIMING_KEYS:?} keys found — wrong file?"
         ));
     }
-    Ok((total, sum_keys(&value, MEMORY_KEYS)))
+    Ok((total, sum_keys(&value, MEMORY_KEYS), backend_of(&value)))
 }
 
 fn pct_from_env(var: &str, default: f64) -> Result<f64, String> {
@@ -298,7 +314,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let ((baseline, baseline_mem), (fresh, fresh_mem)) =
+    let ((baseline, baseline_mem, baseline_backend), (fresh, fresh_mem, fresh_backend)) =
         match (load(baseline_path), load(fresh_path)) {
             (Ok(b), Ok(f)) => (b, f),
             (b, f) => {
@@ -308,6 +324,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+    // Timings from different executor backends are not comparable: a
+    // multi-process run pays process spawns and wire hops an in-process
+    // baseline never sees, so a cross-backend diff would gate on noise.
+    if baseline_backend != fresh_backend {
+        eprintln!(
+            "backend mismatch: baseline {baseline_path} was produced under \
+             '{baseline_backend}' but fresh {fresh_path} under '{fresh_backend}' — \
+             regenerate the baseline under the same SPANGLE_BACKEND"
+        );
+        return ExitCode::from(2);
+    }
     let figure = figure_label(fresh_path);
     let limit = baseline * (1.0 + pct / 100.0);
     let change = (fresh / baseline - 1.0) * 100.0;
@@ -389,6 +416,14 @@ mod tests {
             }
             _ => panic!("expected object"),
         }
+    }
+
+    #[test]
+    fn backend_defaults_to_inproc_for_unstamped_baselines() {
+        let stamped = parse(r#"{"backend":"proc","wall_ms":1.0}"#).unwrap();
+        assert_eq!(backend_of(&stamped), "proc");
+        let legacy = parse(r#"{"wall_ms":1.0}"#).unwrap();
+        assert_eq!(backend_of(&legacy), "inproc");
     }
 
     #[test]

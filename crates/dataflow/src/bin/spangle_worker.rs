@@ -1,0 +1,24 @@
+//! Entry point of one executor worker process.
+//!
+//! Spawned by the driver's multi-process backend with
+//! `spangle_worker <socket> <slot> <epoch> <heartbeat_ms>`; everything
+//! else lives in [`spangle_dataflow::procw`].
+
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed = (|| -> Option<spangle_dataflow::procw::WorkerConfig> {
+        Some(spangle_dataflow::procw::WorkerConfig {
+            socket: std::path::PathBuf::from(args.get(1)?),
+            slot: args.get(2)?.parse().ok()?,
+            epoch: args.get(3)?.parse().ok()?,
+            heartbeat: Duration::from_millis(args.get(4)?.parse().ok()?),
+        })
+    })();
+    let Some(cfg) = parsed else {
+        eprintln!("usage: spangle_worker <socket> <slot> <epoch> <heartbeat_ms>");
+        std::process::exit(2);
+    };
+    std::process::exit(spangle_dataflow::procw::worker_main(&cfg));
+}

@@ -74,10 +74,9 @@ pub(crate) fn health_enabled_by_env() -> bool {
 }
 
 fn env_millis(var: &str) -> Option<Duration> {
-    std::env::var_os(var)
-        .and_then(|v| v.into_string().ok())
-        .and_then(|s| s.trim().parse::<u64>().ok())
-        .map(Duration::from_millis)
+    // A malformed knob (`SPANGLE_HEARTBEAT_MS=abc`) warns once and falls
+    // back to the built-in default instead of being silently ignored.
+    crate::env::env_parse::<u64>(var).map(Duration::from_millis)
 }
 
 impl Default for HealthConfig {

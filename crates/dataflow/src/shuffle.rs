@@ -760,6 +760,28 @@ impl ShuffleService {
         (before - blocks.len(), bytes_dropped)
     }
 
+    /// Drops one map partition's registered output (and its blocks) so a
+    /// later [`ShuffleService::claim_recovery`] reports it missing and
+    /// re-runs exactly that map task. The remote data plane calls this
+    /// when a map output's *payload* is unreachable even though the
+    /// driver-side records survive — the referenced bytes died with a
+    /// worker process — before failing the reduce with the matching
+    /// [`FetchFailedError`].
+    pub fn discard_map_output(&self, shuffle_id: usize, map_id: usize) {
+        if let Some(maps) = self.outputs.lock().get_mut(&shuffle_id) {
+            maps.remove(&map_id);
+        }
+        let mut blocks = self.blocks.write();
+        blocks.retain(|id, entry| {
+            let keep = !(id.shuffle_id == shuffle_id && id.map_id == map_id);
+            if !keep {
+                self.release(entry);
+            }
+            keep
+        });
+        self.debug_check_resident(&blocks);
+    }
+
     /// Atomically claims the *recovery* of a shuffle whose completed map
     /// stage lost some output. Exactly one caller per recovery round is
     /// told [`RecoveryClaim::Owner`] with the missing map partitions; the

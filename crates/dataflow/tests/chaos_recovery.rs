@@ -20,6 +20,9 @@ use spangle_testkit::{run_cases, Rng};
 use std::sync::Arc;
 use std::time::Duration;
 
+mod gate;
+use gate::{collect_bounded, count_bounded};
+
 /// Live threads of this process (Linux); used to prove nothing leaks.
 fn thread_count() -> usize {
     std::fs::read_dir("/proc/self/task")
@@ -59,11 +62,10 @@ fn pagerank(
         .parallelize(edges, num_parts)
         .group_by_key(partitioner.clone());
     links.persist();
-    links.count().unwrap();
+    count_bounded(&links, "links materialisation").unwrap();
 
     let nodes: Vec<u64> = {
-        let mut n: Vec<u64> = links
-            .collect()
+        let mut n: Vec<u64> = collect_bounded(&links, "node discovery")
             .unwrap()
             .into_iter()
             .map(|(k, _)| k)
@@ -89,9 +91,9 @@ fn pagerank(
             .reduce_by_key(partitioner.clone(), |a, b| a + b)
             .map_values(|incoming| 150_000 + incoming * 85 / 100);
         ranks.persist();
-        ranks.count().unwrap();
+        count_bounded(&ranks, "iteration ranks").unwrap();
     }
-    let mut out = ranks.collect().unwrap();
+    let mut out = collect_bounded(&ranks, "final ranks").unwrap();
     out.sort();
     out
 }
@@ -217,7 +219,7 @@ fn speculative_winners_are_bit_identical_with_exact_counters() {
             if let Some(victim) = kill {
                 ctx.failure_injector().kill_executor_after(victim, 1);
             }
-            let mut out = reduced.collect().unwrap();
+            let mut out = collect_bounded(&reduced, "speculated reduce").unwrap();
             out.sort();
             out
         };

@@ -1,0 +1,37 @@
+//! Shared helpers for the `#[ignore]`d chaos/stress gates: every
+//! blocking wait is bounded, so a wedged gate fails in minutes with the
+//! job id attached instead of hanging the CI job until the runner's
+//! global timeout reaps it with no diagnostics.
+#![allow(dead_code)] // each gate crate uses a different subset
+
+use spangle_dataflow::{submit_job, Data, JobError, JobHandle, Rdd};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generous ceiling — roughly two orders of magnitude above the worst
+/// clean-run materialisation in any gate, so only a genuine wedge trips
+/// it.
+pub const GATE_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Bounded stand-in for `JobHandle::wait`.
+pub fn wait_bounded<R: Send + 'static>(
+    mut handle: JobHandle<R>,
+    what: &str,
+) -> Result<Vec<R>, JobError> {
+    let job_id = handle.job_id();
+    handle.wait_timeout(GATE_DEADLINE).unwrap_or_else(|| {
+        panic!("job {job_id} ({what}) unresolved after {GATE_DEADLINE:?} — wedged gate")
+    })
+}
+
+/// Bounded stand-in for `Rdd::collect`.
+pub fn collect_bounded<T: Data>(rdd: &Rdd<T>, what: &str) -> Result<Vec<T>, JobError> {
+    let handle = submit_job(rdd, |_, data: Arc<Vec<T>>| (*data).clone());
+    Ok(wait_bounded(handle, what)?.into_iter().flatten().collect())
+}
+
+/// Bounded stand-in for `Rdd::count`.
+pub fn count_bounded<T: Data>(rdd: &Rdd<T>, what: &str) -> Result<usize, JobError> {
+    let handle = submit_job(rdd, |_, data: Arc<Vec<T>>| data.len());
+    Ok(wait_bounded(handle, what)?.into_iter().sum())
+}

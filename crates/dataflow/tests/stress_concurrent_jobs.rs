@@ -22,6 +22,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+mod gate;
+use gate::{collect_bounded, wait_bounded};
+
 /// Live threads of this process (Linux); used to prove nothing leaks.
 fn thread_count() -> usize {
     std::fs::read_dir("/proc/self/task")
@@ -105,7 +108,7 @@ fn concurrent_jobs_with_failure_injection_hold_all_invariants() {
                 let priority = (i as i32 % 3) - 1;
                 std::thread::spawn(move || {
                     ctx.run_with_priority(priority, || {
-                        let mut out = r.collect().unwrap();
+                        let mut out = collect_bounded(&r, "concurrent reduce job").unwrap();
                         out.sort();
                         out
                     })
@@ -240,7 +243,7 @@ fn saturated_scheduler_sheds_only_low_priority_and_leaks_nothing() {
         let mut completed_lineages = Vec::new();
         for ((handle, priority), lineage) in handles.into_iter().zip(&priorities).zip(lineages) {
             let job_id = handle.job_id();
-            let outcome = handle.wait();
+            let outcome = wait_bounded(handle, "satellite job");
             let report = ctx
                 .job_reports()
                 .into_iter()
@@ -262,7 +265,10 @@ fn saturated_scheduler_sheds_only_low_priority_and_leaks_nothing() {
                 completed_lineages.push(lineage);
             }
         }
-        assert_eq!(wedge.wait().unwrap(), vec![1; executors]);
+        assert_eq!(
+            wait_bounded(wedge, "wedge job").unwrap(),
+            vec![1; executors]
+        );
         assert!(
             ctx.failure_injector().is_drained(),
             "armed injections all landed on admitted jobs"
